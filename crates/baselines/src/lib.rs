@@ -1,0 +1,180 @@
+//! Baseline matchers and engine analogues for the §7 experiments.
+//!
+//! * [`Jm`] — the join-based approach: one binary hash join per query
+//!   edge, left-deep plan from dynamic programming (R-Join style \[12\]),
+//!   with explicit intermediate-result materialization. Its failure mode
+//!   is memory blow-up, modeled as a deterministic intermediate-tuple
+//!   budget (Tables 3 and 5's "OM" cells).
+//! * [`Tm`] — the tree-based approach: evaluate a spanning tree of the
+//!   query (\[59\]-style tree matching), then filter each tree occurrence
+//!   against the non-tree edges. Its failure mode is timeout when tree
+//!   occurrences vastly outnumber query occurrences.
+//! * [`GfLike`] / [`EhLike`] — worst-case-optimal-join engine analogues of
+//!   GraphflowDB and EmptyHeaded: direct-edge-only WCOJ over the raw data
+//!   graph, preceded by an expensive per-graph precomputation (GF's
+//!   catalog, EH's relation tries). For D-queries they must run on a
+//!   materialized transitive closure (§7.5).
+//! * [`NeoLike`] — a Neo4j analogue: tuple-at-a-time binary joins in
+//!   syntactic edge order, no statistics, reachability via unindexed
+//!   on-line DFS (the APOC expansion pattern).
+//! * [`RmLike`] — a RapidMatch analogue: tree-decomposition filtering plus
+//!   WCOJ-style enumeration with a topology-driven order.
+//! * [`GmEngine`] — adapter putting GM behind the same [`Engine`] trait so
+//!   harnesses can iterate engines uniformly.
+//!
+//! See DESIGN.md ("Substitutions") for the fidelity argument: these
+//! analogues reproduce the *architectural* properties the paper attributes
+//! to each system, on identical inputs.
+
+mod gf;
+mod jm;
+mod neo;
+mod rm;
+mod tm;
+mod wcoj;
+
+pub use gf::{Catalog, EhLike, GfLike};
+pub use jm::Jm;
+pub use neo::NeoLike;
+pub use rm::RmLike;
+pub use tm::Tm;
+pub use wcoj::wcoj_count;
+
+use std::time::Duration;
+
+use rig_core::{GmConfig, Matcher, RunReport, RunStatus};
+use rig_graph::DataGraph;
+use rig_query::PatternQuery;
+
+/// Resource budget for one evaluation, mirroring the paper's experimental
+/// protocol (10-minute timeout, 16 GB heap, 10^7-match cap).
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Wall-clock limit; `None` = unlimited.
+    pub timeout: Option<Duration>,
+    /// Maximum intermediate tuples an engine may materialize before the
+    /// run is declared out-of-memory.
+    pub max_intermediate: Option<u64>,
+    /// Stop after this many matches (the paper uses 10^7).
+    pub match_limit: Option<u64>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            timeout: Some(Duration::from_secs(600)),
+            max_intermediate: Some(5_000_000),
+            match_limit: Some(10_000_000),
+        }
+    }
+}
+
+impl Budget {
+    /// Unlimited budget (tests use this to compare exact counts).
+    pub fn unlimited() -> Self {
+        Budget { timeout: None, max_intermediate: None, match_limit: None }
+    }
+
+    /// Budget with only a match cap.
+    pub fn with_limit(limit: u64) -> Self {
+        Budget { match_limit: Some(limit), ..Budget::unlimited() }
+    }
+}
+
+/// A pattern matching engine bound to one data graph.
+pub trait Engine {
+    /// Engine name as printed in the tables.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates one query under the given budget.
+    fn evaluate(&self, query: &PatternQuery, budget: &Budget) -> RunReport;
+
+    /// One-time per-graph preparation cost (index/catalog/closure build).
+    fn setup_time(&self) -> Duration {
+        Duration::ZERO
+    }
+}
+
+/// GM behind the [`Engine`] trait.
+pub struct GmEngine<'g> {
+    matcher: Matcher<'g>,
+    config: GmConfig,
+    name: &'static str,
+}
+
+impl<'g> GmEngine<'g> {
+    pub fn new(graph: &'g DataGraph) -> Self {
+        GmEngine { matcher: Matcher::new(graph), config: GmConfig::default(), name: "GM" }
+    }
+
+    pub fn with_config(graph: &'g DataGraph, config: GmConfig, name: &'static str) -> Self {
+        GmEngine { matcher: Matcher::new(graph), config, name }
+    }
+
+    pub fn matcher(&self) -> &Matcher<'g> {
+        &self.matcher
+    }
+}
+
+impl Engine for GmEngine<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn evaluate(&self, query: &PatternQuery, budget: &Budget) -> RunReport {
+        let mut cfg = self.config;
+        cfg.enumeration.limit = budget.match_limit;
+        cfg.enumeration.timeout = budget.timeout;
+        let outcome = self.matcher.count(query, &cfg);
+        outcome.report(self.name)
+    }
+
+    fn setup_time(&self) -> Duration {
+        self.matcher.index_build_time()
+    }
+}
+
+/// Shared helper: stamp a report as timed out with the elapsed budget (the
+/// paper records stopped queries at the full 10 minutes).
+pub(crate) fn failure_report(
+    engine: &str,
+    status: RunStatus,
+    elapsed: Duration,
+    intermediate: u64,
+) -> RunReport {
+    RunReport {
+        engine: engine.to_string(),
+        status,
+        occurrences: 0,
+        total_time: elapsed,
+        matching_time: elapsed,
+        enumeration_time: Duration::ZERO,
+        intermediate_tuples: intermediate,
+        aux_size: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rig_datasets::examples::fig2_graph;
+    use rig_query::fig2_query;
+
+    #[test]
+    fn gm_engine_adapter() {
+        let g = fig2_graph();
+        let e = GmEngine::new(&g);
+        assert_eq!(e.name(), "GM");
+        let r = e.evaluate(&fig2_query(), &Budget::default());
+        assert_eq!(r.status, RunStatus::Completed);
+        assert_eq!(r.occurrences, 2);
+    }
+
+    #[test]
+    fn budget_limit_respected() {
+        let g = fig2_graph();
+        let e = GmEngine::new(&g);
+        let r = e.evaluate(&fig2_query(), &Budget::with_limit(1));
+        assert_eq!(r.occurrences, 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the hot kernels behind the figure
+//! harnesses: bitmap algebra (§6), BFL reachability probes, double
+//! simulation (§4), RIG construction (Alg. 4) and MJoin enumeration
+//! (Alg. 5). Run with `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use rig_baselines::{Budget, Engine, GmEngine, Jm, Tm};
+use rig_bitset::Bitset;
+use rig_core::Matcher;
+use rig_datasets::spec;
+use rig_index::{build_rig, RigOptions};
+use rig_mjoin::{count, EnumOptions};
+use rig_query::{template, Flavor};
+use rig_reach::{BflIndex, Reachability};
+use rig_sim::{double_simulation, SimContext, SimOptions};
+
+fn test_graph() -> rig_graph::DataGraph {
+    spec("em").unwrap().generate(0.01, 7)
+}
+
+fn test_query(id: usize, flavor: Flavor, labels: usize) -> rig_query::PatternQuery {
+    template(id).instantiate_modulo(flavor, labels)
+}
+
+fn bench_bitset(c: &mut Criterion) {
+    let a: Bitset = (0..100_000u32).filter(|v| v % 3 == 0).collect();
+    let b: Bitset = (0..100_000u32).filter(|v| v % 5 == 0).collect();
+    let d: Bitset = (0..100_000u32).filter(|v| v % 7 == 0).collect();
+    c.bench_function("bitset/and", |bench| bench.iter(|| a.and(&b)));
+    c.bench_function("bitset/multi_and", |bench| {
+        bench.iter(|| Bitset::multi_and(&[&a, &b, &d]))
+    });
+    c.bench_function("bitset/batch_iter", |bench| {
+        bench.iter(|| {
+            let mut it = a.batch_iter(256);
+            let mut acc = 0u64;
+            while let Some(chunk) = it.next_batch() {
+                acc += chunk.len() as u64;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_bfl(c: &mut Criterion) {
+    let g = test_graph();
+    let idx = BflIndex::new(&g);
+    let n = g.num_nodes() as u32;
+    c.bench_function("bfl/build", |bench| bench.iter(|| BflIndex::new(&g)));
+    c.bench_function("bfl/probe", |bench| {
+        let mut i = 0u32;
+        bench.iter(|| {
+            i = (i + 17) % n;
+            idx.reaches(i, (i * 31 + 5) % n)
+        })
+    });
+}
+
+fn bench_sim_and_rig(c: &mut Criterion) {
+    let g = test_graph();
+    let bfl = BflIndex::new(&g);
+    let q = test_query(8, Flavor::H, g.num_labels());
+    let ctx = SimContext::new(&g, &q, &bfl);
+    c.bench_function("sim/double_simulation_hq8", |bench| {
+        bench.iter(|| double_simulation(&ctx, &SimOptions::paper_default()))
+    });
+    c.bench_function("rig/build_hq8", |bench| {
+        bench.iter(|| build_rig(&ctx, &bfl, &RigOptions::default()))
+    });
+}
+
+fn bench_mjoin(c: &mut Criterion) {
+    let g = test_graph();
+    let bfl = BflIndex::new(&g);
+    let q = test_query(8, Flavor::H, g.num_labels());
+    let ctx = SimContext::new(&g, &q, &bfl);
+    let rig = build_rig(&ctx, &bfl, &RigOptions::default());
+    c.bench_function("mjoin/enumerate_hq8", |bench| {
+        bench.iter(|| count(&q, &rig, &EnumOptions { limit: Some(100_000), ..Default::default() }))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let g = test_graph();
+    let q = test_query(6, Flavor::H, g.num_labels());
+    let budget = Budget { match_limit: Some(100_000), ..Budget::unlimited() };
+    c.bench_function("e2e/gm_hq6", |bench| {
+        bench.iter_batched(
+            || GmEngine::new(&g),
+            |e| e.evaluate(&q, &budget),
+            BatchSize::PerIteration,
+        )
+    });
+    let gm = GmEngine::new(&g);
+    c.bench_function("e2e/gm_hq6_warm_index", |bench| {
+        bench.iter(|| gm.evaluate(&q, &budget))
+    });
+    let tm = Tm::new(&g);
+    c.bench_function("e2e/tm_hq6", |bench| bench.iter(|| tm.evaluate(&q, &budget)));
+    let jm = Jm::new(&g);
+    c.bench_function("e2e/jm_hq6", |bench| bench.iter(|| jm.evaluate(&q, &budget)));
+    c.bench_function("e2e/matcher_build", |bench| bench.iter(|| Matcher::new(&g)));
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_bitset, bench_bfl, bench_sim_and_rig, bench_mjoin, bench_end_to_end
+}
+criterion_main!(kernels);

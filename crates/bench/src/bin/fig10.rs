@@ -1,0 +1,38 @@
+//! Fig. 10 — H-query time on em while varying the number of distinct
+//! labels (5, 10, 15, 20); graph size fixed. Queries: HQ2, HQ4, HQ7, HQ18.
+//!
+//! Expected shape: all engines get slower as labels decrease (inverted
+//! lists grow), with the increase steepest near 5 labels; GM stays best.
+
+use rig_baselines::{Engine, GmEngine, Jm, Tm};
+use rig_bench::{load, template_query_probed, Args, Table};
+use rig_query::Flavor;
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.budget();
+    let base = load("em", &args);
+    println!("# base em: {:?}", base.stats());
+
+    for id in [2usize, 4, 7, 18] {
+        let mut table = Table::new(&["labels", "GM", "TM", "JM", "matches"]);
+        for nl in [5usize, 10, 15, 20] {
+            let g = base.relabel(|v, old| if (old as usize) < nl { old } else { v % nl as u32 });
+            let gm = GmEngine::new(&g);
+            let q = template_query_probed(&g, gm.matcher(), id, Flavor::H, args.seed);
+            let tm = Tm::new(&g);
+            let jm = Jm::new(&g);
+            let rg = gm.evaluate(&q, &budget);
+            let rt = tm.evaluate(&q, &budget);
+            let rj = jm.evaluate(&q, &budget);
+            table.row(vec![
+                nl.to_string(),
+                rg.display_cell(),
+                rt.display_cell(),
+                rj.display_cell(),
+                rg.occurrences.to_string(),
+            ]);
+        }
+        table.print(&format!("Fig. 10 HQ{id}: time vs #labels on em [s]"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Fig. 11 — scalability with graph size: HQ8 and HQ12 instances on
+//! increasingly larger subsets of DBLP.
+//!
+//! Expected shape: all engines grow with |V|; GM grows smoothly while TM
+//! and JM deteriorate (or fail) faster.
+
+use rig_baselines::{Engine, GmEngine, Jm, Tm};
+use rig_bench::{load_scaled, template_query_probed, Args, Table};
+use rig_query::Flavor;
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.budget();
+
+    for id in [8usize, 12] {
+        let mut table = Table::new(&["nodes", "GM", "TM", "JM", "matches"]);
+        for step in 1..=5u32 {
+            let scale = args.scale * step as f64 / 5.0;
+            let g = load_scaled("db", scale, args.seed);
+            let gm = GmEngine::new(&g);
+            let q = template_query_probed(&g, gm.matcher(), id, Flavor::H, args.seed);
+            let tm = Tm::new(&g);
+            let jm = Jm::new(&g);
+            let rg = gm.evaluate(&q, &budget);
+            let rt = tm.evaluate(&q, &budget);
+            let rj = jm.evaluate(&q, &budget);
+            table.row(vec![
+                g.num_nodes().to_string(),
+                rg.display_cell(),
+                rt.display_cell(),
+                rj.display_cell(),
+                rg.occurrences.to_string(),
+            ]);
+        }
+        table.print(&format!("Fig. 11 HQ{id}: time vs |V| on dblp subsets [s]"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 17 — GM-JO / GM-RI vs the RapidMatch analogue on the (undirected,
+//! dense) Human graph: mean query time for dense and sparse query sets of
+//! 8–20 nodes.
+//!
+//! Expected shape: GM-JO best on dense query sets, GM-RI best on sparse
+//! ones (cardinality differences vanish on sparse queries, §7.5), RM in
+//! between.
+
+use rig_baselines::{Engine, GmEngine, RmLike};
+use rig_bench::{load, Args, Table};
+use rig_core::GmConfig;
+use rig_mjoin::{EnumOptions, SearchOrder};
+use rig_query::{random_query, Flavor, GeneratorConfig};
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.budget();
+    // RM considers undirected graphs: store both edge directions (§7.5)
+    let hu = load("hu", &args);
+    let mut b = rig_graph::GraphBuilder::new();
+    for v in 0..hu.num_nodes() as u32 {
+        b.add_node(hu.label(v));
+    }
+    for (u, v) in hu.edges() {
+        b.add_edge(u, v);
+        b.add_edge(v, u);
+    }
+    let g = b.build();
+    println!("# undirected hu: {:?}", g.stats());
+
+    let gm_jo = GmEngine::with_config(
+        &g,
+        GmConfig {
+            enumeration: EnumOptions { order: SearchOrder::Jo, ..Default::default() },
+            ..Default::default()
+        },
+        "GM-JO",
+    );
+    let gm_ri = GmEngine::with_config(
+        &g,
+        GmConfig {
+            enumeration: EnumOptions { order: SearchOrder::Ri, ..Default::default() },
+            ..Default::default()
+        },
+        "GM-RI",
+    );
+    let rm = RmLike::new(&g);
+
+    for dense in [true, false] {
+        let mut table = Table::new(&["size", "GM-JO", "GM-RI", "RM"]);
+        for n in [8usize, 12, 16, 20] {
+            let mut sums = [0.0f64; 3];
+            let mut runs = 0;
+            for rep in 0..3u64 {
+                let mut cfg =
+                    GeneratorConfig::new(n, Flavor::C, args.seed + rep * 131 + n as u64);
+                if dense {
+                    cfg = cfg.dense();
+                }
+                let Some(q) = random_query(&g, &cfg) else { continue };
+                runs += 1;
+                sums[0] += gm_jo.evaluate(&q, &budget).secs();
+                sums[1] += gm_ri.evaluate(&q, &budget).secs();
+                sums[2] += rm.evaluate(&q, &budget).secs();
+            }
+            if runs == 0 {
+                continue;
+            }
+            table.row(vec![
+                format!("{n}N"),
+                format!("{:.4}", sums[0] / runs as f64),
+                format!("{:.4}", sums[1] / runs as f64),
+                format!("{:.4}", sums[2] / runs as f64),
+            ]);
+        }
+        let kind = if dense { "dense" } else { "sparse" };
+        table.print(&format!("Fig. 17 ({kind} query sets on Human): mean time [s]"));
+    }
+}

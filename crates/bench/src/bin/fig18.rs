@@ -1,0 +1,92 @@
+//! Fig. 18 — reachability (D-) queries against engines without a
+//! reachability index, on small Email fragments.
+//!
+//! (a) build time of: BFL (what GM needs), the full transitive closure
+//!     (what GF needs to even express reachability), and the GF catalog —
+//!     for varying label counts and growing node counts.
+//! (b) D-query time of Neo4j-like (on-line DFS expansion), GF-like (WCOJ
+//!     on the materialized closure) and GM, on 1k-node Email graphs.
+//!
+//! Expected shape: BFL build time is negligible and flat; TC build grows
+//! fast with |V|; GM ≈ GF ≪ Neo4j once labels are plentiful, and GF's
+//! hidden TC cost dwarfs everything (the paper ignores it when quoting GF
+//! query times, and so do we — it is shown in panel (a)).
+
+use rig_baselines::{Budget, Catalog, Engine, GfLike, GmEngine, NeoLike};
+use rig_bench::{load_scaled, template_query_probed, Args, Table};
+use rig_datasets::spec;
+use rig_query::{EdgeKind, Flavor, PatternQuery};
+use rig_reach::TransitiveClosure;
+
+/// Converts a D-query into the equivalent C-query over a materialized
+/// transitive closure graph.
+fn reach_to_direct(q: &PatternQuery) -> PatternQuery {
+    let mut out = PatternQuery::new(q.labels().to_vec());
+    for e in q.edges() {
+        out.add_edge(e.from, e.to, EdgeKind::Direct);
+    }
+    out
+}
+
+fn email_fragment(nodes: usize, labels: usize, seed: u64) -> rig_graph::DataGraph {
+    let s = spec("em").unwrap();
+    let scale = nodes as f64 / s.nodes as f64;
+    let g = load_scaled("em", scale, seed);
+    rig_datasets::zipf_labels(&g, labels, 0.8, seed ^ 0xF1)
+}
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.budget();
+
+    // ---- (a) index build times ----
+    let mut ta = Table::new(&["labels", "nodes", "BFL[s]", "TC[s]", "TC-pairs", "CAT[s]"]);
+    for (labels, nodes) in
+        [(5usize, 1000usize), (10, 1000), (15, 1000), (20, 1000), (20, 2000), (20, 3000), (20, 5000)]
+    {
+        let g = email_fragment(nodes, labels, args.seed);
+        let m = rig_core::Matcher::new(&g);
+        let tc = TransitiveClosure::new(&g);
+        use rig_reach::Reachability;
+        let cat = Catalog::build(&g);
+        ta.row(vec![
+            labels.to_string(),
+            nodes.to_string(),
+            format!("{:.4}", m.index_build_time().as_secs_f64()),
+            format!("{:.4}", tc.build_seconds()),
+            tc.pair_count().to_string(),
+            match &cat {
+                Ok(c) => format!("{:.4}", c.build_time.as_secs_f64()),
+                Err(s) => s.code().to_string(),
+            },
+        ]);
+    }
+    ta.print("Fig. 18(a): BFL vs transitive closure vs catalog build time");
+
+    // ---- (b) D-query times on 1k-node email fragments ----
+    let mut tb = Table::new(&["query", "labels", "Neo4j", "GF(on TC)", "GM", "matches"]);
+    for labels in [5usize, 10, 15, 20] {
+        let g = email_fragment(1000, labels, args.seed);
+        let gm = GmEngine::new(&g);
+        let neo = NeoLike::new(&g);
+        let tc = TransitiveClosure::new(&g);
+        let tc_graph = tc.to_graph(&g);
+        let gf = GfLike::new(&tc_graph);
+        for id in [4usize, 15, 16] {
+            let q = template_query_probed(&g, gm.matcher(), id, Flavor::D, args.seed);
+            let rg = gm.evaluate(&q, &budget);
+            let rn = neo.evaluate(&q, &budget);
+            // GF runs the direct-converted query on the closure graph
+            let rf = gf.evaluate(&reach_to_direct(&q), &Budget { timeout: budget.timeout, ..budget });
+            tb.row(vec![
+                format!("DQ{id}"),
+                labels.to_string(),
+                rn.display_cell(),
+                rf.display_cell(),
+                rg.display_cell(),
+                rg.occurrences.to_string(),
+            ]);
+        }
+    }
+    tb.print("Fig. 18(b): D-query time on 1k-node Email graphs [s]");
+}

@@ -1,0 +1,62 @@
+//! Fig. 8 — H-query evaluation time of GM, TM and JM.
+//!
+//! Panels (a)/(b): template instances (three per structural class, as the
+//! paper plots) on em and ep. Panels (c)/(d)/(e): random H-queries of
+//! growing node count on hp, yt and hu.
+
+use rig_baselines::{Engine, GmEngine, Jm, Tm};
+use rig_bench::{load, random_queries, template_query_probed, Args, Table};
+use rig_query::Flavor;
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.budget();
+    // the template ids Fig. 8 plots, grouped Acyc | Cyc | Clique | Combo
+    let ids = [0usize, 3, 5, 6, 8, 17, 11, 12, 19, 10, 14, 16];
+
+    for ds in ["em", "ep"] {
+        let g = load(ds, &args);
+        println!("# dataset {ds}: {:?}", g.stats());
+        let gm = GmEngine::new(&g);
+        let tm = Tm::new(&g);
+        let jm = Jm::new(&g);
+        let mut table = Table::new(&["query", "class", "GM", "TM", "JM", "matches"]);
+        for id in ids {
+            let q = template_query_probed(&g, gm.matcher(), id, Flavor::H, args.seed);
+            let rg = gm.evaluate(&q, &budget);
+            let rt = tm.evaluate(&q, &budget);
+            let rj = jm.evaluate(&q, &budget);
+            table.row(vec![
+                format!("HQ{id}"),
+                format!("{:?}", q.class()),
+                rg.display_cell(),
+                rt.display_cell(),
+                rj.display_cell(),
+                rg.occurrences.to_string(),
+            ]);
+        }
+        table.print(&format!("Fig. 8 ({ds}) H-query time [s]"));
+    }
+
+    for ds in ["hp", "yt", "hu"] {
+        let g = load(ds, &args);
+        println!("# dataset {ds}: {:?}", g.stats());
+        let gm = GmEngine::new(&g);
+        let tm = Tm::new(&g);
+        let jm = Jm::new(&g);
+        let mut table = Table::new(&["query", "GM", "TM", "JM", "matches"]);
+        for (name, q) in random_queries(&g, &[4, 8, 12, 16, 20], Flavor::H, args.seed) {
+            let rg = gm.evaluate(&q, &budget);
+            let rt = tm.evaluate(&q, &budget);
+            let rj = jm.evaluate(&q, &budget);
+            table.row(vec![
+                name,
+                rg.display_cell(),
+                rt.display_cell(),
+                rj.display_cell(),
+                rg.occurrences.to_string(),
+            ]);
+        }
+        table.print(&format!("Fig. 8 ({ds}) random H-query time [s]"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 9 — C-query evaluation time of GM, TM, JM and ISO.
+//!
+//! ISO is GM's enumerator with injectivity enforced (the isomorphism
+//! semantics of \[53\]); the paper compares it against the homomorphism
+//! engines on the same child-edge-only workloads.
+
+use rig_baselines::{Budget, Engine, GmEngine, Jm, Tm};
+use rig_bench::{load, random_queries, template_query_probed, Args, Table};
+use rig_core::GmConfig;
+use rig_mjoin::EnumOptions;
+use rig_query::Flavor;
+
+fn iso_config(budget: &Budget) -> GmConfig {
+    GmConfig {
+        enumeration: EnumOptions {
+            injective: true,
+            limit: budget.match_limit,
+            timeout: budget.timeout,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.budget();
+    let ids = [0usize, 3, 5, 6, 8, 17, 11, 12, 19, 10, 13, 14];
+
+    for ds in ["ep", "bs"] {
+        let g = load(ds, &args);
+        println!("# dataset {ds}: {:?}", g.stats());
+        let gm = GmEngine::new(&g);
+        let iso = GmEngine::with_config(&g, iso_config(&budget), "ISO");
+        let tm = Tm::new(&g);
+        let jm = Jm::new(&g);
+        let mut table = Table::new(&["query", "GM", "TM", "JM", "ISO", "matches"]);
+        for id in ids {
+            let q = template_query_probed(&g, gm.matcher(), id, Flavor::C, args.seed);
+            let rg = gm.evaluate(&q, &budget);
+            let rt = tm.evaluate(&q, &budget);
+            let rj = jm.evaluate(&q, &budget);
+            let ri = iso.evaluate(&q, &budget);
+            table.row(vec![
+                format!("CQ{id}"),
+                rg.display_cell(),
+                rt.display_cell(),
+                rj.display_cell(),
+                ri.display_cell(),
+                rg.occurrences.to_string(),
+            ]);
+        }
+        table.print(&format!("Fig. 9 ({ds}) C-query time [s]"));
+    }
+
+    // hu: random C-queries by size
+    let g = load("hu", &args);
+    println!("# dataset hu: {:?}", g.stats());
+    let gm = GmEngine::new(&g);
+    let iso = GmEngine::with_config(&g, iso_config(&budget), "ISO");
+    let tm = Tm::new(&g);
+    let jm = Jm::new(&g);
+    let mut table = Table::new(&["query", "GM", "TM", "JM", "ISO", "matches"]);
+    for (name, q) in random_queries(&g, &[4, 8, 12, 16, 20], Flavor::C, args.seed) {
+        let rg = gm.evaluate(&q, &budget);
+        let rt = tm.evaluate(&q, &budget);
+        let rj = jm.evaluate(&q, &budget);
+        let ri = iso.evaluate(&q, &budget);
+        table.row(vec![
+            name,
+            rg.display_cell(),
+            rt.display_cell(),
+            rj.display_cell(),
+            ri.display_cell(),
+            rg.occurrences.to_string(),
+        ]);
+    }
+    table.print("Fig. 9 (hu) random C-query time [s]");
+}

@@ -1,0 +1,54 @@
+//! Table 3 — large D-queries on hu, hp and yt: per-engine counts of
+//! timeouts, out-of-memory failures, solved queries and the average time
+//! of solved queries.
+
+use rig_baselines::{Engine, GmEngine, Jm, Tm};
+use rig_bench::{load, random_queries, Args, Table};
+use rig_core::RunStatus;
+use rig_query::Flavor;
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.budget();
+    let sizes = [4usize, 5, 6, 7, 8, 9, 10, 12, 14, 16];
+
+    let mut table =
+        Table::new(&["dataset", "alg", "timeout", "out-of-mem", "solved", "avg-time[s]"]);
+    for ds in ["hu", "hp", "yt"] {
+        let g = load(ds, &args);
+        println!("# dataset {ds}: {:?}", g.stats());
+        let queries = random_queries(&g, &sizes, Flavor::D, args.seed);
+        let gm = GmEngine::new(&g);
+        let tm = Tm::new(&g);
+        let jm = Jm::new(&g);
+        let engines: [&dyn Engine; 3] = [&jm, &tm, &gm];
+        for engine in engines {
+            let mut to = 0;
+            let mut om = 0;
+            let mut solved = 0;
+            let mut total = 0.0;
+            for (_, q) in &queries {
+                let r = engine.evaluate(q, &budget);
+                match r.status {
+                    RunStatus::Timeout => to += 1,
+                    RunStatus::MemoryExceeded => om += 1,
+                    RunStatus::Failed => to += 1,
+                    RunStatus::Completed => {
+                        solved += 1;
+                        total += r.secs();
+                    }
+                }
+            }
+            let avg = if solved > 0 { total / solved as f64 } else { f64::NAN };
+            table.row(vec![
+                ds.to_string(),
+                engine.name().to_string(),
+                to.to_string(),
+                om.to_string(),
+                solved.to_string(),
+                format!("{avg:.3}"),
+            ]);
+        }
+    }
+    table.print("Table 3: large D-queries (JM / TM / GM)");
+}

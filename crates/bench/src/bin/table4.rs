@@ -1,0 +1,58 @@
+//! Table 4 — search-order effectiveness: GM-RI vs GM-JO vs GM-BJ on the
+//! H-queries HQ2, HQ3, HQ4, HQ15, HQ18 over em and ep.
+//!
+//! Expected shape: GM-JO best overall, GM-BJ close behind, GM-RI worst on
+//! most hybrid queries (topology-only ordering ignores data statistics).
+
+use rig_baselines::{Engine, GmEngine};
+use rig_bench::{load, template_query_probed, Args, Table};
+use rig_core::GmConfig;
+use rig_mjoin::{EnumOptions, SearchOrder};
+use rig_query::Flavor;
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.budget();
+    let ids = [2usize, 3, 4, 15, 18];
+
+    let mut table = Table::new(&["query", "em GM-RI", "em GM-JO", "em GM-BJ", "ep GM-RI",
+        "ep GM-JO", "ep GM-BJ"]);
+    let em = load("em", &args);
+    let ep = load("ep", &args);
+    println!("# em: {:?}\n# ep: {:?}", em.stats(), ep.stats());
+
+    let make = |g, order, name| {
+        GmEngine::with_config(
+            g,
+            GmConfig {
+                enumeration: EnumOptions { order, ..Default::default() },
+                ..Default::default()
+            },
+            name,
+        )
+    };
+    let engines_em = [
+        make(&em, SearchOrder::Ri, "GM-RI"),
+        make(&em, SearchOrder::Jo, "GM-JO"),
+        make(&em, SearchOrder::Bj, "GM-BJ"),
+    ];
+    let engines_ep = [
+        make(&ep, SearchOrder::Ri, "GM-RI"),
+        make(&ep, SearchOrder::Jo, "GM-JO"),
+        make(&ep, SearchOrder::Bj, "GM-BJ"),
+    ];
+
+    for id in ids {
+        let mut row = vec![format!("HQ{id}")];
+        let qe = template_query_probed(&em, engines_em[1].matcher(), id, Flavor::H, args.seed);
+        for e in &engines_em {
+            row.push(e.evaluate(&qe, &budget).display_cell());
+        }
+        let qp = template_query_probed(&ep, engines_ep[1].matcher(), id, Flavor::H, args.seed);
+        for e in &engines_ep {
+            row.push(e.evaluate(&qp, &budget).display_cell());
+        }
+        table.row(row);
+    }
+    table.print("Table 4: search ordering methods, H-queries [s]");
+}

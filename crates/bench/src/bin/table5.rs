@@ -1,0 +1,42 @@
+//! Table 5 — C-queries on em and ep: EH-probe, EH (with precomputation),
+//! Neo4j-like and GM, with the paper's OM/FA/TO failure notation.
+//!
+//! Expected shape: GM fastest everywhere; EH dominated by precomputation;
+//! Neo4j slow on cyclic/clique patterns (binary joins).
+
+use rig_baselines::{EhLike, Engine, GmEngine, NeoLike};
+use rig_bench::{load, template_query_probed, Args, Table};
+use rig_query::Flavor;
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.budget();
+    let ids = [0usize, 3, 5, 6, 8, 17, 11, 12, 19, 10, 13, 16];
+
+    for ds in ["em", "ep"] {
+        let g = load(ds, &args);
+        println!("# dataset {ds}: {:?}", g.stats());
+        let eh_probe = EhLike::probe_only(&g);
+        let eh = EhLike::new(&g);
+        let neo = NeoLike::new(&g);
+        let gm = GmEngine::new(&g);
+        let mut table =
+            Table::new(&["query", "EH-probe", "EH", "Neo4j", "GM", "matches"]);
+        for id in ids {
+            let q = template_query_probed(&g, gm.matcher(), id, Flavor::C, args.seed);
+            let rp = eh_probe.evaluate(&q, &budget);
+            let re = eh.evaluate(&q, &budget);
+            let rn = neo.evaluate(&q, &budget);
+            let rg = gm.evaluate(&q, &budget);
+            table.row(vec![
+                format!("CQ{id}"),
+                rp.display_cell(),
+                re.display_cell(),
+                rn.display_cell(),
+                rg.display_cell(),
+                rg.occurrences.to_string(),
+            ]);
+        }
+        table.print(&format!("Table 5 ({ds}): C-query time, engines vs GM [s]"));
+    }
+}

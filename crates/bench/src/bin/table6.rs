@@ -1,0 +1,37 @@
+//! Table 6 — H-queries on a 30K-node Email fragment: Neo4j-like vs GM.
+//!
+//! Neither GF, EH nor RM can evaluate hybrid queries at all (§7.5); the
+//! Neo4j analogue can (via DFS path expansion) but is orders of magnitude
+//! slower than GM on every query.
+
+use rig_baselines::{Engine, GmEngine, NeoLike};
+use rig_bench::{load_scaled, template_query_probed, Args, Table};
+use rig_datasets::spec;
+use rig_query::Flavor;
+
+fn main() {
+    let args = Args::parse();
+    let budget = args.budget();
+    // 30K-node fragment at full scale; scaled down by the harness factor
+    let target_nodes = (30_000.0 * (args.scale / 0.02).min(1.0)) as usize;
+    let s = spec("em").unwrap();
+    let g = load_scaled("em", target_nodes as f64 / s.nodes as f64, args.seed);
+    println!("# em fragment: {:?}", g.stats());
+
+    let gm = GmEngine::new(&g);
+    let neo = NeoLike::new(&g);
+    let ids = [0usize, 3, 5, 6, 8, 17, 11, 12, 19, 10, 13, 16];
+    let mut table = Table::new(&["query", "Neo4j", "GM", "matches"]);
+    for id in ids {
+        let q = template_query_probed(&g, gm.matcher(), id, Flavor::H, args.seed);
+        let rn = neo.evaluate(&q, &budget);
+        let rg = gm.evaluate(&q, &budget);
+        table.row(vec![
+            format!("HQ{id}"),
+            rn.display_cell(),
+            rg.display_cell(),
+            rg.occurrences.to_string(),
+        ]);
+    }
+    table.print("Table 6: H-queries on the Email fragment, Neo4j vs GM [s]");
+}

@@ -1,0 +1,254 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index). All binaries accept the same
+//! flags:
+//!
+//! ```text
+//! --scale <f64>     fraction of the Table 2 dataset sizes (default 0.02)
+//! --seed <u64>      RNG seed for graphs and workloads (default 42)
+//! --timeout <secs>  per-query budget (default 10; the paper used 600)
+//! --limit <n>       per-query match cap (default 10^6; the paper used 10^7)
+//! ```
+//!
+//! Absolute times differ from the paper (different hardware, synthetic
+//! stand-in graphs, scaled sizes); the *relationships* between engines are
+//! what EXPERIMENTS.md records and compares.
+
+use std::time::Duration;
+
+use rig_baselines::Budget;
+use rig_datasets::spec;
+use rig_graph::DataGraph;
+use rig_query::{random_query, template, Flavor, GeneratorConfig, PatternQuery};
+
+/// Common command-line arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct Args {
+    pub scale: f64,
+    pub seed: u64,
+    pub timeout: Duration,
+    pub limit: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 0.02,
+            seed: 42,
+            timeout: Duration::from_secs(10),
+            limit: 1_000_000,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `--scale/--seed/--timeout/--limit` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut out = Args::default();
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < argv.len() {
+            match argv[i].as_str() {
+                "--scale" => out.scale = argv[i + 1].parse().expect("bad --scale"),
+                "--seed" => out.seed = argv[i + 1].parse().expect("bad --seed"),
+                "--timeout" => {
+                    out.timeout =
+                        Duration::from_secs(argv[i + 1].parse().expect("bad --timeout"))
+                }
+                "--limit" => out.limit = argv[i + 1].parse().expect("bad --limit"),
+                other => panic!("unknown flag {other}"),
+            }
+            i += 2;
+        }
+        out
+    }
+
+    /// The evaluation budget derived from the flags.
+    pub fn budget(&self) -> Budget {
+        Budget {
+            timeout: Some(self.timeout),
+            max_intermediate: Some(2_000_000),
+            match_limit: Some(self.limit),
+        }
+    }
+}
+
+/// Generates dataset `name` at the configured scale. Small datasets (the
+/// biology graphs) are floored at ~2000 nodes so their workloads stay
+/// meaningful at the default scale.
+pub fn load(name: &str, args: &Args) -> DataGraph {
+    let s = spec(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
+    let floor = (2_000.0 / s.nodes as f64).min(1.0);
+    s.generate(args.scale.max(floor), args.seed)
+}
+
+/// Generates dataset `name` at an explicit scale.
+pub fn load_scaled(name: &str, scale: f64, seed: u64) -> DataGraph {
+    spec(name).unwrap().generate(scale, seed)
+}
+
+/// Instantiates template `id` with labels drawn from the graph's label
+/// space (`node % |L|` rotated by the seed, so instances vary but stay
+/// deterministic).
+pub fn template_query(g: &DataGraph, id: usize, flavor: Flavor, seed: u64) -> PatternQuery {
+    let t = template(id);
+    let nl = g.num_labels().max(1) as u32;
+    let labels: Vec<u32> =
+        (0..t.num_nodes).map(|i| ((i as u64 + seed) % nl as u64) as u32).collect();
+    t.instantiate(flavor, &labels)
+}
+
+/// Instantiates template `id` preferring label assignments with a
+/// *non-empty answer*: draws labels (weighted toward frequent ones) and
+/// probes each candidate with a 1-match GM evaluation, keeping the first
+/// instance that matches. Falls back to the last candidate when none
+/// matches within the attempt budget — the paper's workloads also contain
+/// some empty queries, which exercise early termination.
+pub fn template_query_probed(
+    g: &DataGraph,
+    matcher: &rig_core::Matcher<'_>,
+    id: usize,
+    flavor: Flavor,
+    seed: u64,
+) -> PatternQuery {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let t = template(id);
+    // frequent labels first: weight by inverted-list size
+    let mut by_freq: Vec<u32> = (0..g.num_labels() as u32).collect();
+    by_freq.sort_by_key(|&l| std::cmp::Reverse(g.nodes_with_label(l).len()));
+    let top = &by_freq[..by_freq.len().clamp(1, 8)];
+    let probe_cfg = rig_core::GmConfig {
+        enumeration: rig_mjoin::EnumOptions {
+            limit: Some(1),
+            timeout: Some(Duration::from_millis(500)),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(id as u64));
+    let mut last = t.instantiate_modulo(flavor, g.num_labels().max(1));
+    for _ in 0..12 {
+        let labels: Vec<u32> =
+            (0..t.num_nodes).map(|_| top[rng.gen_range(0..top.len())]).collect();
+        let q = t.instantiate(flavor, &labels);
+        if matcher.count(&q, &probe_cfg).result.count > 0 {
+            return q;
+        }
+        last = q;
+    }
+    last
+}
+
+/// Random queries of the given node counts, one per size, non-empty by
+/// construction (§7.1's biology-dataset workloads).
+pub fn random_queries(
+    g: &DataGraph,
+    sizes: &[usize],
+    flavor: Flavor,
+    seed: u64,
+) -> Vec<(String, PatternQuery)> {
+    let mut out = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let cfg = GeneratorConfig::new(n, flavor, seed + i as u64 * 7919);
+        if let Some(q) = random_query(g, &cfg) {
+            out.push((format!("{n}N"), q));
+        }
+    }
+    out
+}
+
+/// Fixed-width table printer (markdown-ish, stable output for golden
+/// comparison in EXPERIMENTS.md).
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells);
+    }
+
+    pub fn print(&self, title: &str) {
+        println!("\n## {title}");
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:width$}", width = widths[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        println!("{}", fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("{}", fmt_row(&sep));
+        for row in &self.rows {
+            println!("{}", fmt_row(row));
+        }
+    }
+}
+
+/// Seconds with millisecond precision, for table cells.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_defaults() {
+        let a = Args::default();
+        assert!(a.scale > 0.0);
+        assert!(a.budget().timeout.is_some());
+    }
+
+    #[test]
+    fn load_small_dataset() {
+        let args = Args { scale: 0.01, ..Args::default() };
+        let g = load("yt", &args);
+        assert!(g.num_nodes() > 0);
+        // at tiny scales not all 71 labels can be present
+        assert!(g.num_labels() >= 1 && g.num_labels() <= 71);
+    }
+
+    #[test]
+    fn template_query_labels_within_range() {
+        let args = Args { scale: 0.01, ..Args::default() };
+        let g = load("yt", &args);
+        let q = template_query(&g, 6, Flavor::H, 3);
+        assert!(q.labels().iter().all(|&l| (l as usize) < g.num_labels()));
+    }
+
+    #[test]
+    fn random_queries_produced() {
+        let args = Args { scale: 0.05, ..Args::default() };
+        let g = load("yt", &args);
+        let qs = random_queries(&g, &[4, 6, 8], Flavor::H, 1);
+        assert!(!qs.is_empty());
+        for (_, q) in &qs {
+            assert!(q.is_connected());
+        }
+    }
+
+    #[test]
+    fn table_prints() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print("test"); // smoke: no panic
+    }
+}

@@ -1,0 +1,158 @@
+//! Value iterators: a plain ascending iterator and a *batch* iterator that
+//! decodes runs of values into a reusable buffer (the paper reports 2–10x
+//! speedups for batch iteration over per-value iteration, §6).
+
+use crate::container::{Container, BITMAP_WORDS};
+use crate::Bitset;
+
+/// Ascending iterator over a [`Bitset`].
+pub struct Iter<'a> {
+    set: &'a Bitset,
+    chunk: usize,
+    /// Position within the current array container.
+    array_pos: usize,
+    /// Word index and remaining bits within the current bitmap container.
+    word_idx: usize,
+    word: u64,
+}
+
+impl<'a> Iter<'a> {
+    pub(crate) fn new(set: &'a Bitset) -> Self {
+        let mut it = Iter { set, chunk: 0, array_pos: 0, word_idx: 0, word: 0 };
+        it.prime();
+        it
+    }
+
+    fn prime(&mut self) {
+        if let Some((_, Container::Bitmap { words, .. })) = self.set.chunks.get(self.chunk) {
+            self.word_idx = 0;
+            self.word = words[0];
+        }
+    }
+
+    fn advance_chunk(&mut self) {
+        self.chunk += 1;
+        self.array_pos = 0;
+        self.prime();
+    }
+}
+
+impl Iterator for Iter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            let (key, container) = self.set.chunks.get(self.chunk)?;
+            let base = (*key as u32) << 16;
+            match container {
+                Container::Array(a) => {
+                    if self.array_pos < a.len() {
+                        let v = base | a[self.array_pos] as u32;
+                        self.array_pos += 1;
+                        return Some(v);
+                    }
+                    self.advance_chunk();
+                }
+                Container::Bitmap { words, .. } => {
+                    while self.word == 0 {
+                        self.word_idx += 1;
+                        if self.word_idx >= BITMAP_WORDS {
+                            break;
+                        }
+                        self.word = words[self.word_idx];
+                    }
+                    if self.word_idx >= BITMAP_WORDS {
+                        self.advance_chunk();
+                        continue;
+                    }
+                    let bit = self.word.trailing_zeros();
+                    self.word &= self.word - 1;
+                    return Some(base | (self.word_idx as u32) << 6 | bit);
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // cheap over-approximation: remaining total length
+        let n = self.set.len() as usize;
+        (0, Some(n))
+    }
+}
+
+/// Batch iterator: refills an internal buffer with up to `batch` values per
+/// call to [`BatchIter::next_batch`], amortizing per-value dispatch.
+pub struct BatchIter<'a> {
+    inner: Iter<'a>,
+    buf: Vec<u32>,
+    batch: usize,
+    done: bool,
+}
+
+impl<'a> BatchIter<'a> {
+    pub(crate) fn new(set: &'a Bitset, batch: usize) -> Self {
+        BatchIter {
+            inner: Iter::new(set),
+            buf: Vec::with_capacity(batch.max(1)),
+            batch: batch.max(1),
+            done: false,
+        }
+    }
+
+    /// Returns the next slice of up to `batch` values, or `None` when the
+    /// set is exhausted. The returned slice is invalidated by the next call.
+    pub fn next_batch(&mut self) -> Option<&[u32]> {
+        if self.done {
+            return None;
+        }
+        self.buf.clear();
+        while self.buf.len() < self.batch {
+            match self.inner.next() {
+                Some(v) => self.buf.push(v),
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(&self.buf)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Bitset;
+
+    #[test]
+    fn iter_crosses_chunks_and_container_kinds() {
+        let mut vals: Vec<u32> = (0..5000u32).collect(); // dense: bitmap
+        vals.extend([70_000, 70_002, 200_000]); // sparse arrays in later chunks
+        let b = Bitset::from_slice(&vals);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn batch_iter_various_sizes() {
+        let vals: Vec<u32> = (0..1000u32).map(|v| v * 13).collect();
+        let b = Bitset::from_slice(&vals);
+        for batch in [1usize, 7, 64, 10_000] {
+            let mut got = Vec::new();
+            let mut it = b.batch_iter(batch);
+            while let Some(s) = it.next_batch() {
+                assert!(s.len() <= batch);
+                got.extend_from_slice(s);
+            }
+            assert_eq!(got, vals, "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn batch_iter_empty() {
+        let b = Bitset::new();
+        assert!(b.batch_iter(8).next_batch().is_none());
+    }
+}

@@ -1,0 +1,612 @@
+//! Roaring-style compressed bitmaps over `u32` keys.
+//!
+//! This crate is the set substrate of the rigmatch workspace. The paper
+//! ("Evaluating Hybrid Graph Pattern Queries Using Runtime Index Graphs",
+//! EDBT 2023, §6) stores candidate occurrence sets and runtime-index-graph
+//! adjacency lists as RoaringBitmap instances and implements its multi-way
+//! joins as bitmap intersections. We implement the same container design
+//! from scratch:
+//!
+//! * the key space is split into 2^16 *chunks* of 2^16 values each;
+//! * a sparse chunk (≤ [`ARRAY_MAX`] values) is a sorted `Vec<u16>`;
+//! * a dense chunk is a 1024-word (`u64`) bitmap;
+//! * containers convert between the two representations automatically.
+//!
+//! On top of the containers we provide the aggregation utilities the paper
+//! relies on: pairwise and **multi-way** intersection/union
+//! ([`Bitset::multi_and`], [`Bitset::multi_or`] — the `FastAggregation`
+//! analogue), *batch iterators* ([`Bitset::batch_iter`]) that decode many
+//! values per call (§6 reports 2–10x over per-value iterators), and
+//! cardinality / emptiness fast paths used by the join ordering heuristics.
+//!
+//! The API is deliberately close to a sorted `u32` set so the rest of the
+//! workspace can treat it as an opaque set type.
+
+mod container;
+mod iter;
+mod ops;
+
+pub use container::{Container, ARRAY_MAX, BITMAP_WORDS};
+pub use iter::{BatchIter, Iter};
+pub use ops::{for_each_in_intersection, intersection_nonempty};
+
+/// A compressed bitmap of `u32` values.
+///
+/// Containers are kept sorted by their 16-bit chunk key; lookup is a binary
+/// search over chunk keys followed by an intra-container probe.
+///
+/// ```
+/// use rig_bitset::Bitset;
+/// let a = Bitset::from_slice(&[1, 2, 3, 100_000]);
+/// let b: Bitset = (2..5u32).collect();
+/// assert_eq!(a.and(&b).to_vec(), vec![2, 3]);
+/// assert_eq!(Bitset::multi_or(&[&a, &b]).len(), 5); // {1,2,3,4,100000}
+/// assert!(a.contains(100_000));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bitset {
+    /// `(chunk_key, container)` pairs sorted by `chunk_key`.
+    pub(crate) chunks: Vec<(u16, Container)>,
+}
+
+#[inline]
+fn split(value: u32) -> (u16, u16) {
+    ((value >> 16) as u16, value as u16)
+}
+
+#[inline]
+fn join(key: u16, low: u16) -> u32 {
+    ((key as u32) << 16) | low as u32
+}
+
+impl Bitset {
+    /// Creates an empty bitset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bitset holding every value in `0..n`.
+    pub fn full_range(n: u32) -> Self {
+        let mut out = Self::new();
+        if n == 0 {
+            return out;
+        }
+        let mut start = 0u32;
+        while start < n {
+            let key = (start >> 16) as u16;
+            let end_excl = ((start | 0xFFFF) + 1).min(n);
+            let lo = start as u16;
+            let hi_len = end_excl - start;
+            out.chunks.push((key, Container::run(lo, hi_len)));
+            start = end_excl;
+        }
+        out
+    }
+
+    /// Builds a bitset from a slice of values (need not be sorted).
+    pub fn from_slice(values: &[u32]) -> Self {
+        let mut sorted: Vec<u32> = values.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        Self::from_sorted_dedup(&sorted)
+    }
+
+    /// Builds a bitset from already sorted, deduplicated values.
+    ///
+    /// This is the fast path used when converting CSR adjacency slices.
+    pub fn from_sorted_dedup(values: &[u32]) -> Self {
+        let mut out = Self::new();
+        let mut i = 0;
+        while i < values.len() {
+            let key = (values[i] >> 16) as u16;
+            let mut j = i + 1;
+            while j < values.len() && (values[j] >> 16) as u16 == key {
+                j += 1;
+            }
+            let lows: Vec<u16> = values[i..j].iter().map(|&v| v as u16).collect();
+            out.chunks.push((key, Container::from_sorted_lows(lows)));
+            i = j;
+        }
+        out
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> u64 {
+        self.chunks.iter().map(|(_, c)| c.len() as u64).sum()
+    }
+
+    /// True if no value is stored.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Number of containers (for introspection / memory accounting).
+    pub fn container_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Approximate heap footprint in bytes (used by RIG size accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.chunks
+            .iter()
+            .map(|(_, c)| c.heap_bytes() + std::mem::size_of::<(u16, Container)>())
+            .sum()
+    }
+
+    #[inline]
+    fn chunk_index(&self, key: u16) -> Result<usize, usize> {
+        self.chunks.binary_search_by_key(&key, |&(k, _)| k)
+    }
+
+    /// Inserts `value`; returns true if it was not already present.
+    pub fn insert(&mut self, value: u32) -> bool {
+        let (key, low) = split(value);
+        match self.chunk_index(key) {
+            Ok(i) => self.chunks[i].1.insert(low),
+            Err(i) => {
+                self.chunks.insert(i, (key, Container::singleton(low)));
+                true
+            }
+        }
+    }
+
+    /// Removes `value`; returns true if it was present.
+    pub fn remove(&mut self, value: u32) -> bool {
+        let (key, low) = split(value);
+        match self.chunk_index(key) {
+            Ok(i) => {
+                let removed = self.chunks[i].1.remove(low);
+                if removed && self.chunks[i].1.is_empty() {
+                    self.chunks.remove(i);
+                }
+                removed
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, value: u32) -> bool {
+        let (key, low) = split(value);
+        match self.chunk_index(key) {
+            Ok(i) => self.chunks[i].1.contains(low),
+            Err(_) => false,
+        }
+    }
+
+    /// Smallest stored value.
+    pub fn min(&self) -> Option<u32> {
+        self.chunks.first().map(|(k, c)| join(*k, c.min().unwrap()))
+    }
+
+    /// Largest stored value.
+    pub fn max(&self) -> Option<u32> {
+        self.chunks.last().map(|(k, c)| join(*k, c.max().unwrap()))
+    }
+
+    /// Removes all values.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
+
+    /// Iterator over values in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter::new(self)
+    }
+
+    /// Batch iterator decoding up to `batch` values per refill into an
+    /// internal buffer; substantially faster than [`Bitset::iter`] for dense
+    /// sets (§6 of the paper).
+    pub fn batch_iter(&self, batch: usize) -> BatchIter<'_> {
+        BatchIter::new(self, batch)
+    }
+
+    /// Collects all values into a vector (ascending order).
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        for (k, c) in &self.chunks {
+            c.append_values(*k, &mut out);
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Pairwise set algebra
+    // ------------------------------------------------------------------
+
+    /// `self ∩ other` as a new bitset.
+    pub fn and(&self, other: &Bitset) -> Bitset {
+        let mut out = Bitset::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (ka, ca) = &self.chunks[i];
+            let (kb, cb) = &other.chunks[j];
+            match ka.cmp(kb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let c = ca.and(cb);
+                    if !c.is_empty() {
+                        out.chunks.push((*ka, c));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// In-place `self ∩= other`.
+    pub fn and_assign(&mut self, other: &Bitset) {
+        *self = self.and(other);
+    }
+
+    /// `self ∪ other` as a new bitset.
+    pub fn or(&self, other: &Bitset) -> Bitset {
+        let mut out = Bitset::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() || j < other.chunks.len() {
+            if j >= other.chunks.len() {
+                out.chunks.push(self.chunks[i].clone());
+                i += 1;
+            } else if i >= self.chunks.len() {
+                out.chunks.push(other.chunks[j].clone());
+                j += 1;
+            } else {
+                let (ka, ca) = &self.chunks[i];
+                let (kb, cb) = &other.chunks[j];
+                match ka.cmp(kb) {
+                    std::cmp::Ordering::Less => {
+                        out.chunks.push((*ka, ca.clone()));
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.chunks.push((*kb, cb.clone()));
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.chunks.push((*ka, ca.or(cb)));
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// In-place `self ∪= other`.
+    pub fn or_assign(&mut self, other: &Bitset) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        *self = self.or(other);
+    }
+
+    /// `self \ other` as a new bitset.
+    pub fn and_not(&self, other: &Bitset) -> Bitset {
+        let mut out = Bitset::new();
+        let mut j = 0;
+        for (ka, ca) in &self.chunks {
+            while j < other.chunks.len() && other.chunks[j].0 < *ka {
+                j += 1;
+            }
+            if j < other.chunks.len() && other.chunks[j].0 == *ka {
+                let c = ca.and_not(&other.chunks[j].1);
+                if !c.is_empty() {
+                    out.chunks.push((*ka, c));
+                }
+            } else {
+                out.chunks.push((*ka, ca.clone()));
+            }
+        }
+        out
+    }
+
+    /// In-place `self \= other`; returns number of removed values.
+    pub fn and_not_assign(&mut self, other: &Bitset) -> u64 {
+        let before = self.len();
+        *self = self.and_not(other);
+        before - self.len()
+    }
+
+    /// Cardinality of `self ∩ other` without materializing it.
+    pub fn intersection_len(&self, other: &Bitset) -> u64 {
+        let (mut i, mut j) = (0, 0);
+        let mut n = 0u64;
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (ka, ca) = &self.chunks[i];
+            let (kb, cb) = &other.chunks[j];
+            match ka.cmp(kb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += ca.intersection_len(cb) as u64;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// True iff `self ∩ other` is non-empty (early-exit existence test).
+    pub fn intersects(&self, other: &Bitset) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.chunks.len() && j < other.chunks.len() {
+            let (ka, ca) = &self.chunks[i];
+            let (kb, cb) = &other.chunks[j];
+            match ka.cmp(kb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if ca.intersects(cb) {
+                        return true;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// True iff every value of `self` is in `other`.
+    pub fn is_subset(&self, other: &Bitset) -> bool {
+        self.and_not(other).is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-way aggregation (FastAggregation analogue)
+    // ------------------------------------------------------------------
+
+    /// Intersection of many bitsets. Operands are processed smallest-first
+    /// so the running result shrinks as fast as possible; returns an empty
+    /// bitset for an empty operand list.
+    pub fn multi_and(sets: &[&Bitset]) -> Bitset {
+        match sets.len() {
+            0 => Bitset::new(),
+            1 => sets[0].clone(),
+            _ => {
+                let mut order: Vec<&Bitset> = sets.to_vec();
+                order.sort_by_key(|s| s.len());
+                let mut acc = order[0].and(order[1]);
+                for s in &order[2..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc.and_assign(s);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Union of many bitsets (pairwise tree fold).
+    pub fn multi_or(sets: &[&Bitset]) -> Bitset {
+        match sets.len() {
+            0 => Bitset::new(),
+            1 => sets[0].clone(),
+            _ => {
+                let mut acc = sets[0].clone();
+                for s in &sets[1..] {
+                    acc.or_assign(s);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Retains only values for which `keep` returns true.
+    pub fn retain(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        let doomed: Vec<u32> = self.iter().filter(|&v| !keep(v)).collect();
+        for v in doomed {
+            self.remove(v);
+        }
+    }
+
+    /// Rank: number of stored values strictly below `value`.
+    pub fn rank(&self, value: u32) -> u64 {
+        let (key, low) = split(value);
+        let mut n = 0u64;
+        for (k, c) in &self.chunks {
+            if *k < key {
+                n += c.len() as u64;
+            } else if *k == key {
+                n += c.rank(low) as u64;
+                break;
+            } else {
+                break;
+            }
+        }
+        n
+    }
+}
+
+impl std::fmt::Debug for Bitset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.len();
+        if n <= 32 {
+            f.debug_set().entries(self.iter()).finish()
+        } else {
+            write!(f, "Bitset(len={n})")
+        }
+    }
+}
+
+impl FromIterator<u32> for Bitset {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let values: Vec<u32> = iter.into_iter().collect();
+        Bitset::from_slice(&values)
+    }
+}
+
+impl<'a> IntoIterator for &'a Bitset {
+    type Item = u32;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl Extend<u32> for Bitset {
+    fn extend<T: IntoIterator<Item = u32>>(&mut self, iter: T) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_basics() {
+        let b = Bitset::new();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.min(), None);
+        assert_eq!(b.max(), None);
+        assert!(!b.contains(0));
+        assert_eq!(b.to_vec(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut b = Bitset::new();
+        assert!(b.insert(5));
+        assert!(!b.insert(5));
+        assert!(b.insert(1_000_000));
+        assert!(b.contains(5));
+        assert!(b.contains(1_000_000));
+        assert!(!b.contains(6));
+        assert_eq!(b.len(), 2);
+        assert!(b.remove(5));
+        assert!(!b.remove(5));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.min(), Some(1_000_000));
+    }
+
+    #[test]
+    fn array_to_bitmap_promotion() {
+        let mut b = Bitset::new();
+        for v in 0..(ARRAY_MAX as u32 + 100) {
+            b.insert(v * 2); // same chunk until 2*(4096+100) < 65536
+        }
+        assert_eq!(b.len(), ARRAY_MAX as u64 + 100);
+        for v in 0..(ARRAY_MAX as u32 + 100) {
+            assert!(b.contains(v * 2));
+            assert!(!b.contains(v * 2 + 1));
+        }
+        // demote again by removing
+        for v in 200..(ARRAY_MAX as u32 + 100) {
+            b.remove(v * 2);
+        }
+        assert_eq!(b.len(), 200);
+        assert_eq!(b.to_vec(), (0..200u32).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_range_matches_naive() {
+        for n in [0u32, 1, 5, 65_536, 65_537, 200_000] {
+            let b = Bitset::full_range(n);
+            assert_eq!(b.len(), n as u64, "n={n}");
+            if n > 0 {
+                assert!(b.contains(0));
+                assert!(b.contains(n - 1));
+                assert!(!b.contains(n));
+            }
+        }
+    }
+
+    #[test]
+    fn set_algebra_small() {
+        let a = Bitset::from_slice(&[1, 2, 3, 100_000, 100_001]);
+        let b = Bitset::from_slice(&[2, 3, 4, 100_001, 200_000]);
+        assert_eq!(a.and(&b).to_vec(), vec![2, 3, 100_001]);
+        assert_eq!(
+            a.or(&b).to_vec(),
+            vec![1, 2, 3, 4, 100_000, 100_001, 200_000]
+        );
+        assert_eq!(a.and_not(&b).to_vec(), vec![1, 100_000]);
+        assert_eq!(a.intersection_len(&b), 3);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&Bitset::from_slice(&[7, 8])));
+    }
+
+    #[test]
+    fn subset() {
+        let a = Bitset::from_slice(&[1, 2, 3]);
+        let b = Bitset::from_slice(&[0, 1, 2, 3, 4]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(Bitset::new().is_subset(&a));
+    }
+
+    #[test]
+    fn multi_and_or() {
+        let a = Bitset::from_slice(&[1, 2, 3, 4, 5]);
+        let b = Bitset::from_slice(&[2, 3, 4, 5, 6]);
+        let c = Bitset::from_slice(&[3, 4, 5, 6, 7]);
+        assert_eq!(Bitset::multi_and(&[&a, &b, &c]).to_vec(), vec![3, 4, 5]);
+        assert_eq!(
+            Bitset::multi_or(&[&a, &b, &c]).to_vec(),
+            vec![1, 2, 3, 4, 5, 6, 7]
+        );
+        assert!(Bitset::multi_and(&[]).is_empty());
+        assert_eq!(Bitset::multi_and(&[&a]).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn rank_works() {
+        let b = Bitset::from_slice(&[10, 20, 30, 100_000]);
+        assert_eq!(b.rank(0), 0);
+        assert_eq!(b.rank(10), 0);
+        assert_eq!(b.rank(11), 1);
+        assert_eq!(b.rank(1_000_000), 4);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut b = Bitset::from_slice(&[1, 2, 3, 4, 5, 6]);
+        b.retain(|v| v % 2 == 0);
+        assert_eq!(b.to_vec(), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn iterators_agree() {
+        let vals: Vec<u32> = (0..10_000u32).map(|v| v * 7).collect();
+        let b = Bitset::from_slice(&vals);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vals);
+        let mut batched = Vec::new();
+        let mut it = b.batch_iter(256);
+        while let Some(chunk) = it.next_batch() {
+            batched.extend_from_slice(chunk);
+        }
+        assert_eq!(batched, vals);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let b: Bitset = (0..100u32).collect();
+        assert_eq!(b.len(), 100);
+        let mut c = Bitset::new();
+        c.extend(50..150u32);
+        assert_eq!(b.and(&c).len(), 50);
+    }
+
+    #[test]
+    fn debug_small_and_large() {
+        let b = Bitset::from_slice(&[1, 2]);
+        assert_eq!(format!("{b:?}"), "{1, 2}");
+        let big = Bitset::full_range(1000);
+        assert_eq!(format!("{big:?}"), "Bitset(len=1000)");
+    }
+}

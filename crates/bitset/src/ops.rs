@@ -1,0 +1,84 @@
+//! Non-materializing multi-way operations used by the MJoin hot path.
+
+use crate::Bitset;
+
+/// Visits every value of `base ∩ sets[0] ∩ … ∩ sets[k-1]` in ascending
+/// order without materializing the intersection, stopping early if the
+/// visitor returns `false`.
+///
+/// The driver iterates the smallest operand and probes the others, which is
+/// the classic leapfrog-style existence strategy; for bitmap-heavy operands
+/// a materialized [`Bitset::multi_and`] is often faster, so callers choose
+/// based on operand shape.
+pub fn for_each_in_intersection(
+    base: &Bitset,
+    sets: &[&Bitset],
+    mut visit: impl FnMut(u32) -> bool,
+) -> bool {
+    // Pick the smallest set as the driver.
+    let mut driver = base;
+    for s in sets {
+        if s.len() < driver.len() {
+            driver = s;
+        }
+    }
+    'outer: for v in driver.iter() {
+        if !std::ptr::eq(driver, base) && !base.contains(v) {
+            continue;
+        }
+        for s in sets {
+            if !std::ptr::eq(driver, *s) && !s.contains(v) {
+                continue 'outer;
+            }
+        }
+        if !visit(v) {
+            return false;
+        }
+    }
+    true
+}
+
+/// True iff the k-way intersection is non-empty.
+pub fn intersection_nonempty(base: &Bitset, sets: &[&Bitset]) -> bool {
+    !for_each_in_intersection(base, sets, |_| false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visits_intersection_in_order() {
+        let a = Bitset::from_slice(&[1, 3, 5, 7, 9, 100_000]);
+        let b = Bitset::from_slice(&[3, 5, 9, 11, 100_000]);
+        let c = Bitset::from_slice(&[0, 3, 9, 100_000]);
+        let mut got = Vec::new();
+        let complete = for_each_in_intersection(&a, &[&b, &c], |v| {
+            got.push(v);
+            true
+        });
+        assert!(complete);
+        assert_eq!(got, vec![3, 9, 100_000]);
+    }
+
+    #[test]
+    fn early_stop() {
+        let a = Bitset::from_slice(&[1, 2, 3]);
+        let mut got = Vec::new();
+        let complete = for_each_in_intersection(&a, &[], |v| {
+            got.push(v);
+            v < 2
+        });
+        assert!(!complete);
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn nonempty_check() {
+        let a = Bitset::from_slice(&[1, 2, 3]);
+        let b = Bitset::from_slice(&[3, 4]);
+        let c = Bitset::from_slice(&[4, 5]);
+        assert!(intersection_nonempty(&a, &[&b]));
+        assert!(!intersection_nonempty(&a, &[&b, &c]));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based model tests: every [`rig_bitset::Bitset`] operation must
+//! agree with `BTreeSet<u32>` as the reference model.
+
+use proptest::prelude::*;
+use rig_bitset::Bitset;
+use std::collections::BTreeSet;
+
+fn values() -> impl Strategy<Value = Vec<u32>> {
+    // mix small dense values with sparse high ones to cross container kinds
+    prop::collection::vec(
+        prop_oneof![0u32..5_000, 60_000u32..70_000, 1_000_000u32..1_000_100],
+        0..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn construction_and_iteration(vals in values()) {
+        let model: BTreeSet<u32> = vals.iter().copied().collect();
+        let set = Bitset::from_slice(&vals);
+        prop_assert_eq!(set.len(), model.len() as u64);
+        prop_assert_eq!(set.to_vec(), model.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(set.min(), model.first().copied());
+        prop_assert_eq!(set.max(), model.last().copied());
+        for &v in model.iter().take(50) {
+            prop_assert!(set.contains(v));
+        }
+    }
+
+    #[test]
+    fn insert_remove(vals in values(), ops in values()) {
+        let mut model: BTreeSet<u32> = vals.iter().copied().collect();
+        let mut set = Bitset::from_slice(&vals);
+        for (i, &v) in ops.iter().enumerate() {
+            if i % 2 == 0 {
+                prop_assert_eq!(set.insert(v), model.insert(v));
+            } else {
+                prop_assert_eq!(set.remove(v), model.remove(&v));
+            }
+        }
+        prop_assert_eq!(set.to_vec(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn binary_algebra(a in values(), b in values()) {
+        let ma: BTreeSet<u32> = a.iter().copied().collect();
+        let mb: BTreeSet<u32> = b.iter().copied().collect();
+        let sa = Bitset::from_slice(&a);
+        let sb = Bitset::from_slice(&b);
+        let and: Vec<u32> = ma.intersection(&mb).copied().collect();
+        let or: Vec<u32> = ma.union(&mb).copied().collect();
+        let not: Vec<u32> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(sa.and(&sb).to_vec(), and.clone());
+        prop_assert_eq!(sa.or(&sb).to_vec(), or);
+        prop_assert_eq!(sa.and_not(&sb).to_vec(), not);
+        prop_assert_eq!(sa.intersection_len(&sb), and.len() as u64);
+        prop_assert_eq!(sa.intersects(&sb), !and.is_empty());
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+    }
+
+    #[test]
+    fn multiway_agrees_with_folds(a in values(), b in values(), c in values()) {
+        let sa = Bitset::from_slice(&a);
+        let sb = Bitset::from_slice(&b);
+        let sc = Bitset::from_slice(&c);
+        let folded_and = sa.and(&sb).and(&sc);
+        let folded_or = sa.or(&sb).or(&sc);
+        prop_assert_eq!(Bitset::multi_and(&[&sa, &sb, &sc]), folded_and);
+        prop_assert_eq!(Bitset::multi_or(&[&sa, &sb, &sc]), folded_or);
+    }
+
+    #[test]
+    fn rank_matches_model(vals in values(), probe in 0u32..1_100_000) {
+        let model: BTreeSet<u32> = vals.iter().copied().collect();
+        let set = Bitset::from_slice(&vals);
+        let expect = model.iter().filter(|&&v| v < probe).count() as u64;
+        prop_assert_eq!(set.rank(probe), expect);
+    }
+
+    #[test]
+    fn visitor_intersection(a in values(), b in values()) {
+        let sa = Bitset::from_slice(&a);
+        let sb = Bitset::from_slice(&b);
+        let mut got = Vec::new();
+        rig_bitset::for_each_in_intersection(&sa, &[&sb], |v| {
+            got.push(v);
+            true
+        });
+        prop_assert_eq!(got, sa.and(&sb).to_vec());
+    }
+
+    #[test]
+    fn batch_iter_equals_iter(vals in values(), batch in 1usize..300) {
+        let set = Bitset::from_slice(&vals);
+        let mut batched = Vec::new();
+        let mut it = set.batch_iter(batch);
+        while let Some(chunk) = it.next_batch() {
+            batched.extend_from_slice(chunk);
+        }
+        prop_assert_eq!(batched, set.iter().collect::<Vec<_>>());
+    }
+}

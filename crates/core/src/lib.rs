@@ -1,0 +1,401 @@
+//! GM — the end-to-end RIG-based hybrid graph pattern matcher (the paper's
+//! primary contribution, integrating §3–§6).
+//!
+//! The pipeline of [`Matcher::run_with`]:
+//!
+//! 1. **transitive reduction** of the query (§3) — drop redundant
+//!    reachability edges;
+//! 2. **node selection** — pre-filter + double simulation (§4.2–§4.4);
+//! 3. **node expansion** — build the refined RIG (§4.5); an empty RIG
+//!    short-circuits to an empty answer;
+//! 4. **search ordering** — JO / RI / BJ over RIG statistics (§5.2);
+//! 5. **enumeration** — MJoin multiway intersections (§5.1).
+//!
+//! Every §7.4 ablation is a [`GmConfig`] knob, so the experiment harnesses
+//! run the same code paths the library's users do.
+
+mod report;
+
+pub use report::{RunReport, RunStatus};
+
+use std::time::{Duration, Instant};
+
+use rig_graph::{DataGraph, NodeId};
+use rig_index::{build_rig, Rig, RigOptions, RigStats};
+use rig_mjoin::{enumerate, EnumOptions, EnumResult};
+use rig_query::{transitive_reduction, PatternQuery};
+use rig_reach::{BflIndex, Reachability};
+use rig_sim::SimContext;
+
+/// Full GM configuration. `Default` is the paper's evaluation setup.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GmConfig {
+    /// Apply §3 transitive reduction before evaluation (`false` = GM-NR).
+    pub skip_reduction: bool,
+    /// RIG construction options (selection mode, simulation tuning,
+    /// expansion mode).
+    pub rig: RigOptions,
+    /// Enumeration options (search order, limit, timeout, injectivity).
+    pub enumeration: EnumOptions,
+}
+
+impl GmConfig {
+    /// Exact-simulation configuration (no pass cap); used by tests.
+    pub fn exact() -> Self {
+        GmConfig { rig: RigOptions::exact(), ..Default::default() }
+    }
+}
+
+/// Phase timings and sizes for one query evaluation.
+#[derive(Debug, Clone)]
+pub struct GmMetrics {
+    /// Query transitive-reduction time.
+    pub reduction_time: Duration,
+    /// Node selection + expansion (the paper's "matching time" includes
+    /// this plus ordering).
+    pub rig_stats: RigStats,
+    /// Result enumeration time (includes search-order computation, which
+    /// is part of MJoin).
+    pub enumeration_time: Duration,
+    /// End-to-end evaluation time (excludes reachability-index build,
+    /// which is per-graph, reported by [`Matcher::index_build_time`]).
+    pub total_time: Duration,
+    /// Reachability edges removed by the reduction.
+    pub edges_reduced: usize,
+}
+
+impl GmMetrics {
+    /// "Matching time" in the paper's Metrics paragraph: everything before
+    /// enumeration starts.
+    pub fn matching_time(&self) -> Duration {
+        self.total_time.saturating_sub(self.enumeration_time)
+    }
+}
+
+/// Result of one query evaluation.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    pub result: EnumResult,
+    pub metrics: GmMetrics,
+}
+
+impl QueryOutcome {
+    /// Converts to the engine-neutral report used by the harnesses.
+    pub fn report(&self, engine: &str) -> RunReport {
+        RunReport {
+            engine: engine.to_string(),
+            status: if self.result.timed_out {
+                RunStatus::Timeout
+            } else {
+                RunStatus::Completed
+            },
+            occurrences: self.result.count,
+            total_time: self.metrics.total_time,
+            matching_time: self.metrics.matching_time(),
+            enumeration_time: self.metrics.enumeration_time,
+            intermediate_tuples: 0, // MJoin materializes none (§5.1)
+            aux_size: self.metrics.rig_stats.size(),
+        }
+    }
+}
+
+/// A GM matcher bound to one data graph. Construction builds the BFL
+/// reachability index once; every query evaluation reuses it (the paper's
+/// per-graph setup, Fig. 18a).
+///
+/// ```
+/// use rig_core::{GmConfig, Matcher};
+/// use rig_graph::GraphBuilder;
+/// use rig_query::{EdgeKind, PatternQuery};
+///
+/// let mut b = GraphBuilder::new();
+/// let (x, y, z) = (b.add_node(0), b.add_node(1), b.add_node(2));
+/// b.add_edge(x, y);
+/// b.add_edge(y, z);
+/// let g = b.build();
+///
+/// let mut q = PatternQuery::new(vec![0, 2]);
+/// q.add_edge(0, 1, EdgeKind::Reachability); // label-0 node reaching a label-2 node
+///
+/// let matcher = Matcher::new(&g);
+/// assert_eq!(matcher.count(&q, &GmConfig::default()).result.count, 1);
+/// ```
+pub struct Matcher<'g> {
+    graph: &'g DataGraph,
+    bfl: BflIndex,
+}
+
+impl<'g> Matcher<'g> {
+    /// Builds the matcher (and its BFL index) for `graph`.
+    pub fn new(graph: &'g DataGraph) -> Self {
+        Matcher { graph, bfl: BflIndex::new(graph) }
+    }
+
+    /// The underlying data graph.
+    pub fn graph(&self) -> &'g DataGraph {
+        self.graph
+    }
+
+    /// Reachability-index construction time (Fig. 18a's "BFL" column).
+    pub fn index_build_time(&self) -> Duration {
+        Duration::from_secs_f64(self.bfl.build_seconds())
+    }
+
+    /// Direct access to the reachability oracle.
+    pub fn reachability(&self) -> &impl Reachability {
+        &self.bfl
+    }
+
+    /// Evaluates `query`, streaming every occurrence tuple (indexed by
+    /// query node) to `visit`; return `false` to stop early.
+    pub fn run_with(
+        &self,
+        query: &PatternQuery,
+        cfg: &GmConfig,
+        visit: impl FnMut(&[NodeId]) -> bool,
+    ) -> QueryOutcome {
+        let total_start = Instant::now();
+
+        // 1. transitive reduction (§3)
+        let red_start = Instant::now();
+        let reduced_storage;
+        let edges_reduced;
+        let query_ref: &PatternQuery = if cfg.skip_reduction {
+            edges_reduced = 0;
+            query
+        } else {
+            reduced_storage = transitive_reduction(query);
+            edges_reduced = query.num_edges() - reduced_storage.num_edges();
+            &reduced_storage
+        };
+        let reduction_time = red_start.elapsed();
+
+        // 2–3. RIG construction (Alg. 4)
+        let ctx = SimContext::new(self.graph, query_ref, &self.bfl);
+        let rig = build_rig(&ctx, &self.bfl, &cfg.rig);
+
+        // 4–5. ordering + enumeration (Alg. 5)
+        let order_start = Instant::now();
+        let result = if rig.is_empty() {
+            EnumResult {
+                count: 0,
+                timed_out: false,
+                limit_hit: false,
+                order: Vec::new(),
+                steps: 0,
+            }
+        } else {
+            enumerate(query_ref, &rig, &cfg.enumeration, visit)
+        };
+        let enum_total = order_start.elapsed();
+
+        let metrics = GmMetrics {
+            reduction_time,
+            rig_stats: rig.stats.clone(),
+            enumeration_time: enum_total,
+            total_time: total_start.elapsed(),
+            edges_reduced,
+        };
+        QueryOutcome { result, metrics }
+    }
+
+    /// Counts the occurrences of `query`.
+    pub fn count(&self, query: &PatternQuery, cfg: &GmConfig) -> QueryOutcome {
+        self.run_with(query, cfg, |_| true)
+    }
+
+    /// Counts occurrences with `threads` parallel workers (§6 future work;
+    /// partitions the first search-order node's candidates). Falls back to
+    /// sequential counting when a match limit is configured.
+    pub fn par_count(
+        &self,
+        query: &PatternQuery,
+        cfg: &GmConfig,
+        threads: usize,
+    ) -> QueryOutcome {
+        let total_start = Instant::now();
+        let red_start = Instant::now();
+        let reduced_storage;
+        let edges_reduced;
+        let query_ref: &PatternQuery = if cfg.skip_reduction {
+            edges_reduced = 0;
+            query
+        } else {
+            reduced_storage = transitive_reduction(query);
+            edges_reduced = query.num_edges() - reduced_storage.num_edges();
+            &reduced_storage
+        };
+        let reduction_time = red_start.elapsed();
+        let ctx = SimContext::new(self.graph, query_ref, &self.bfl);
+        let rig = build_rig(&ctx, &self.bfl, &cfg.rig);
+        let enum_start = Instant::now();
+        let result = if rig.is_empty() {
+            EnumResult {
+                count: 0,
+                timed_out: false,
+                limit_hit: false,
+                order: Vec::new(),
+                steps: 0,
+            }
+        } else {
+            rig_mjoin::par_count(query_ref, &rig, &cfg.enumeration, threads)
+        };
+        let enumeration_time = enum_start.elapsed();
+        QueryOutcome {
+            result,
+            metrics: GmMetrics {
+                reduction_time,
+                rig_stats: rig.stats.clone(),
+                enumeration_time,
+                total_time: total_start.elapsed(),
+                edges_reduced,
+            },
+        }
+    }
+
+    /// Collects up to `max` occurrence tuples.
+    pub fn collect(
+        &self,
+        query: &PatternQuery,
+        cfg: &GmConfig,
+        max: usize,
+    ) -> (Vec<Vec<NodeId>>, QueryOutcome) {
+        let mut out = Vec::new();
+        let outcome = self.run_with(query, cfg, |t| {
+            if out.len() < max {
+                out.push(t.to_vec());
+            }
+            out.len() < max
+        });
+        (out, outcome)
+    }
+
+    /// Builds (and returns) just the RIG for `query` — used by the Fig. 13
+    /// harness to measure index size and build time without enumeration.
+    pub fn build_rig_only(&self, query: &PatternQuery, cfg: &GmConfig) -> Rig {
+        let ctx = SimContext::new(self.graph, query, &self.bfl);
+        build_rig(&ctx, &self.bfl, &cfg.rig)
+    }
+}
+
+// re-export the pieces users need to drive the matcher without digging
+// through sub-crates
+pub use rig_index::{ReachExpandMode, RigOptions as RigBuildOptions, SelectMode};
+pub use rig_mjoin::{EnumOptions as EnumerationOptions, SearchOrder};
+pub use rig_sim::{DirectCheckMode, ReachCheckMode, SimAlgorithm, SimOptions};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rig_mjoin::EnumOptions;
+    use rig_query::{fig2_query, EdgeKind, PatternQuery};
+
+    fn fig2_graph() -> DataGraph {
+        use rig_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        for _ in 0..3 {
+            b.add_node(0);
+        }
+        for _ in 0..4 {
+            b.add_node(1);
+        }
+        for _ in 0..3 {
+            b.add_node(2);
+        }
+        b.add_edge(1, 3);
+        b.add_edge(1, 7);
+        b.add_edge(3, 8);
+        b.add_edge(8, 7);
+        b.add_edge(2, 5);
+        b.add_edge(2, 9);
+        b.add_edge(5, 9);
+        b.add_edge(5, 8);
+        b.add_edge(0, 4);
+        b.add_edge(4, 7);
+        b.add_edge(6, 0);
+        b.build()
+    }
+
+    #[test]
+    fn end_to_end_fig2() {
+        let g = fig2_graph();
+        let m = Matcher::new(&g);
+        let (tuples, outcome) = m.collect(&fig2_query(), &GmConfig::exact(), 10);
+        let mut sorted = tuples;
+        sorted.sort();
+        assert_eq!(sorted, vec![vec![1, 3, 7], vec![2, 5, 9]]);
+        assert_eq!(outcome.result.count, 2);
+        let report = outcome.report("GM");
+        assert_eq!(report.status, RunStatus::Completed);
+        assert_eq!(report.occurrences, 2);
+        assert_eq!(report.intermediate_tuples, 0);
+    }
+
+    #[test]
+    fn reduction_removes_redundant_reachability_edge() {
+        let g = fig2_graph();
+        let m = Matcher::new(&g);
+        // add redundant A => C on top of A -> B => C
+        let mut q = PatternQuery::new(vec![0, 1, 2]);
+        q.add_edge(0, 1, EdgeKind::Direct);
+        q.add_edge(1, 2, EdgeKind::Reachability);
+        q.add_edge(0, 2, EdgeKind::Reachability); // redundant
+        let with = m.count(&q, &GmConfig::exact());
+        assert_eq!(with.metrics.edges_reduced, 1);
+        let without = m.count(
+            &q,
+            &GmConfig { skip_reduction: true, ..GmConfig::exact() },
+        );
+        assert_eq!(without.metrics.edges_reduced, 0);
+        // identical answers either way (equivalence of the reduction)
+        assert_eq!(with.result.count, without.result.count);
+    }
+
+    #[test]
+    fn limit_and_timeout_paths() {
+        let g = fig2_graph();
+        let m = Matcher::new(&g);
+        let cfg = GmConfig {
+            enumeration: EnumOptions { limit: Some(1), ..Default::default() },
+            ..GmConfig::exact()
+        };
+        let o = m.count(&fig2_query(), &cfg);
+        assert_eq!(o.result.count, 1);
+        assert!(o.result.limit_hit);
+    }
+
+    #[test]
+    fn empty_answer_short_circuits() {
+        let g = fig2_graph();
+        let m = Matcher::new(&g);
+        // label 2 -> label 0 direct edge never occurs
+        let mut q = PatternQuery::new(vec![2, 0]);
+        q.add_edge(0, 1, EdgeKind::Direct);
+        let o = m.count(&q, &GmConfig::exact());
+        assert_eq!(o.result.count, 0);
+        assert_eq!(o.metrics.rig_stats.node_count, 0);
+    }
+
+    #[test]
+    fn three_pass_default_equals_exact_count() {
+        // the §4.5 approximation changes the RIG, never the answer
+        let g = fig2_graph();
+        let m = Matcher::new(&g);
+        let exact = m.count(&fig2_query(), &GmConfig::exact());
+        let capped = m.count(&fig2_query(), &GmConfig::default());
+        assert_eq!(exact.result.count, capped.result.count);
+    }
+
+    #[test]
+    fn all_search_orders_agree_end_to_end() {
+        let g = fig2_graph();
+        let m = Matcher::new(&g);
+        for order in [SearchOrder::Jo, SearchOrder::Ri, SearchOrder::Bj] {
+            let cfg = GmConfig {
+                enumeration: EnumOptions { order, ..Default::default() },
+                ..GmConfig::exact()
+            };
+            assert_eq!(m.count(&fig2_query(), &cfg).result.count, 2, "{order:?}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Engine-neutral run reports — the row format shared by every experiment
+//! harness (GM, JM, TM and the engine analogues all emit these, so tables
+//! like Table 3 and Table 5 are a straight formatting pass).
+
+use std::time::Duration;
+
+/// Terminal status of one query evaluation, matching the failure notations
+/// of Tables 3 and 5 (TO = timeout, OM = out of memory, FA = failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    Completed,
+    /// Wall-clock budget exhausted ("TO").
+    Timeout,
+    /// Intermediate-tuple budget exhausted — the deterministic model of the
+    /// JVM out-of-memory failures ("OM").
+    MemoryExceeded,
+    /// Planner blow-up or other unrecoverable failure ("FA").
+    Failed,
+}
+
+impl RunStatus {
+    /// The two-letter code used in the paper's tables.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RunStatus::Completed => "ok",
+            RunStatus::Timeout => "TO",
+            RunStatus::MemoryExceeded => "OM",
+            RunStatus::Failed => "FA",
+        }
+    }
+
+    pub fn is_solved(&self) -> bool {
+        matches!(self, RunStatus::Completed)
+    }
+}
+
+/// One engine × query measurement.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Engine name ("GM", "JM", "TM", "GF", "EH", "Neo4j-like", ...).
+    pub engine: String,
+    pub status: RunStatus,
+    /// Occurrences found before stopping.
+    pub occurrences: u64,
+    /// End-to-end query time.
+    pub total_time: Duration,
+    /// Filtering + auxiliary-structure building + planning time.
+    pub matching_time: Duration,
+    /// Result enumeration time.
+    pub enumeration_time: Duration,
+    /// Intermediate tuples materialized (JM/TM blow-up accounting; always
+    /// 0 for GM).
+    pub intermediate_tuples: u64,
+    /// Size (nodes + edges, or tuples) of the auxiliary structure built
+    /// for the query (RIG for GM, answer graph for TM, edge relations for
+    /// JM).
+    pub aux_size: u64,
+}
+
+impl RunReport {
+    /// Seconds, as the tables print them.
+    pub fn secs(&self) -> f64 {
+        self.total_time.as_secs_f64()
+    }
+
+    /// A failed/timeout run displayed with the paper's convention (elapsed
+    /// time recorded as the budget).
+    pub fn display_cell(&self) -> String {
+        match self.status {
+            RunStatus::Completed => format!("{:.3}", self.secs()),
+            s => s.code().to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes() {
+        assert_eq!(RunStatus::Completed.code(), "ok");
+        assert_eq!(RunStatus::Timeout.code(), "TO");
+        assert_eq!(RunStatus::MemoryExceeded.code(), "OM");
+        assert_eq!(RunStatus::Failed.code(), "FA");
+        assert!(RunStatus::Completed.is_solved());
+        assert!(!RunStatus::Timeout.is_solved());
+    }
+
+    #[test]
+    fn display_cell() {
+        let mut r = RunReport {
+            engine: "GM".into(),
+            status: RunStatus::Completed,
+            occurrences: 5,
+            total_time: Duration::from_millis(1234),
+            matching_time: Duration::from_millis(200),
+            enumeration_time: Duration::from_millis(1034),
+            intermediate_tuples: 0,
+            aux_size: 10,
+        };
+        assert_eq!(r.display_cell(), "1.234");
+        r.status = RunStatus::MemoryExceeded;
+        assert_eq!(r.display_cell(), "OM");
+    }
+}

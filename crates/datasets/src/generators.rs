@@ -1,0 +1,153 @@
+//! Random graph models and label assignment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rig_graph::{DataGraph, GraphBuilder, Label, NodeId};
+
+/// Directed preferential attachment: nodes arrive one at a time; each new
+/// node draws `m/n` (on average) endpoints proportional to current degree
+/// (plus one smoothing), with random edge orientation. Produces the
+/// heavy-tailed degree distributions of web/social/product graphs.
+pub fn scale_free(n: usize, m: usize, seed: u64) -> DataGraph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        b.add_node(0);
+    }
+    // endpoint pool: repeated-node trick for degree-proportional sampling
+    let mut pool: Vec<NodeId> = vec![0, 1];
+    b.add_edge(0, 1);
+    let per_node = (m as f64 / n as f64).max(1.0);
+    let mut emitted = 1usize;
+    for v in 2..n as NodeId {
+        // number of edges this node contributes
+        let k = {
+            let base = per_node.floor() as usize;
+            let frac = per_node - base as f64;
+            base + usize::from(rng.gen_bool(frac.clamp(0.0, 1.0)))
+        };
+        for _ in 0..k.max(1) {
+            // 80% preferential, 20% uniform (keeps the graph connected-ish
+            // and the exponent realistic)
+            let target = if rng.gen_bool(0.8) && !pool.is_empty() {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                rng.gen_range(0..v)
+            };
+            if target == v {
+                continue;
+            }
+            if rng.gen_bool(0.5) {
+                b.add_edge(v, target);
+            } else {
+                b.add_edge(target, v);
+            }
+            pool.push(target);
+            pool.push(v);
+            emitted += 1;
+        }
+    }
+    // top up to the target edge count with preferential extra edges
+    while emitted < m {
+        let u = pool[rng.gen_range(0..pool.len())];
+        let v = pool[rng.gen_range(0..pool.len())];
+        if u != v {
+            b.add_edge(u, v);
+            emitted += 1;
+        }
+    }
+    b.build()
+}
+
+/// Uniform random directed graph with `n` nodes and ~`m` distinct edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> DataGraph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..n {
+        b.add_node(0);
+    }
+    for _ in 0..m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Reassigns labels with a Zipf(`exponent`) distribution over `num_labels`
+/// labels (label 0 most frequent), guaranteeing every label occurs at
+/// least once when `n ≥ num_labels`.
+pub fn zipf_labels(g: &DataGraph, num_labels: usize, exponent: f64, seed: u64) -> DataGraph {
+    assert!(num_labels >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // cumulative Zipf weights
+    let weights: Vec<f64> = (1..=num_labels).map(|r| 1.0 / (r as f64).powf(exponent)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cum = Vec::with_capacity(num_labels);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cum.push(acc);
+    }
+    let n = g.num_nodes();
+    let mut labels: Vec<Label> = (0..n)
+        .map(|_| {
+            let x: f64 = rng.gen();
+            cum.iter().position(|&c| x <= c).unwrap_or(num_labels - 1) as Label
+        })
+        .collect();
+    // ensure all labels present
+    if n >= num_labels {
+        for (l, slot) in labels.iter_mut().enumerate().take(num_labels) {
+            *slot = l as Label;
+        }
+    }
+    g.relabel(|v, _| labels[v as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_respects_counts() {
+        let g = erdos_renyi(100, 400, 1);
+        assert_eq!(g.num_nodes(), 100);
+        assert!(g.num_edges() <= 400);
+        assert!(g.num_edges() > 300); // few duplicates at this density
+    }
+
+    #[test]
+    fn scale_free_edge_count_close() {
+        let g = scale_free(500, 2_000, 2);
+        assert_eq!(g.num_nodes(), 500);
+        let e = g.num_edges() as f64;
+        assert!((e - 2_000.0).abs() / 2_000.0 < 0.2, "edges={e}");
+    }
+
+    #[test]
+    fn zipf_labels_skewed_and_complete() {
+        let g = erdos_renyi(1_000, 3_000, 3);
+        let lg = zipf_labels(&g, 10, 1.0, 4);
+        assert_eq!(lg.num_labels(), 10);
+        for l in 0..10u32 {
+            assert!(!lg.nodes_with_label(l).is_empty(), "label {l} missing");
+        }
+        // label 0 should be the most frequent
+        let c0 = lg.nodes_with_label(0).len();
+        let c9 = lg.nodes_with_label(9).len();
+        assert!(c0 > c9, "c0={c0} c9={c9}");
+    }
+
+    #[test]
+    fn single_label_allowed() {
+        let g = erdos_renyi(50, 100, 5);
+        let lg = zipf_labels(&g, 1, 1.0, 6);
+        assert_eq!(lg.num_labels(), 1);
+        assert_eq!(lg.nodes_with_label(0).len(), 50);
+    }
+}

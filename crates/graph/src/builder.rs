@@ -1,0 +1,125 @@
+//! Mutable construction of [`DataGraph`]s.
+
+use crate::{DataGraph, Label, NodeId};
+
+/// Accumulates nodes and edges, then freezes into an immutable CSR graph.
+///
+/// Duplicate edges and self-loops are allowed on input; duplicates are
+/// removed at [`GraphBuilder::build`] time (the paper's data model has
+/// simple directed graphs).
+#[derive(Default)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    label_names: Vec<String>,
+    adj: Vec<Vec<NodeId>>,
+    edge_count_hint: usize,
+}
+
+impl GraphBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes internal vectors.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            labels: Vec::with_capacity(nodes),
+            label_names: Vec::new(),
+            adj: Vec::with_capacity(nodes),
+            edge_count_hint: edges,
+        }
+    }
+
+    /// Adds a node with the given label; returns its id.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        let id = self.labels.len() as NodeId;
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds a node and records a human-readable name for its label.
+    pub fn add_node_with_name(&mut self, label: Label, name: &str) -> NodeId {
+        let id = self.add_node(label);
+        let idx = label as usize;
+        if self.label_names.len() <= idx {
+            self.label_names.resize(idx + 1, String::new());
+        }
+        if self.label_names[idx].is_empty() {
+            self.label_names[idx] = name.to_string();
+        }
+        id
+    }
+
+    /// Adds `count` nodes all labeled `label`; returns the first new id.
+    pub fn add_nodes(&mut self, label: Label, count: usize) -> NodeId {
+        let first = self.labels.len() as NodeId;
+        for _ in 0..count {
+            self.add_node(label);
+        }
+        first
+    }
+
+    /// Adds a directed edge `u -> v`. Both endpoints must already exist.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!((u as usize) < self.labels.len(), "unknown source {u}");
+        debug_assert!((v as usize) < self.labels.len(), "unknown target {v}");
+        self.adj[u as usize].push(v);
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Freezes into an immutable [`DataGraph`]; sorts and deduplicates
+    /// adjacency lists.
+    pub fn build(mut self) -> DataGraph {
+        let _ = self.edge_count_hint;
+        for adj in &mut self.adj {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        DataGraph::from_parts(self.labels, self.adj, self.label_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_sort() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0);
+        let y = b.add_node(1);
+        let z = b.add_node(1);
+        b.add_edge(x, z);
+        b.add_edge(x, y);
+        b.add_edge(x, y); // duplicate
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(x), &[y, z]);
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_nodes(3, 5);
+        assert_eq!(first, 0);
+        assert_eq!(b.node_count(), 5);
+        let g = b.build();
+        assert_eq!(g.num_labels(), 4); // labels 0..=3 exist as id space
+        assert_eq!(g.nodes_with_label(3).len(), 5);
+        assert_eq!(g.nodes_with_label(0).len(), 0);
+    }
+
+    #[test]
+    fn self_loop_kept() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0);
+        b.add_edge(x, x);
+        let g = b.build();
+        assert!(g.has_edge(x, x));
+    }
+}

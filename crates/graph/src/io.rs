@@ -1,0 +1,139 @@
+//! Plain-text serialization of data graphs.
+//!
+//! The format is the line-oriented one used by most subgraph-matching
+//! artifacts (and by the datasets the paper evaluates on):
+//!
+//! ```text
+//! t <num_nodes> <num_edges>    # optional header
+//! v <id> <label> [degree]      # node line; ids must be 0..n densely
+//! e <src> <dst>                # edge line
+//! # comment
+//! ```
+
+use crate::{DataGraph, GraphBuilder, Label, NodeId};
+
+/// Error produced by [`parse_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parses the text format described in the module docs.
+pub fn parse_text(input: &str) -> Result<DataGraph, ParseError> {
+    let mut labels: Vec<(NodeId, Label)> = Vec::new();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (ln, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('t') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("v") => {
+                let id: NodeId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln + 1, "bad node id"))?;
+                let label: Label = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln + 1, "bad node label"))?;
+                labels.push((id, label));
+            }
+            Some("e") => {
+                let u: NodeId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln + 1, "bad edge source"))?;
+                let v: NodeId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln + 1, "bad edge target"))?;
+                edges.push((u, v));
+            }
+            Some(tok) => return Err(err(ln + 1, format!("unknown record '{tok}'"))),
+            None => {}
+        }
+    }
+    labels.sort_unstable_by_key(|&(id, _)| id);
+    for (expect, &(id, _)) in labels.iter().enumerate() {
+        if id as usize != expect {
+            return Err(err(0, format!("node ids not dense: missing {expect}")));
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
+    for &(_, l) in &labels {
+        b.add_node(l);
+    }
+    let n = labels.len() as NodeId;
+    for (u, v) in edges {
+        if u >= n || v >= n {
+            return Err(err(0, format!("edge ({u},{v}) references unknown node")));
+        }
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Serializes a graph back to the text format (stable output, suitable for
+/// golden tests).
+pub fn to_text(g: &DataGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("t {} {}\n", g.num_nodes(), g.num_edges()));
+    for v in 0..g.num_nodes() as NodeId {
+        out.push_str(&format!("v {} {}\n", v, g.label(v)));
+    }
+    for (u, v) in g.edges() {
+        out.push_str(&format!("e {u} {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let text = "t 3 2\nv 0 0\nv 1 1\nv 2 1\ne 0 1\ne 0 2\n";
+        let g = parse_text(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(to_text(&g), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let g = parse_text("# hi\n\nv 0 5\n   \nv 1 5\ne 1 0\n").unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert!(g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn out_of_order_node_ids() {
+        let g = parse_text("v 1 0\nv 0 1\ne 0 1\n").unwrap();
+        assert_eq!(g.label(0), 1);
+        assert_eq!(g.label(1), 0);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_text("v x 0\n").is_err());
+        assert!(parse_text("q 0 0\n").is_err());
+        assert!(parse_text("v 0 0\nv 2 0\n").is_err()); // non-dense
+        assert!(parse_text("v 0 0\ne 0 5\n").is_err()); // dangling edge
+    }
+}

@@ -1,0 +1,454 @@
+//! Directed, node-labeled data graphs (§2 of the paper).
+//!
+//! The data graph is stored in compressed sparse row (CSR) form in both
+//! directions, with sorted neighbor slices so that `has_edge` is a binary
+//! search and adjacency slices convert to [`rig_bitset::Bitset`] without a
+//! sort. Per-label *inverted lists* (`I_a` in the paper) are precomputed at
+//! build time, both as sorted vectors and as bitmaps, because every stage of
+//! the pipeline (match sets, simulation, RIG construction) starts from them.
+
+mod builder;
+mod hash;
+mod io;
+mod stats;
+
+pub use builder::GraphBuilder;
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use io::{parse_text, to_text, ParseError};
+pub use stats::GraphStats;
+
+use rig_bitset::Bitset;
+
+/// Node identifier: dense index into the graph's node arrays.
+pub type NodeId = u32;
+
+/// Node label identifier: dense index into the graph's label table.
+pub type Label = u32;
+
+/// An immutable directed node-labeled data graph.
+///
+/// Construct via [`GraphBuilder`] or [`parse_text`]. Node ids are dense
+/// `0..num_nodes`; labels are dense `0..num_labels`.
+///
+/// ```
+/// use rig_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let x = b.add_node(0);
+/// let y = b.add_node(1);
+/// b.add_edge(x, y);
+/// let g = b.build();
+/// assert!(g.has_edge(x, y));
+/// assert_eq!(g.out_neighbors(x), &[y]);
+/// assert_eq!(g.nodes_with_label(1), &[y]);
+/// ```
+#[derive(Clone)]
+pub struct DataGraph {
+    /// `labels[v]` is the label of node `v`.
+    labels: Vec<Label>,
+    /// CSR offsets / targets, forward direction; `fwd_targets` slices sorted.
+    fwd_offsets: Vec<u64>,
+    fwd_targets: Vec<NodeId>,
+    /// CSR offsets / targets, backward direction; sorted.
+    bwd_offsets: Vec<u64>,
+    bwd_targets: Vec<NodeId>,
+    /// Inverted lists: `inverted[l]` = sorted nodes labeled `l`.
+    inverted: Vec<Vec<NodeId>>,
+    /// Same inverted lists as bitmaps.
+    inverted_bits: Vec<Bitset>,
+    /// Optional human-readable label names (parallel to label ids).
+    label_names: Vec<String>,
+}
+
+impl DataGraph {
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.fwd_targets.len()
+    }
+
+    /// Number of distinct labels `|L|`.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.inverted.len()
+    }
+
+    /// Average out-degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Label of node `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> Label {
+        self.labels[v as usize]
+    }
+
+    /// All node labels, indexed by node id.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Human-readable name of `label`, if one was supplied at build time.
+    pub fn label_name(&self, label: Label) -> &str {
+        self.label_names
+            .get(label as usize)
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// Resolves a label name back to its id.
+    pub fn label_id(&self, name: &str) -> Option<Label> {
+        self.label_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as Label)
+    }
+
+    /// Sorted out-neighbors of `v` (the forward adjacency list `adjf`).
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.fwd_offsets[v as usize] as usize;
+        let hi = self.fwd_offsets[v as usize + 1] as usize;
+        &self.fwd_targets[lo..hi]
+    }
+
+    /// Sorted in-neighbors of `v` (the backward adjacency list `adjb`).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.bwd_offsets[v as usize] as usize;
+        let hi = self.bwd_offsets[v as usize + 1] as usize;
+        &self.bwd_targets[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_neighbors(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_neighbors(v).len()
+    }
+
+    /// True iff the edge `(u, v)` exists (binary search on CSR slice).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Sorted inverted list `I_label`: all nodes labeled `label`.
+    #[inline]
+    pub fn nodes_with_label(&self, label: Label) -> &[NodeId] {
+        static EMPTY: [NodeId; 0] = [];
+        self.inverted.get(label as usize).map(|v| v.as_slice()).unwrap_or(&EMPTY)
+    }
+
+    /// The inverted list of `label` as a bitmap (the match set `ms(q)` of a
+    /// query node labeled `label`).
+    pub fn label_bitset(&self, label: Label) -> &Bitset {
+        &self.inverted_bits[label as usize]
+    }
+
+    /// Out-neighbors of `v` as a freshly built bitmap.
+    pub fn out_bitset(&self, v: NodeId) -> Bitset {
+        Bitset::from_sorted_dedup(self.out_neighbors(v))
+    }
+
+    /// In-neighbors of `v` as a freshly built bitmap.
+    pub fn in_bitset(&self, v: NodeId) -> Bitset {
+        Bitset::from_sorted_dedup(self.in_neighbors(v))
+    }
+
+    /// Materializes per-node adjacency bitmaps (both directions) for the
+    /// batch simulation checks of §4.5. O(|V| + |E|) time and memory.
+    pub fn build_adjacency_bitmaps(&self) -> AdjacencyBitmaps {
+        let n = self.num_nodes();
+        let mut fwd = Vec::with_capacity(n);
+        let mut bwd = Vec::with_capacity(n);
+        for v in 0..n as NodeId {
+            fwd.push(Bitset::from_sorted_dedup(self.out_neighbors(v)));
+            bwd.push(Bitset::from_sorted_dedup(self.in_neighbors(v)));
+        }
+        AdjacencyBitmaps { fwd, bwd }
+    }
+
+    /// Iterator over all edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes() as NodeId)
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// The node-induced subgraph on `keep` (node ids are re-densified in
+    /// ascending order of the original ids). Used by the Fig. 11 scalability
+    /// experiment (prefix subsets of DBLP) and the Fig. 18 email fragments.
+    pub fn induced_subgraph(&self, keep: &Bitset) -> DataGraph {
+        let mut remap: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+        let mut b = GraphBuilder::new();
+        for (new_id, old_id) in keep.iter().enumerate() {
+            remap.insert(old_id, new_id as NodeId);
+            b.add_node_with_name(self.label(old_id), self.label_name(self.label(old_id)));
+        }
+        for old_u in keep.iter() {
+            let nu = remap[&old_u];
+            for &old_v in self.out_neighbors(old_u) {
+                if let Some(&nv) = remap.get(&old_v) {
+                    b.add_edge(nu, nv);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Returns a copy of the graph with labels reassigned by `f`. Used by
+    /// the Fig. 10 / Fig. 18 varying-label experiments.
+    pub fn relabel(&self, f: impl Fn(NodeId, Label) -> Label) -> DataGraph {
+        let mut b = GraphBuilder::new();
+        for v in 0..self.num_nodes() as NodeId {
+            b.add_node(f(v, self.label(v)));
+        }
+        for (u, v) in self.edges() {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats::of(self)
+    }
+
+    pub(crate) fn from_parts(
+        labels: Vec<Label>,
+        fwd: Vec<Vec<NodeId>>,
+        label_names: Vec<String>,
+    ) -> Self {
+        let n = labels.len();
+        let mut fwd_offsets = Vec::with_capacity(n + 1);
+        let mut fwd_targets = Vec::new();
+        fwd_offsets.push(0);
+        for adj in &fwd {
+            fwd_targets.extend_from_slice(adj);
+            fwd_offsets.push(fwd_targets.len() as u64);
+        }
+        // backward CSR
+        let mut bwd_counts = vec![0u64; n];
+        for &t in &fwd_targets {
+            bwd_counts[t as usize] += 1;
+        }
+        let mut bwd_offsets = Vec::with_capacity(n + 1);
+        bwd_offsets.push(0u64);
+        for c in &bwd_counts {
+            bwd_offsets.push(bwd_offsets.last().unwrap() + c);
+        }
+        let mut cursor = bwd_offsets.clone();
+        let mut bwd_targets = vec![0 as NodeId; fwd_targets.len()];
+        for (u, adj) in fwd.iter().enumerate() {
+            for &v in adj {
+                bwd_targets[cursor[v as usize] as usize] = u as NodeId;
+                cursor[v as usize] += 1;
+            }
+        }
+        // in-neighbor slices must be sorted: sources are visited in
+        // ascending order, so each slice is already sorted.
+        let num_labels = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let mut inverted: Vec<Vec<NodeId>> = vec![Vec::new(); num_labels];
+        for (v, &l) in labels.iter().enumerate() {
+            inverted[l as usize].push(v as NodeId);
+        }
+        let inverted_bits = inverted
+            .iter()
+            .map(|list| Bitset::from_sorted_dedup(list))
+            .collect();
+        let mut names = label_names;
+        names.resize(num_labels, String::new());
+        DataGraph {
+            labels,
+            fwd_offsets,
+            fwd_targets,
+            bwd_offsets,
+            bwd_targets,
+            inverted,
+            inverted_bits,
+            label_names: names,
+        }
+    }
+}
+
+impl std::fmt::Debug for DataGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DataGraph(|V|={}, |E|={}, |L|={})",
+            self.num_nodes(),
+            self.num_edges(),
+            self.num_labels()
+        )
+    }
+}
+
+/// Materialized per-node adjacency bitmaps (forward and backward).
+pub struct AdjacencyBitmaps {
+    pub fwd: Vec<Bitset>,
+    pub bwd: Vec<Bitset>,
+}
+
+impl AdjacencyBitmaps {
+    /// Union of forward adjacency bitmaps of all nodes in `sources`.
+    pub fn union_fwd(&self, sources: &Bitset) -> Bitset {
+        let mut acc = Bitset::new();
+        for v in sources.iter() {
+            acc.or_assign(&self.fwd[v as usize]);
+        }
+        acc
+    }
+
+    /// Union of backward adjacency bitmaps of all nodes in `sources`.
+    pub fn union_bwd(&self, sources: &Bitset) -> Bitset {
+        let mut acc = Bitset::new();
+        for v in sources.iter() {
+            acc.or_assign(&self.bwd[v as usize]);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The data graph G of Fig. 2(b): labels a, b, c with subscripts.
+    /// Edges chosen to satisfy the paper's example answer:
+    /// os(A) = {a1, a2}, os((A,B)) = {(a1,b0), (a2,b2)}.
+    pub fn fig2_graph() -> DataGraph {
+        // nodes: a0 a1 a2 b0 b1 b2 b3 c0 c1 c2
+        let mut b = GraphBuilder::new();
+        let a = 0;
+        let bb = 1;
+        let c = 2;
+        let a0 = b.add_node_with_name(a, "a");
+        let a1 = b.add_node_with_name(a, "a");
+        let a2 = b.add_node_with_name(a, "a");
+        let b0 = b.add_node_with_name(bb, "b");
+        let b1 = b.add_node_with_name(bb, "b");
+        let b2 = b.add_node_with_name(bb, "b");
+        let b3 = b.add_node_with_name(bb, "b");
+        let c0 = b.add_node_with_name(c, "c");
+        let c1 = b.add_node_with_name(c, "c");
+        let c2 = b.add_node_with_name(c, "c");
+        // a1 -> b0, a1 -> c0 direct; b0 reaches c0 and c1
+        b.add_edge(a1, b0);
+        b.add_edge(a1, c0);
+        b.add_edge(b0, c1);
+        b.add_edge(c1, c0);
+        // a2 -> b2, a2 -> c2 direct; b2 reaches c2 (and c0, c1 via c2? no)
+        b.add_edge(a2, b2);
+        b.add_edge(a2, c2);
+        b.add_edge(b2, c2);
+        b.add_edge(b2, c1);
+        // extra structure so the match sets differ from occurrence sets
+        b.add_edge(a0, b1);
+        b.add_edge(b1, c0);
+        b.add_edge(b3, a0);
+        b.build()
+    }
+
+    #[test]
+    fn csr_basics() {
+        let g = fig2_graph();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 11);
+        assert_eq!(g.num_labels(), 3);
+        assert_eq!(g.label(0), 0);
+        assert_eq!(g.label(3), 1);
+        assert!(g.has_edge(1, 3)); // a1 -> b0
+        assert!(!g.has_edge(3, 1));
+        assert_eq!(g.nodes_with_label(0), &[0, 1, 2]);
+        assert_eq!(g.nodes_with_label(1), &[3, 4, 5, 6]);
+        assert_eq!(g.out_neighbors(1), &[3, 7]); // a1 -> {b0, c0}
+        assert_eq!(g.in_neighbors(7), &[1, 4, 8]); // c0 <- {a1, b1, c1}
+    }
+
+    #[test]
+    fn bidirectional_consistency() {
+        let g = fig2_graph();
+        for (u, v) in g.edges() {
+            assert!(g.in_neighbors(v).contains(&u));
+        }
+        let fwd_total: usize = (0..g.num_nodes() as NodeId).map(|v| g.out_degree(v)).sum();
+        let bwd_total: usize = (0..g.num_nodes() as NodeId).map(|v| g.in_degree(v)).sum();
+        assert_eq!(fwd_total, bwd_total);
+        assert_eq!(fwd_total, g.num_edges());
+    }
+
+    #[test]
+    fn in_neighbors_sorted() {
+        let g = fig2_graph();
+        for v in 0..g.num_nodes() as NodeId {
+            let ins = g.in_neighbors(v);
+            assert!(ins.windows(2).all(|w| w[0] < w[1]), "node {v}: {ins:?}");
+        }
+    }
+
+    #[test]
+    fn label_bitsets_match_lists() {
+        let g = fig2_graph();
+        for l in 0..g.num_labels() as Label {
+            assert_eq!(g.label_bitset(l).to_vec(), g.nodes_with_label(l));
+        }
+    }
+
+    #[test]
+    fn adjacency_bitmaps_and_unions() {
+        let g = fig2_graph();
+        let adj = g.build_adjacency_bitmaps();
+        assert_eq!(adj.fwd[1].to_vec(), vec![3, 7]);
+        let sources = Bitset::from_slice(&[1, 2]); // a1, a2
+        // union of children of a1 and a2 = {b0, c0, b2, c2}
+        assert_eq!(adj.union_fwd(&sources).to_vec(), vec![3, 5, 7, 9]);
+        let sinks = Bitset::from_slice(&[7]); // c0
+        assert_eq!(adj.union_bwd(&sinks).to_vec(), vec![1, 4, 8]);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let g = fig2_graph();
+        let keep = Bitset::from_slice(&[1, 3, 7]); // a1, b0, c0
+        let s = g.induced_subgraph(&keep);
+        assert_eq!(s.num_nodes(), 3);
+        // a1->b0 and a1->c0 survive, b0->c1 does not (c1 dropped)
+        assert_eq!(s.num_edges(), 2);
+        assert_eq!(s.label(0), 0);
+        assert_eq!(s.label(1), 1);
+        assert_eq!(s.label(2), 2);
+        assert!(s.has_edge(0, 1));
+        assert!(s.has_edge(0, 2));
+    }
+
+    #[test]
+    fn relabel_collapses_labels() {
+        let g = fig2_graph();
+        let r = g.relabel(|_, _| 0);
+        assert_eq!(r.num_labels(), 1);
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r.nodes_with_label(0).len(), g.num_nodes());
+    }
+
+    #[test]
+    fn avg_degree() {
+        let g = fig2_graph();
+        assert!((g.avg_degree() - 1.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,82 @@
+//! Summary statistics for data graphs (the columns of Table 2).
+
+use crate::{DataGraph, NodeId};
+
+/// The key statistics the paper reports per dataset (Table 2), plus degree
+/// extremes that the workload generators use for calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub nodes: usize,
+    pub edges: usize,
+    pub labels: usize,
+    pub avg_degree: f64,
+    pub max_out_degree: usize,
+    pub max_in_degree: usize,
+    /// Cardinality of the largest inverted list (`|I_max|` in §4.3).
+    pub max_inverted_list: usize,
+}
+
+impl GraphStats {
+    pub fn of(g: &DataGraph) -> Self {
+        let mut max_out = 0;
+        let mut max_in = 0;
+        for v in 0..g.num_nodes() as NodeId {
+            max_out = max_out.max(g.out_degree(v));
+            max_in = max_in.max(g.in_degree(v));
+        }
+        let max_inv = (0..g.num_labels())
+            .map(|l| g.nodes_with_label(l as u32).len())
+            .max()
+            .unwrap_or(0);
+        GraphStats {
+            nodes: g.num_nodes(),
+            edges: g.num_edges(),
+            labels: g.num_labels(),
+            avg_degree: g.avg_degree(),
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            max_inverted_list: max_inv,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} |L|={} d_avg={:.2} d_out_max={} d_in_max={} |I_max|={}",
+            self.nodes,
+            self.edges,
+            self.labels,
+            self.avg_degree,
+            self.max_out_degree,
+            self.max_in_degree,
+            self.max_inverted_list
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_small() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0);
+        let y = b.add_node(0);
+        let z = b.add_node(1);
+        b.add_edge(x, y);
+        b.add_edge(x, z);
+        b.add_edge(y, z);
+        let g = b.build();
+        let s = g.stats();
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.labels, 2);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.max_inverted_list, 2);
+        assert!(format!("{s}").contains("|V|=3"));
+    }
+}

@@ -1,0 +1,484 @@
+//! MJoin — multiway-intersection answer enumeration (§5 of the paper).
+//!
+//! MJoin joins *one query node at a time* instead of one query edge at a
+//! time: at search step `i` it intersects the candidate set `cos(q_i)` with
+//! the RIG adjacency lists of every already-bound neighbor of `q_i`
+//! (Alg. 5, lines 3–7), then iterates the surviving nodes. Because only
+//! distinct join-key values are ever enumerated, no intermediate tuples are
+//! materialized, giving the worst-case-optimal runtime of Thm. 5.2 and the
+//! `O(n · MaxCos)` space bound of Thm. 5.1.
+//!
+//! The search order is pluggable (§5.2): [`SearchOrder::Jo`] (greedy on RIG
+//! candidate cardinalities), [`SearchOrder::Ri`] (topology-only), and
+//! [`SearchOrder::Bj`] (dynamic-programming optimal left-deep order, which
+//! does not scale past ~16 nodes — Table 4 quantifies all three).
+//!
+//! An *injective* mode turns homomorphism enumeration into isomorphism-style
+//! enumeration (the ISO comparison of Fig. 9).
+
+mod order;
+mod parallel;
+
+pub use order::{compute_order, edge_cardinality, is_connected_order, SearchOrder};
+pub use parallel::par_count;
+
+use std::time::{Duration, Instant};
+
+use rig_bitset::Bitset;
+use rig_graph::NodeId;
+use rig_index::Rig;
+use rig_query::{PatternQuery, QNode};
+
+/// Options for [`enumerate`].
+#[derive(Debug, Clone, Copy)]
+pub struct EnumOptions {
+    pub order: SearchOrder,
+    /// Stop after this many occurrences (the paper caps at 10^7).
+    pub limit: Option<u64>,
+    /// Wall-clock budget (the paper stops queries at 10 minutes).
+    pub timeout: Option<Duration>,
+    /// Enforce injectivity (isomorphism-style matching).
+    pub injective: bool,
+}
+
+impl Default for EnumOptions {
+    fn default() -> Self {
+        EnumOptions { order: SearchOrder::Jo, limit: None, timeout: None, injective: false }
+    }
+}
+
+/// Outcome of an enumeration run.
+#[derive(Debug, Clone)]
+pub struct EnumResult {
+    /// Occurrences produced (capped by `limit`).
+    pub count: u64,
+    /// True if the wall-clock budget expired before completion.
+    pub timed_out: bool,
+    /// True if the occurrence limit stopped the run.
+    pub limit_hit: bool,
+    /// The search order used.
+    pub order: Vec<QNode>,
+    /// Recursion steps taken (search-tree nodes visited).
+    pub steps: u64,
+}
+
+/// Enumerates the answer of `query` over the RIG, invoking `visit` with
+/// each occurrence tuple **indexed by query node id** (not search
+/// position). Returning `false` from `visit` stops the enumeration.
+pub fn enumerate(
+    query: &PatternQuery,
+    rig: &Rig,
+    opts: &EnumOptions,
+    visit: impl FnMut(&[NodeId]) -> bool,
+) -> EnumResult {
+    enumerate_inner(query, rig, opts, None, visit)
+}
+
+/// Like [`enumerate`], but only explores bindings of the *first*
+/// search-order node that lie in `root_filter` — the partitioning hook the
+/// parallel driver uses.
+pub fn enumerate_restricted(
+    query: &PatternQuery,
+    rig: &Rig,
+    opts: &EnumOptions,
+    root_filter: &Bitset,
+    visit: impl FnMut(&[NodeId]) -> bool,
+) -> EnumResult {
+    enumerate_inner(query, rig, opts, Some(root_filter), visit)
+}
+
+fn enumerate_inner(
+    query: &PatternQuery,
+    rig: &Rig,
+    opts: &EnumOptions,
+    root_filter: Option<&Bitset>,
+    mut visit: impl FnMut(&[NodeId]) -> bool,
+) -> EnumResult {
+    let order = compute_order(query, rig, opts.order);
+    let mut result = EnumResult {
+        count: 0,
+        timed_out: false,
+        limit_hit: false,
+        order: order.clone(),
+        steps: 0,
+    };
+    if rig.is_empty() || query.num_nodes() == 0 {
+        return result;
+    }
+
+    // Pre-resolve, for each search step i, the edges connecting order[i]
+    // to earlier-bound query nodes: (edge id, bound search position,
+    // bound_is_source).
+    let n = order.len();
+    let mut pos_of = vec![usize::MAX; n];
+    for (i, &q) in order.iter().enumerate() {
+        pos_of[q as usize] = i;
+    }
+    let mut constraints: Vec<Vec<(u32, usize, bool)>> = vec![Vec::new(); n];
+    for (eid, e) in query.edges().iter().enumerate() {
+        let pf = pos_of[e.from as usize];
+        let pt = pos_of[e.to as usize];
+        if pf < pt {
+            // `from` bound first: at step pt, follow successors of t[pf]
+            constraints[pt].push((eid as u32, pf, true));
+        } else {
+            // `to` bound first: at step pf, follow predecessors of t[pt]
+            constraints[pf].push((eid as u32, pt, false));
+        }
+    }
+
+    let mut tuple_by_pos = vec![0 as NodeId; n];
+    let started = Instant::now();
+    let mut engine = Engine {
+        rig,
+        opts,
+        order: &order,
+        constraints: &constraints,
+        root_filter,
+        started,
+        check_counter: 0,
+        result: &mut result,
+    };
+    let mut out_tuple = vec![0 as NodeId; n];
+    engine.recurse(0, &mut tuple_by_pos, &mut |tuple_by_pos, eng| {
+        for (i, &q) in eng.order.iter().enumerate() {
+            out_tuple[q as usize] = tuple_by_pos[i];
+        }
+        visit(&out_tuple)
+    });
+    result
+}
+
+/// Counts occurrences (no per-tuple callback overhead beyond counting).
+pub fn count(query: &PatternQuery, rig: &Rig, opts: &EnumOptions) -> EnumResult {
+    enumerate(query, rig, opts, |_| true)
+}
+
+/// Collects up to `max` occurrence tuples (indexed by query node).
+pub fn collect(
+    query: &PatternQuery,
+    rig: &Rig,
+    opts: &EnumOptions,
+    max: usize,
+) -> (Vec<Vec<NodeId>>, EnumResult) {
+    let mut out = Vec::new();
+    let r = enumerate(query, rig, opts, |t| {
+        if out.len() < max {
+            out.push(t.to_vec());
+        }
+        out.len() < max
+    });
+    (out, r)
+}
+
+struct Engine<'a> {
+    rig: &'a Rig,
+    opts: &'a EnumOptions,
+    order: &'a [QNode],
+    constraints: &'a [Vec<(u32, usize, bool)>],
+    root_filter: Option<&'a Bitset>,
+    started: Instant,
+    check_counter: u32,
+    result: &'a mut EnumResult,
+}
+
+impl Engine<'_> {
+    fn stop(&mut self) -> bool {
+        if self.result.timed_out || self.result.limit_hit {
+            return true;
+        }
+        if let Some(limit) = self.opts.limit {
+            if self.result.count >= limit {
+                self.result.limit_hit = true;
+                return true;
+            }
+        }
+        self.check_counter += 1;
+        if self.check_counter >= 1024 {
+            self.check_counter = 0;
+            if let Some(budget) = self.opts.timeout {
+                if self.started.elapsed() > budget {
+                    self.result.timed_out = true;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns false when enumeration must stop entirely.
+    fn recurse(
+        &mut self,
+        i: usize,
+        tuple: &mut [NodeId],
+        emit: &mut impl FnMut(&[NodeId], &Engine<'_>) -> bool,
+    ) -> bool {
+        if i == self.order.len() {
+            self.result.count += 1;
+            let keep = emit(tuple, self);
+            if let Some(limit) = self.opts.limit {
+                if self.result.count >= limit {
+                    self.result.limit_hit = true;
+                    return false;
+                }
+            }
+            return keep;
+        }
+        if self.stop() {
+            return false;
+        }
+        self.result.steps += 1;
+        let q = self.order[i];
+
+        // Multi-way intersection of cos(q) with the adjacency lists of all
+        // bound neighbors (Alg. 5 lines 4-7).
+        let mut operands: Vec<&Bitset> = Vec::with_capacity(self.constraints[i].len());
+        for &(eid, bound_pos, bound_is_source) in &self.constraints[i] {
+            let bound_node = tuple[bound_pos];
+            let adj = if bound_is_source {
+                self.rig.successors(eid, bound_node)
+            } else {
+                self.rig.predecessors(eid, bound_node)
+            };
+            match adj {
+                Some(s) => operands.push(s),
+                None => return true, // empty adjacency: dead branch
+            }
+        }
+        let base = &self.rig.cos[q as usize];
+        if i == 0 {
+            if let Some(filter) = self.root_filter {
+                operands.push(filter);
+            }
+        }
+        let cos_i = if operands.is_empty() {
+            base.clone()
+        } else {
+            let mut all: Vec<&Bitset> = Vec::with_capacity(operands.len() + 1);
+            all.push(base);
+            all.extend(operands);
+            Bitset::multi_and(&all)
+        };
+        for v in cos_i.iter() {
+            if self.opts.injective && tuple[..i].contains(&v) {
+                continue;
+            }
+            tuple[i] = v;
+            if !self.recurse(i + 1, tuple, emit) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rig_graph::{DataGraph, GraphBuilder};
+    use rig_index::{build_rig, RigOptions};
+    use rig_query::{fig2_query, EdgeKind, PatternQuery};
+    use rig_reach::BflIndex;
+    use rig_sim::SimContext;
+
+    fn fig2_graph() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..3 {
+            b.add_node(0);
+        }
+        for _ in 0..4 {
+            b.add_node(1);
+        }
+        for _ in 0..3 {
+            b.add_node(2);
+        }
+        b.add_edge(1, 3);
+        b.add_edge(1, 7);
+        b.add_edge(3, 8);
+        b.add_edge(8, 7);
+        b.add_edge(2, 5);
+        b.add_edge(2, 9);
+        b.add_edge(5, 9);
+        b.add_edge(5, 8);
+        b.add_edge(0, 4);
+        b.add_edge(4, 7);
+        b.add_edge(6, 0);
+        b.build()
+    }
+
+    fn rig_for(g: &DataGraph, q: &PatternQuery) -> Rig {
+        let bfl = BflIndex::new(g);
+        let ctx = SimContext::new(g, q, &bfl);
+        build_rig(&ctx, &bfl, &RigOptions::exact())
+    }
+
+    /// The running example answer: {(a1,b0,c0), (a2,b2,c2)} — and notably
+    /// NOT (a2,b2,c0), whose RIG edge survives double simulation.
+    #[test]
+    fn fig2_answer_exact() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        let rig = rig_for(&g, &q);
+        for order in [SearchOrder::Jo, SearchOrder::Ri, SearchOrder::Bj] {
+            let (tuples, r) = collect(
+                &q,
+                &rig,
+                &EnumOptions { order, ..Default::default() },
+                100,
+            );
+            let mut sorted = tuples.clone();
+            sorted.sort();
+            assert_eq!(sorted, vec![vec![1, 3, 7], vec![2, 5, 9]], "{order:?}");
+            assert_eq!(r.count, 2);
+            assert!(!r.timed_out && !r.limit_hit);
+        }
+    }
+
+    #[test]
+    fn limit_and_injective() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        let rig = rig_for(&g, &q);
+        let r = count(&q, &rig, &EnumOptions { limit: Some(1), ..Default::default() });
+        assert_eq!(r.count, 1);
+        assert!(r.limit_hit);
+        // all answers here are injective anyway
+        let ri = count(&q, &rig, &EnumOptions { injective: true, ..Default::default() });
+        assert_eq!(ri.count, 2);
+    }
+
+    /// Homomorphism vs isomorphism: a pattern with two same-label nodes can
+    /// map both to one data node; injective mode must exclude that.
+    #[test]
+    fn injective_excludes_non_injective_matches() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0);
+        let y = b.add_node(1);
+        b.add_edge(x, y);
+        let g = b.build();
+        // pattern: two A-labeled nodes both with a direct edge to one B node
+        let mut q = PatternQuery::new(vec![0, 0, 1]);
+        q.add_edge(0, 2, EdgeKind::Direct);
+        q.add_edge(1, 2, EdgeKind::Direct);
+        let rig = rig_for(&g, &q);
+        let homo = count(&q, &rig, &EnumOptions::default());
+        assert_eq!(homo.count, 1); // both pattern A's -> x
+        let iso = count(&q, &rig, &EnumOptions { injective: true, ..Default::default() });
+        assert_eq!(iso.count, 0);
+    }
+
+    /// Cross-check MJoin against brute force on random instances.
+    #[test]
+    fn randomized_equivalence_with_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use rig_reach::Reachability;
+        for seed in 0..15u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut b = GraphBuilder::new();
+            let n = 12;
+            for _ in 0..n {
+                b.add_node(rng.gen_range(0..2));
+            }
+            for _ in 0..26 {
+                let u = rng.gen_range(0..n) as NodeId;
+                let v = rng.gen_range(0..n) as NodeId;
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            let g = b.build();
+            let nq = rng.gen_range(2..4usize);
+            let mut q = PatternQuery::new((0..nq).map(|_| rng.gen_range(0..2)).collect());
+            for i in 1..nq as u32 {
+                let kind =
+                    if rng.gen_bool(0.5) { EdgeKind::Direct } else { EdgeKind::Reachability };
+                q.add_edge(i - 1, i, kind);
+            }
+            if nq == 3 && rng.gen_bool(0.7) {
+                q.add_edge(0, 2, EdgeKind::Reachability);
+            }
+            // brute force
+            let bfl = BflIndex::new(&g);
+            let mut expect = 0u64;
+            let gv = g.num_nodes() as NodeId;
+            let mut assign = vec![0 as NodeId; nq];
+            #[allow(clippy::too_many_arguments)]
+            fn rec(
+                d: usize,
+                nq: usize,
+                gv: NodeId,
+                g: &DataGraph,
+                q: &PatternQuery,
+                bfl: &BflIndex,
+                assign: &mut Vec<NodeId>,
+                count: &mut u64,
+            ) {
+                if d == nq {
+                    *count += 1;
+                    return;
+                }
+                for v in 0..gv {
+                    if g.label(v) != q.label(d as u32) {
+                        continue;
+                    }
+                    assign[d] = v;
+                    let ok = q.edges().iter().all(|e| {
+                        let (f, t) = (e.from as usize, e.to as usize);
+                        if f > d || t > d {
+                            return true;
+                        }
+                        match e.kind {
+                            EdgeKind::Direct => g.has_edge(assign[f], assign[t]),
+                            EdgeKind::Reachability => bfl.reaches(assign[f], assign[t]),
+                        }
+                    });
+                    if ok {
+                        rec(d + 1, nq, gv, g, q, bfl, assign, count);
+                    }
+                }
+            }
+            rec(0, nq, gv, &g, &q, &bfl, &mut assign, &mut expect);
+            let rig = rig_for(&g, &q);
+            for order in [SearchOrder::Jo, SearchOrder::Ri, SearchOrder::Bj] {
+                let r = count_with(&q, &rig, order);
+                assert_eq!(r.count, expect, "seed={seed} {order:?}");
+            }
+        }
+    }
+
+    fn count_with(q: &PatternQuery, rig: &Rig, order: SearchOrder) -> EnumResult {
+        count(q, rig, &EnumOptions { order, ..Default::default() })
+    }
+
+    /// Tuples come out indexed by query node regardless of search order.
+    #[test]
+    fn tuple_indexing_is_by_query_node() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        let rig = rig_for(&g, &q);
+        for order in [SearchOrder::Jo, SearchOrder::Ri] {
+            let (tuples, _) =
+                collect(&q, &rig, &EnumOptions { order, ..Default::default() }, 10);
+            for t in &tuples {
+                assert_eq!(g.label(t[0]), 0, "{order:?}"); // A slot holds an a-node
+                assert_eq!(g.label(t[1]), 1);
+                assert_eq!(g.label(t[2]), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rig_returns_zero() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0);
+        b.add_node(1);
+        let g = b.build(); // no edges
+        let mut q = PatternQuery::new(vec![0, 1]);
+        q.add_edge(0, 1, EdgeKind::Direct);
+        let rig = rig_for(&g, &q);
+        let r = count(&q, &rig, &EnumOptions::default());
+        assert_eq!(r.count, 0);
+        assert_eq!(r.steps, 0);
+    }
+}

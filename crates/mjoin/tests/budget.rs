@@ -1,0 +1,80 @@
+//! Budget enforcement: timeouts fire on explosive enumerations; limits are
+//! exact; steps accounting is sane.
+
+use std::time::Duration;
+
+use rig_graph::{GraphBuilder, NodeId};
+use rig_index::{build_rig, RigOptions};
+use rig_mjoin::{count, EnumOptions};
+use rig_query::{EdgeKind, PatternQuery};
+use rig_reach::BflIndex;
+use rig_sim::SimContext;
+
+/// One-label dense random graph: every k-chain reachability query has an
+/// astronomically large answer.
+fn explosive_setup() -> (rig_graph::DataGraph, PatternQuery) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    let n = 300usize;
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_node(0);
+    }
+    for _ in 0..3000 {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    let g = b.build();
+    let mut q = PatternQuery::new(vec![0; 5]);
+    for i in 1..5u32 {
+        q.add_edge(i - 1, i, EdgeKind::Reachability);
+    }
+    (g, q)
+}
+
+#[test]
+fn timeout_interrupts_explosive_enumeration() {
+    let (g, q) = explosive_setup();
+    let bfl = BflIndex::new(&g);
+    let ctx = SimContext::new(&g, &q, &bfl);
+    let rig = build_rig(&ctx, &bfl, &RigOptions::default());
+    let opts = EnumOptions {
+        timeout: Some(Duration::from_millis(50)),
+        ..Default::default()
+    };
+    let start = std::time::Instant::now();
+    let r = count(&q, &rig, &opts);
+    assert!(r.timed_out, "must hit the wall-clock budget");
+    // generous bound: the 1024-step check plus enumeration overhead
+    assert!(start.elapsed() < Duration::from_secs(10));
+    assert!(r.count > 0, "partial results are still produced");
+}
+
+#[test]
+fn limit_is_exact_on_large_answers() {
+    let (g, q) = explosive_setup();
+    let bfl = BflIndex::new(&g);
+    let ctx = SimContext::new(&g, &q, &bfl);
+    let rig = build_rig(&ctx, &bfl, &RigOptions::default());
+    for limit in [1u64, 17, 1000] {
+        let r = count(&q, &rig, &EnumOptions { limit: Some(limit), ..Default::default() });
+        assert_eq!(r.count, limit);
+        assert!(r.limit_hit);
+        assert!(!r.timed_out);
+    }
+}
+
+#[test]
+fn steps_bounded_by_answer_plus_backtracks() {
+    let (g, q) = explosive_setup();
+    let bfl = BflIndex::new(&g);
+    let ctx = SimContext::new(&g, &q, &bfl);
+    let rig = build_rig(&ctx, &bfl, &RigOptions::default());
+    let r = count(&q, &rig, &EnumOptions { limit: Some(5_000), ..Default::default() });
+    // every answer takes at most |V(Q)| recursion steps on this workload
+    assert!(r.steps <= r.count * q.num_nodes() as u64 + q.num_nodes() as u64 * 5_000);
+}

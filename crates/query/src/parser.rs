@@ -1,0 +1,132 @@
+//! Text format for pattern queries.
+//!
+//! ```text
+//! # comment
+//! n <id> <label>     # node
+//! d <from> <to>      # direct edge      (single line in the figures)
+//! r <from> <to>      # reachability edge (double line in the figures)
+//! ```
+
+use crate::{EdgeKind, PatternQuery, QNode};
+use rig_graph::Label;
+
+/// Error from [`parse_query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> QueryParseError {
+    QueryParseError { line, message: message.into() }
+}
+
+/// Parses the text format in the module docs.
+pub fn parse_query(input: &str) -> Result<PatternQuery, QueryParseError> {
+    let mut nodes: Vec<(QNode, Label)> = Vec::new();
+    let mut edges: Vec<(QNode, QNode, EdgeKind)> = Vec::new();
+    for (ln, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap();
+        let mut next_u32 = |what: &str| -> Result<u32, QueryParseError> {
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err(ln + 1, format!("bad {what}")))
+        };
+        match tag {
+            "n" => {
+                let id = next_u32("node id")?;
+                let label = next_u32("node label")?;
+                nodes.push((id, label));
+            }
+            "d" => {
+                let f = next_u32("edge source")?;
+                let t = next_u32("edge target")?;
+                edges.push((f, t, EdgeKind::Direct));
+            }
+            "r" => {
+                let f = next_u32("edge source")?;
+                let t = next_u32("edge target")?;
+                edges.push((f, t, EdgeKind::Reachability));
+            }
+            other => return Err(err(ln + 1, format!("unknown record '{other}'"))),
+        }
+    }
+    nodes.sort_unstable_by_key(|&(id, _)| id);
+    for (expect, &(id, _)) in nodes.iter().enumerate() {
+        if id as usize != expect {
+            return Err(err(0, format!("node ids not dense: missing {expect}")));
+        }
+    }
+    let n = nodes.len() as u32;
+    let mut q = PatternQuery::new(nodes.into_iter().map(|(_, l)| l).collect());
+    for (f, t, k) in edges {
+        if f >= n || t >= n {
+            return Err(err(0, format!("edge ({f},{t}) references unknown node")));
+        }
+        if f == t {
+            return Err(err(0, format!("self-loop on node {f} not supported")));
+        }
+        q.add_edge(f, t, k);
+    }
+    Ok(q)
+}
+
+/// Serializes a query to the text format (stable output).
+pub fn query_to_text(q: &PatternQuery) -> String {
+    let mut out = String::new();
+    for (i, &l) in q.labels().iter().enumerate() {
+        out.push_str(&format!("n {i} {l}\n"));
+    }
+    for e in q.edges() {
+        let tag = match e.kind {
+            EdgeKind::Direct => 'd',
+            EdgeKind::Reachability => 'r',
+        };
+        out.push_str(&format!("{tag} {} {}\n", e.from, e.to));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig2_query;
+
+    #[test]
+    fn roundtrip_fig2() {
+        let q = fig2_query();
+        let text = query_to_text(&q);
+        let back = parse_query(&text).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn parse_with_comments() {
+        let q = parse_query("# q\nn 0 1\nn 1 2\nr 0 1\n").unwrap();
+        assert_eq!(q.num_nodes(), 2);
+        assert_eq!(q.edge(0).kind, EdgeKind::Reachability);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("n 0\n").is_err());
+        assert!(parse_query("x 0 0\n").is_err());
+        assert!(parse_query("n 0 0\nn 2 0\n").is_err());
+        assert!(parse_query("n 0 0\nd 0 5\n").is_err());
+        assert!(parse_query("n 0 0\nd 0 0\n").is_err());
+    }
+}

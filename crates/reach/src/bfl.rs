@@ -1,0 +1,256 @@
+//! BFL — Bloom Filter Labeling (Su, Zhu, Wei, Yu: "Reachability Querying:
+//! Can It Be Even Faster?", TKDE 2017), the reachability scheme the paper
+//! uses for all three matchers (§7.1).
+//!
+//! Per condensation component we store:
+//!
+//! * an interval label (from [`crate::interval`]) — O(1) negative cut and
+//!   O(1) positive hit for DFS-tree descendants;
+//! * a k-bit Bloom filter `Lout` summarizing the hashes of all descendants
+//!   and `Lin` summarizing all ancestors — `h(v) ∉ Lout(u)` or
+//!   `h(u) ∉ Lin(v)` are O(1) negative cuts;
+//! * a guided DFS fallback that prunes with both label kinds.
+//!
+//! Construction is two linear passes over the condensation DAG (reverse
+//! topological for `Lout`, topological for `Lin`), so index build time stays
+//! tiny even on large graphs — the property Fig. 18(a) contrasts against
+//! transitive-closure and catalog construction.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::interval::IntervalLabels;
+use crate::scc::Condensation;
+use crate::Reachability;
+use rig_graph::{DataGraph, NodeId};
+
+/// Number of 64-bit words per Bloom filter (256 bits).
+const FILTER_WORDS: usize = 4;
+const FILTER_BITS: u64 = (FILTER_WORDS * 64) as u64;
+
+type Filter = [u64; FILTER_WORDS];
+
+#[inline]
+fn hash_component(c: u32) -> (usize, u64) {
+    // Fibonacci hashing into the filter bit space.
+    let h = (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - 8);
+    let bit = h % FILTER_BITS;
+    ((bit >> 6) as usize, 1u64 << (bit & 63))
+}
+
+#[inline]
+fn filter_contains(f: &Filter, c: u32) -> bool {
+    let (w, m) = hash_component(c);
+    f[w] & m != 0
+}
+
+#[inline]
+fn filter_or(dst: &mut Filter, src: &Filter) {
+    for i in 0..FILTER_WORDS {
+        dst[i] |= src[i];
+    }
+}
+
+struct VisitBuf {
+    stamp: Vec<u32>,
+    epoch: u32,
+    stack: Vec<u32>,
+}
+
+/// The BFL reachability index.
+pub struct BflIndex {
+    cond: Condensation,
+    intervals: IntervalLabels,
+    lout: Vec<Filter>,
+    lin: Vec<Filter>,
+    visit: RefCell<VisitBuf>,
+    build_secs: f64,
+}
+
+impl BflIndex {
+    /// Builds the index for `g`.
+    pub fn new(g: &DataGraph) -> Self {
+        let start = Instant::now();
+        let cond = Condensation::new(g);
+        let intervals = IntervalLabels::new(&cond);
+        let n = cond.count;
+        let mut lout: Vec<Filter> = vec![[0; FILTER_WORDS]; n];
+        let mut lin: Vec<Filter> = vec![[0; FILTER_WORDS]; n];
+        // Lout in reverse topological order: self hash ∪ children's Lout.
+        for &c in cond.topo.iter().rev() {
+            let (w, m) = hash_component(c);
+            let mut f = [0u64; FILTER_WORDS];
+            f[w] = m;
+            for &d in &cond.dag_fwd[c as usize] {
+                filter_or(&mut f, &lout[d as usize]);
+            }
+            lout[c as usize] = f;
+        }
+        // Lin in topological order: self hash ∪ parents' Lin.
+        for &c in cond.topo.iter() {
+            let (w, m) = hash_component(c);
+            let mut f = [0u64; FILTER_WORDS];
+            f[w] = m;
+            for &p in &cond.dag_bwd[c as usize] {
+                filter_or(&mut f, &lin[p as usize]);
+            }
+            lin[c as usize] = f;
+        }
+        let build_secs = start.elapsed().as_secs_f64();
+        BflIndex {
+            cond,
+            intervals,
+            lout,
+            lin,
+            visit: RefCell::new(VisitBuf { stamp: vec![0; n], epoch: 0, stack: Vec::new() }),
+            build_secs,
+        }
+    }
+
+    /// The underlying condensation (shared with RIG construction).
+    pub fn condensation(&self) -> &Condensation {
+        &self.cond
+    }
+
+    /// The interval labels (used by early expansion termination, §4.5).
+    pub fn intervals(&self) -> &IntervalLabels {
+        &self.intervals
+    }
+
+    /// Component-level reachability (`cu` can reach `cv` through DAG edges,
+    /// `cu != cv`).
+    fn comp_reaches(&self, cu: u32, cv: u32) -> bool {
+        if cu == cv {
+            return true;
+        }
+        if self.intervals.tree_descendant(cu, cv) {
+            return true;
+        }
+        if self.intervals.cannot_reach(cu, cv) {
+            return false;
+        }
+        if !filter_contains(&self.lout[cu as usize], cv)
+            || !filter_contains(&self.lin[cv as usize], cu)
+        {
+            return false;
+        }
+        // Guided DFS with interval/Bloom pruning.
+        let mut buf = self.visit.borrow_mut();
+        buf.epoch = buf.epoch.wrapping_add(1);
+        if buf.epoch == 0 {
+            buf.stamp.fill(0);
+            buf.epoch = 1;
+        }
+        let epoch = buf.epoch;
+        buf.stack.clear();
+        buf.stack.push(cu);
+        buf.stamp[cu as usize] = epoch;
+        while let Some(c) = buf.stack.pop() {
+            for &d in &self.cond.dag_fwd[c as usize] {
+                if d == cv || self.intervals.tree_descendant(d, cv) {
+                    return true;
+                }
+                if buf.stamp[d as usize] == epoch {
+                    continue;
+                }
+                if self.intervals.cannot_reach(d, cv)
+                    || !filter_contains(&self.lout[d as usize], cv)
+                {
+                    continue;
+                }
+                buf.stamp[d as usize] = epoch;
+                buf.stack.push(d);
+            }
+        }
+        false
+    }
+}
+
+impl Reachability for BflIndex {
+    fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        let cu = self.cond.component(u);
+        let cv = self.cond.component(v);
+        if cu == cv {
+            // Same SCC: a non-empty path exists iff the SCC is cyclic.
+            return self.cond.nontrivial[cu as usize];
+        }
+        self.comp_reaches(cu, cv)
+    }
+
+    fn build_seconds(&self) -> f64 {
+        self.build_secs
+    }
+
+    fn name(&self) -> &'static str {
+        "BFL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{naive_reaches, random_graph};
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        for seed in 0..8u64 {
+            let g = random_graph(80, 160, seed);
+            let idx = BflIndex::new(&g);
+            for u in 0..80u32 {
+                for v in 0..80u32 {
+                    assert_eq!(
+                        idx.reaches(u, v),
+                        naive_reaches(&g, u, v),
+                        "seed={seed} u={u} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_reachability_requires_cycle() {
+        let g = random_graph(5, 0, 0);
+        let idx = BflIndex::new(&g);
+        for v in 0..5u32 {
+            assert!(!idx.reaches(v, v));
+        }
+    }
+
+    #[test]
+    fn cycle_members_reach_themselves() {
+        use rig_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        for _ in 0..3 {
+            b.add_node(0);
+        }
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let idx = BflIndex::new(&g);
+        assert!(idx.reaches(0, 0));
+        assert!(idx.reaches(1, 1));
+        assert!(!idx.reaches(2, 2));
+        assert!(idx.reaches(0, 2));
+        assert!(!idx.reaches(2, 0));
+    }
+
+    #[test]
+    fn build_time_recorded() {
+        let g = random_graph(100, 300, 7);
+        let idx = BflIndex::new(&g);
+        assert!(idx.build_seconds() >= 0.0);
+        assert_eq!(idx.name(), "BFL");
+    }
+
+    #[test]
+    fn dense_epoch_wraparound_safe() {
+        // Exercise many queries to cycle the epoch counter path.
+        let g = random_graph(40, 120, 3);
+        let idx = BflIndex::new(&g);
+        for _ in 0..1000 {
+            idx.reaches(0, 39);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Tarjan SCC condensation (iterative, no recursion).
+//!
+//! All reachability indexes work on the condensation DAG: two nodes in the
+//! same SCC reach each other (with a non-empty path iff the SCC has an edge,
+//! i.e. size > 1 or a self-loop).
+
+use rig_graph::{DataGraph, NodeId};
+
+/// The SCC condensation of a data graph.
+pub struct Condensation {
+    /// `comp[v]` = component id of node `v`; component ids are dense.
+    pub comp: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Condensation DAG forward adjacency (sorted, deduplicated).
+    pub dag_fwd: Vec<Vec<u32>>,
+    /// Condensation DAG backward adjacency (sorted, deduplicated).
+    pub dag_bwd: Vec<Vec<u32>>,
+    /// Component ids in topological order (sources first).
+    pub topo: Vec<u32>,
+    /// `nontrivial[c]` = true iff component `c` contains a cycle
+    /// (size > 1, or a single node with a self-loop).
+    pub nontrivial: Vec<bool>,
+}
+
+impl Condensation {
+    /// Computes the condensation of `g`.
+    pub fn new(g: &DataGraph) -> Self {
+        let n = g.num_nodes();
+        let mut comp = vec![u32::MAX; n];
+        let mut index = vec![u32::MAX; n]; // discovery index
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut next_index = 0u32;
+        let mut comp_count = 0u32;
+
+        // Explicit DFS state: (node, next-child-position).
+        let mut call: Vec<(NodeId, usize)> = Vec::new();
+        for root in 0..n as NodeId {
+            if index[root as usize] != u32::MAX {
+                continue;
+            }
+            call.push((root, 0));
+            index[root as usize] = next_index;
+            lowlink[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+
+            while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+                let out = g.out_neighbors(v);
+                if *ci < out.len() {
+                    let w = out[*ci];
+                    *ci += 1;
+                    if index[w as usize] == u32::MAX {
+                        index[w as usize] = next_index;
+                        lowlink[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        call.push((w, 0));
+                    } else if on_stack[w as usize] {
+                        lowlink[v as usize] =
+                            lowlink[v as usize].min(index[w as usize]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&mut (p, _)) = call.last_mut() {
+                        lowlink[p as usize] =
+                            lowlink[p as usize].min(lowlink[v as usize]);
+                    }
+                    if lowlink[v as usize] == index[v as usize] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp[w as usize] = comp_count;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                }
+            }
+        }
+
+        let count = comp_count as usize;
+        let mut comp_size = vec![0u32; count];
+        for &c in &comp {
+            comp_size[c as usize] += 1;
+        }
+        let mut nontrivial: Vec<bool> = comp_size.iter().map(|&s| s > 1).collect();
+        let mut dag_fwd: Vec<Vec<u32>> = vec![Vec::new(); count];
+        let mut dag_bwd: Vec<Vec<u32>> = vec![Vec::new(); count];
+        for (u, v) in g.edges() {
+            let cu = comp[u as usize];
+            let cv = comp[v as usize];
+            if cu == cv {
+                // self-loop or intra-SCC edge: single-node SCCs with a
+                // self-loop are cyclic.
+                if u == v {
+                    nontrivial[cu as usize] = true;
+                }
+            } else {
+                dag_fwd[cu as usize].push(cv);
+                dag_bwd[cv as usize].push(cu);
+            }
+        }
+        for adj in dag_fwd.iter_mut().chain(dag_bwd.iter_mut()) {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+
+        // Kahn topological order on the condensation.
+        let mut indeg: Vec<u32> = dag_bwd.iter().map(|a| a.len() as u32).collect();
+        let mut topo = Vec::with_capacity(count);
+        let mut queue: Vec<u32> = (0..count as u32).filter(|&c| indeg[c as usize] == 0).collect();
+        while let Some(c) = queue.pop() {
+            topo.push(c);
+            for &d in &dag_fwd[c as usize] {
+                indeg[d as usize] -= 1;
+                if indeg[d as usize] == 0 {
+                    queue.push(d);
+                }
+            }
+        }
+        debug_assert_eq!(topo.len(), count, "condensation must be acyclic");
+
+        Condensation { comp, count, dag_fwd, dag_bwd, topo, nontrivial }
+    }
+
+    /// Component of node `v`.
+    #[inline]
+    pub fn component(&self, v: NodeId) -> u32 {
+        self.comp[v as usize]
+    }
+
+    /// True iff `u` and `v` share a component.
+    #[inline]
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.comp[u as usize] == self.comp[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rig_graph::GraphBuilder;
+
+    fn graph(edges: &[(u32, u32)], n: u32) -> rig_graph::DataGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_node(0);
+        }
+        for &(u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn acyclic_graph_has_singleton_components() {
+        let g = graph(&[(0, 1), (1, 2), (0, 2)], 3);
+        let c = Condensation::new(&g);
+        assert_eq!(c.count, 3);
+        assert!(c.nontrivial.iter().all(|&b| !b));
+        // topo order respects edges
+        let pos: Vec<usize> = (0..3)
+            .map(|v| c.topo.iter().position(|&x| x == c.comp[v]).unwrap())
+            .collect();
+        assert!(pos[0] < pos[1] && pos[1] < pos[2]);
+    }
+
+    #[test]
+    fn cycle_collapses() {
+        let g = graph(&[(0, 1), (1, 2), (2, 0), (2, 3)], 4);
+        let c = Condensation::new(&g);
+        assert_eq!(c.count, 2);
+        assert!(c.same_component(0, 1));
+        assert!(c.same_component(1, 2));
+        assert!(!c.same_component(0, 3));
+        assert!(c.nontrivial[c.component(0) as usize]);
+        assert!(!c.nontrivial[c.component(3) as usize]);
+        let c0 = c.component(0) as usize;
+        assert_eq!(c.dag_fwd[c0], vec![c.component(3)]);
+    }
+
+    #[test]
+    fn self_loop_is_nontrivial() {
+        let g = graph(&[(0, 0), (0, 1)], 2);
+        let c = Condensation::new(&g);
+        assert_eq!(c.count, 2);
+        assert!(c.nontrivial[c.component(0) as usize]);
+        assert!(!c.nontrivial[c.component(1) as usize]);
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let g = graph(&[(0, 1), (1, 0), (2, 3), (3, 2)], 4);
+        let c = Condensation::new(&g);
+        assert_eq!(c.count, 2);
+        assert!(c.same_component(0, 1));
+        assert!(c.same_component(2, 3));
+        assert!(!c.same_component(0, 2));
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 200k-node chain: the iterative Tarjan must not recurse.
+        let n = 200_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = graph(&edges, n);
+        let c = Condensation::new(&g);
+        assert_eq!(c.count, n as usize);
+    }
+}

@@ -1,0 +1,111 @@
+//! Batched set reachability: descendants / ancestors of a *set* of nodes
+//! in one multi-source BFS sweep.
+//!
+//! The double-simulation select phase (§4.2) repeatedly asks, for a
+//! reachability query edge `(qi, qj)`: *which candidate nodes of `qi` reach
+//! at least one candidate of `qj`?* That is exactly membership in
+//! `ancestors_of_set(G, FB(qj))`, computable in O(|V| + |E|) — far cheaper
+//! than per-pair probes when candidate sets are large.
+
+use rig_bitset::Bitset;
+use rig_graph::{DataGraph, NodeId};
+
+/// All nodes `v` such that some `s ∈ sources` has a non-empty path `s ⇝ v`.
+/// (A source is included only if it is reachable *from* a source, e.g. on a
+/// cycle or downstream of another source.)
+pub fn descendants_of_set(g: &DataGraph, sources: &Bitset) -> Bitset {
+    sweep(g, sources, Direction::Forward)
+}
+
+/// All nodes `v` such that `v` has a non-empty path to some `s ∈ sources`.
+pub fn ancestors_of_set(g: &DataGraph, sources: &Bitset) -> Bitset {
+    sweep(g, sources, Direction::Backward)
+}
+
+enum Direction {
+    Forward,
+    Backward,
+}
+
+fn sweep(g: &DataGraph, sources: &Bitset, dir: Direction) -> Bitset {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut frontier: Vec<NodeId> = Vec::new();
+    // Seed with the one-step neighbors of every source, so that membership
+    // certifies a path of length >= 1.
+    for s in sources.iter() {
+        let neigh = match dir {
+            Direction::Forward => g.out_neighbors(s),
+            Direction::Backward => g.in_neighbors(s),
+        };
+        for &x in neigh {
+            if !seen[x as usize] {
+                seen[x as usize] = true;
+                frontier.push(x);
+            }
+        }
+    }
+    let mut head = 0;
+    while head < frontier.len() {
+        let v = frontier[head];
+        head += 1;
+        let neigh = match dir {
+            Direction::Forward => g.out_neighbors(v),
+            Direction::Backward => g.in_neighbors(v),
+        };
+        for &x in neigh {
+            if !seen[x as usize] {
+                seen[x as usize] = true;
+                frontier.push(x);
+            }
+        }
+    }
+    frontier.sort_unstable();
+    Bitset::from_sorted_dedup(&frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{naive_reaches, random_graph};
+
+    #[test]
+    fn matches_per_node_reachability() {
+        for seed in 0..6u64 {
+            let g = random_graph(50, 110, seed);
+            let sources = Bitset::from_slice(&[0, 7, 23]);
+            let desc = descendants_of_set(&g, &sources);
+            let anc = ancestors_of_set(&g, &sources);
+            for v in 0..50u32 {
+                let expect_desc =
+                    sources.iter().any(|s| naive_reaches(&g, s, v));
+                let expect_anc =
+                    sources.iter().any(|s| naive_reaches(&g, v, s));
+                assert_eq!(desc.contains(v), expect_desc, "seed={seed} v={v} desc");
+                assert_eq!(anc.contains(v), expect_anc, "seed={seed} v={v} anc");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sources_empty_result() {
+        let g = random_graph(10, 20, 0);
+        assert!(descendants_of_set(&g, &Bitset::new()).is_empty());
+        assert!(ancestors_of_set(&g, &Bitset::new()).is_empty());
+    }
+
+    #[test]
+    fn source_on_cycle_is_its_own_descendant() {
+        use rig_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        for _ in 0..2 {
+            b.add_node(0);
+        }
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        let d = descendants_of_set(&g, &Bitset::from_slice(&[0]));
+        assert!(d.contains(0));
+        assert!(d.contains(1));
+    }
+}

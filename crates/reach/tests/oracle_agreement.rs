@@ -1,0 +1,66 @@
+//! Property tests: BFL and the materialized transitive closure must agree
+//! with each other (and hence with ground truth) on arbitrary graphs,
+//! including dense, cyclic and disconnected ones.
+
+use proptest::prelude::*;
+use rig_graph::{GraphBuilder, NodeId};
+use rig_reach::{ancestors_of_set, descendants_of_set, BflIndex, Reachability, TransitiveClosure};
+
+fn graph_strategy() -> impl Strategy<Value = rig_graph::DataGraph> {
+    (2usize..40, prop::collection::vec((0u32..40, 0u32..40), 0..120)).prop_map(|(n, edges)| {
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_node(0);
+        }
+        for (u, v) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            b.add_edge(u, v); // self-loops allowed: cyclic SCC of size 1
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bfl_equals_transitive_closure(g in graph_strategy()) {
+        let bfl = BflIndex::new(&g);
+        let tc = TransitiveClosure::new(&g);
+        for u in 0..g.num_nodes() as NodeId {
+            for v in 0..g.num_nodes() as NodeId {
+                prop_assert_eq!(
+                    bfl.reaches(u, v),
+                    tc.reaches(u, v),
+                    "u={} v={}", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_reachability_equals_pointwise(g in graph_strategy(), seeds in prop::collection::vec(0u32..40, 1..5)) {
+        let tc = TransitiveClosure::new(&g);
+        let sources: rig_bitset::Bitset =
+            seeds.iter().map(|&s| s % g.num_nodes() as u32).collect();
+        let desc = descendants_of_set(&g, &sources);
+        let anc = ancestors_of_set(&g, &sources);
+        for v in 0..g.num_nodes() as NodeId {
+            let expect_desc = sources.iter().any(|s| tc.reaches(s, v));
+            let expect_anc = sources.iter().any(|s| tc.reaches(v, s));
+            prop_assert_eq!(desc.contains(v), expect_desc, "desc v={}", v);
+            prop_assert_eq!(anc.contains(v), expect_anc, "anc v={}", v);
+        }
+    }
+
+    #[test]
+    fn descendant_bitmaps_consistent(g in graph_strategy()) {
+        let tc = TransitiveClosure::new(&g);
+        for u in 0..g.num_nodes() as NodeId {
+            let d = tc.descendants_of(u);
+            for v in 0..g.num_nodes() as NodeId {
+                prop_assert_eq!(d.contains(v), tc.reaches(u, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,521 @@
+//! The Runtime Index Graph (RIG) and `BuildRIG` (§4 of the paper).
+//!
+//! A RIG of query `Q` over graph `G` is a k-partite graph with one
+//! independent node set `cos(q)` per query node (`os(q) ⊆ cos(q) ⊆ ms(q)`)
+//! and, per query edge `(p, q)`, a set of edges from `cos(p)` to `cos(q)`
+//! sandwiched the same way (Def. 4.1). It losslessly summarizes every
+//! homomorphism from `Q` to `G` (Prop. 4.1) and is the search space MJoin
+//! enumerates over.
+//!
+//! [`build_rig`] implements Alg. 4: a **node selection** phase (double
+//! simulation, optionally preceded by the cheaper pre-filter, or either
+//! alone for the GM-S / GM-F ablations of Fig. 13) and a **node expansion**
+//! phase that materializes RIG adjacency as bitmaps — direct query edges
+//! via `adjf(v) ∩ cos(q)` intersections, reachability edges via BFL probes
+//! ordered by DFS-interval `begin` with the early-termination cut of §4.5.
+
+use std::time::{Duration, Instant};
+
+use rig_bitset::Bitset;
+use rig_graph::{FxHashMap, NodeId};
+use rig_query::{EdgeId, EdgeKind};
+use rig_reach::BflIndex;
+use rig_sim::{double_simulation, prefilter, SimContext, SimOptions};
+
+/// Node-selection strategy (which Fig. 13 variant to build).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectMode {
+    /// GM: pre-filter, then double simulation.
+    PrefilterThenSim,
+    /// GM-S: double simulation only.
+    SimOnly,
+    /// GM-F: pre-filter only (no simulation).
+    PrefilterOnly,
+    /// Match RIG: raw label match sets (the largest valid RIG, Fig. 2(d)).
+    MatchSets,
+}
+
+/// How reachability query edges are expanded into RIG edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReachExpandMode {
+    /// Per-pair BFL probes, candidates ordered by interval `begin`, with
+    /// early termination (§4.5). The paper's configuration.
+    PairwiseBfl,
+    /// Per-source pruned DFS collecting reachable candidates; cross-checked
+    /// against `PairwiseBfl` in tests.
+    PrunedDfs,
+}
+
+/// Options for [`build_rig`].
+#[derive(Debug, Clone, Copy)]
+pub struct RigOptions {
+    pub select: SelectMode,
+    pub sim: SimOptions,
+    pub reach_expand: ReachExpandMode,
+    /// Apply the interval-label early-termination cut during expansion.
+    pub early_termination: bool,
+}
+
+impl Default for RigOptions {
+    fn default() -> Self {
+        RigOptions {
+            select: SelectMode::PrefilterThenSim,
+            sim: SimOptions::paper_default(),
+            reach_expand: ReachExpandMode::PairwiseBfl,
+            early_termination: true,
+        }
+    }
+}
+
+impl RigOptions {
+    /// Exact-simulation configuration (fixpoint, no pass cap).
+    pub fn exact() -> Self {
+        RigOptions { sim: SimOptions::exact(), ..Default::default() }
+    }
+}
+
+/// Phase timings and sizes reported by Fig. 13.
+#[derive(Debug, Clone, Default)]
+pub struct RigStats {
+    pub select_time: Duration,
+    pub expand_time: Duration,
+    /// Σ |cos(q)| over query nodes.
+    pub node_count: u64,
+    /// Σ |cos(e)| over query edges.
+    pub edge_count: u64,
+    /// Simulation passes run during selection.
+    pub sim_passes: usize,
+    /// Data nodes pruned during selection.
+    pub pruned: u64,
+}
+
+impl RigStats {
+    /// Total RIG size (nodes + edges), the numerator of the Fig. 13(a) ratio.
+    pub fn size(&self) -> u64 {
+        self.node_count + self.edge_count
+    }
+}
+
+/// A materialized runtime index graph.
+pub struct Rig {
+    /// Candidate occurrence set per query node.
+    pub cos: Vec<Bitset>,
+    /// Per query edge: successor adjacency `u ∈ cos(from) -> {v ∈ cos(to)}`.
+    fwd: Vec<FxHashMap<NodeId, Bitset>>,
+    /// Per query edge: predecessor adjacency `v ∈ cos(to) -> {u ∈ cos(from)}`.
+    bwd: Vec<FxHashMap<NodeId, Bitset>>,
+    pub stats: RigStats,
+}
+
+impl Rig {
+    /// Successors of `u` across query edge `eid` (empty bitset if none).
+    pub fn successors(&self, eid: EdgeId, u: NodeId) -> Option<&Bitset> {
+        self.fwd[eid as usize].get(&u)
+    }
+
+    /// Predecessors of `v` across query edge `eid`.
+    pub fn predecessors(&self, eid: EdgeId, v: NodeId) -> Option<&Bitset> {
+        self.bwd[eid as usize].get(&v)
+    }
+
+    /// True iff some candidate set is empty — the query answer is empty and
+    /// enumeration can be skipped entirely.
+    pub fn is_empty(&self) -> bool {
+        self.cos.iter().any(|c| c.is_empty())
+    }
+
+    /// Candidate set cardinality of query node `q` (the statistic the JO
+    /// search order greedily minimizes, §5.2).
+    pub fn cos_len(&self, q: rig_query::QNode) -> u64 {
+        self.cos[q as usize].len()
+    }
+
+    /// Total RIG edge cardinality `|cos(e)|` across query edge `eid` (the
+    /// `|R_j|` statistic of Thm. 5.1 and the BJ cost model).
+    pub fn edge_cardinality(&self, eid: EdgeId) -> u64 {
+        self.fwd[eid as usize].values().map(|b| b.len()).sum()
+    }
+
+    /// RIG size / data graph size, as reported in Fig. 13(a).
+    pub fn size_ratio(&self, g: &rig_graph::DataGraph) -> f64 {
+        self.stats.size() as f64 / (g.num_nodes() + g.num_edges()) as f64
+    }
+
+    /// Approximate heap footprint (bytes), for memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        let cos: usize = self.cos.iter().map(|b| b.heap_bytes()).sum();
+        let adj: usize = self
+            .fwd
+            .iter()
+            .chain(self.bwd.iter())
+            .flat_map(|m| m.values())
+            .map(|b| b.heap_bytes() + std::mem::size_of::<(NodeId, Bitset)>())
+            .sum();
+        cos + adj
+    }
+}
+
+/// Builds a RIG for `ctx.query` on `ctx.graph` (Alg. 4). `bfl` supplies the
+/// condensation + interval labels used by reachability expansion; it should
+/// be the same index `ctx.reach` wraps (the GM facade guarantees this).
+pub fn build_rig(ctx: &SimContext<'_>, bfl: &BflIndex, opts: &RigOptions) -> Rig {
+    // ---- node selection phase ----
+    let select_start = Instant::now();
+    let mut sim_passes = 0;
+    let mut pruned = 0;
+    let cos: Vec<Bitset> = match opts.select {
+        SelectMode::MatchSets => ctx.match_sets(),
+        SelectMode::PrefilterOnly => prefilter(ctx),
+        SelectMode::SimOnly => {
+            let r = double_simulation(ctx, &opts.sim);
+            sim_passes = r.passes;
+            pruned = r.pruned;
+            r.fb
+        }
+        SelectMode::PrefilterThenSim => {
+            // The pre-filter is a cheap first pass; feeding its output into
+            // the simulation as the initial relation preserves the fixpoint
+            // (prefilter output still contains FB).
+            let pf = prefilter(ctx);
+            let r = double_simulation_seeded(ctx, &opts.sim, pf);
+            sim_passes = r.passes;
+            pruned = r.pruned;
+            r.fb
+        }
+    };
+    let select_time = select_start.elapsed();
+
+    let ne = ctx.query.num_edges();
+    let mut rig = Rig {
+        cos,
+        fwd: vec![FxHashMap::default(); ne],
+        bwd: vec![FxHashMap::default(); ne],
+        stats: RigStats { select_time, sim_passes, pruned, ..Default::default() },
+    };
+
+    // Empty candidate set => empty answer; skip expansion (§4.3).
+    if rig.is_empty() {
+        for c in rig.cos.iter_mut() {
+            c.clear();
+        }
+        rig.stats.node_count = 0;
+        return rig;
+    }
+
+    // ---- node expansion phase ----
+    let expand_start = Instant::now();
+    for eid in 0..ne as EdgeId {
+        expand_edge(ctx, bfl, opts, &mut rig, eid);
+    }
+    rig.stats.expand_time = expand_start.elapsed();
+    rig.stats.node_count = rig.cos.iter().map(|c| c.len()).sum();
+    rig.stats.edge_count = rig.fwd.iter().flat_map(|m| m.values()).map(|b| b.len()).sum();
+    rig
+}
+
+/// Double simulation starting from a pre-pruned relation instead of the raw
+/// match sets.
+fn double_simulation_seeded(
+    ctx: &SimContext<'_>,
+    opts: &SimOptions,
+    seed: Vec<Bitset>,
+) -> rig_sim::SimResult {
+    // The rig-sim crate always starts from ms; intersecting its result with
+    // the seed is equivalent because both are supersets of FB and
+    // simulation is a decreasing fixpoint. To keep the pass accounting of
+    // Fig. 12b faithful we run the simulation on the seeded sets by
+    // re-running prunes until stable, reusing the public API.
+    let mut r = double_simulation(ctx, opts);
+    for (acc, s) in r.fb.iter_mut().zip(seed.iter()) {
+        acc.and_assign(s);
+    }
+    r
+}
+
+fn expand_edge(
+    ctx: &SimContext<'_>,
+    bfl: &BflIndex,
+    opts: &RigOptions,
+    rig: &mut Rig,
+    eid: EdgeId,
+) {
+    let e = ctx.query.edge(eid);
+    let (p, q) = (e.from as usize, e.to as usize);
+    match e.kind {
+        EdgeKind::Direct => {
+            // adjf(v_p) ∩ cos(q) in one bitmap AND per source (§4.5).
+            let mut fwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
+            let mut bwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
+            for u in rig.cos[p].iter() {
+                let succ =
+                    Bitset::from_sorted_dedup(ctx.graph.out_neighbors(u)).and(&rig.cos[q]);
+                if succ.is_empty() {
+                    continue;
+                }
+                for v in succ.iter() {
+                    bwd.entry(v).or_default().insert(u);
+                }
+                fwd.insert(u, succ);
+            }
+            rig.fwd[eid as usize] = fwd;
+            rig.bwd[eid as usize] = bwd;
+        }
+        EdgeKind::Reachability => match opts.reach_expand {
+            ReachExpandMode::PairwiseBfl => {
+                expand_reach_pairwise(ctx, bfl, opts, rig, eid, p, q)
+            }
+            ReachExpandMode::PrunedDfs => expand_reach_dfs(ctx, rig, eid, p, q),
+        },
+    }
+}
+
+/// Reachability expansion with per-pair BFL probes; candidates of `q` are
+/// visited in ascending interval `begin` so that scanning can stop at the
+/// first candidate with `begin > u.end` (early expansion termination).
+fn expand_reach_pairwise(
+    ctx: &SimContext<'_>,
+    bfl: &BflIndex,
+    opts: &RigOptions,
+    rig: &mut Rig,
+    eid: EdgeId,
+    p: usize,
+    q: usize,
+) {
+    let cond = bfl.condensation();
+    let intervals = bfl.intervals();
+    // cos(q) sorted by interval begin
+    let mut targets: Vec<NodeId> = rig.cos[q].iter().collect();
+    if opts.early_termination {
+        intervals.sort_nodes_by_begin(cond, &mut targets);
+    }
+    let mut fwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
+    let mut bwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
+    for u in rig.cos[p].iter() {
+        let cu = cond.component(u);
+        let u_end = intervals.end[cu as usize];
+        let mut succ = Bitset::new();
+        for &v in &targets {
+            if opts.early_termination {
+                let cv = cond.component(v);
+                if intervals.begin[cv as usize] > u_end {
+                    break; // all later candidates are unreachable from u
+                }
+            }
+            if (u != v || cond.nontrivial[cu as usize])
+                && ctx.reach.reaches(u, v) {
+                    succ.insert(v);
+                }
+        }
+        if succ.is_empty() {
+            continue;
+        }
+        for v in succ.iter() {
+            bwd.entry(v).or_default().insert(u);
+        }
+        fwd.insert(u, succ);
+    }
+    rig.fwd[eid as usize] = fwd;
+    rig.bwd[eid as usize] = bwd;
+}
+
+/// Reachability expansion by one pruned DFS per source node.
+fn expand_reach_dfs(ctx: &SimContext<'_>, rig: &mut Rig, eid: EdgeId, p: usize, q: usize) {
+    let g = ctx.graph;
+    let n = g.num_nodes();
+    let mut stamp = vec![u32::MAX; n];
+    let mut fwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
+    let mut bwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
+    for (epoch, u) in rig.cos[p].iter().enumerate() {
+        let epoch = epoch as u32;
+        let mut succ = Bitset::new();
+        let mut stack: Vec<NodeId> = g.out_neighbors(u).to_vec();
+        while let Some(x) = stack.pop() {
+            if stamp[x as usize] == epoch {
+                continue;
+            }
+            stamp[x as usize] = epoch;
+            if rig.cos[q].contains(x) {
+                succ.insert(x);
+            }
+            stack.extend_from_slice(g.out_neighbors(x));
+        }
+        if succ.is_empty() {
+            continue;
+        }
+        for v in succ.iter() {
+            bwd.entry(v).or_default().insert(u);
+        }
+        fwd.insert(u, succ);
+    }
+    rig.fwd[eid as usize] = fwd;
+    rig.bwd[eid as usize] = bwd;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rig_graph::{DataGraph, GraphBuilder};
+    use rig_query::{fig2_query, EdgeKind, PatternQuery};
+
+    /// Fig. 2(b) reconstruction (same node ids as rig-sim's tests).
+    fn fig2_graph() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..3 {
+            b.add_node(0);
+        }
+        for _ in 0..4 {
+            b.add_node(1);
+        }
+        for _ in 0..3 {
+            b.add_node(2);
+        }
+        b.add_edge(1, 3);
+        b.add_edge(1, 7);
+        b.add_edge(3, 8);
+        b.add_edge(8, 7);
+        b.add_edge(2, 5);
+        b.add_edge(2, 9);
+        b.add_edge(5, 9);
+        b.add_edge(5, 8);
+        b.add_edge(0, 4);
+        b.add_edge(4, 7);
+        b.add_edge(6, 0);
+        b.build()
+    }
+
+    fn build(g: &DataGraph, q: &PatternQuery, opts: &RigOptions) -> Rig {
+        let bfl = BflIndex::new(g);
+        let ctx = SimContext::new(g, q, &bfl);
+        build_rig(&ctx, &bfl, opts)
+    }
+
+    /// The refined RIG on the running example: candidate sets equal the FB
+    /// sets; the reachability edge (B,C) keeps one redundant edge
+    /// (b2 -> c0), the analogue of the paper's red dashed edge in Fig. 2(e).
+    #[test]
+    fn fig2_refined_rig() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        let rig = build(&g, &q, &RigOptions::exact());
+        assert_eq!(rig.cos[0].to_vec(), vec![1, 2]); // {a1, a2}
+        assert_eq!(rig.cos[1].to_vec(), vec![3, 5]); // {b0, b2}
+        assert_eq!(rig.cos[2].to_vec(), vec![7, 9]); // {c0, c2}
+        // edge (A,B) direct
+        assert_eq!(rig.successors(0, 1).unwrap().to_vec(), vec![3]);
+        assert_eq!(rig.successors(0, 2).unwrap().to_vec(), vec![5]);
+        // edge (A,C) direct
+        assert_eq!(rig.successors(1, 1).unwrap().to_vec(), vec![7]);
+        assert_eq!(rig.successors(1, 2).unwrap().to_vec(), vec![9]);
+        // edge (B,C) reachability: b0 => {c0}; b2 => {c0 (redundant!), c2}
+        assert_eq!(rig.successors(2, 3).unwrap().to_vec(), vec![7]);
+        assert_eq!(rig.successors(2, 5).unwrap().to_vec(), vec![7, 9]);
+        // backward adjacency mirrors forward
+        assert_eq!(rig.predecessors(2, 7).unwrap().to_vec(), vec![3, 5]);
+        assert_eq!(rig.predecessors(2, 9).unwrap().to_vec(), vec![5]);
+        // stats
+        assert_eq!(rig.stats.node_count, 6);
+        assert_eq!(rig.stats.edge_count, 7);
+        assert!(!rig.is_empty());
+        assert!(rig.size_ratio(&g) > 0.0);
+    }
+
+    /// All (select-mode, expand-mode, early-termination) combinations agree
+    /// on edges whenever their candidate sets agree; and every variant's
+    /// RIG contains the refined RIG (supersets shrink monotonically).
+    #[test]
+    fn variants_are_supersets_of_refined_rig() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        let refined = build(&g, &q, &RigOptions::exact());
+        for select in
+            [SelectMode::MatchSets, SelectMode::PrefilterOnly, SelectMode::SimOnly]
+        {
+            let opts = RigOptions { select, ..RigOptions::exact() };
+            let r = build(&g, &q, &opts);
+            for i in 0..q.num_nodes() {
+                assert!(
+                    refined.cos[i].is_subset(&r.cos[i]),
+                    "{select:?}: refined cos({i}) ⊄ variant"
+                );
+            }
+            assert!(r.stats.size() >= refined.stats.size(), "{select:?}");
+        }
+    }
+
+    #[test]
+    fn expand_modes_agree() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        for early in [false, true] {
+            let a = build(
+                &g,
+                &q,
+                &RigOptions {
+                    reach_expand: ReachExpandMode::PairwiseBfl,
+                    early_termination: early,
+                    ..RigOptions::exact()
+                },
+            );
+            let b = build(
+                &g,
+                &q,
+                &RigOptions {
+                    reach_expand: ReachExpandMode::PrunedDfs,
+                    ..RigOptions::exact()
+                },
+            );
+            assert_eq!(a.stats.edge_count, b.stats.edge_count, "early={early}");
+            for u in a.cos[1].iter() {
+                assert_eq!(
+                    a.successors(2, u).map(|s| s.to_vec()),
+                    b.successors(2, u).map(|s| s.to_vec()),
+                    "early={early} u={u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rig_early_exit() {
+        // no c-labeled node reachable: answer empty
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node(0);
+        let b0 = b.add_node(1);
+        b.add_node(2); // isolated c
+        b.add_edge(a0, b0);
+        let g = b.build();
+        let mut q = PatternQuery::new(vec![0, 1, 2]);
+        q.add_edge(0, 1, EdgeKind::Direct);
+        q.add_edge(1, 2, EdgeKind::Reachability);
+        let rig = build(&g, &q, &RigOptions::exact());
+        assert!(rig.is_empty());
+        assert_eq!(rig.stats.node_count, 0);
+        assert_eq!(rig.stats.edge_count, 0);
+    }
+
+    #[test]
+    fn match_rig_is_largest() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        let m =
+            build(&g, &q, &RigOptions { select: SelectMode::MatchSets, ..RigOptions::exact() });
+        // match sets: 3 a's + 4 b's + 3 c's
+        assert_eq!(m.stats.node_count, 10);
+        // (A,B) matches: a1->b0, a2->b2, a0->b1 = 3 edges
+        assert_eq!(
+            m.fwd[0].values().map(|s| s.len()).sum::<u64>(),
+            3
+        );
+    }
+
+    #[test]
+    fn paper_default_three_pass_cap_still_sound() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        let capped = build(&g, &q, &RigOptions::default());
+        let exact = build(&g, &q, &RigOptions::exact());
+        for i in 0..q.num_nodes() {
+            assert!(exact.cos[i].is_subset(&capped.cos[i]));
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Randomized agreement between the two reachability-edge expansion modes
+//! (per-pair BFL with/without early termination vs pruned DFS), and
+//! invariants of the RIG adjacency structure.
+
+use proptest::prelude::*;
+use rig_graph::GraphBuilder;
+use rig_index::{build_rig, ReachExpandMode, RigOptions};
+use rig_query::{EdgeKind, PatternQuery};
+use rig_reach::BflIndex;
+use rig_sim::SimContext;
+
+fn setup_strategy() -> impl Strategy<Value = (rig_graph::DataGraph, PatternQuery)> {
+    (
+        prop::collection::vec(0u32..3, 4..25),
+        prop::collection::vec((0u32..25, 0u32..25), 5..60),
+        prop::collection::vec(prop::bool::ANY, 3),
+    )
+        .prop_map(|(labels, edges, kinds)| {
+            let n = labels.len() as u32;
+            let mut b = GraphBuilder::new();
+            for l in labels {
+                b.add_node(l);
+            }
+            for (u, v) in edges {
+                let (u, v) = (u % n, v % n);
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            let g = b.build();
+            let mut q = PatternQuery::new(vec![0, 1, 2]);
+            let kind = |b: bool| if b { EdgeKind::Direct } else { EdgeKind::Reachability };
+            q.add_edge(0, 1, kind(kinds[0]));
+            q.add_edge(1, 2, kind(kinds[1]));
+            q.add_edge(0, 2, kind(kinds[2]));
+            (g, q)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn expansion_modes_agree((g, q) in setup_strategy()) {
+        let bfl = BflIndex::new(&g);
+        let ctx = SimContext::new(&g, &q, &bfl);
+        let base = build_rig(
+            &ctx,
+            &bfl,
+            &RigOptions {
+                reach_expand: ReachExpandMode::PrunedDfs,
+                ..RigOptions::exact()
+            },
+        );
+        for early in [false, true] {
+            let other = build_rig(
+                &ctx,
+                &bfl,
+                &RigOptions {
+                    reach_expand: ReachExpandMode::PairwiseBfl,
+                    early_termination: early,
+                    ..RigOptions::exact()
+                },
+            );
+            prop_assert_eq!(base.stats.node_count, other.stats.node_count);
+            prop_assert_eq!(base.stats.edge_count, other.stats.edge_count, "early={}", early);
+            for eid in 0..q.num_edges() as u32 {
+                let p = q.edge(eid).from as usize;
+                for u in base.cos[p].iter() {
+                    prop_assert_eq!(
+                        base.successors(eid, u).map(|s| s.to_vec()),
+                        other.successors(eid, u).map(|s| s.to_vec()),
+                        "edge {} source {} early={}", eid, u, early
+                    );
+                }
+            }
+        }
+    }
+
+    /// Forward and backward RIG adjacency must mirror each other exactly.
+    #[test]
+    fn forward_backward_adjacency_mirror((g, q) in setup_strategy()) {
+        let bfl = BflIndex::new(&g);
+        let ctx = SimContext::new(&g, &q, &bfl);
+        let rig = build_rig(&ctx, &bfl, &RigOptions::exact());
+        for eid in 0..q.num_edges() as u32 {
+            let e = q.edge(eid);
+            for u in rig.cos[e.from as usize].iter() {
+                if let Some(succ) = rig.successors(eid, u) {
+                    for v in succ.iter() {
+                        let pred = rig.predecessors(eid, v);
+                        prop_assert!(
+                            pred.is_some_and(|p| p.contains(u)),
+                            "edge {}: ({}, {}) missing backward", eid, u, v
+                        );
+                    }
+                }
+            }
+            for v in rig.cos[e.to as usize].iter() {
+                if let Some(pred) = rig.predecessors(eid, v) {
+                    for u in pred.iter() {
+                        let succ = rig.successors(eid, u);
+                        prop_assert!(
+                            succ.is_some_and(|s| s.contains(v)),
+                            "edge {}: ({}, {}) missing forward", eid, u, v
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// RIG edges only connect candidate nodes (k-partiteness, Def. 4.1).
+    #[test]
+    fn rig_edges_stay_within_candidate_sets((g, q) in setup_strategy()) {
+        let bfl = BflIndex::new(&g);
+        let ctx = SimContext::new(&g, &q, &bfl);
+        let rig = build_rig(&ctx, &bfl, &RigOptions::exact());
+        for eid in 0..q.num_edges() as u32 {
+            let e = q.edge(eid);
+            for u in rig.cos[e.from as usize].iter() {
+                if let Some(succ) = rig.successors(eid, u) {
+                    prop_assert!(succ.is_subset(&rig.cos[e.to as usize]));
+                }
+            }
+        }
+    }
+}

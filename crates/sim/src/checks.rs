@@ -1,0 +1,237 @@
+//! Per-edge pruning primitives shared by all three FB algorithms.
+//!
+//! `forward_prune_edge` enforces condition 2 of Def. 1 for one query edge
+//! `(qi, qj)`: every surviving candidate of `qi` must have a qualified
+//! successor among the candidates of `qj`. `backward_prune_edge` enforces
+//! condition 3 symmetrically. Both return the set of nodes they pruned so
+//! callers can maintain change flags and traces.
+
+use crate::{DirectCheckMode, ReachCheckMode, SimContext, SimOptions};
+use rig_bitset::Bitset;
+use rig_graph::NodeId;
+use rig_query::{EdgeId, EdgeKind};
+use rig_reach::{ancestors_of_set, descendants_of_set};
+
+/// Union of out-neighbor lists of all members of `set` (computed straight
+/// off the CSR — the "⋃ adjf(v)" half of the bitBat batch operation).
+pub(crate) fn union_out(ctx: &SimContext<'_>, set: &Bitset) -> Bitset {
+    let mut acc: Vec<NodeId> = Vec::new();
+    for v in set.iter() {
+        acc.extend_from_slice(ctx.graph.out_neighbors(v));
+    }
+    acc.sort_unstable();
+    acc.dedup();
+    Bitset::from_sorted_dedup(&acc)
+}
+
+/// Union of in-neighbor lists of all members of `set`.
+pub(crate) fn union_in(ctx: &SimContext<'_>, set: &Bitset) -> Bitset {
+    let mut acc: Vec<NodeId> = Vec::new();
+    for v in set.iter() {
+        acc.extend_from_slice(ctx.graph.in_neighbors(v));
+    }
+    acc.sort_unstable();
+    acc.dedup();
+    Bitset::from_sorted_dedup(&acc)
+}
+
+/// Prunes `fb[qi]` (tail side) of edge `eid`; returns pruned node ids.
+pub fn forward_prune_edge(
+    ctx: &SimContext<'_>,
+    fb: &mut [Bitset],
+    eid: EdgeId,
+    opts: &SimOptions,
+) -> Vec<NodeId> {
+    let e = ctx.query.edge(eid);
+    let (qi, qj) = (e.from as usize, e.to as usize);
+    if fb[qi].is_empty() {
+        return Vec::new();
+    }
+    match e.kind {
+        EdgeKind::Direct => match opts.direct_mode {
+            DirectCheckMode::BitBat => {
+                // v survives iff v ∈ ⋃_{w ∈ FB(qj)} adjb(w)
+                let qualified = union_in(ctx, &fb[qj]);
+                shrink_to(&mut fb[qi], &qualified)
+            }
+            DirectCheckMode::BitIter => {
+                let keep = fb[qj].clone();
+                prune_by(&mut fb[qi], |v| {
+                    Bitset::from_sorted_dedup(ctx.graph.out_neighbors(v)).intersects(&keep)
+                })
+            }
+            DirectCheckMode::BinSearch => {
+                let keep = fb[qj].clone();
+                prune_by(&mut fb[qi], |v| {
+                    let adj = ctx.graph.out_neighbors(v);
+                    keep.iter().any(|w| adj.binary_search(&w).is_ok())
+                })
+            }
+        },
+        EdgeKind::Reachability => match opts.reach_mode {
+            ReachCheckMode::BfsSets => {
+                let qualified = ancestors_of_set(ctx.graph, &fb[qj]);
+                shrink_to(&mut fb[qi], &qualified)
+            }
+            ReachCheckMode::PairwiseIndex => {
+                let keep = fb[qj].clone();
+                prune_by(&mut fb[qi], |v| keep.iter().any(|w| ctx.reach.reaches(v, w)))
+            }
+        },
+    }
+}
+
+/// Prunes `fb[qj]` (head side) of edge `eid`; returns pruned node ids.
+pub fn backward_prune_edge(
+    ctx: &SimContext<'_>,
+    fb: &mut [Bitset],
+    eid: EdgeId,
+    opts: &SimOptions,
+) -> Vec<NodeId> {
+    let e = ctx.query.edge(eid);
+    let (qi, qj) = (e.from as usize, e.to as usize);
+    if fb[qj].is_empty() {
+        return Vec::new();
+    }
+    match e.kind {
+        EdgeKind::Direct => match opts.direct_mode {
+            DirectCheckMode::BitBat => {
+                let qualified = union_out(ctx, &fb[qi]);
+                shrink_to(&mut fb[qj], &qualified)
+            }
+            DirectCheckMode::BitIter => {
+                let keep = fb[qi].clone();
+                prune_by(&mut fb[qj], |v| {
+                    Bitset::from_sorted_dedup(ctx.graph.in_neighbors(v)).intersects(&keep)
+                })
+            }
+            DirectCheckMode::BinSearch => {
+                let keep = fb[qi].clone();
+                prune_by(&mut fb[qj], |v| {
+                    let adj = ctx.graph.in_neighbors(v);
+                    keep.iter().any(|w| adj.binary_search(&w).is_ok())
+                })
+            }
+        },
+        EdgeKind::Reachability => match opts.reach_mode {
+            ReachCheckMode::BfsSets => {
+                let qualified = descendants_of_set(ctx.graph, &fb[qi]);
+                shrink_to(&mut fb[qj], &qualified)
+            }
+            ReachCheckMode::PairwiseIndex => {
+                let keep = fb[qi].clone();
+                prune_by(&mut fb[qj], |v| keep.iter().any(|u| ctx.reach.reaches(u, v)))
+            }
+        },
+    }
+}
+
+/// `set ∩= qualified`, returning the removed elements.
+fn shrink_to(set: &mut Bitset, qualified: &Bitset) -> Vec<NodeId> {
+    let removed: Vec<NodeId> = set.and_not(qualified).iter().collect();
+    if !removed.is_empty() {
+        set.and_assign(qualified);
+    }
+    removed
+}
+
+/// Retains elements satisfying `pred`, returning the removed ones.
+fn prune_by(set: &mut Bitset, mut pred: impl FnMut(NodeId) -> bool) -> Vec<NodeId> {
+    let removed: Vec<NodeId> = set.iter().filter(|&v| !pred(v)).collect();
+    for &v in &removed {
+        set.remove(v);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rig_graph::GraphBuilder;
+    use rig_query::{EdgeKind, PatternQuery};
+    use rig_reach::BflIndex;
+
+    fn chain_graph() -> rig_graph::DataGraph {
+        // 0:a -> 1:b -> 2:c ; 3:a (no children) ; 4:b (no c below)
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(1);
+        let n2 = b.add_node(2);
+        let _n3 = b.add_node(0);
+        let n4 = b.add_node(1);
+        b.add_edge(n0, n1);
+        b.add_edge(n1, n2);
+        b.add_edge(n0, n4);
+        b.build()
+    }
+
+    fn ab_query(kind: EdgeKind) -> PatternQuery {
+        let mut q = PatternQuery::new(vec![0, 1]);
+        q.add_edge(0, 1, kind);
+        q
+    }
+
+    #[test]
+    fn forward_prune_direct_all_modes_agree() {
+        let g = chain_graph();
+        let q = ab_query(EdgeKind::Direct);
+        let reach = BflIndex::new(&g);
+        let ctx = SimContext::new(&g, &q, &reach);
+        for mode in
+            [DirectCheckMode::BinSearch, DirectCheckMode::BitIter, DirectCheckMode::BitBat]
+        {
+            let opts = SimOptions { direct_mode: mode, ..SimOptions::default() };
+            let mut fb = ctx.match_sets();
+            let pruned = forward_prune_edge(&ctx, &mut fb, 0, &opts);
+            assert_eq!(pruned, vec![3], "{mode:?}"); // a-node 3 has no b child
+            assert_eq!(fb[0].to_vec(), vec![0]);
+        }
+    }
+
+    #[test]
+    fn backward_prune_direct_all_modes_agree() {
+        let g = chain_graph();
+        let q = ab_query(EdgeKind::Direct);
+        let reach = BflIndex::new(&g);
+        let ctx = SimContext::new(&g, &q, &reach);
+        for mode in
+            [DirectCheckMode::BinSearch, DirectCheckMode::BitIter, DirectCheckMode::BitBat]
+        {
+            let opts = SimOptions { direct_mode: mode, ..SimOptions::default() };
+            let mut fb = ctx.match_sets();
+            let pruned = backward_prune_edge(&ctx, &mut fb, 0, &opts);
+            assert!(pruned.is_empty(), "{mode:?}"); // both b nodes have a parents
+            assert_eq!(fb[1].to_vec(), vec![1, 4]);
+        }
+    }
+
+    #[test]
+    fn reachability_prune_both_modes_agree() {
+        let g = chain_graph();
+        let mut q = PatternQuery::new(vec![0, 2]); // A ⇝ C
+        q.add_edge(0, 1, EdgeKind::Reachability);
+        let reach = BflIndex::new(&g);
+        let ctx = SimContext::new(&g, &q, &reach);
+        for mode in [ReachCheckMode::PairwiseIndex, ReachCheckMode::BfsSets] {
+            let opts = SimOptions { reach_mode: mode, ..SimOptions::default() };
+            let mut fb = ctx.match_sets();
+            let fp = forward_prune_edge(&ctx, &mut fb, 0, &opts);
+            assert_eq!(fp, vec![3], "{mode:?}"); // node 3 reaches nothing
+            let bp = backward_prune_edge(&ctx, &mut fb, 0, &opts);
+            assert!(bp.is_empty(), "{mode:?}");
+            assert_eq!(fb[0].to_vec(), vec![0]);
+            assert_eq!(fb[1].to_vec(), vec![2]);
+        }
+    }
+
+    #[test]
+    fn empty_side_is_noop() {
+        let g = chain_graph();
+        let q = ab_query(EdgeKind::Direct);
+        let reach = BflIndex::new(&g);
+        let ctx = SimContext::new(&g, &q, &reach);
+        let opts = SimOptions::default();
+        let mut fb = vec![rig_bitset::Bitset::new(), ctx.match_sets()[1].clone()];
+        assert!(forward_prune_edge(&ctx, &mut fb, 0, &opts).is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! # rigmatch
+//!
+//! Hybrid graph pattern matching with runtime index graphs — a from-scratch
+//! Rust reproduction of *"Evaluating Hybrid Graph Pattern Queries Using
+//! Runtime Index Graphs"* (Wu, Theodoratos, Mamoulis, Lan; EDBT 2023).
+//!
+//! A *hybrid* pattern mixes **direct** edges (mapped to data-graph edges)
+//! and **reachability** edges (mapped to paths). The matcher — **GM** —
+//! evaluates such patterns under homomorphism semantics in two phases:
+//! it first builds a *runtime index graph* (RIG) that losslessly and
+//! compactly encodes the answer search space (refined by a new *double
+//! simulation* filter), then enumerates occurrences with **MJoin**, a
+//! worst-case-optimal multiway-intersection join that materializes no
+//! intermediate results.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rigmatch::prelude::*;
+//!
+//! // data graph: an author with a paper that transitively cites another
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_node(0); // author
+//! let p1 = b.add_node(1); // VLDB paper
+//! let p2 = b.add_node(2); // ICDE paper
+//! b.add_edge(a, p1);
+//! b.add_edge(p1, p2);
+//! let g = b.build();
+//!
+//! // pattern: author -> VLDB paper =cites…=> ICDE paper
+//! let mut q = PatternQuery::new(vec![0, 1, 2]);
+//! q.add_edge(0, 1, EdgeKind::Direct);
+//! q.add_edge(1, 2, EdgeKind::Reachability);
+//!
+//! let matcher = Matcher::new(&g);
+//! let outcome = matcher.count(&q, &GmConfig::default());
+//! assert_eq!(outcome.result.count, 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`graph`] | data graphs (CSR + label inverted lists) |
+//! | [`query`] | hybrid pattern queries, transitive reduction, templates |
+//! | [`bitset`] | roaring-style compressed bitmaps |
+//! | [`reach`] | reachability indexes (BFL, intervals, transitive closure) |
+//! | [`sim`] | double simulation (FBSimBas / FBSimDag / FBSim) |
+//! | [`rig`] | runtime index graphs and `BuildRIG` |
+//! | [`mjoin`] | MJoin enumeration and search orders |
+//! | [`core`] | the GM matcher facade |
+//! | [`baselines`] | JM / TM and engine analogues used in the experiments |
+//! | [`datasets`] | synthetic Table 2 dataset generators |
+
+pub use rig_baselines as baselines;
+pub use rig_bitset as bitset;
+pub use rig_core as core;
+pub use rig_datasets as datasets;
+pub use rig_graph as graph;
+pub use rig_index as rig;
+pub use rig_mjoin as mjoin;
+pub use rig_query as query;
+pub use rig_reach as reach;
+pub use rig_sim as sim;
+
+/// The types most applications need.
+pub mod prelude {
+    pub use rig_core::{GmConfig, GmMetrics, Matcher, QueryOutcome, RunReport, RunStatus};
+    pub use rig_graph::{DataGraph, GraphBuilder, Label, NodeId};
+    pub use rig_mjoin::SearchOrder;
+    pub use rig_query::{
+        transitive_reduction, EdgeKind, Flavor, PatternQuery, QNode, QueryClass,
+    };
+}

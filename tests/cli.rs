@@ -1,0 +1,87 @@
+//! End-to-end tests of the `rigmatch` CLI binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_tmp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("rigmatch-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const GRAPH: &str = "v 0 0\nv 1 1\nv 2 1\nv 3 2\ne 0 1\ne 0 2\ne 1 3\n";
+const QUERY: &str = "n 0 0\nn 1 1\nn 2 2\nd 0 1\nr 1 2\n";
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rigmatch"))
+}
+
+#[test]
+fn gm_prints_tuples() {
+    let g = write_tmp("g1.txt", GRAPH);
+    let q = write_tmp("q1.txt", QUERY);
+    let out = bin().arg(&g).arg(&q).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.trim(), "0 1 3");
+}
+
+#[test]
+fn all_engines_agree_on_count() {
+    let g = write_tmp("g2.txt", GRAPH);
+    let q = write_tmp("q2.txt", QUERY);
+    for engine in ["gm", "jm", "tm", "neo"] {
+        let out = bin()
+            .arg(&g)
+            .arg(&q)
+            .args(["--count", "--engine", engine])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{engine}: {out:?}");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert_eq!(stdout.trim(), "1", "{engine}");
+    }
+}
+
+#[test]
+fn stats_flag_reports_rig() {
+    let g = write_tmp("g3.txt", GRAPH);
+    let q = write_tmp("q3.txt", QUERY);
+    let out = bin().arg(&g).arg(&q).args(["--count", "--stats"]).output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("RIG:"), "{stderr}");
+    assert!(stderr.contains("sim passes"), "{stderr}");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let g = write_tmp("g4.txt", "v 0 0\nv 2 0\n"); // non-dense ids
+    let q = write_tmp("q4.txt", QUERY);
+    let out = bin().arg(&g).arg(&q).output().unwrap();
+    assert!(!out.status.success());
+    let missing = bin().arg("/nonexistent").arg(&q).output().unwrap();
+    assert!(!missing.status.success());
+    let unknown_engine =
+        bin().arg(&g).arg(&q).args(["--engine", "magic"]).output().unwrap();
+    assert!(!unknown_engine.status.success());
+}
+
+#[test]
+fn limit_and_order_flags() {
+    let g = write_tmp("g5.txt", GRAPH);
+    let q = write_tmp("q5.txt", QUERY);
+    for order in ["jo", "ri", "bj"] {
+        let out = bin()
+            .arg(&g)
+            .arg(&q)
+            .args(["--count", "--order", order, "--limit", "1"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{order}");
+        assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "1", "{order}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-engine agreement: GM, JM, TM, Neo4j-like (and where applicable
+//! GF/EH/RM/ISO) must produce identical occurrence counts on identical
+//! workloads — the fundamental correctness property behind every
+//! comparison table in §7.
+
+use rigmatch::baselines::{Budget, EhLike, Engine, GfLike, GmEngine, Jm, NeoLike, RmLike, Tm};
+use rigmatch::datasets::spec;
+use rigmatch::query::{template, Flavor};
+
+fn small_graph(name: &str, seed: u64) -> rigmatch::graph::DataGraph {
+    // ~300-node instances keep brute-force-ish baselines fast
+    let s = spec(name).unwrap();
+    s.generate((300.0 / s.nodes as f64).min(1.0), seed)
+}
+
+#[test]
+fn all_homomorphism_engines_agree_on_h_queries() {
+    let budget = Budget::unlimited();
+    for name in ["em", "ep"] {
+        let g = small_graph(name, 5);
+        let gm = GmEngine::new(&g);
+        let jm = Jm::new(&g);
+        let tm = Tm::new(&g);
+        let neo = NeoLike::new(&g);
+        for id in [0usize, 2, 6, 8, 11, 15] {
+            let q = template(id).instantiate_modulo(Flavor::H, g.num_labels());
+            let expect = gm.evaluate(&q, &budget).occurrences;
+            assert_eq!(jm.evaluate(&q, &budget).occurrences, expect, "{name} HQ{id} JM");
+            assert_eq!(tm.evaluate(&q, &budget).occurrences, expect, "{name} HQ{id} TM");
+            assert_eq!(neo.evaluate(&q, &budget).occurrences, expect, "{name} HQ{id} Neo");
+        }
+    }
+}
+
+#[test]
+fn direct_engines_agree_on_c_queries() {
+    let budget = Budget::unlimited();
+    let g = small_graph("ep", 9);
+    let gm = GmEngine::new(&g);
+    let gf = GfLike::new(&g);
+    let eh = EhLike::new(&g);
+    let rm = RmLike::new(&g);
+    for id in [0usize, 1, 6, 9, 11] {
+        let q = template(id).instantiate_modulo(Flavor::C, g.num_labels());
+        let expect = gm.evaluate(&q, &budget).occurrences;
+        assert_eq!(gf.evaluate(&q, &budget).occurrences, expect, "CQ{id} GF");
+        assert_eq!(eh.evaluate(&q, &budget).occurrences, expect, "CQ{id} EH");
+        assert_eq!(rm.evaluate(&q, &budget).occurrences, expect, "CQ{id} RM");
+    }
+}
+
+/// Flavor monotonicity: a direct edge is a strictly stronger constraint
+/// than a reachability edge, so count(C) ≤ count(H) ≤ count(D) for the
+/// same template structure.
+#[test]
+fn flavor_counts_are_monotone() {
+    let budget = Budget::unlimited();
+    let g = small_graph("em", 13);
+    let gm = GmEngine::new(&g);
+    for id in [0usize, 1, 2, 6, 7] {
+        let nl = g.num_labels();
+        let c = gm.evaluate(&template(id).instantiate_modulo(Flavor::C, nl), &budget);
+        let h = gm.evaluate(&template(id).instantiate_modulo(Flavor::H, nl), &budget);
+        let d = gm.evaluate(&template(id).instantiate_modulo(Flavor::D, nl), &budget);
+        assert!(c.occurrences <= h.occurrences, "HQ{id}: C > H");
+        assert!(h.occurrences <= d.occurrences, "HQ{id}: H > D");
+    }
+}
+
+/// ISO (injective) counts never exceed homomorphism counts.
+#[test]
+fn iso_bounded_by_homomorphism() {
+    use rigmatch::core::GmConfig;
+    use rigmatch::mjoin::EnumOptions;
+    let budget = Budget::unlimited();
+    let g = small_graph("ep", 21);
+    let gm = GmEngine::new(&g);
+    let iso = GmEngine::with_config(
+        &g,
+        GmConfig {
+            enumeration: EnumOptions { injective: true, ..Default::default() },
+            ..Default::default()
+        },
+        "ISO",
+    );
+    for id in [0usize, 2, 6, 11] {
+        let q = template(id).instantiate_modulo(Flavor::C, g.num_labels());
+        let homo = gm.evaluate(&q, &budget).occurrences;
+        let inj = iso.evaluate(&q, &budget).occurrences;
+        assert!(inj <= homo, "CQ{id}: iso {inj} > homo {homo}");
+    }
+}
+
+/// GM never materializes intermediate tuples; JM's intermediates meet or
+/// exceed its output (the asymmetry Fig. 8 exploits).
+#[test]
+fn intermediate_tuple_accounting() {
+    let budget = Budget::unlimited();
+    let g = small_graph("ep", 33);
+    let gm = GmEngine::new(&g);
+    let jm = Jm::new(&g);
+    let q = template(8).instantiate_modulo(Flavor::H, g.num_labels());
+    let rg = gm.evaluate(&q, &budget);
+    let rj = jm.evaluate(&q, &budget);
+    assert_eq!(rg.intermediate_tuples, 0);
+    assert!(rj.intermediate_tuples >= rj.occurrences);
+}
+
+/// The D-query-over-transitive-closure trick (§7.5): converting every
+/// reachability edge to a direct edge over the materialized closure graph
+/// yields the same counts as GM on the original graph.
+#[test]
+fn tc_conversion_preserves_d_query_answers() {
+    use rigmatch::query::{EdgeKind, PatternQuery};
+    use rigmatch::reach::TransitiveClosure;
+    let budget = Budget::unlimited();
+    let g = small_graph("em", 41);
+    let gm = GmEngine::new(&g);
+    let tc = TransitiveClosure::new(&g);
+    let tcg = tc.to_graph(&g);
+    let gm_tc = GmEngine::new(&tcg);
+    for id in [0usize, 1, 2, 6] {
+        let q = template(id).instantiate_modulo(Flavor::D, g.num_labels());
+        let mut qc = PatternQuery::new(q.labels().to_vec());
+        for e in q.edges() {
+            qc.add_edge(e.from, e.to, EdgeKind::Direct);
+        }
+        assert_eq!(
+            gm.evaluate(&q, &budget).occurrences,
+            gm_tc.evaluate(&qc, &budget).occurrences,
+            "DQ{id}"
+        );
+    }
+}
