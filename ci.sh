@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the rigmatch workspace.
+#
+#   ./ci.sh         build + tests + fmt + clippy + examples
+#   ./ci.sh quick   build + tests only
+#
+# Everything runs offline: the rand/proptest/criterion dependencies are the
+# vendored stand-ins under vendor/ (see vendor/README.md).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo build --release"
+cargo build --release
+
+step "cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" != "quick" ]]; then
+    step "cargo fmt --check"
+    cargo fmt --check
+
+    step "cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+
+    step "examples"
+    for example in quickstart citation_network money_laundering provenance_supply; do
+        echo "--- cargo run --release --example ${example}"
+        cargo run -q --release --example "${example}" > /dev/null
+    done
+fi
+
+step "OK"

@@ -131,11 +131,8 @@ impl<'g> EhLike<'g> {
     fn precompute(&self, query: &PatternQuery) -> Duration {
         let start = Instant::now();
         let mut tries: FxHashMap<(Label, Label), Vec<(NodeId, NodeId)>> = FxHashMap::default();
-        let wanted: std::collections::HashSet<(Label, Label)> = query
-            .edges()
-            .iter()
-            .map(|e| (query.label(e.from), query.label(e.to)))
-            .collect();
+        let wanted: std::collections::HashSet<(Label, Label)> =
+            query.edges().iter().map(|e| (query.label(e.from), query.label(e.to))).collect();
         for (u, v) in self.graph.edges() {
             let key = (self.graph.label(u), self.graph.label(v));
             if wanted.contains(&key) {

@@ -177,11 +177,7 @@ fn dp_plan(q: &PatternQuery, sizes: &[u64]) -> Vec<EdgeId> {
                 }
             }
             // crude selectivity: shared variable caps growth
-            let extension = if connected {
-                (sizes[e] as f64).sqrt()
-            } else {
-                sizes[e] as f64
-            };
+            let extension = if connected { (sizes[e] as f64).sqrt() } else { sizes[e] as f64 };
             let c = cost[mask as usize] * extension.max(1.0);
             let nm = (mask | bit) as usize;
             if c < cost[nm] {
@@ -271,10 +267,8 @@ impl Engine for Jm<'_> {
                         // both bound: semi-join filter
                         let set: rig_graph::FxHashSet<(NodeId, NodeId)> =
                             rel.iter().copied().collect();
-                        next = tuples
-                            .drain(..)
-                            .filter(|tu| set.contains(&(tu[fp], tu[tp])))
-                            .collect();
+                        next =
+                            tuples.drain(..).filter(|tu| set.contains(&(tu[fp], tu[tp]))).collect();
                     }
                     (Some(fp), None) => {
                         // hash rel on its from column
@@ -411,10 +405,7 @@ mod tests {
     fn jm_oom_on_tiny_budget() {
         let g = fig2_graph();
         let jm = Jm::new(&g);
-        let budget = Budget {
-            max_intermediate: Some(1),
-            ..Budget::unlimited()
-        };
+        let budget = Budget { max_intermediate: Some(1), ..Budget::unlimited() };
         let r = jm.evaluate(&fig2_query(), &budget);
         assert_eq!(r.status, RunStatus::MemoryExceeded);
     }
@@ -447,9 +438,7 @@ mod tests {
                 }
             }
             let g = b.build();
-            let mut q = PatternQuery::new(
-                (0..3).map(|_| rng.gen_range(0..3)).collect(),
-            );
+            let mut q = PatternQuery::new((0..3).map(|_| rng.gen_range(0..3)).collect());
             q.add_edge(0, 1, EdgeKind::Direct);
             q.add_edge(1, 2, EdgeKind::Reachability);
             if rng.gen_bool(0.5) {

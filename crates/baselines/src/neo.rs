@@ -95,7 +95,12 @@ impl Engine for NeoLike<'_> {
         for (step, e) in query.edges().iter().enumerate() {
             if let Some(d) = deadline {
                 if Instant::now() > d {
-                    return failure_report("Neo4j", RunStatus::Timeout, start.elapsed(), intermediate);
+                    return failure_report(
+                        "Neo4j",
+                        RunStatus::Timeout,
+                        start.elapsed(),
+                        intermediate,
+                    );
                 }
             }
             let lf = query.label(e.from);
@@ -179,9 +184,7 @@ impl Engine for NeoLike<'_> {
                                     .copied()
                                     .filter(|&u| g.label(u) == lf)
                                     .collect(),
-                                EdgeKind::Reachability => {
-                                    self.dfs_ancestors_with_label(tu[tp], lf)
-                                }
+                                EdgeKind::Reachability => self.dfs_ancestors_with_label(tu[tp], lf),
                             };
                             for u in exts {
                                 let mut nt = tu.clone();

@@ -48,9 +48,7 @@ impl<'g> Tm<'g> {
             }
         }
         let tree_set: std::collections::HashSet<EdgeId> = tree.iter().copied().collect();
-        let non_tree = (0..query.num_edges() as EdgeId)
-            .filter(|e| !tree_set.contains(e))
-            .collect();
+        let non_tree = (0..query.num_edges() as EdgeId).filter(|e| !tree_set.contains(e)).collect();
         (tree, non_tree)
     }
 }

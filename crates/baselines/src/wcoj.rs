@@ -149,11 +149,8 @@ impl State<'_> {
         let mut sets: Vec<Bitset> = Vec::with_capacity(cons.len());
         for &(pos, bound_is_source) in cons {
             let b = tuple[pos];
-            let adj = if bound_is_source {
-                self.g.out_neighbors(b)
-            } else {
-                self.g.in_neighbors(b)
-            };
+            let adj =
+                if bound_is_source { self.g.out_neighbors(b) } else { self.g.in_neighbors(b) };
             sets.push(Bitset::from_sorted_dedup(adj));
         }
         let refs: Vec<&Bitset> = std::iter::once(base).chain(sets.iter()).collect();

@@ -28,9 +28,7 @@ fn bench_bitset(c: &mut Criterion) {
     let b: Bitset = (0..100_000u32).filter(|v| v % 5 == 0).collect();
     let d: Bitset = (0..100_000u32).filter(|v| v % 7 == 0).collect();
     c.bench_function("bitset/and", |bench| bench.iter(|| a.and(&b)));
-    c.bench_function("bitset/multi_and", |bench| {
-        bench.iter(|| Bitset::multi_and(&[&a, &b, &d]))
-    });
+    c.bench_function("bitset/multi_and", |bench| bench.iter(|| Bitset::multi_and(&[&a, &b, &d])));
     c.bench_function("bitset/batch_iter", |bench| {
         bench.iter(|| {
             let mut it = a.batch_iter(256);
@@ -93,9 +91,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         )
     });
     let gm = GmEngine::new(&g);
-    c.bench_function("e2e/gm_hq6_warm_index", |bench| {
-        bench.iter(|| gm.evaluate(&q, &budget))
-    });
+    c.bench_function("e2e/gm_hq6_warm_index", |bench| bench.iter(|| gm.evaluate(&q, &budget)));
     let tm = Tm::new(&g);
     c.bench_function("e2e/tm_hq6", |bench| bench.iter(|| tm.evaluate(&q, &budget)));
     let jm = Jm::new(&g);

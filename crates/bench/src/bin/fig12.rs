@@ -12,9 +12,7 @@ use std::time::Instant;
 use rig_bench::{load, template_query, Args, Table};
 use rig_query::{EdgeKind, Flavor};
 use rig_reach::BflIndex;
-use rig_sim::{
-    double_simulation, DirectCheckMode, SimAlgorithm, SimContext, SimOptions,
-};
+use rig_sim::{double_simulation, DirectCheckMode, SimAlgorithm, SimContext, SimOptions};
 
 fn main() {
     let args = Args::parse();
@@ -29,8 +27,7 @@ fn main() {
         let q = template_query(&g, id, Flavor::C, args.seed);
         let ctx = SimContext::new(&g, &q, &bfl);
         let mut cells = vec![format!("CQ{id}")];
-        for mode in
-            [DirectCheckMode::BinSearch, DirectCheckMode::BitIter, DirectCheckMode::BitBat]
+        for mode in [DirectCheckMode::BinSearch, DirectCheckMode::BitIter, DirectCheckMode::BitBat]
         {
             let opts = SimOptions { direct_mode: mode, ..SimOptions::exact() };
             let t = Instant::now();
@@ -48,13 +45,10 @@ fn main() {
         let q = template_query(&g, id, Flavor::H, args.seed);
         let ctx = SimContext::new(&g, &q, &bfl);
         let mut cells = vec![format!("HQ{id}")];
-        for (alg, flags) in [
-            (SimAlgorithm::Basic, false),
-            (SimAlgorithm::Dag, false),
-            (SimAlgorithm::Dag, true),
-        ] {
-            let opts =
-                SimOptions { algorithm: alg, change_flags: flags, ..SimOptions::exact() };
+        for (alg, flags) in
+            [(SimAlgorithm::Basic, false), (SimAlgorithm::Dag, false), (SimAlgorithm::Dag, true)]
+        {
+            let opts = SimOptions { algorithm: alg, change_flags: flags, ..SimOptions::exact() };
             let t = Instant::now();
             let r = double_simulation(&ctx, &opts);
             std::hint::black_box(r.total_candidates());

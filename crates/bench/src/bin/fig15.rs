@@ -25,8 +25,7 @@ fn main() {
             "GM-NR",
         );
         let tm = Tm::new(&g);
-        let mut table =
-            Table::new(&["query", "edges", "reduced", "GM", "GM-NR", "TM", "matches"]);
+        let mut table = Table::new(&["query", "edges", "reduced", "GM", "GM-NR", "TM", "matches"]);
         for id in ids {
             let q = template_query_probed(&g, gm.matcher(), id, Flavor::D, args.seed);
             let reduced = transitive_reduction(&q);

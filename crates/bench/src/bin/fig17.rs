@@ -52,8 +52,7 @@ fn main() {
             let mut sums = [0.0f64; 3];
             let mut runs = 0;
             for rep in 0..3u64 {
-                let mut cfg =
-                    GeneratorConfig::new(n, Flavor::C, args.seed + rep * 131 + n as u64);
+                let mut cfg = GeneratorConfig::new(n, Flavor::C, args.seed + rep * 131 + n as u64);
                 if dense {
                     cfg = cfg.dense();
                 }

@@ -41,9 +41,15 @@ fn main() {
 
     // ---- (a) index build times ----
     let mut ta = Table::new(&["labels", "nodes", "BFL[s]", "TC[s]", "TC-pairs", "CAT[s]"]);
-    for (labels, nodes) in
-        [(5usize, 1000usize), (10, 1000), (15, 1000), (20, 1000), (20, 2000), (20, 3000), (20, 5000)]
-    {
+    for (labels, nodes) in [
+        (5usize, 1000usize),
+        (10, 1000),
+        (15, 1000),
+        (20, 1000),
+        (20, 2000),
+        (20, 3000),
+        (20, 5000),
+    ] {
         let g = email_fragment(nodes, labels, args.seed);
         let m = rig_core::Matcher::new(&g);
         let tc = TransitiveClosure::new(&g);
@@ -77,7 +83,8 @@ fn main() {
             let rg = gm.evaluate(&q, &budget);
             let rn = neo.evaluate(&q, &budget);
             // GF runs the direct-converted query on the closure graph
-            let rf = gf.evaluate(&reach_to_direct(&q), &Budget { timeout: budget.timeout, ..budget });
+            let rf =
+                gf.evaluate(&reach_to_direct(&q), &Budget { timeout: budget.timeout, ..budget });
             tb.row(vec![
                 format!("DQ{id}"),
                 labels.to_string(),

@@ -15,8 +15,9 @@ fn main() {
     let budget = args.budget();
     let ids = [2usize, 3, 4, 15, 18];
 
-    let mut table = Table::new(&["query", "em GM-RI", "em GM-JO", "em GM-BJ", "ep GM-RI",
-        "ep GM-JO", "ep GM-BJ"]);
+    let mut table = Table::new(&[
+        "query", "em GM-RI", "em GM-JO", "em GM-BJ", "ep GM-RI", "ep GM-JO", "ep GM-BJ",
+    ]);
     let em = load("em", &args);
     let ep = load("ep", &args);
     println!("# em: {:?}\n# ep: {:?}", em.stats(), ep.stats());

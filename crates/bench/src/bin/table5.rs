@@ -20,8 +20,7 @@ fn main() {
         let eh = EhLike::new(&g);
         let neo = NeoLike::new(&g);
         let gm = GmEngine::new(&g);
-        let mut table =
-            Table::new(&["query", "EH-probe", "EH", "Neo4j", "GM", "matches"]);
+        let mut table = Table::new(&["query", "EH-probe", "EH", "Neo4j", "GM", "matches"]);
         for id in ids {
             let q = template_query_probed(&g, gm.matcher(), id, Flavor::C, args.seed);
             let rp = eh_probe.evaluate(&q, &budget);

@@ -33,12 +33,7 @@ pub struct Args {
 
 impl Default for Args {
     fn default() -> Self {
-        Args {
-            scale: 0.02,
-            seed: 42,
-            timeout: Duration::from_secs(10),
-            limit: 1_000_000,
-        }
+        Args { scale: 0.02, seed: 42, timeout: Duration::from_secs(10), limit: 1_000_000 }
     }
 }
 
@@ -53,8 +48,7 @@ impl Args {
                 "--scale" => out.scale = argv[i + 1].parse().expect("bad --scale"),
                 "--seed" => out.seed = argv[i + 1].parse().expect("bad --seed"),
                 "--timeout" => {
-                    out.timeout =
-                        Duration::from_secs(argv[i + 1].parse().expect("bad --timeout"))
+                    out.timeout = Duration::from_secs(argv[i + 1].parse().expect("bad --timeout"))
                 }
                 "--limit" => out.limit = argv[i + 1].parse().expect("bad --limit"),
                 other => panic!("unknown flag {other}"),
@@ -130,8 +124,7 @@ pub fn template_query_probed(
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(id as u64));
     let mut last = t.instantiate_modulo(flavor, g.num_labels().max(1));
     for _ in 0..12 {
-        let labels: Vec<u32> =
-            (0..t.num_nodes).map(|_| top[rng.gen_range(0..top.len())]).collect();
+        let labels: Vec<u32> = (0..t.num_nodes).map(|_| top[rng.gen_range(0..top.len())]).collect();
         let q = t.instantiate(flavor, &labels);
         if matcher.count(&q, &probe_cfg).result.count > 0 {
             return q;

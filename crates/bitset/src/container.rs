@@ -71,9 +71,7 @@ impl Container {
     pub fn contains(&self, low: u16) -> bool {
         match self {
             Container::Array(a) => a.binary_search(&low).is_ok(),
-            Container::Bitmap { words, .. } => {
-                words[(low >> 6) as usize] & (1 << (low & 63)) != 0
-            }
+            Container::Bitmap { words, .. } => words[(low >> 6) as usize] & (1 << (low & 63)) != 0,
         }
     }
 
@@ -217,9 +215,7 @@ impl Container {
 
     pub fn and(&self, other: &Container) -> Container {
         match (self, other) {
-            (Container::Array(a), Container::Array(b)) => {
-                Container::Array(intersect_sorted(a, b))
-            }
+            (Container::Array(a), Container::Array(b)) => Container::Array(intersect_sorted(a, b)),
             (Container::Array(a), Container::Bitmap { words, .. })
             | (Container::Bitmap { words, .. }, Container::Array(a)) => Container::Array(
                 a.iter()
@@ -227,10 +223,7 @@ impl Container {
                     .filter(|&v| words[(v >> 6) as usize] & (1 << (v & 63)) != 0)
                     .collect(),
             ),
-            (
-                Container::Bitmap { words: wa, .. },
-                Container::Bitmap { words: wb, .. },
-            ) => {
+            (Container::Bitmap { words: wa, .. }, Container::Bitmap { words: wb, .. }) => {
                 let mut words = Box::new([0u64; BITMAP_WORDS]);
                 let mut len = 0u32;
                 for i in 0..BITMAP_WORDS {
@@ -267,10 +260,7 @@ impl Container {
                 }
                 Container::Bitmap { words: w2, len: l2 }
             }
-            (
-                Container::Bitmap { words: wa, .. },
-                Container::Bitmap { words: wb, .. },
-            ) => {
+            (Container::Bitmap { words: wa, .. }, Container::Bitmap { words: wb, .. }) => {
                 let mut words = Box::new([0u64; BITMAP_WORDS]);
                 let mut len = 0u32;
                 for i in 0..BITMAP_WORDS {
@@ -285,9 +275,7 @@ impl Container {
 
     pub fn and_not(&self, other: &Container) -> Container {
         match (self, other) {
-            (Container::Array(a), Container::Array(b)) => {
-                Container::Array(difference_sorted(a, b))
-            }
+            (Container::Array(a), Container::Array(b)) => Container::Array(difference_sorted(a, b)),
             (Container::Array(a), Container::Bitmap { words, .. }) => Container::Array(
                 a.iter()
                     .copied()
@@ -312,10 +300,7 @@ impl Container {
                     Container::Bitmap { words: w2, len }
                 }
             }
-            (
-                Container::Bitmap { words: wa, .. },
-                Container::Bitmap { words: wb, .. },
-            ) => {
+            (Container::Bitmap { words: wa, .. }, Container::Bitmap { words: wb, .. }) => {
                 let mut words = Box::new([0u64; BITMAP_WORDS]);
                 let mut len = 0u32;
                 for i in 0..BITMAP_WORDS {
@@ -334,18 +319,15 @@ impl Container {
 
     pub fn intersection_len(&self, other: &Container) -> u32 {
         match (self, other) {
-            (Container::Array(a), Container::Array(b)) => {
-                intersect_sorted_len(a, b)
-            }
+            (Container::Array(a), Container::Array(b)) => intersect_sorted_len(a, b),
             (Container::Array(a), Container::Bitmap { words, .. })
-            | (Container::Bitmap { words, .. }, Container::Array(a)) => a
-                .iter()
-                .filter(|&&v| words[(v >> 6) as usize] & (1 << (v & 63)) != 0)
-                .count() as u32,
-            (
-                Container::Bitmap { words: wa, .. },
-                Container::Bitmap { words: wb, .. },
-            ) => (0..BITMAP_WORDS).map(|i| (wa[i] & wb[i]).count_ones()).sum(),
+            | (Container::Bitmap { words, .. }, Container::Array(a)) => {
+                a.iter().filter(|&&v| words[(v >> 6) as usize] & (1 << (v & 63)) != 0).count()
+                    as u32
+            }
+            (Container::Bitmap { words: wa, .. }, Container::Bitmap { words: wb, .. }) => {
+                (0..BITMAP_WORDS).map(|i| (wa[i] & wb[i]).count_ones()).sum()
+            }
         }
     }
 
@@ -363,13 +345,12 @@ impl Container {
                 false
             }
             (Container::Array(a), Container::Bitmap { words, .. })
-            | (Container::Bitmap { words, .. }, Container::Array(a)) => a
-                .iter()
-                .any(|&v| words[(v >> 6) as usize] & (1 << (v & 63)) != 0),
-            (
-                Container::Bitmap { words: wa, .. },
-                Container::Bitmap { words: wb, .. },
-            ) => (0..BITMAP_WORDS).any(|i| wa[i] & wb[i] != 0),
+            | (Container::Bitmap { words, .. }, Container::Array(a)) => {
+                a.iter().any(|&v| words[(v >> 6) as usize] & (1 << (v & 63)) != 0)
+            }
+            (Container::Bitmap { words: wa, .. }, Container::Bitmap { words: wb, .. }) => {
+                (0..BITMAP_WORDS).any(|i| wa[i] & wb[i] != 0)
+            }
         }
     }
 }
@@ -377,18 +358,10 @@ impl Container {
 fn intersect_sorted(a: &[u16], b: &[u16]) -> Vec<u16> {
     // galloping when sizes are lopsided, merge otherwise
     if a.len() * 16 < b.len() {
-        return a
-            .iter()
-            .copied()
-            .filter(|v| b.binary_search(v).is_ok())
-            .collect();
+        return a.iter().copied().filter(|v| b.binary_search(v).is_ok()).collect();
     }
     if b.len() * 16 < a.len() {
-        return b
-            .iter()
-            .copied()
-            .filter(|v| a.binary_search(v).is_ok())
-            .collect();
+        return b.iter().copied().filter(|v| a.binary_search(v).is_ok()).collect();
     }
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0, 0);
@@ -509,11 +482,8 @@ mod tests {
         assert!(matches!(ca, Container::Bitmap { .. }));
         assert!(matches!(cb, Container::Array(_)));
 
-        let naive_and: Vec<u16> = sa
-            .iter()
-            .copied()
-            .filter(|v| sb.binary_search(v).is_ok())
-            .collect();
+        let naive_and: Vec<u16> =
+            sa.iter().copied().filter(|v| sb.binary_search(v).is_ok()).collect();
         let mut got = Vec::new();
         ca.and(&cb).append_values(0, &mut got);
         assert_eq!(got, naive_and.iter().map(|&v| v as u32).collect::<Vec<_>>());

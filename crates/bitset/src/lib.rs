@@ -531,10 +531,7 @@ mod tests {
         let a = Bitset::from_slice(&[1, 2, 3, 100_000, 100_001]);
         let b = Bitset::from_slice(&[2, 3, 4, 100_001, 200_000]);
         assert_eq!(a.and(&b).to_vec(), vec![2, 3, 100_001]);
-        assert_eq!(
-            a.or(&b).to_vec(),
-            vec![1, 2, 3, 4, 100_000, 100_001, 200_000]
-        );
+        assert_eq!(a.or(&b).to_vec(), vec![1, 2, 3, 4, 100_000, 100_001, 200_000]);
         assert_eq!(a.and_not(&b).to_vec(), vec![1, 100_000]);
         assert_eq!(a.intersection_len(&b), 3);
         assert!(a.intersects(&b));
@@ -556,10 +553,7 @@ mod tests {
         let b = Bitset::from_slice(&[2, 3, 4, 5, 6]);
         let c = Bitset::from_slice(&[3, 4, 5, 6, 7]);
         assert_eq!(Bitset::multi_and(&[&a, &b, &c]).to_vec(), vec![3, 4, 5]);
-        assert_eq!(
-            Bitset::multi_or(&[&a, &b, &c]).to_vec(),
-            vec![1, 2, 3, 4, 5, 6, 7]
-        );
+        assert_eq!(Bitset::multi_or(&[&a, &b, &c]).to_vec(), vec![1, 2, 3, 4, 5, 6, 7]);
         assert!(Bitset::multi_and(&[]).is_empty());
         assert_eq!(Bitset::multi_and(&[&a]).to_vec(), a.to_vec());
     }

@@ -102,3 +102,103 @@ proptest! {
         prop_assert_eq!(batched, set.iter().collect::<Vec<_>>());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Model tests for the mutating / auxiliary API surface not covered above:
+// in-place algebra, retain, clear, construction fast paths, rank/iter
+// round-trips through every mutation, and the visitor short-circuit.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn assign_ops_match_pure_ops(a in values(), b in values()) {
+        let sa = Bitset::from_slice(&a);
+        let sb = Bitset::from_slice(&b);
+
+        let mut and = sa.clone();
+        and.and_assign(&sb);
+        prop_assert_eq!(&and, &sa.and(&sb));
+
+        let mut or = sa.clone();
+        or.or_assign(&sb);
+        prop_assert_eq!(&or, &sa.or(&sb));
+
+        let mut not = sa.clone();
+        let removed = not.and_not_assign(&sb);
+        prop_assert_eq!(&not, &sa.and_not(&sb));
+        prop_assert_eq!(removed, sa.len() - not.len());
+    }
+
+    #[test]
+    fn construction_fast_paths_agree(vals in values()) {
+        let model: BTreeSet<u32> = vals.iter().copied().collect();
+        let sorted: Vec<u32> = model.iter().copied().collect();
+        let from_slice = Bitset::from_slice(&vals);
+        let from_sorted = Bitset::from_sorted_dedup(&sorted);
+        let collected: Bitset = vals.iter().copied().collect();
+        prop_assert_eq!(&from_slice, &from_sorted);
+        prop_assert_eq!(&from_slice, &collected);
+        prop_assert_eq!(from_slice.is_empty(), model.is_empty());
+    }
+
+    #[test]
+    fn full_range_matches_interval(n in 0u32..200_000) {
+        let set = Bitset::full_range(n);
+        prop_assert_eq!(set.len(), n as u64);
+        prop_assert_eq!(set.min(), if n == 0 { None } else { Some(0) });
+        prop_assert_eq!(set.max(), n.checked_sub(1));
+        // spot-check membership at the boundaries and interior
+        for probe in [0u32, n / 2, n.saturating_sub(1), n, n + 1] {
+            prop_assert_eq!(set.contains(probe), probe < n, "probe {}", probe);
+        }
+    }
+
+    #[test]
+    fn retain_and_clear_match_model(vals in values(), modulus in 2u32..7) {
+        let model: Vec<u32> =
+            vals.iter().copied().collect::<BTreeSet<u32>>().into_iter().filter(|v| v % modulus != 0).collect();
+        let mut set = Bitset::from_slice(&vals);
+        set.retain(|v| v % modulus != 0);
+        prop_assert_eq!(set.to_vec(), model);
+        set.clear();
+        prop_assert!(set.is_empty());
+        prop_assert_eq!(set.len(), 0);
+        prop_assert_eq!(set.iter().next(), None);
+    }
+
+    #[test]
+    fn rank_iter_round_trip(vals in values()) {
+        // rank(v) over members enumerates 0..len in iteration order, and
+        // rank(v + 1) == rank(v) + 1 — i.e. rank inverts iteration.
+        let set = Bitset::from_slice(&vals);
+        for (i, v) in set.iter().enumerate().take(200) {
+            prop_assert_eq!(set.rank(v), i as u64, "rank below member {}", v);
+            prop_assert_eq!(set.rank(v + 1), i as u64 + 1, "rank past member {}", v);
+        }
+    }
+
+    #[test]
+    fn multiway_intersection_nonempty_agrees(a in values(), b in values(), c in values()) {
+        let sa = Bitset::from_slice(&a);
+        let sb = Bitset::from_slice(&b);
+        let sc = Bitset::from_slice(&c);
+        let expect = !sa.and(&sb).and(&sc).is_empty();
+        prop_assert_eq!(rig_bitset::intersection_nonempty(&sa, &[&sb, &sc]), expect);
+    }
+
+    #[test]
+    fn visitor_short_circuits(a in values(), b in values(), stop_after in 0usize..64) {
+        let sa = Bitset::from_slice(&a);
+        let sb = Bitset::from_slice(&b);
+        let full = sa.and(&sb).to_vec();
+        let mut got = Vec::new();
+        rig_bitset::for_each_in_intersection(&sa, &[&sb], |v| {
+            got.push(v);
+            got.len() <= stop_after
+        });
+        let expect_len = full.len().min(stop_after + 1);
+        prop_assert_eq!(&got[..], &full[..expect_len]);
+    }
+}

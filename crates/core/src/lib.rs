@@ -84,11 +84,7 @@ impl QueryOutcome {
     pub fn report(&self, engine: &str) -> RunReport {
         RunReport {
             engine: engine.to_string(),
-            status: if self.result.timed_out {
-                RunStatus::Timeout
-            } else {
-                RunStatus::Completed
-            },
+            status: if self.result.timed_out { RunStatus::Timeout } else { RunStatus::Completed },
             occurrences: self.result.count,
             total_time: self.metrics.total_time,
             matching_time: self.metrics.matching_time(),
@@ -177,13 +173,7 @@ impl<'g> Matcher<'g> {
         // 4–5. ordering + enumeration (Alg. 5)
         let order_start = Instant::now();
         let result = if rig.is_empty() {
-            EnumResult {
-                count: 0,
-                timed_out: false,
-                limit_hit: false,
-                order: Vec::new(),
-                steps: 0,
-            }
+            EnumResult { count: 0, timed_out: false, limit_hit: false, order: Vec::new(), steps: 0 }
         } else {
             enumerate(query_ref, &rig, &cfg.enumeration, visit)
         };
@@ -207,12 +197,7 @@ impl<'g> Matcher<'g> {
     /// Counts occurrences with `threads` parallel workers (§6 future work;
     /// partitions the first search-order node's candidates). Falls back to
     /// sequential counting when a match limit is configured.
-    pub fn par_count(
-        &self,
-        query: &PatternQuery,
-        cfg: &GmConfig,
-        threads: usize,
-    ) -> QueryOutcome {
+    pub fn par_count(&self, query: &PatternQuery, cfg: &GmConfig, threads: usize) -> QueryOutcome {
         let total_start = Instant::now();
         let red_start = Instant::now();
         let reduced_storage;
@@ -230,13 +215,7 @@ impl<'g> Matcher<'g> {
         let rig = build_rig(&ctx, &self.bfl, &cfg.rig);
         let enum_start = Instant::now();
         let result = if rig.is_empty() {
-            EnumResult {
-                count: 0,
-                timed_out: false,
-                limit_hit: false,
-                order: Vec::new(),
-                steps: 0,
-            }
+            EnumResult { count: 0, timed_out: false, limit_hit: false, order: Vec::new(), steps: 0 }
         } else {
             rig_mjoin::par_count(query_ref, &rig, &cfg.enumeration, threads)
         };
@@ -342,10 +321,7 @@ mod tests {
         q.add_edge(0, 2, EdgeKind::Reachability); // redundant
         let with = m.count(&q, &GmConfig::exact());
         assert_eq!(with.metrics.edges_reduced, 1);
-        let without = m.count(
-            &q,
-            &GmConfig { skip_reduction: true, ..GmConfig::exact() },
-        );
+        let without = m.count(&q, &GmConfig { skip_reduction: true, ..GmConfig::exact() });
         assert_eq!(without.metrics.edges_reduced, 0);
         // identical answers either way (equivalence of the reduction)
         assert_eq!(with.result.count, without.result.count);

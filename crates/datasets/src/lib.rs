@@ -193,9 +193,6 @@ mod tests {
         let er = erdos_renyi(2000, 10_000, 5);
         let max_sf = (0..2000u32).map(|v| sf.in_degree(v)).max().unwrap();
         let max_er = (0..2000u32).map(|v| er.in_degree(v)).max().unwrap();
-        assert!(
-            max_sf > 2 * max_er,
-            "scale-free max in-degree {max_sf} vs ER {max_er}"
-        );
+        assert!(max_sf > 2 * max_er, "scale-free max in-degree {max_sf} vs ER {max_er}");
     }
 }

@@ -101,18 +101,12 @@ impl DataGraph {
 
     /// Human-readable name of `label`, if one was supplied at build time.
     pub fn label_name(&self, label: Label) -> &str {
-        self.label_names
-            .get(label as usize)
-            .map(|s| s.as_str())
-            .unwrap_or("")
+        self.label_names.get(label as usize).map(|s| s.as_str()).unwrap_or("")
     }
 
     /// Resolves a label name back to its id.
     pub fn label_id(&self, name: &str) -> Option<Label> {
-        self.label_names
-            .iter()
-            .position(|n| n == name)
-            .map(|i| i as Label)
+        self.label_names.iter().position(|n| n == name).map(|i| i as Label)
     }
 
     /// Sorted out-neighbors of `v` (the forward adjacency list `adjf`).
@@ -268,10 +262,7 @@ impl DataGraph {
         for (v, &l) in labels.iter().enumerate() {
             inverted[l as usize].push(v as NodeId);
         }
-        let inverted_bits = inverted
-            .iter()
-            .map(|list| Bitset::from_sorted_dedup(list))
-            .collect();
+        let inverted_bits = inverted.iter().map(|list| Bitset::from_sorted_dedup(list)).collect();
         let mut names = label_names;
         names.resize(num_labels, String::new());
         DataGraph {
@@ -416,7 +407,7 @@ mod tests {
         let adj = g.build_adjacency_bitmaps();
         assert_eq!(adj.fwd[1].to_vec(), vec![3, 7]);
         let sources = Bitset::from_slice(&[1, 2]); // a1, a2
-        // union of children of a1 and a2 = {b0, c0, b2, c2}
+                                                   // union of children of a1 and a2 = {b0, c0, b2, c2}
         assert_eq!(adj.union_fwd(&sources).to_vec(), vec![3, 5, 7, 9]);
         let sinks = Bitset::from_slice(&[7]); // c0
         assert_eq!(adj.union_bwd(&sinks).to_vec(), vec![1, 4, 8]);

@@ -24,10 +24,8 @@ impl GraphStats {
             max_out = max_out.max(g.out_degree(v));
             max_in = max_in.max(g.in_degree(v));
         }
-        let max_inv = (0..g.num_labels())
-            .map(|l| g.nodes_with_label(l as u32).len())
-            .max()
-            .unwrap_or(0);
+        let max_inv =
+            (0..g.num_labels()).map(|l| g.nodes_with_label(l as u32).len()).max().unwrap_or(0);
         GraphStats {
             nodes: g.num_nodes(),
             edges: g.num_edges(),

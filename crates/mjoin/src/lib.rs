@@ -95,13 +95,8 @@ fn enumerate_inner(
     mut visit: impl FnMut(&[NodeId]) -> bool,
 ) -> EnumResult {
     let order = compute_order(query, rig, opts.order);
-    let mut result = EnumResult {
-        count: 0,
-        timed_out: false,
-        limit_hit: false,
-        order: order.clone(),
-        steps: 0,
-    };
+    let mut result =
+        EnumResult { count: 0, timed_out: false, limit_hit: false, order: order.clone(), steps: 0 };
     if rig.is_empty() || query.num_nodes() == 0 {
         return result;
     }
@@ -320,12 +315,7 @@ mod tests {
         let q = fig2_query();
         let rig = rig_for(&g, &q);
         for order in [SearchOrder::Jo, SearchOrder::Ri, SearchOrder::Bj] {
-            let (tuples, r) = collect(
-                &q,
-                &rig,
-                &EnumOptions { order, ..Default::default() },
-                100,
-            );
+            let (tuples, r) = collect(&q, &rig, &EnumOptions { order, ..Default::default() }, 100);
             let mut sorted = tuples.clone();
             sorted.sort();
             assert_eq!(sorted, vec![vec![1, 3, 7], vec![2, 5, 9]], "{order:?}");
@@ -458,8 +448,7 @@ mod tests {
         let q = fig2_query();
         let rig = rig_for(&g, &q);
         for order in [SearchOrder::Jo, SearchOrder::Ri] {
-            let (tuples, _) =
-                collect(&q, &rig, &EnumOptions { order, ..Default::default() }, 10);
+            let (tuples, _) = collect(&q, &rig, &EnumOptions { order, ..Default::default() }, 10);
             for t in &tuples {
                 assert_eq!(g.label(t[0]), 0, "{order:?}"); // A slot holds an a-node
                 assert_eq!(g.label(t[1]), 1);

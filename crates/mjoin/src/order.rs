@@ -58,9 +58,7 @@ fn jo_order(query: &PatternQuery, rig: &Rig) -> Vec<QNode> {
     let mut order: Vec<QNode> = Vec::with_capacity(n);
     let mut used = vec![false; n];
     // start node: smallest candidate set (ties by id for determinism)
-    let start = (0..n as QNode)
-        .min_by_key(|&q| (rig.cos_len(q), q))
-        .expect("non-empty query");
+    let start = (0..n as QNode).min_by_key(|&q| (rig.cos_len(q), q)).expect("non-empty query");
     order.push(start);
     used[start as usize] = true;
     while order.len() < n {
@@ -150,8 +148,7 @@ fn bj_order(query: &PatternQuery, rig: &Rig) -> Vec<QNode> {
                 // allow Cartesian only as a last resort (final node)
                 let any_connected_choice = (0..n as QNode).any(|r| {
                     let rb = 1u32 << r;
-                    mask & rb == 0
-                        && query.neighbors(r).any(|(nb, _, _)| mask & (1 << nb) != 0)
+                    mask & rb == 0 && query.neighbors(r).any(|(nb, _, _)| mask & (1 << nb) != 0)
                 });
                 if any_connected_choice {
                     continue;

@@ -34,29 +34,19 @@ pub fn par_count(
         return count(query, rig, opts);
     }
     let chunk = root_values.len().div_ceil(threads);
-    let slices: Vec<Bitset> = root_values
-        .chunks(chunk)
-        .map(Bitset::from_sorted_dedup)
-        .collect();
+    let slices: Vec<Bitset> = root_values.chunks(chunk).map(Bitset::from_sorted_dedup).collect();
 
-    let results: Vec<EnumResult> = crossbeam::scope(|scope| {
+    let results: Vec<EnumResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = slices
             .iter()
             .map(|slice| {
-                scope.spawn(move |_| enumerate_restricted(query, rig, opts, slice, |_| true))
+                scope.spawn(move || enumerate_restricted(query, rig, opts, slice, |_| true))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("crossbeam scope");
+    });
 
-    let mut merged = EnumResult {
-        count: 0,
-        timed_out: false,
-        limit_hit: false,
-        order,
-        steps: 0,
-    };
+    let mut merged = EnumResult { count: 0, timed_out: false, limit_hit: false, order, steps: 0 };
     for r in results {
         merged.count += r.count;
         merged.steps += r.steps;

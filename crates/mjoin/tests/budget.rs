@@ -42,10 +42,7 @@ fn timeout_interrupts_explosive_enumeration() {
     let bfl = BflIndex::new(&g);
     let ctx = SimContext::new(&g, &q, &bfl);
     let rig = build_rig(&ctx, &bfl, &RigOptions::default());
-    let opts = EnumOptions {
-        timeout: Some(Duration::from_millis(50)),
-        ..Default::default()
-    };
+    let opts = EnumOptions { timeout: Some(Duration::from_millis(50)), ..Default::default() };
     let start = std::time::Instant::now();
     let r = count(&q, &rig, &opts);
     assert!(r.timed_out, "must hit the wall-clock budget");

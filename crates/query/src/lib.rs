@@ -170,12 +170,10 @@ impl PatternQuery {
     /// Neighbors of `q` in the *undirected* sense together with the edge id
     /// and direction (`true` = outgoing).
     pub fn neighbors(&self, q: QNode) -> impl Iterator<Item = (QNode, EdgeId, bool)> + '_ {
-        let out = self.out_adj[q as usize]
-            .iter()
-            .map(move |&e| (self.edges[e as usize].to, e, true));
-        let inn = self.in_adj[q as usize]
-            .iter()
-            .map(move |&e| (self.edges[e as usize].from, e, false));
+        let out =
+            self.out_adj[q as usize].iter().map(move |&e| (self.edges[e as usize].to, e, true));
+        let inn =
+            self.in_adj[q as usize].iter().map(move |&e| (self.edges[e as usize].from, e, false));
         out.chain(inn)
     }
 
@@ -210,8 +208,7 @@ impl PatternQuery {
     pub fn topological_order(&self) -> Option<Vec<QNode>> {
         let n = self.num_nodes();
         let mut indeg: Vec<usize> = (0..n).map(|q| self.in_adj[q].len()).collect();
-        let mut queue: Vec<QNode> =
-            (0..n as QNode).filter(|&q| indeg[q as usize] == 0).collect();
+        let mut queue: Vec<QNode> = (0..n as QNode).filter(|&q| indeg[q as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(q) = queue.pop() {
             order.push(q);
@@ -274,9 +271,8 @@ impl PatternQuery {
             }
         }
         let back_set: std::collections::HashSet<EdgeId> = back.iter().copied().collect();
-        let dag: Vec<EdgeId> = (0..self.edges.len() as EdgeId)
-            .filter(|e| !back_set.contains(e))
-            .collect();
+        let dag: Vec<EdgeId> =
+            (0..self.edges.len() as EdgeId).filter(|e| !back_set.contains(e)).collect();
         (dag, back)
     }
 
@@ -352,10 +348,7 @@ impl PatternQuery {
 
     /// Count of reachability edges.
     pub fn reachability_edge_count(&self) -> usize {
-        self.edges
-            .iter()
-            .filter(|e| e.kind == EdgeKind::Reachability)
-            .count()
+        self.edges.iter().filter(|e| e.kind == EdgeKind::Reachability).count()
     }
 
     /// True iff `v` is reachable from `u` through pattern edges of any kind
@@ -464,9 +457,7 @@ mod tests {
     fn topological_order_and_cycles() {
         let q = fig2_query();
         let topo = q.topological_order().unwrap();
-        let pos: Vec<usize> = (0..3)
-            .map(|v| topo.iter().position(|&x| x == v).unwrap())
-            .collect();
+        let pos: Vec<usize> = (0..3).map(|v| topo.iter().position(|&x| x == v).unwrap()).collect();
         assert!(pos[0] < pos[1] && pos[0] < pos[2] && pos[1] < pos[2]);
 
         let mut cyc = PatternQuery::new(vec![0, 0]);

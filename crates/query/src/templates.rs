@@ -140,42 +140,66 @@ static TEMPLATES: [Template; 20] = [
         8,
         Combo,
         [
-            (0, 1), (0, 2), (1, 3), (2, 3), (1, 4), (2, 5), (4, 5), (4, 6), (5, 7),
-            (6, 7), (3, 6), (3, 7)
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (1, 4),
+            (2, 5),
+            (4, 5),
+            (4, 6),
+            (5, 7),
+            (6, 7),
+            (3, 6),
+            (3, 7)
         ]
     ),
     // HQ15: 7 nodes, 9 edges (rank 3)
-    tpl!(
-        15,
-        7,
-        Combo,
-        [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6), (0, 3)]
-    ),
+    tpl!(15, 7, Combo, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6), (0, 3)]),
     // HQ16: 9 nodes, 13 edges (rank 5)
     tpl!(
         16,
         9,
         Combo,
         [
-            (0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (4, 6), (5, 6), (6, 7),
-            (6, 8), (7, 8), (2, 5), (1, 4)
+            (0, 1),
+            (0, 2),
+            (1, 3),
+            (2, 3),
+            (3, 4),
+            (3, 5),
+            (4, 6),
+            (5, 6),
+            (6, 7),
+            (6, 8),
+            (7, 8),
+            (2, 5),
+            (1, 4)
         ]
     ),
     // HQ17: 8 nodes, 2 cycles
-    tpl!(
-        17,
-        8,
-        Cyclic,
-        [(0, 1), (1, 2), (2, 3), (0, 3), (3, 4), (4, 5), (5, 6), (4, 7), (6, 7)]
-    ),
+    tpl!(17, 8, Cyclic, [(0, 1), (1, 2), (2, 3), (0, 3), (3, 4), (4, 5), (5, 6), (4, 7), (6, 7)]),
     // HQ18: 6-clique
     tpl!(
         18,
         6,
         Clique,
         [
-            (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (1, 3), (1, 4), (1, 5),
-            (2, 3), (2, 4), (2, 5), (3, 4), (3, 5), (4, 5)
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (1, 5),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (3, 4),
+            (3, 5),
+            (4, 5)
         ]
     ),
     // HQ19: 7-clique (§7.2: "the 7-clique query HQ19")
@@ -184,9 +208,27 @@ static TEMPLATES: [Template; 20] = [
         7,
         Clique,
         [
-            (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (1, 2), (1, 3), (1, 4),
-            (1, 5), (1, 6), (2, 3), (2, 4), (2, 5), (2, 6), (3, 4), (3, 5), (3, 6),
-            (4, 5), (4, 6), (5, 6)
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (0, 6),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (1, 5),
+            (1, 6),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+            (2, 6),
+            (3, 4),
+            (3, 5),
+            (3, 6),
+            (4, 5),
+            (4, 6),
+            (5, 6)
         ]
     ),
 ];

@@ -61,14 +61,12 @@ impl Condensation {
                         on_stack[w as usize] = true;
                         call.push((w, 0));
                     } else if on_stack[w as usize] {
-                        lowlink[v as usize] =
-                            lowlink[v as usize].min(index[w as usize]);
+                        lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
                     }
                 } else {
                     call.pop();
                     if let Some(&mut (p, _)) = call.last_mut() {
-                        lowlink[p as usize] =
-                            lowlink[p as usize].min(lowlink[v as usize]);
+                        lowlink[p as usize] = lowlink[p as usize].min(lowlink[v as usize]);
                     }
                     if lowlink[v as usize] == index[v as usize] {
                         loop {
@@ -166,9 +164,8 @@ mod tests {
         assert_eq!(c.count, 3);
         assert!(c.nontrivial.iter().all(|&b| !b));
         // topo order respects edges
-        let pos: Vec<usize> = (0..3)
-            .map(|v| c.topo.iter().position(|&x| x == c.comp[v]).unwrap())
-            .collect();
+        let pos: Vec<usize> =
+            (0..3).map(|v| c.topo.iter().position(|&x| x == c.comp[v]).unwrap()).collect();
         assert!(pos[0] < pos[1] && pos[1] < pos[2]);
     }
 

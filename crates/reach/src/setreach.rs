@@ -77,10 +77,8 @@ mod tests {
             let desc = descendants_of_set(&g, &sources);
             let anc = ancestors_of_set(&g, &sources);
             for v in 0..50u32 {
-                let expect_desc =
-                    sources.iter().any(|s| naive_reaches(&g, s, v));
-                let expect_anc =
-                    sources.iter().any(|s| naive_reaches(&g, v, s));
+                let expect_desc = sources.iter().any(|s| naive_reaches(&g, s, v));
+                let expect_anc = sources.iter().any(|s| naive_reaches(&g, v, s));
                 assert_eq!(desc.contains(v), expect_desc, "seed={seed} v={v} desc");
                 assert_eq!(anc.contains(v), expect_anc, "seed={seed} v={v} anc");
             }

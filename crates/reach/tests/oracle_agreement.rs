@@ -64,3 +64,102 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential tests against the remaining oracles: random *DAGs* (the
+// strategy above freely generates cycles), and the DFS-interval index on the
+// SCC condensation, whose negative cut and positive hit must both be sound
+// with respect to the materialized transitive closure.
+// ---------------------------------------------------------------------------
+
+fn dag_strategy() -> impl Strategy<Value = rig_graph::DataGraph> {
+    (2usize..40, prop::collection::vec((0u32..40, 0u32..40), 0..120)).prop_map(|(n, edges)| {
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_node(0);
+        }
+        for (u, v) in edges {
+            let (u, v) = (u % n as u32, v % n as u32);
+            // only forward edges in node order -> guaranteed acyclic
+            if u < v {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bfl_equals_transitive_closure_on_dags(g in dag_strategy()) {
+        let bfl = BflIndex::new(&g);
+        let tc = TransitiveClosure::new(&g);
+        for u in 0..g.num_nodes() as NodeId {
+            // on a DAG no node lies on a cycle, so nothing reaches itself
+            prop_assert!(!bfl.reaches(u, u));
+            for v in 0..g.num_nodes() as NodeId {
+                prop_assert_eq!(bfl.reaches(u, v), tc.reaches(u, v), "u={} v={}", u, v);
+            }
+        }
+    }
+
+    /// The DFS-interval labels on the condensation are a sound oracle: the
+    /// negative cut never discards a reachable pair and the positive hit
+    /// never invents one (checked on cyclic inputs, SCC-condensed).
+    #[test]
+    fn interval_oracle_sound_wrt_transitive_closure(g in graph_strategy()) {
+        let bfl = BflIndex::new(&g);
+        let tc = TransitiveClosure::new(&g);
+        let cond = bfl.condensation();
+        let intervals = bfl.intervals();
+        for u in 0..g.num_nodes() as NodeId {
+            for v in 0..g.num_nodes() as NodeId {
+                let (cu, cv) = (cond.component(u), cond.component(v));
+                if cu == cv {
+                    // intra-SCC pairs bypass the interval index entirely:
+                    // reachable iff the component actually contains a cycle
+                    let expect = cond.nontrivial[cu as usize];
+                    prop_assert_eq!(tc.reaches(u, v), expect, "intra-SCC u={} v={}", u, v);
+                    continue;
+                }
+                if intervals.cannot_reach(cu, cv) {
+                    prop_assert!(!tc.reaches(u, v), "negative cut lied: u={} v={}", u, v);
+                }
+                if intervals.tree_descendant(cu, cv) {
+                    prop_assert!(tc.reaches(u, v), "positive hit lied: u={} v={}", u, v);
+                }
+            }
+        }
+    }
+
+    /// On DAGs the early-termination order is usable: candidates sorted by
+    /// `begin` put every tree descendant of `u` before the first candidate
+    /// with `begin > u.end`, so stopping there loses nothing.
+    #[test]
+    fn early_termination_cut_complete_on_dags(g in dag_strategy()) {
+        let bfl = BflIndex::new(&g);
+        let tc = TransitiveClosure::new(&g);
+        let cond = bfl.condensation();
+        let intervals = bfl.intervals();
+        let mut nodes: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+        intervals.sort_nodes_by_begin(cond, &mut nodes);
+        for u in 0..g.num_nodes() as NodeId {
+            let cu = cond.component(u) as usize;
+            let mut past_cut = false;
+            for &v in &nodes {
+                let cv = cond.component(v) as usize;
+                if intervals.begin[cv] > intervals.end[cu] {
+                    past_cut = true;
+                }
+                if past_cut {
+                    prop_assert!(
+                        !tc.reaches(u, v),
+                        "reachable candidate after the begin>end cut: u={} v={}", u, v
+                    );
+                }
+            }
+        }
+    }
+}

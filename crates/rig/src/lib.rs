@@ -247,8 +247,7 @@ fn expand_edge(
             let mut fwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
             let mut bwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
             for u in rig.cos[p].iter() {
-                let succ =
-                    Bitset::from_sorted_dedup(ctx.graph.out_neighbors(u)).and(&rig.cos[q]);
+                let succ = Bitset::from_sorted_dedup(ctx.graph.out_neighbors(u)).and(&rig.cos[q]);
                 if succ.is_empty() {
                     continue;
                 }
@@ -261,9 +260,7 @@ fn expand_edge(
             rig.bwd[eid as usize] = bwd;
         }
         EdgeKind::Reachability => match opts.reach_expand {
-            ReachExpandMode::PairwiseBfl => {
-                expand_reach_pairwise(ctx, bfl, opts, rig, eid, p, q)
-            }
+            ReachExpandMode::PairwiseBfl => expand_reach_pairwise(ctx, bfl, opts, rig, eid, p, q),
             ReachExpandMode::PrunedDfs => expand_reach_dfs(ctx, rig, eid, p, q),
         },
     }
@@ -301,10 +298,9 @@ fn expand_reach_pairwise(
                     break; // all later candidates are unreachable from u
                 }
             }
-            if (u != v || cond.nontrivial[cu as usize])
-                && ctx.reach.reaches(u, v) {
-                    succ.insert(v);
-                }
+            if (u != v || cond.nontrivial[cu as usize]) && ctx.reach.reaches(u, v) {
+                succ.insert(v);
+            }
         }
         if succ.is_empty() {
             continue;
@@ -400,7 +396,7 @@ mod tests {
         assert_eq!(rig.cos[0].to_vec(), vec![1, 2]); // {a1, a2}
         assert_eq!(rig.cos[1].to_vec(), vec![3, 5]); // {b0, b2}
         assert_eq!(rig.cos[2].to_vec(), vec![7, 9]); // {c0, c2}
-        // edge (A,B) direct
+                                                     // edge (A,B) direct
         assert_eq!(rig.successors(0, 1).unwrap().to_vec(), vec![3]);
         assert_eq!(rig.successors(0, 2).unwrap().to_vec(), vec![5]);
         // edge (A,C) direct
@@ -427,9 +423,7 @@ mod tests {
         let g = fig2_graph();
         let q = fig2_query();
         let refined = build(&g, &q, &RigOptions::exact());
-        for select in
-            [SelectMode::MatchSets, SelectMode::PrefilterOnly, SelectMode::SimOnly]
-        {
+        for select in [SelectMode::MatchSets, SelectMode::PrefilterOnly, SelectMode::SimOnly] {
             let opts = RigOptions { select, ..RigOptions::exact() };
             let r = build(&g, &q, &opts);
             for i in 0..q.num_nodes() {
@@ -459,10 +453,7 @@ mod tests {
             let b = build(
                 &g,
                 &q,
-                &RigOptions {
-                    reach_expand: ReachExpandMode::PrunedDfs,
-                    ..RigOptions::exact()
-                },
+                &RigOptions { reach_expand: ReachExpandMode::PrunedDfs, ..RigOptions::exact() },
             );
             assert_eq!(a.stats.edge_count, b.stats.edge_count, "early={early}");
             for u in a.cos[1].iter() {
@@ -497,15 +488,11 @@ mod tests {
     fn match_rig_is_largest() {
         let g = fig2_graph();
         let q = fig2_query();
-        let m =
-            build(&g, &q, &RigOptions { select: SelectMode::MatchSets, ..RigOptions::exact() });
+        let m = build(&g, &q, &RigOptions { select: SelectMode::MatchSets, ..RigOptions::exact() });
         // match sets: 3 a's + 4 b's + 3 c's
         assert_eq!(m.stats.node_count, 10);
         // (A,B) matches: a1->b0, a2->b2, a0->b1 = 3 edges
-        assert_eq!(
-            m.fwd[0].values().map(|s| s.len()).sum::<u64>(),
-            3
-        );
+        assert_eq!(m.fwd[0].values().map(|s| s.len()).sum::<u64>(), 3);
     }
 
     #[test]

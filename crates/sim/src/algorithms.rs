@@ -130,9 +130,7 @@ impl<'c, 'a> Runner<'c, 'a> {
     fn run_dag(&mut self, edges: &[EdgeId]) {
         let in_set: std::collections::HashSet<EdgeId> = edges.iter().copied().collect();
         let sub = self.ctx.query.with_edges(edges);
-        let topo = sub
-            .topological_order()
-            .expect("run_dag requires an acyclic edge subset");
+        let topo = sub.topological_order().expect("run_dag requires an acyclic edge subset");
         let nq = self.ctx.query.num_nodes();
         // last-seen input versions for the change-flag optimization
         let mut seen_fwd = vec![u64::MAX; nq];
@@ -246,11 +244,11 @@ impl<'c, 'a> Runner<'c, 'a> {
 mod tests {
     use super::*;
     use crate::{DirectCheckMode, ReachCheckMode};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use rig_graph::{DataGraph, GraphBuilder, NodeId};
     use rig_query::{EdgeKind, PatternQuery};
     use rig_reach::BflIndex;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     /// Naive reference: pairwise fixpoint straight from Def. 1.
     fn naive_fb(g: &DataGraph, q: &PatternQuery) -> Vec<Vec<NodeId>> {
@@ -259,9 +257,7 @@ mod tests {
         let mut s: Vec<Vec<NodeId>> = q
             .labels()
             .iter()
-            .map(|&l| {
-                (0..g.num_nodes() as NodeId).filter(|&v| g.label(v) == l).collect()
-            })
+            .map(|&l| (0..g.num_nodes() as NodeId).filter(|&v| g.label(v) == l).collect())
             .collect();
         let matches = |e: rig_query::PatternEdge, u: NodeId, v: NodeId| match e.kind {
             EdgeKind::Direct => g.has_edge(u, v),
@@ -305,9 +301,7 @@ mod tests {
     fn random_pattern(labels: u32, seed: u64) -> PatternQuery {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
         let n = rng.gen_range(2..6usize);
-        let mut q = PatternQuery::new(
-            (0..n).map(|_| rng.gen_range(0..labels)).collect(),
-        );
+        let mut q = PatternQuery::new((0..n).map(|_| rng.gen_range(0..labels)).collect());
         // spanning chain for connectivity, then random extra edges
         for i in 1..n as u32 {
             let kind = if rng.gen_bool(0.5) { EdgeKind::Direct } else { EdgeKind::Reachability };
@@ -337,13 +331,9 @@ mod tests {
             let expect = naive_fb(&g, &q);
             let reach = BflIndex::new(&g);
             let ctx = SimContext::new(&g, &q, &reach);
-            for algorithm in
-                [SimAlgorithm::Basic, SimAlgorithm::Dag, SimAlgorithm::DagDelta]
-            {
+            for algorithm in [SimAlgorithm::Basic, SimAlgorithm::Dag, SimAlgorithm::DagDelta] {
                 for direct_mode in [DirectCheckMode::BitBat, DirectCheckMode::BinSearch] {
-                    for reach_mode in
-                        [ReachCheckMode::BfsSets, ReachCheckMode::PairwiseIndex]
-                    {
+                    for reach_mode in [ReachCheckMode::BfsSets, ReachCheckMode::PairwiseIndex] {
                         for change_flags in [false, true] {
                             let opts = SimOptions {
                                 algorithm,

@@ -177,8 +177,7 @@ mod tests {
         let q = ab_query(EdgeKind::Direct);
         let reach = BflIndex::new(&g);
         let ctx = SimContext::new(&g, &q, &reach);
-        for mode in
-            [DirectCheckMode::BinSearch, DirectCheckMode::BitIter, DirectCheckMode::BitBat]
+        for mode in [DirectCheckMode::BinSearch, DirectCheckMode::BitIter, DirectCheckMode::BitBat]
         {
             let opts = SimOptions { direct_mode: mode, ..SimOptions::default() };
             let mut fb = ctx.match_sets();
@@ -194,8 +193,7 @@ mod tests {
         let q = ab_query(EdgeKind::Direct);
         let reach = BflIndex::new(&g);
         let ctx = SimContext::new(&g, &q, &reach);
-        for mode in
-            [DirectCheckMode::BinSearch, DirectCheckMode::BitIter, DirectCheckMode::BitBat]
+        for mode in [DirectCheckMode::BinSearch, DirectCheckMode::BitIter, DirectCheckMode::BitBat]
         {
             let opts = SimOptions { direct_mode: mode, ..SimOptions::default() };
             let mut fb = ctx.match_sets();

@@ -46,11 +46,7 @@ pub struct SimContext<'a> {
 }
 
 impl<'a> SimContext<'a> {
-    pub fn new(
-        graph: &'a DataGraph,
-        query: &'a PatternQuery,
-        reach: &'a dyn Reachability,
-    ) -> Self {
+    pub fn new(graph: &'a DataGraph, query: &'a PatternQuery, reach: &'a dyn Reachability) -> Self {
         SimContext { graph, query, reach }
     }
 
@@ -338,10 +334,7 @@ mod tests {
                 &SimOptions { max_passes: Some(cap), ..SimOptions::default() },
             );
             for i in 0..q.num_nodes() {
-                assert!(
-                    exact.fb[i].is_subset(&approx.fb[i]),
-                    "cap={cap} node {i}: exact ⊄ approx"
-                );
+                assert!(exact.fb[i].is_subset(&approx.fb[i]), "cap={cap} node {i}: exact ⊄ approx");
             }
         }
     }

@@ -29,8 +29,8 @@ fn build_network(authors: usize, papers_per_author: usize, seed: u64) -> DataGra
             let venue = if rng.gen_bool(0.5) { VLDB_PAPER } else { ICDE_PAPER };
             let p = b.add_node(venue);
             b.add_edge(a, p); // author -> paper (direct "wrote")
-            // citations form long chains: mostly cite the newest paper,
-            // so most venue-to-venue connections are *indirect*
+                              // citations form long chains: mostly cite the newest paper,
+                              // so most venue-to-venue connections are *indirect*
             if !paper_ids.is_empty() {
                 let cited = if rng.gen_bool(0.8) {
                     *paper_ids.last().unwrap()

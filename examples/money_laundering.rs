@@ -54,11 +54,7 @@ fn main() {
     q.add_edge(0, 3, EdgeKind::Direct); // owns integration account
     q.add_edge(1, 2, EdgeKind::Reachability); // layering chain
     q.add_edge(2, 3, EdgeKind::Reachability); // chain back to own account
-    println!(
-        "pattern class: {:?}, {} reachability edges",
-        q.class(),
-        q.reachability_edge_count()
-    );
+    println!("pattern class: {:?}, {} reachability edges", q.class(), q.reachability_edge_count());
 
     let matcher = Matcher::new(&g);
     let (tuples, outcome) = matcher.collect(&q, &GmConfig::default(), 5);
@@ -69,18 +65,11 @@ fn main() {
         outcome.metrics.total_time.as_secs_f64() * 1e3
     );
     for t in &tuples {
-        println!(
-            "  person {} : legal {} => illegal {} => legal {}",
-            t[0], t[1], t[2], t[3]
-        );
+        println!("  person {} : legal {} => illegal {} => legal {}", t[0], t[1], t[2], t[3]);
     }
 
     // Show the RIG compression: candidate space vs raw label space.
-    let raw: u64 = q
-        .labels()
-        .iter()
-        .map(|&l| g.nodes_with_label(l).len() as u64)
-        .sum();
+    let raw: u64 = q.labels().iter().map(|&l| g.nodes_with_label(l).len() as u64).sum();
     println!(
         "RIG kept {} candidate nodes out of {} label-matched nodes",
         outcome.metrics.rig_stats.node_count, raw

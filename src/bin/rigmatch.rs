@@ -21,7 +21,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use rigmatch::baselines::{Budget, Engine, GmEngine, Jm, NeoLike, Tm};
+use rigmatch::baselines::{Budget, Engine, Jm, NeoLike, Tm};
 use rigmatch::core::{GmConfig, Matcher};
 use rigmatch::graph::parse_text;
 use rigmatch::mjoin::{EnumOptions, SearchOrder};
@@ -75,18 +75,17 @@ fn parse_cli() -> Cli {
             }
             "--limit" => {
                 i += 1;
-                cli.limit = Some(argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
+                cli.limit =
+                    Some(argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--timeout" => {
                 i += 1;
-                let secs: u64 =
-                    argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                let secs: u64 = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
                 cli.timeout = Some(Duration::from_secs(secs));
             }
             "--threads" => {
                 i += 1;
-                cli.threads =
-                    argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cli.threads = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             "--count" => cli.count_only = true,
             "--order" => {

@@ -68,7 +68,5 @@ pub mod prelude {
     pub use rig_core::{GmConfig, GmMetrics, Matcher, QueryOutcome, RunReport, RunStatus};
     pub use rig_graph::{DataGraph, GraphBuilder, Label, NodeId};
     pub use rig_mjoin::SearchOrder;
-    pub use rig_query::{
-        transitive_reduction, EdgeKind, Flavor, PatternQuery, QNode, QueryClass,
-    };
+    pub use rig_query::{transitive_reduction, EdgeKind, Flavor, PatternQuery, QNode, QueryClass};
 }

@@ -34,12 +34,7 @@ fn all_engines_agree_on_count() {
     let g = write_tmp("g2.txt", GRAPH);
     let q = write_tmp("q2.txt", QUERY);
     for engine in ["gm", "jm", "tm", "neo"] {
-        let out = bin()
-            .arg(&g)
-            .arg(&q)
-            .args(["--count", "--engine", engine])
-            .output()
-            .unwrap();
+        let out = bin().arg(&g).arg(&q).args(["--count", "--engine", engine]).output().unwrap();
         assert!(out.status.success(), "{engine}: {out:?}");
         let stdout = String::from_utf8(out.stdout).unwrap();
         assert_eq!(stdout.trim(), "1", "{engine}");
@@ -65,8 +60,7 @@ fn bad_inputs_fail_cleanly() {
     assert!(!out.status.success());
     let missing = bin().arg("/nonexistent").arg(&q).output().unwrap();
     assert!(!missing.status.success());
-    let unknown_engine =
-        bin().arg(&g).arg(&q).args(["--engine", "magic"]).output().unwrap();
+    let unknown_engine = bin().arg(&g).arg(&q).args(["--engine", "magic"]).output().unwrap();
     assert!(!unknown_engine.status.success());
 }
 

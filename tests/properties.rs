@@ -211,3 +211,36 @@ proptest! {
         prop_assert_eq!(a, b, "reduction changed the answer");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Prop. 4.1, end to end: a RIG is lossless under *every* node-selection
+    /// mode, so MJoin's occurrence count over each variant's RIG equals the
+    /// naive brute-force homomorphism count.
+    #[test]
+    fn mjoin_over_rig_counts_equal_brute_force_all_select_modes(
+        g in graph_strategy(),
+        q in query_strategy(),
+    ) {
+        use rigmatch::mjoin::{count, EnumOptions};
+        use rigmatch::rig::{build_rig, RigOptions, SelectMode};
+        use rigmatch::sim::SimContext;
+
+        let truth = brute_force(&g, &q).len() as u64;
+        let bfl = BflIndex::new(&g);
+        let ctx = SimContext::new(&g, &q, &bfl);
+        for mode in [
+            SelectMode::PrefilterThenSim,
+            SelectMode::SimOnly,
+            SelectMode::PrefilterOnly,
+            SelectMode::MatchSets,
+        ] {
+            let rig = build_rig(&ctx, &bfl, &RigOptions { select: mode, ..RigOptions::exact() });
+            let res = count(&q, &rig, &EnumOptions::default());
+            prop_assert_eq!(res.count, truth, "select mode {:?}", mode);
+            prop_assert!(!res.timed_out);
+            prop_assert!(!res.limit_hit);
+        }
+    }
+}

@@ -75,10 +75,7 @@ fn reduction_effect_on_d_templates() {
         let r = transitive_reduction(&q);
         total_removed += q.num_edges() - r.num_edges();
         let cfg = GmConfig {
-            enumeration: rigmatch::mjoin::EnumOptions {
-                limit: Some(50_000),
-                ..Default::default()
-            },
+            enumeration: rigmatch::mjoin::EnumOptions { limit: Some(50_000), ..Default::default() },
             ..GmConfig::exact()
         };
         let with = matcher.count(&q, &cfg);

@@ -1,0 +1,87 @@
+//! Self-tests for the stand-in harness: the `proptest!` macro must actually
+//! run the configured number of cases, feed them diverse inputs, and route
+//! `prop_assert!` failures into a panic that names the failing case.
+
+use proptest::prelude::*;
+use std::cell::Cell;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+thread_local! {
+    static CALLS: Cell<u32> = const { Cell::new(0) };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    #[test]
+    fn runs_exactly_the_configured_cases(_v in 0u32..100) {
+        CALLS.with(|c| c.set(c.get() + 1));
+    }
+}
+
+#[test]
+fn case_count_observed() {
+    CALLS.with(|c| c.set(0));
+    runs_exactly_the_configured_cases();
+    assert_eq!(CALLS.with(|c| c.get()), 25);
+}
+
+#[test]
+fn strategies_generate_diverse_in_range_values() {
+    let mut runner =
+        proptest::test_runner::TestRunner::new(ProptestConfig::with_cases(200), "diversity_probe");
+    let strat = prop::collection::vec(prop_oneof![0u32..10, 500u32..510], 0..20);
+    let mut seen_values = BTreeSet::new();
+    let mut seen_lens = BTreeSet::new();
+    for case in 0..200 {
+        runner.begin_case(case);
+        let v = strat.new_value(runner.rng());
+        assert!(v.len() < 20);
+        seen_lens.insert(v.len());
+        for x in v {
+            assert!((0..10).contains(&x) || (500..510).contains(&x), "x={x}");
+            seen_values.insert(x);
+        }
+    }
+    assert!(seen_lens.len() > 10, "lengths not diverse: {seen_lens:?}");
+    assert!(seen_values.len() > 15, "values not diverse: {seen_values:?}");
+}
+
+#[test]
+fn same_seed_reproduces_same_inputs() {
+    let strat = (0u64..1_000_000, prop::collection::vec(prop::bool::ANY, 1..30));
+    let draw = |seed_name: &str| {
+        let mut runner =
+            proptest::test_runner::TestRunner::new(ProptestConfig::with_cases(10), seed_name);
+        (0..10)
+            .map(|case| {
+                runner.begin_case(case);
+                strat.new_value(runner.rng())
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(draw("alpha"), draw("alpha"));
+    assert_ne!(draw("alpha"), draw("beta"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[allow(dead_code)] // invoked via catch_unwind below, not as a #[test]
+    fn deliberately_failing_property(v in 10u32..20) {
+        prop_assert!(v < 15, "v was {}", v);
+    }
+}
+
+#[test]
+fn failed_assertion_panics_with_case_info() {
+    let err = catch_unwind(AssertUnwindSafe(deliberately_failing_property))
+        .expect_err("property should fail within 5 cases");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"?").to_string());
+    assert!(msg.contains("deliberately_failing_property"), "msg={msg}");
+    assert!(msg.contains("seed"), "msg={msg}");
+}
