@@ -30,6 +30,21 @@ if [[ "${1:-}" != "quick" ]]; then
         echo "--- cargo run --release --example ${example}"
         cargo run -q --release --example "${example}" > /dev/null
     done
+
+    step "cargo bench smoke (CRITERION_SMOKE single-shot)"
+    CRITERION_SMOKE=1 cargo bench -q -p rig_bench > /dev/null
+
+    step "bench --json artifacts regenerate + parse"
+    json_tmp="$(mktemp -d)"
+    trap 'rm -rf "${json_tmp}"' EXIT
+    cargo run -q --release -p rig_bench --bin fig9 -- \
+        --scale 0.005 --timeout 2 --limit 100000 \
+        --json "${json_tmp}/BENCH_mjoin.json" > /dev/null
+    cargo run -q --release -p rig_bench --bin fig13 -- \
+        --scale 0.005 --timeout 2 --limit 100000 \
+        --json "${json_tmp}/BENCH_rig.json" > /dev/null
+    cargo run -q --release -p rig_bench --bin benchcheck -- \
+        "${json_tmp}/BENCH_mjoin.json" "${json_tmp}/BENCH_rig.json"
 fi
 
 step "OK"

@@ -13,7 +13,7 @@ use std::time::Instant;
 use crate::{failure_report, Budget, Engine};
 use rig_core::{RunReport, RunStatus};
 use rig_graph::DataGraph;
-use rig_index::{build_rig, RigOptions, SelectMode};
+use rig_index::{build_rig_from_candidates, RigOptions};
 use rig_mjoin::{count, EnumOptions, SearchOrder};
 use rig_query::{EdgeKind, PatternQuery};
 use rig_reach::BflIndex;
@@ -48,19 +48,11 @@ impl Engine for RmLike<'_> {
         let tree_ctx = SimContext::new(self.graph, &tree_query, &self.bfl);
         let filtered = double_simulation(&tree_ctx, &SimOptions::paper_default());
 
-        // expansion over the full query, seeded with the tree-filtered sets
+        // expansion over the full query, directly from the tree-filtered
+        // candidate sets (FB of the tree query sandwiches os ⊆ fb ⊆ ms, so
+        // the RIG stays lossless for the full query)
         let ctx = SimContext::new(self.graph, query, &self.bfl);
-        let mut rig = build_rig(
-            &ctx,
-            &self.bfl,
-            &RigOptions { select: SelectMode::MatchSets, ..RigOptions::default() },
-        );
-        // restrict candidate sets to the tree-filtered ones; stale
-        // adjacency entries are harmless because MJoin always intersects
-        // adjacency with the (now smaller) candidate sets
-        for (c, f) in rig.cos.iter_mut().zip(filtered.fb.iter()) {
-            c.and_assign(f);
-        }
+        let rig = build_rig_from_candidates(&ctx, &self.bfl, &RigOptions::default(), filtered.fb);
         let matching_time = start.elapsed();
         if rig.is_empty() {
             let total = start.elapsed();

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for the CSR RIG + allocation-free MJoin
+//! against the pre-refactor reference implementation, plus the
+//! scratch-reusing bitset kernels that back them. These are the
+//! fine-grained companions to the `--json` artifacts (`BENCH_mjoin.json` /
+//! `BENCH_rig.json`): same comparison, micro scale.
+//!
+//! Run with `cargo bench -p rig_bench --bench mjoin_csr`; set
+//! `CRITERION_SMOKE=1` for the single-shot CI smoke configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rig_bitset::Bitset;
+use rig_datasets::spec;
+use rig_index::reference::build_reference_rig;
+use rig_index::{build_rig, RigOptions};
+use rig_mjoin::reference::ref_count;
+use rig_mjoin::{count, par_count, EnumOptions};
+use rig_query::{template, Flavor};
+use rig_reach::BflIndex;
+use rig_sim::SimContext;
+
+fn test_graph() -> rig_graph::DataGraph {
+    spec("em").unwrap().generate(0.01, 7)
+}
+
+fn test_query() -> rig_query::PatternQuery {
+    template(6).instantiate_modulo(Flavor::H, 4)
+}
+
+fn bench_rig_build(c: &mut Criterion) {
+    let g = test_graph();
+    let q = test_query();
+    let bfl = BflIndex::new(&g);
+    let ctx = SimContext::new(&g, &q, &bfl);
+    let opts = RigOptions::default();
+    c.bench_function("rig/build/csr", |b| b.iter(|| build_rig(&ctx, &bfl, &opts)));
+    c.bench_function("rig/build/reference", |b| b.iter(|| build_reference_rig(&ctx, &bfl, &opts)));
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let g = test_graph();
+    let q = test_query();
+    let bfl = BflIndex::new(&g);
+    let ctx = SimContext::new(&g, &q, &bfl);
+    let opts = RigOptions::default();
+    let rig = build_rig(&ctx, &bfl, &opts);
+    let ref_rig = build_reference_rig(&ctx, &bfl, &opts);
+    // No limit: the workload is bounded by the graph scale, and a limit
+    // would make par_count silently fall back to the sequential engine.
+    let eo = EnumOptions::default();
+    c.bench_function("mjoin/enumerate/csr", |b| b.iter(|| count(&q, &rig, &eo)));
+    c.bench_function("mjoin/enumerate/reference", |b| b.iter(|| ref_count(&q, &ref_rig, &eo)));
+    c.bench_function("mjoin/enumerate/csr-par4", |b| b.iter(|| par_count(&q, &rig, &eo, 4)));
+}
+
+fn bench_bitset_into(c: &mut Criterion) {
+    let a: Bitset = (0..100_000u32).filter(|v| v % 3 == 0).collect();
+    let b: Bitset = (0..100_000u32).filter(|v| v % 5 == 0).collect();
+    let d: Bitset = (0..100_000u32).filter(|v| v % 7 == 0).collect();
+    c.bench_function("bitset/multi_and (alloc per call)", |bench| {
+        bench.iter(|| Bitset::multi_and(&[&a, &b, &d]))
+    });
+    c.bench_function("bitset/multi_and_into (scratch reuse)", |bench| {
+        let mut scratch = Bitset::new();
+        bench.iter(|| {
+            Bitset::multi_and_into(&[&a, &b, &d], &mut scratch);
+            scratch.len()
+        })
+    });
+    c.bench_function("bitset/and_into (scratch reuse)", |bench| {
+        let mut scratch = Bitset::new();
+        bench.iter(|| {
+            a.and_into(&b, &mut scratch);
+            scratch.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_rig_build, bench_enumerate, bench_bitset_into);
+criterion_main!(benches);

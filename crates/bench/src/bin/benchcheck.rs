@@ -1,0 +1,114 @@
+//! Validates `BENCH_*.json` artifacts: parses each file with the in-tree
+//! JSON parser and checks the schema the `--json` harnesses emit (top-level
+//! metadata, a non-empty `queries` array, and finite numeric `totals`).
+//! CI runs this after regenerating the artifacts so a malformed emitter
+//! fails the gate.
+//!
+//! Usage: `benchcheck <file.json>...` — exits non-zero on the first
+//! invalid file.
+
+use rig_bench::json::{parse, JsonValue};
+
+fn fail(path: &str, msg: &str) -> ! {
+    eprintln!("benchcheck: {path}: {msg}");
+    std::process::exit(1);
+}
+
+fn require_num(path: &str, obj: &JsonValue, key: &str) -> f64 {
+    match obj.get(key).and_then(|v| v.as_f64()) {
+        Some(v) if v.is_finite() => v,
+        _ => fail(path, &format!("totals.{key} missing or not a finite number")),
+    }
+}
+
+fn check(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(path, &format!("read error: {e}")),
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => fail(path, &format!("parse error: {e}")),
+    };
+    for key in ["harness", "baseline"] {
+        if doc.get(key).and_then(|v| v.as_str()).is_none() {
+            fail(path, &format!("missing string field {key:?}"));
+        }
+    }
+    for key in ["scale", "seed", "timeout_s", "limit"] {
+        if !doc.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+            fail(path, &format!("missing numeric field {key:?}"));
+        }
+    }
+    let queries = match doc.get("queries").and_then(|q| q.as_arr()) {
+        Some(q) if !q.is_empty() => q,
+        _ => fail(path, "queries must be a non-empty array"),
+    };
+    for (i, q) in queries.iter().enumerate() {
+        if q.get("query").and_then(|v| v.as_str()).is_none() {
+            fail(path, &format!("queries[{i}].query missing"));
+        }
+        if !matches!(q.get("comparable"), Some(JsonValue::Bool(_))) {
+            fail(path, &format!("queries[{i}].comparable missing or not a bool"));
+        }
+        for side in ["csr", "reference"] {
+            let s = match q.get(side) {
+                Some(s) => s,
+                None => fail(path, &format!("queries[{i}].{side} missing")),
+            };
+            for key in ["build_s", "heap_bytes", "enum_s", "steps", "matches"] {
+                if !s.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+                    fail(path, &format!("queries[{i}].{side}.{key} missing"));
+                }
+            }
+            for key in ["timed_out", "limit_hit"] {
+                if !matches!(s.get(key), Some(JsonValue::Bool(_))) {
+                    fail(path, &format!("queries[{i}].{side}.{key} missing or not a bool"));
+                }
+            }
+        }
+    }
+    let totals = match doc.get("totals") {
+        Some(t) => t,
+        None => fail(path, "missing totals object"),
+    };
+    let enum_speedup = require_num(path, totals, "enum_speedup");
+    let heap_reduction = require_num(path, totals, "heap_reduction_pct");
+    for key in [
+        "queries",
+        "comparable_queries",
+        "incomparable_queries",
+        "matches",
+        "csr_enum_s",
+        "ref_enum_s",
+        "csr_throughput_per_s",
+        "ref_throughput_per_s",
+        "csr_build_s",
+        "ref_build_s",
+        "build_speedup",
+        "csr_heap_bytes",
+        "ref_heap_bytes",
+    ] {
+        require_num(path, totals, key);
+    }
+    let comparable = require_num(path, totals, "comparable_queries");
+    if comparable == 0.0 {
+        fail(path, "no comparable queries — throughput totals are meaningless");
+    }
+    println!(
+        "benchcheck: {path}: OK ({} queries, {comparable} comparable, \
+         enum speedup {enum_speedup:.2}x, heap reduction {heap_reduction:.1}%)",
+        queries.len()
+    );
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: benchcheck <file.json>...");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        check(path);
+    }
+}

@@ -1,7 +1,7 @@
 //! Fig. 13 — RIG size, construction time and total query time for the
 //! selection-mode ablations on ep:
 //!
-//! * GM   = pre-filter + double simulation
+//! * GM   = pre-filter + double simulation (seeded)
 //! * GM-S = double simulation only
 //! * GM-F = pre-filter only (no simulation)
 //! * TM   = the tree answer graph, for reference
@@ -9,9 +9,16 @@
 //! Expected shape: GM/GM-S build the smallest auxiliary structure (≈0.4%
 //! of the graph in the paper), GM-F an order of magnitude larger; smaller
 //! RIG ⇒ faster enumeration.
+//!
+//! `--json <path>` additionally compares the CSR RIG against the
+//! pre-refactor hashmap reference (build time + heap bytes + enumeration)
+//! on this workload and writes the artifact as `BENCH_rig.json`.
 
 use rig_baselines::{Engine, GmEngine, Tm};
-use rig_bench::{load, template_query_probed, Args, Table};
+use rig_bench::{
+    load, measure_pair, template_query_probed, totals_json, write_bench_json, Args,
+    PairMeasurement, Table,
+};
 use rig_core::{GmConfig, Matcher, SelectMode};
 use rig_index::RigOptions;
 use rig_query::Flavor;
@@ -32,6 +39,7 @@ fn main() {
 
     let matcher = Matcher::new(&g);
     let tm = Tm::new(&g);
+    let mut measurements: Vec<PairMeasurement> = Vec::new();
 
     let mut size_t = Table::new(&["query", "GM%", "GM-S%", "GM-F%", "TM%"]);
     let mut build_t = Table::new(&["query", "GM", "GM-S", "GM-F", "TM"]);
@@ -66,9 +74,19 @@ fn main() {
         size_t.row(sizes);
         build_t.row(builds);
         query_t.row(times);
+
+        if args.json.is_some() {
+            measurements.push(measure_pair(&matcher, &format!("ep/HQ{id}"), &q, &budget));
+        }
     }
 
     size_t.print("Fig. 13(a): auxiliary-structure size, % of |G| (nodes+edges)");
     build_t.print("Fig. 13(b): auxiliary-structure construction time [s]");
     query_t.print("Fig. 13(c): total query time [s]");
+
+    if let Some(path) = &args.json {
+        let records = measurements.iter().map(|m| m.to_json()).collect();
+        let totals = totals_json(&measurements);
+        write_bench_json(path, "fig13", &args, records, totals);
+    }
 }

@@ -3,9 +3,17 @@
 //! ISO is GM's enumerator with injectivity enforced (the isomorphism
 //! semantics of \[53\]); the paper compares it against the homomorphism
 //! engines on the same child-edge-only workloads.
+//!
+//! `--json <path>` additionally measures GM's CSR RIG + allocation-free
+//! MJoin against the in-process pre-refactor reference implementation on
+//! the same workload and writes the comparison (enumeration throughput,
+//! build time, heap bytes) as `BENCH_mjoin.json`.
 
 use rig_baselines::{Budget, Engine, GmEngine, Jm, Tm};
-use rig_bench::{load, random_queries, template_query_probed, Args, Table};
+use rig_bench::{
+    load, measure_pair, random_queries, template_query_probed, totals_json, write_bench_json, Args,
+    PairMeasurement, Table,
+};
 use rig_core::GmConfig;
 use rig_mjoin::EnumOptions;
 use rig_query::Flavor;
@@ -26,6 +34,7 @@ fn main() {
     let args = Args::parse();
     let budget = args.budget();
     let ids = [0usize, 3, 5, 6, 8, 17, 11, 12, 19, 10, 13, 14];
+    let mut measurements: Vec<PairMeasurement> = Vec::new();
 
     for ds in ["ep", "bs"] {
         let g = load(ds, &args);
@@ -49,6 +58,9 @@ fn main() {
                 ri.display_cell(),
                 rg.occurrences.to_string(),
             ]);
+            if args.json.is_some() {
+                measurements.push(measure_pair(gm.matcher(), &format!("{ds}/CQ{id}"), &q, &budget));
+            }
         }
         table.print(&format!("Fig. 9 ({ds}) C-query time [s]"));
     }
@@ -67,13 +79,22 @@ fn main() {
         let rj = jm.evaluate(&q, &budget);
         let ri = iso.evaluate(&q, &budget);
         table.row(vec![
-            name,
+            name.clone(),
             rg.display_cell(),
             rt.display_cell(),
             rj.display_cell(),
             ri.display_cell(),
             rg.occurrences.to_string(),
         ]);
+        if args.json.is_some() {
+            measurements.push(measure_pair(gm.matcher(), &format!("hu/{name}"), &q, &budget));
+        }
     }
     table.print("Fig. 9 (hu) random C-query time [s]");
+
+    if let Some(path) = &args.json {
+        let records = measurements.iter().map(|m| m.to_json()).collect();
+        let totals = totals_json(&measurements);
+        write_bench_json(path, "fig9", &args, records, totals);
+    }
 }

@@ -14,31 +14,54 @@
 //! Absolute times differ from the paper (different hardware, synthetic
 //! stand-in graphs, scaled sizes); the *relationships* between engines are
 //! what EXPERIMENTS.md records and compares.
+//!
+//! With `--json <path>` the fig9/fig13 harnesses additionally emit a
+//! machine-readable benchmark artifact (`BENCH_mjoin.json` /
+//! `BENCH_rig.json`) comparing the CSR RIG + allocation-free MJoin engine
+//! against the in-process pre-refactor reference implementation
+//! (`rig_index::reference`, `rig_mjoin::reference`), so the perf
+//! trajectory of the hot path is recorded across PRs.
 
-use std::time::Duration;
+pub mod json;
 
+use std::time::{Duration, Instant};
+
+use json::JsonValue;
 use rig_baselines::Budget;
+use rig_core::Matcher;
 use rig_datasets::spec;
 use rig_graph::DataGraph;
+use rig_index::{build_rig, RigOptions};
+use rig_mjoin::EnumOptions;
 use rig_query::{random_query, template, Flavor, GeneratorConfig, PatternQuery};
+use rig_sim::SimContext;
 
 /// Common command-line arguments.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Args {
     pub scale: f64,
     pub seed: u64,
     pub timeout: Duration,
     pub limit: u64,
+    /// Emit a machine-readable benchmark artifact to this path.
+    pub json: Option<String>,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Args { scale: 0.02, seed: 42, timeout: Duration::from_secs(10), limit: 1_000_000 }
+        Args {
+            scale: 0.02,
+            seed: 42,
+            timeout: Duration::from_secs(10),
+            limit: 1_000_000,
+            json: None,
+        }
     }
 }
 
 impl Args {
-    /// Parses `--scale/--seed/--timeout/--limit` from `std::env::args`.
+    /// Parses `--scale/--seed/--timeout/--limit/--json` from
+    /// `std::env::args`.
     pub fn parse() -> Self {
         let mut out = Args::default();
         let argv: Vec<String> = std::env::args().collect();
@@ -51,6 +74,7 @@ impl Args {
                     out.timeout = Duration::from_secs(argv[i + 1].parse().expect("bad --timeout"))
                 }
                 "--limit" => out.limit = argv[i + 1].parse().expect("bad --limit"),
+                "--json" => out.json = Some(argv[i + 1].clone()),
                 other => panic!("unknown flag {other}"),
             }
             i += 2;
@@ -197,6 +221,197 @@ impl Table {
 /// Seconds with millisecond precision, for table cells.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
+}
+
+/// One CSR-vs-reference measurement of a single query: RIG build time and
+/// heap footprint for both layouts, plus MJoin enumeration time / steps /
+/// matches / budget outcome for both engines, under the same limit/timeout
+/// budget. Matches and budget flags are recorded **per engine**, because a
+/// timeout or limit hitting only one side makes the raw times
+/// incomparable; [`totals_json`] only aggregates throughput over queries
+/// where both engines finished under identical conditions.
+pub struct PairMeasurement {
+    pub name: String,
+    pub csr_build_s: f64,
+    pub csr_heap_bytes: usize,
+    pub csr_enum_s: f64,
+    pub csr_steps: u64,
+    pub csr_matches: u64,
+    pub csr_timed_out: bool,
+    pub csr_limit_hit: bool,
+    pub ref_build_s: f64,
+    pub ref_heap_bytes: usize,
+    pub ref_enum_s: f64,
+    pub ref_steps: u64,
+    pub ref_matches: u64,
+    pub ref_timed_out: bool,
+    pub ref_limit_hit: bool,
+}
+
+impl PairMeasurement {
+    /// Both engines enumerated the same answer set under the same budget
+    /// outcome (neither tripped, or both hit the identical match limit),
+    /// so their times measure the same work.
+    pub fn comparable(&self) -> bool {
+        !self.csr_timed_out
+            && !self.ref_timed_out
+            && self.csr_limit_hit == self.ref_limit_hit
+            && self.csr_matches == self.ref_matches
+    }
+}
+
+/// Measures `query` on both implementations (CSR first, then reference) in
+/// the same process; both RIGs use the paper-default build options and both
+/// enumerations the same budget, so the numbers are directly comparable.
+pub fn measure_pair(
+    matcher: &Matcher<'_>,
+    name: &str,
+    query: &PatternQuery,
+    budget: &Budget,
+) -> PairMeasurement {
+    let bfl = matcher.bfl();
+    let ctx = SimContext::new(matcher.graph(), query, bfl);
+    let opts = RigOptions::default();
+    let eo =
+        EnumOptions { limit: budget.match_limit, timeout: budget.timeout, ..Default::default() };
+
+    let start = Instant::now();
+    let rig = build_rig(&ctx, bfl, &opts);
+    let csr_build_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let csr = rig_mjoin::count(query, &rig, &eo);
+    let csr_enum_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let ref_rig = rig_index::reference::build_reference_rig(&ctx, bfl, &opts);
+    let ref_build_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let reference = rig_mjoin::reference::ref_count(query, &ref_rig, &eo);
+    let ref_enum_s = start.elapsed().as_secs_f64();
+
+    // Prop. 4.1: any valid RIG is lossless, so both engines must agree on
+    // the answer whenever neither budget tripped.
+    if !csr.timed_out && !reference.timed_out && !csr.limit_hit && !reference.limit_hit {
+        assert_eq!(csr.count, reference.count, "CSR vs reference count mismatch on {name}");
+    }
+
+    PairMeasurement {
+        name: name.to_string(),
+        csr_build_s,
+        csr_heap_bytes: rig.heap_bytes(),
+        csr_enum_s,
+        csr_steps: csr.steps,
+        csr_matches: csr.count,
+        csr_timed_out: csr.timed_out,
+        csr_limit_hit: csr.limit_hit,
+        ref_build_s,
+        ref_heap_bytes: ref_rig.heap_bytes(),
+        ref_enum_s,
+        ref_steps: reference.steps,
+        ref_matches: reference.count,
+        ref_timed_out: reference.timed_out,
+        ref_limit_hit: reference.limit_hit,
+    }
+}
+
+impl PairMeasurement {
+    /// The per-query JSON record.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("query", self.name.as_str().into()),
+            ("comparable", JsonValue::Bool(self.comparable())),
+            (
+                "csr",
+                JsonValue::obj(vec![
+                    ("build_s", self.csr_build_s.into()),
+                    ("heap_bytes", self.csr_heap_bytes.into()),
+                    ("enum_s", self.csr_enum_s.into()),
+                    ("steps", self.csr_steps.into()),
+                    ("matches", self.csr_matches.into()),
+                    ("timed_out", JsonValue::Bool(self.csr_timed_out)),
+                    ("limit_hit", JsonValue::Bool(self.csr_limit_hit)),
+                ]),
+            ),
+            (
+                "reference",
+                JsonValue::obj(vec![
+                    ("build_s", self.ref_build_s.into()),
+                    ("heap_bytes", self.ref_heap_bytes.into()),
+                    ("enum_s", self.ref_enum_s.into()),
+                    ("steps", self.ref_steps.into()),
+                    ("matches", self.ref_matches.into()),
+                    ("timed_out", JsonValue::Bool(self.ref_timed_out)),
+                    ("limit_hit", JsonValue::Bool(self.ref_limit_hit)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Aggregates measurements into the `totals` object: enumeration
+/// throughput (matches/s) for both engines, the speedup ratio, and the
+/// heap/build comparison — the metrics `BENCH_*.json` exists to track.
+///
+/// Throughput and speedup are computed only over **comparable** queries
+/// (both engines finished the same work — see
+/// [`PairMeasurement::comparable`]); queries where a budget tripped one
+/// side are counted in `incomparable_queries` instead of silently skewing
+/// the ratios. Build time and heap totals cover every query — builds run
+/// without a budget.
+pub fn totals_json(ms: &[PairMeasurement]) -> JsonValue {
+    let comparable: Vec<&PairMeasurement> = ms.iter().filter(|m| m.comparable()).collect();
+    let csr_enum_s: f64 = comparable.iter().map(|m| m.csr_enum_s).sum();
+    let ref_enum_s: f64 = comparable.iter().map(|m| m.ref_enum_s).sum();
+    let matches: u64 = comparable.iter().map(|m| m.csr_matches).sum();
+    let csr_build_s: f64 = ms.iter().map(|m| m.csr_build_s).sum();
+    let ref_build_s: f64 = ms.iter().map(|m| m.ref_build_s).sum();
+    let csr_heap: usize = ms.iter().map(|m| m.csr_heap_bytes).sum();
+    let ref_heap: usize = ms.iter().map(|m| m.ref_heap_bytes).sum();
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let csr_tput = ratio(matches as f64, csr_enum_s);
+    let ref_tput = ratio(matches as f64, ref_enum_s);
+    JsonValue::obj(vec![
+        ("queries", ms.len().into()),
+        ("comparable_queries", comparable.len().into()),
+        ("incomparable_queries", (ms.len() - comparable.len()).into()),
+        ("matches", matches.into()),
+        ("csr_enum_s", csr_enum_s.into()),
+        ("ref_enum_s", ref_enum_s.into()),
+        ("csr_throughput_per_s", csr_tput.into()),
+        ("ref_throughput_per_s", ref_tput.into()),
+        ("enum_speedup", ratio(csr_tput, ref_tput).into()),
+        ("csr_build_s", csr_build_s.into()),
+        ("ref_build_s", ref_build_s.into()),
+        ("build_speedup", ratio(ref_build_s, csr_build_s).into()),
+        ("csr_heap_bytes", csr_heap.into()),
+        ("ref_heap_bytes", ref_heap.into()),
+        (
+            "heap_reduction_pct",
+            (100.0 * (1.0 - ratio(csr_heap as f64, ref_heap.max(1) as f64))).into(),
+        ),
+    ])
+}
+
+/// Wraps records + totals in the top-level artifact and writes it.
+pub fn write_bench_json(
+    path: &str,
+    harness: &str,
+    args: &Args,
+    records: Vec<JsonValue>,
+    totals: JsonValue,
+) {
+    let doc = JsonValue::obj(vec![
+        ("harness", harness.into()),
+        ("scale", args.scale.into()),
+        ("seed", args.seed.into()),
+        ("timeout_s", args.timeout.as_secs_f64().into()),
+        ("limit", args.limit.into()),
+        ("baseline", "pre-CSR hashmap RIG + materializing multi_and MJoin".into()),
+        ("queries", JsonValue::Arr(records)),
+        ("totals", totals),
+    ]);
+    std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path}");
 }
 
 #[cfg(test)]

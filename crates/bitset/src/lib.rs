@@ -218,6 +218,16 @@ impl Bitset {
     /// `self ∩ other` as a new bitset.
     pub fn and(&self, other: &Bitset) -> Bitset {
         let mut out = Bitset::new();
+        self.and_into(other, &mut out);
+        out
+    }
+
+    /// `self ∩ other`, written into `out`. Reuses `out`'s chunk vector
+    /// allocation, so a caller intersecting in a loop can hold one scratch
+    /// bitset instead of allocating per call (the MJoin scratch-buffer
+    /// pattern).
+    pub fn and_into(&self, other: &Bitset, out: &mut Bitset) {
+        out.chunks.clear();
         let (mut i, mut j) = (0, 0);
         while i < self.chunks.len() && j < other.chunks.len() {
             let (ka, ca) = &self.chunks[i];
@@ -235,12 +245,28 @@ impl Bitset {
                 }
             }
         }
-        out
     }
 
-    /// In-place `self ∩= other`.
+    /// In-place `self ∩= other`: rewrites the chunk vector in place instead
+    /// of building a fresh bitset, so repeated narrowing reuses one
+    /// allocation.
     pub fn and_assign(&mut self, other: &Bitset) {
-        *self = self.and(other);
+        let mut write = 0;
+        let mut j = 0;
+        for i in 0..self.chunks.len() {
+            let key = self.chunks[i].0;
+            while j < other.chunks.len() && other.chunks[j].0 < key {
+                j += 1;
+            }
+            if j < other.chunks.len() && other.chunks[j].0 == key {
+                let c = self.chunks[i].1.and(&other.chunks[j].1);
+                if !c.is_empty() {
+                    self.chunks[write] = (key, c);
+                    write += 1;
+                }
+            }
+        }
+        self.chunks.truncate(write);
     }
 
     /// `self ∪ other` as a new bitset.
@@ -370,20 +396,55 @@ impl Bitset {
     /// so the running result shrinks as fast as possible; returns an empty
     /// bitset for an empty operand list.
     pub fn multi_and(sets: &[&Bitset]) -> Bitset {
+        let mut out = Bitset::new();
+        Bitset::multi_and_into(sets, &mut out);
+        out
+    }
+
+    /// Intersection of many bitsets, written into `out` (smallest operands
+    /// first, early exit on an empty running result). Like [`Bitset::and_into`]
+    /// this reuses `out`'s chunk vector, so hot loops can keep one scratch
+    /// bitset per recursion depth instead of materializing a fresh
+    /// intersection per step.
+    pub fn multi_and_into(sets: &[&Bitset], out: &mut Bitset) {
         match sets.len() {
-            0 => Bitset::new(),
-            1 => sets[0].clone(),
-            _ => {
-                let mut order: Vec<&Bitset> = sets.to_vec();
-                order.sort_by_key(|s| s.len());
-                let mut acc = order[0].and(order[1]);
-                for s in &order[2..] {
-                    if acc.is_empty() {
-                        break;
+            0 => out.chunks.clear(),
+            1 => {
+                out.chunks.clear();
+                out.chunks.extend(sets[0].chunks.iter().cloned());
+            }
+            _ if sets.len() > 64 => {
+                // Degenerate arity: fold in the given order (no used-mask).
+                sets[0].and_into(sets[1], out);
+                for s in &sets[2..] {
+                    if out.is_empty() {
+                        return;
                     }
-                    acc.and_assign(s);
+                    out.and_assign(s);
                 }
-                acc
+            }
+            _ => {
+                // Seed from the two smallest operands, then narrow in place
+                // with the rest in ascending-cardinality order. Operand
+                // counts are tiny (query degree), so selection sort over a
+                // used-mask beats allocating a sorted copy.
+                let mut used: u64 = 0;
+                let mut pick = || {
+                    let k = (0..sets.len())
+                        .filter(|&k| used & (1 << k) == 0)
+                        .min_by_key(|&k| sets[k].len())
+                        .expect("operand available");
+                    used |= 1 << k;
+                    k
+                };
+                let (a, b) = (pick(), pick());
+                sets[a].and_into(sets[b], out);
+                for _ in 2..sets.len() {
+                    if out.is_empty() {
+                        return;
+                    }
+                    out.and_assign(sets[pick()]);
+                }
             }
         }
     }
@@ -556,6 +617,42 @@ mod tests {
         assert_eq!(Bitset::multi_or(&[&a, &b, &c]).to_vec(), vec![1, 2, 3, 4, 5, 6, 7]);
         assert!(Bitset::multi_and(&[]).is_empty());
         assert_eq!(Bitset::multi_and(&[&a]).to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn and_into_reuses_scratch() {
+        let a = Bitset::from_slice(&[1, 2, 3, 100_000, 100_001]);
+        let b = Bitset::from_slice(&[2, 3, 4, 100_001, 200_000]);
+        let mut scratch = Bitset::from_slice(&[9, 9_999_999]); // stale content
+        a.and_into(&b, &mut scratch);
+        assert_eq!(scratch.to_vec(), vec![2, 3, 100_001]);
+        // reuse with disjoint operands clears the scratch
+        a.and_into(&Bitset::from_slice(&[7]), &mut scratch);
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn multi_and_into_matches_multi_and() {
+        let a = Bitset::from_slice(&[1, 2, 3, 4, 5, 70_000]);
+        let b = Bitset::from_slice(&[2, 3, 4, 5, 6, 70_000]);
+        let c = Bitset::from_slice(&[3, 4, 5, 6, 7, 70_000]);
+        let mut scratch = Bitset::new();
+        for sets in [vec![], vec![&a], vec![&a, &b], vec![&a, &b, &c]] {
+            Bitset::multi_and_into(&sets, &mut scratch);
+            assert_eq!(scratch.to_vec(), Bitset::multi_and(&sets).to_vec(), "{}", sets.len());
+        }
+        // early-exit path: an empty operand drains the scratch
+        Bitset::multi_and_into(&[&a, &Bitset::new(), &c], &mut scratch);
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn and_assign_is_in_place_intersection() {
+        let mut a = Bitset::from_slice(&[1, 5, 9, 100_000, 200_000]);
+        a.and_assign(&Bitset::from_slice(&[5, 100_000, 300_000]));
+        assert_eq!(a.to_vec(), vec![5, 100_000]);
+        a.and_assign(&Bitset::new());
+        assert!(a.is_empty());
     }
 
     #[test]

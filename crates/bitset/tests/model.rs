@@ -72,6 +72,30 @@ proptest! {
     }
 
     #[test]
+    fn into_variants_agree_with_model(a in values(), b in values(), c in values()) {
+        let ma: BTreeSet<u32> = a.iter().copied().collect();
+        let mb: BTreeSet<u32> = b.iter().copied().collect();
+        let mc: BTreeSet<u32> = c.iter().copied().collect();
+        let sa = Bitset::from_slice(&a);
+        let sb = Bitset::from_slice(&b);
+        let sc = Bitset::from_slice(&c);
+        let and2: Vec<u32> = ma.intersection(&mb).copied().collect();
+        let and3: Vec<u32> =
+            ma.iter().filter(|v| mb.contains(v) && mc.contains(v)).copied().collect();
+        // one scratch reused across calls, as the hot loops do
+        let mut scratch = Bitset::from_slice(&c);
+        sa.and_into(&sb, &mut scratch);
+        prop_assert_eq!(scratch.to_vec(), and2);
+        Bitset::multi_and_into(&[&sa, &sb, &sc], &mut scratch);
+        prop_assert_eq!(scratch.to_vec(), and3.clone());
+        // in-place and_assign chain equals the multiway result
+        let mut acc = Bitset::from_slice(&a);
+        acc.and_assign(&sb);
+        acc.and_assign(&sc);
+        prop_assert_eq!(acc.to_vec(), and3);
+    }
+
+    #[test]
     fn rank_matches_model(vals in values(), probe in 0u32..1_100_000) {
         let model: BTreeSet<u32> = vals.iter().copied().collect();
         let set = Bitset::from_slice(&vals);

@@ -142,6 +142,13 @@ impl<'g> Matcher<'g> {
         &self.bfl
     }
 
+    /// The concrete BFL index (condensation + interval labels), as RIG
+    /// construction consumes it — used by harnesses that build RIGs
+    /// outside the facade (e.g. the CSR-vs-reference benchmarks).
+    pub fn bfl(&self) -> &BflIndex {
+        &self.bfl
+    }
+
     /// Evaluates `query`, streaming every occurrence tuple (indexed by
     /// query node) to `visit`; return `false` to stop early.
     pub fn run_with(

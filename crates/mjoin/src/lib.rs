@@ -8,6 +8,17 @@
 //! materialized, giving the worst-case-optimal runtime of Thm. 5.2 and the
 //! `O(n · MaxCos)` space bound of Thm. 5.1.
 //!
+//! The engine runs over the RIG's **CSR layout in candidate-local id
+//! space** (see `rig_index`): every adjacency operand at step `i` is a
+//! sorted slice of `cos(q_i)`-local ids, so the base candidate set never
+//! needs to be intersected in (it is the full local range) and the
+//! unconstrained root iterates `0..|cos(q_0)|` without cloning anything.
+//! Multiway intersections pick the smallest operand as the driver and
+//! probe the rest with galloping cursors (or O(1) dense-bitmap tests),
+//! writing survivors into a per-depth scratch buffer that is reused across
+//! steps — steady-state enumeration performs **zero heap allocations per
+//! recursion step** (asserted by the `alloc_steady` test).
+//!
 //! The search order is pluggable (§5.2): [`SearchOrder::Jo`] (greedy on RIG
 //! candidate cardinalities), [`SearchOrder::Ri`] (topology-only), and
 //! [`SearchOrder::Bj`] (dynamic-programming optimal left-deep order, which
@@ -16,8 +27,9 @@
 //! An *injective* mode turns homomorphism enumeration into isomorphism-style
 //! enumeration (the ISO comparison of Fig. 9).
 
-mod order;
+pub(crate) mod order;
 mod parallel;
+pub mod reference;
 
 pub use order::{compute_order, edge_cardinality, is_connected_order, SearchOrder};
 pub use parallel::par_count;
@@ -26,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use rig_bitset::Bitset;
 use rig_graph::NodeId;
-use rig_index::Rig;
+use rig_index::{AdjRun, Rig};
 use rig_query::{PatternQuery, QNode};
 
 /// Options for [`enumerate`].
@@ -122,22 +134,45 @@ fn enumerate_inner(
         }
     }
 
-    let mut tuple_by_pos = vec![0 as NodeId; n];
-    let started = Instant::now();
+    // Per-depth reusable state: every buffer is sized for the worst case up
+    // front (|cos(q_i)| bounds any intersection at step i — the Thm. 5.1
+    // space bound), so steady-state recursion never reallocates.
+    let steps: Vec<Step<'_>> = order
+        .iter()
+        .enumerate()
+        .map(|(i, &q)| {
+            let n_local = rig.candidates(q as usize).len();
+            Step {
+                q: q as usize,
+                n_local: n_local as u32,
+                ops: Vec::with_capacity(constraints[i].len()),
+                cursors: Vec::with_capacity(constraints[i].len()),
+                buf: Vec::with_capacity(n_local),
+            }
+        })
+        .collect();
+    // Root partition (parallel driver): global ids -> root-local ids.
+    let root_locals: Option<Vec<u32>> = root_filter.map(|f| {
+        let rq = order[0] as usize;
+        f.iter().filter_map(|v| rig.local_of(rq, v)).collect()
+    });
+
+    let mut tuple_local = vec![0u32; n];
+    let mut tuple_global = vec![0 as NodeId; n];
+    let mut out_tuple = vec![0 as NodeId; n];
     let mut engine = Engine {
         rig,
         opts,
-        order: &order,
         constraints: &constraints,
-        root_filter,
-        started,
+        steps,
+        root_locals,
+        started: Instant::now(),
         check_counter: 0,
         result: &mut result,
     };
-    let mut out_tuple = vec![0 as NodeId; n];
-    engine.recurse(0, &mut tuple_by_pos, &mut |tuple_by_pos, eng| {
-        for (i, &q) in eng.order.iter().enumerate() {
-            out_tuple[q as usize] = tuple_by_pos[i];
+    engine.recurse(0, &mut tuple_local, &mut tuple_global, &mut |tg: &[NodeId]| {
+        for (i, &q) in order.iter().enumerate() {
+            out_tuple[q as usize] = tg[i];
         }
         visit(&out_tuple)
     });
@@ -166,18 +201,45 @@ pub fn collect(
     (out, r)
 }
 
-struct Engine<'a> {
-    rig: &'a Rig,
+/// Reusable per-depth scratch (allocated once per [`enumerate`] call).
+struct Step<'r> {
+    /// Query node bound at this depth.
+    q: usize,
+    /// `|cos(q)|` — the full local-id range.
+    n_local: u32,
+    /// Operand runs gathered for the current binding of earlier nodes.
+    ops: Vec<AdjRun<'r>>,
+    /// Galloping cursors, parallel to `ops`.
+    cursors: Vec<usize>,
+    /// Materialized intersection (local ids); capacity = `n_local`.
+    buf: Vec<u32>,
+}
+
+/// Where the candidates of the current step come from.
+enum Src<'r> {
+    /// Unconstrained: the full local range `0..n_local` (no clone of the
+    /// base candidate set).
+    Range,
+    /// Unconstrained root restricted by the parallel driver's partition.
+    Root,
+    /// Exactly one operand: iterate its run in place.
+    Slice(&'r [u32]),
+    /// Two or more operands: the intersection materialized in `buf`.
+    Buf,
+}
+
+struct Engine<'a, 'r> {
+    rig: &'r Rig,
     opts: &'a EnumOptions,
-    order: &'a [QNode],
     constraints: &'a [Vec<(u32, usize, bool)>],
-    root_filter: Option<&'a Bitset>,
+    steps: Vec<Step<'r>>,
+    root_locals: Option<Vec<u32>>,
     started: Instant,
     check_counter: u32,
     result: &'a mut EnumResult,
 }
 
-impl Engine<'_> {
+impl<'r> Engine<'_, 'r> {
     fn stop(&mut self) -> bool {
         if self.result.timed_out || self.result.limit_hit {
             return true;
@@ -205,12 +267,13 @@ impl Engine<'_> {
     fn recurse(
         &mut self,
         i: usize,
-        tuple: &mut [NodeId],
-        emit: &mut impl FnMut(&[NodeId], &Engine<'_>) -> bool,
+        tuple_local: &mut [u32],
+        tuple_global: &mut [NodeId],
+        emit: &mut impl FnMut(&[NodeId]) -> bool,
     ) -> bool {
-        if i == self.order.len() {
+        if i == self.steps.len() {
             self.result.count += 1;
-            let keep = emit(tuple, self);
+            let keep = emit(tuple_global);
             if let Some(limit) = self.opts.limit {
                 if self.result.count >= limit {
                     self.result.limit_hit = true;
@@ -223,47 +286,93 @@ impl Engine<'_> {
             return false;
         }
         self.result.steps += 1;
-        let q = self.order[i];
 
-        // Multi-way intersection of cos(q) with the adjacency lists of all
-        // bound neighbors (Alg. 5 lines 4-7).
-        let mut operands: Vec<&Bitset> = Vec::with_capacity(self.constraints[i].len());
+        // Gather the adjacency runs of all bound neighbors (Alg. 5 lines
+        // 4-7). All runs live in cos(q_i)-local id space, so cos(q_i)
+        // itself never has to join the intersection.
+        self.steps[i].ops.clear();
         for &(eid, bound_pos, bound_is_source) in &self.constraints[i] {
-            let bound_node = tuple[bound_pos];
-            let adj = if bound_is_source {
-                self.rig.successors(eid, bound_node)
+            let bound_local = tuple_local[bound_pos];
+            let run = if bound_is_source {
+                self.rig.successors_local(eid, bound_local)
             } else {
-                self.rig.predecessors(eid, bound_node)
+                self.rig.predecessors_local(eid, bound_local)
             };
-            match adj {
-                Some(s) => operands.push(s),
-                None => return true, // empty adjacency: dead branch
+            if run.is_empty() {
+                return true; // empty adjacency: dead branch
             }
+            self.steps[i].ops.push(run);
         }
-        let base = &self.rig.cos[q as usize];
-        if i == 0 {
-            if let Some(filter) = self.root_filter {
-                operands.push(filter);
+
+        let (src, count) = match self.steps[i].ops.len() {
+            0 => {
+                if i == 0 && self.root_locals.is_some() {
+                    (Src::Root, self.root_locals.as_ref().map_or(0, |r| r.len()))
+                } else {
+                    (Src::Range, self.steps[i].n_local as usize)
+                }
             }
-        }
-        let cos_i = if operands.is_empty() {
-            base.clone()
-        } else {
-            let mut all: Vec<&Bitset> = Vec::with_capacity(operands.len() + 1);
-            all.push(base);
-            all.extend(operands);
-            Bitset::multi_and(&all)
+            1 => {
+                let run = self.steps[i].ops[0];
+                (Src::Slice(run.list), run.len())
+            }
+            _ => {
+                let len = self.intersect_into(i);
+                (Src::Buf, len)
+            }
         };
-        for v in cos_i.iter() {
-            if self.opts.injective && tuple[..i].contains(&v) {
+
+        let q = self.steps[i].q;
+        for k in 0..count {
+            let v_local = match src {
+                Src::Range => k as u32,
+                Src::Root => self.root_locals.as_ref().expect("root partition")[k],
+                Src::Slice(list) => list[k],
+                Src::Buf => self.steps[i].buf[k],
+            };
+            let v_global = self.rig.node_at(q, v_local);
+            if self.opts.injective && tuple_global[..i].contains(&v_global) {
                 continue;
             }
-            tuple[i] = v;
-            if !self.recurse(i + 1, tuple, emit) {
+            tuple_local[i] = v_local;
+            tuple_global[i] = v_global;
+            if !self.recurse(i + 1, tuple_local, tuple_global, emit) {
                 return false;
             }
         }
         true
+    }
+
+    /// Materializes the multiway intersection of `steps[i].ops` into
+    /// `steps[i].buf` (smallest operand drives, the rest are probed with
+    /// galloping cursors or dense-bitmap tests) and returns its length.
+    /// Allocation-free: the buffer and cursor vector were pre-sized.
+    fn intersect_into(&mut self, i: usize) -> usize {
+        let step = &mut self.steps[i];
+        let driver_at =
+            (0..step.ops.len()).min_by_key(|&k| step.ops[k].len()).expect("at least two operands");
+        step.ops.swap(0, driver_at);
+        let driver = step.ops[0];
+        step.buf.clear();
+        // Cheap nonemptiness early exit: disjoint value ranges can never
+        // intersect, so skip the probe loop entirely.
+        let lo = step.ops.iter().map(|o| o.list[0]).max().expect("nonempty");
+        let hi =
+            step.ops.iter().map(|o| *o.list.last().expect("nonempty")).min().expect("nonempty");
+        if lo > hi {
+            return 0;
+        }
+        step.cursors.clear();
+        step.cursors.resize(step.ops.len(), 0);
+        'outer: for &v in driver.list {
+            for k in 1..step.ops.len() {
+                if !step.ops[k].contains_from(&mut step.cursors[k], v) {
+                    continue 'outer;
+                }
+            }
+            step.buf.push(v);
+        }
+        step.buf.len()
     }
 }
 

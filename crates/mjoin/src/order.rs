@@ -81,7 +81,7 @@ fn jo_order(query: &PatternQuery, rig: &Rig) -> Vec<QNode> {
     order
 }
 
-fn ri_order(query: &PatternQuery) -> Vec<QNode> {
+pub(crate) fn ri_order(query: &PatternQuery) -> Vec<QNode> {
     let n = query.num_nodes();
     let mut order: Vec<QNode> = Vec::with_capacity(n);
     let mut used = vec![false; n];

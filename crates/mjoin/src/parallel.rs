@@ -29,7 +29,9 @@ pub fn par_count(
     }
     let order = compute_order(query, rig, opts.order);
     let root = order[0];
-    let root_values: Vec<u32> = rig.cos[root as usize].iter().collect();
+    // The RIG's sorted candidate array partitions directly — no bitmap
+    // decode needed to slice the root's binding space.
+    let root_values: &[u32] = rig.candidates(root as usize);
     if root_values.len() < threads * 2 {
         return count(query, rig, opts);
     }

@@ -8,11 +8,28 @@
 //! enumerates over.
 //!
 //! [`build_rig`] implements Alg. 4: a **node selection** phase (double
-//! simulation, optionally preceded by the cheaper pre-filter, or either
-//! alone for the GM-S / GM-F ablations of Fig. 13) and a **node expansion**
-//! phase that materializes RIG adjacency as bitmaps — direct query edges
-//! via `adjf(v) ∩ cos(q)` intersections, reachability edges via BFL probes
-//! ordered by DFS-interval `begin` with the early-termination cut of §4.5.
+//! simulation seeded from the cheaper pre-filter, or either alone for the
+//! GM-S / GM-F ablations of Fig. 13) and a **node expansion** phase that
+//! materializes RIG adjacency — direct query edges via `adjf(v) ∩ cos(q)`
+//! intersections, reachability edges via BFL probes ordered by DFS-interval
+//! `begin` with the early-termination cut of §4.5.
+//!
+//! ## Storage layout
+//!
+//! Candidates and adjacency live in a **CSR layout over dense
+//! candidate-local ids** (see `docs/rig-layout.md`): each `cos(q)` keeps a
+//! sorted id array (`local id` = index into it, the rank dictionary), and
+//! each query edge stores one offset array plus a concatenated arena of
+//! sorted local-id runs per direction. Long runs additionally materialize a
+//! local-id bitmap row for O(1) membership probes. The backward direction
+//! is derived from the forward one by a counting-sort transpose, so
+//! expansion never touches a hash map. MJoin's multiway intersections
+//! operate directly on these runs ([`AdjRun`]) without allocating.
+//!
+//! The previous hashmap-of-bitsets representation survives as
+//! [`reference::RefRig`] — the differential-testing and benchmark baseline.
+
+pub mod reference;
 
 use std::time::{Duration, Instant};
 
@@ -20,12 +37,12 @@ use rig_bitset::Bitset;
 use rig_graph::{FxHashMap, NodeId};
 use rig_query::{EdgeId, EdgeKind};
 use rig_reach::BflIndex;
-use rig_sim::{double_simulation, prefilter, SimContext, SimOptions};
+use rig_sim::{double_simulation, double_simulation_seeded, prefilter, SimContext, SimOptions};
 
 /// Node-selection strategy (which Fig. 13 variant to build).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SelectMode {
-    /// GM: pre-filter, then double simulation.
+    /// GM: pre-filter, then double simulation seeded from its output.
     PrefilterThenSim,
     /// GM-S: double simulation only.
     SimOnly,
@@ -85,7 +102,8 @@ pub struct RigStats {
     pub edge_count: u64,
     /// Simulation passes run during selection.
     pub sim_passes: usize,
-    /// Data nodes pruned during selection.
+    /// Data nodes pruned out of the match sets during selection (pre-filter
+    /// prunes plus simulation prunes).
     pub pruned: u64,
 }
 
@@ -96,44 +114,304 @@ impl RigStats {
     }
 }
 
-/// A materialized runtime index graph.
+/// Runs at least this long also materialize a dense bitmap row.
+const DENSE_MIN_RUN: usize = 64;
+const NO_DENSE: u32 = u32::MAX;
+
+/// One adjacency run of the RIG: the (sorted) local-id neighbor list of one
+/// candidate across one query edge, plus an optional dense bitmap over the
+/// target side's local-id space for O(1) probes. Copyable view — the MJoin
+/// hot loop passes these around by value without touching the heap.
+#[derive(Debug, Clone, Copy)]
+pub struct AdjRun<'a> {
+    /// Sorted local ids of the neighbors on the target side.
+    pub list: &'a [u32],
+    dense: Option<&'a [u64]>,
+}
+
+impl<'a> AdjRun<'a> {
+    /// Empty run (used for out-of-range sources).
+    pub const EMPTY: AdjRun<'static> = AdjRun { list: &[], dense: None };
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Membership probe: O(1) against the dense row when present, binary
+    /// search in the sorted run otherwise.
+    #[inline]
+    pub fn contains(&self, local: u32) -> bool {
+        match self.dense {
+            Some(words) => (words[(local >> 6) as usize] >> (local & 63)) & 1 == 1,
+            None => self.list.binary_search(&local).is_ok(),
+        }
+    }
+
+    /// Monotone membership probe for ascending query sequences: `cursor`
+    /// persists between calls and the sparse path gallops forward from it
+    /// (exponential search), so probing a whole ascending driver run costs
+    /// O(len) total instead of O(len · log len).
+    #[inline]
+    pub fn contains_from(&self, cursor: &mut usize, local: u32) -> bool {
+        if let Some(words) = self.dense {
+            return (words[(local >> 6) as usize] >> (local & 63)) & 1 == 1;
+        }
+        let list = self.list;
+        let mut lo = *cursor;
+        if lo >= list.len() {
+            return false;
+        }
+        if list[lo] >= local {
+            return list[lo] == local;
+        }
+        // gallop: find a bound with list[lo + bound] >= local
+        let mut bound = 1usize;
+        while lo + bound < list.len() && list[lo + bound] < local {
+            bound <<= 1;
+        }
+        lo += bound >> 1; // last position known to be < local
+        let hi = (*cursor + bound + 1).min(list.len());
+        match list[lo..hi].binary_search(&local) {
+            Ok(p) => {
+                *cursor = lo + p;
+                true
+            }
+            Err(p) => {
+                *cursor = lo + p;
+                false
+            }
+        }
+    }
+}
+
+/// One direction of one query edge's adjacency in CSR form over local ids.
+#[derive(Debug, Default, Clone)]
+struct CsrDir {
+    /// `offsets[s]..offsets[s + 1]` delimits source `s`'s run in `targets`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted local-id runs.
+    targets: Vec<u32>,
+    /// Per-source dense row index ([`NO_DENSE`] = sparse only); empty when
+    /// no run qualified for a bitmap.
+    dense_idx: Vec<u32>,
+    /// Bitmap arena, `words_per_row` words per dense row.
+    dense_words: Vec<u64>,
+    words_per_row: usize,
+}
+
+impl CsrDir {
+    fn new(offsets: Vec<u32>, targets: Vec<u32>, n_targets: usize) -> CsrDir {
+        let mut dir = CsrDir {
+            offsets,
+            targets,
+            dense_idx: Vec::new(),
+            dense_words: Vec::new(),
+            words_per_row: n_targets.div_ceil(64),
+        };
+        dir.build_dense_rows();
+        dir
+    }
+
+    fn n_sources(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn run_bounds(&self, s: usize) -> (usize, usize) {
+        (self.offsets[s] as usize, self.offsets[s + 1] as usize)
+    }
+
+    /// A run qualifies for a dense row when it is long enough to amortize
+    /// the bitmap and no sparser than two targets per word (so the bitmap
+    /// costs at most half the run's own footprint).
+    fn build_dense_rows(&mut self) {
+        let wpr = self.words_per_row;
+        if wpr == 0 {
+            return;
+        }
+        let qualifies = |len: usize| len >= DENSE_MIN_RUN && len >= 2 * wpr;
+        let mut rows = 0u32;
+        for s in 0..self.n_sources() {
+            let (lo, hi) = self.run_bounds(s);
+            if qualifies(hi - lo) {
+                rows += 1;
+            }
+        }
+        if rows == 0 {
+            return;
+        }
+        self.dense_idx = vec![NO_DENSE; self.n_sources()];
+        self.dense_words = vec![0u64; rows as usize * wpr];
+        let mut next = 0u32;
+        for s in 0..self.n_sources() {
+            let (lo, hi) = self.run_bounds(s);
+            if !qualifies(hi - lo) {
+                continue;
+            }
+            self.dense_idx[s] = next;
+            let row = &mut self.dense_words[next as usize * wpr..][..wpr];
+            for &t in &self.targets[lo..hi] {
+                row[(t >> 6) as usize] |= 1 << (t & 63);
+            }
+            next += 1;
+        }
+    }
+
+    #[inline]
+    fn run(&self, s: u32) -> AdjRun<'_> {
+        let (lo, hi) = self.run_bounds(s as usize);
+        let dense = match self.dense_idx.get(s as usize) {
+            Some(&ix) if ix != NO_DENSE => {
+                Some(&self.dense_words[ix as usize * self.words_per_row..][..self.words_per_row])
+            }
+            _ => None,
+        };
+        AdjRun { list: &self.targets[lo..hi], dense }
+    }
+
+    /// Counting-sort transpose: offsets + targets of the opposite
+    /// direction. Because sources are scanned in ascending order, every
+    /// transposed run comes out sorted without any comparison sort.
+    fn transpose(&self, n_targets: usize) -> (Vec<u32>, Vec<u32>) {
+        let mut offsets = vec![0u32; n_targets + 1];
+        for &t in &self.targets {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n_targets {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n_targets].to_vec();
+        let mut out = vec![0u32; self.targets.len()];
+        for s in 0..self.n_sources() {
+            let (lo, hi) = self.run_bounds(s);
+            for &t in &self.targets[lo..hi] {
+                out[cursor[t as usize] as usize] = s as u32;
+                cursor[t as usize] += 1;
+            }
+        }
+        (offsets, out)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.offsets.capacity() * 4
+            + self.targets.capacity() * 4
+            + self.dense_idx.capacity() * 4
+            + self.dense_words.capacity() * 8
+    }
+}
+
+/// A materialized runtime index graph in CSR form.
 pub struct Rig {
-    /// Candidate occurrence set per query node.
-    pub cos: Vec<Bitset>,
-    /// Per query edge: successor adjacency `u ∈ cos(from) -> {v ∈ cos(to)}`.
-    fwd: Vec<FxHashMap<NodeId, Bitset>>,
-    /// Per query edge: predecessor adjacency `v ∈ cos(to) -> {u ∈ cos(from)}`.
-    bwd: Vec<FxHashMap<NodeId, Bitset>>,
+    /// Sorted candidate arrays per query node; local id = index. The sole
+    /// stored representation of `cos(q)` — bitmap views are derived on
+    /// demand by [`Rig::cos`].
+    ids: Vec<Vec<NodeId>>,
+    /// Per query edge: successor CSR, indexed by `from`-side local ids.
+    fwd: Vec<CsrDir>,
+    /// Per query edge: predecessor CSR (counting-sort transpose of `fwd`).
+    bwd: Vec<CsrDir>,
+    /// Per query edge: (from, to) query-node indexes.
+    edge_nodes: Vec<(usize, usize)>,
     pub stats: RigStats,
 }
 
 impl Rig {
-    /// Successors of `u` across query edge `eid` (empty bitset if none).
-    pub fn successors(&self, eid: EdgeId, u: NodeId) -> Option<&Bitset> {
-        self.fwd[eid as usize].get(&u)
+    /// Candidate occurrence set of query node `q`, materialized as a
+    /// bitmap. Diagnostic / test accessor — production paths use the
+    /// sorted [`Rig::candidates`] array, so the bitmap is not kept
+    /// resident.
+    pub fn cos(&self, q: usize) -> Bitset {
+        Bitset::from_sorted_dedup(&self.ids[q])
     }
 
-    /// Predecessors of `v` across query edge `eid`.
-    pub fn predecessors(&self, eid: EdgeId, v: NodeId) -> Option<&Bitset> {
-        self.bwd[eid as usize].get(&v)
+    /// Sorted candidate id array of query node `q`; the index of a node in
+    /// this slice is its **local id**.
+    #[inline]
+    pub fn candidates(&self, q: usize) -> &[NodeId] {
+        &self.ids[q]
+    }
+
+    /// Rank lookup: the local id of data node `v` within `cos(q)`.
+    #[inline]
+    pub fn local_of(&self, q: usize, v: NodeId) -> Option<u32> {
+        self.ids[q].binary_search(&v).ok().map(|i| i as u32)
+    }
+
+    /// Inverse of [`Rig::local_of`].
+    #[inline]
+    pub fn node_at(&self, q: usize, local: u32) -> NodeId {
+        self.ids[q][local as usize]
+    }
+
+    /// Successor run of local id `u_local` across query edge `eid`, in the
+    /// target side's local-id space.
+    #[inline]
+    pub fn successors_local(&self, eid: EdgeId, u_local: u32) -> AdjRun<'_> {
+        self.fwd[eid as usize].run(u_local)
+    }
+
+    /// Predecessor run of local id `v_local` across query edge `eid`, in
+    /// the source side's local-id space.
+    #[inline]
+    pub fn predecessors_local(&self, eid: EdgeId, v_local: u32) -> AdjRun<'_> {
+        self.bwd[eid as usize].run(v_local)
+    }
+
+    /// Query-node endpoints `(from, to)` of query edge `eid`.
+    #[inline]
+    pub fn edge_endpoints(&self, eid: EdgeId) -> (usize, usize) {
+        self.edge_nodes[eid as usize]
+    }
+
+    /// Successors of `u` across query edge `eid`, materialized as a bitmap
+    /// of data-node ids (`None` if `u` is not a candidate or has none).
+    /// Diagnostic / test accessor — the hot path uses
+    /// [`Rig::successors_local`].
+    pub fn successors(&self, eid: EdgeId, u: NodeId) -> Option<Bitset> {
+        let (p, q) = self.edge_nodes[eid as usize];
+        let run = self.fwd[eid as usize].run(self.local_of(p, u)?);
+        self.materialize(q, run)
+    }
+
+    /// Predecessors of `v` across query edge `eid` (see [`Rig::successors`]).
+    pub fn predecessors(&self, eid: EdgeId, v: NodeId) -> Option<Bitset> {
+        let (p, q) = self.edge_nodes[eid as usize];
+        let run = self.bwd[eid as usize].run(self.local_of(q, v)?);
+        self.materialize(p, run)
+    }
+
+    fn materialize(&self, side: usize, run: AdjRun<'_>) -> Option<Bitset> {
+        if run.is_empty() {
+            return None;
+        }
+        let ids = &self.ids[side];
+        let globals: Vec<NodeId> = run.list.iter().map(|&l| ids[l as usize]).collect();
+        Some(Bitset::from_sorted_dedup(&globals))
     }
 
     /// True iff some candidate set is empty — the query answer is empty and
     /// enumeration can be skipped entirely.
     pub fn is_empty(&self) -> bool {
-        self.cos.iter().any(|c| c.is_empty())
+        self.ids.iter().any(|c| c.is_empty())
     }
 
     /// Candidate set cardinality of query node `q` (the statistic the JO
     /// search order greedily minimizes, §5.2).
     pub fn cos_len(&self, q: rig_query::QNode) -> u64 {
-        self.cos[q as usize].len()
+        self.ids[q as usize].len() as u64
     }
 
     /// Total RIG edge cardinality `|cos(e)|` across query edge `eid` (the
-    /// `|R_j|` statistic of Thm. 5.1 and the BJ cost model).
+    /// `|R_j|` statistic of Thm. 5.1 and the BJ cost model). O(1) on the
+    /// CSR layout.
     pub fn edge_cardinality(&self, eid: EdgeId) -> u64 {
-        self.fwd[eid as usize].values().map(|b| b.len()).sum()
+        self.fwd[eid as usize].targets.len() as u64
     }
 
     /// RIG size / data graph size, as reported in Fig. 13(a).
@@ -143,15 +421,10 @@ impl Rig {
 
     /// Approximate heap footprint (bytes), for memory accounting.
     pub fn heap_bytes(&self) -> usize {
-        let cos: usize = self.cos.iter().map(|b| b.heap_bytes()).sum();
-        let adj: usize = self
-            .fwd
-            .iter()
-            .chain(self.bwd.iter())
-            .flat_map(|m| m.values())
-            .map(|b| b.heap_bytes() + std::mem::size_of::<(NodeId, Bitset)>())
-            .sum();
-        cos + adj
+        let ids: usize = self.ids.iter().map(|v| v.capacity() * 4).sum();
+        let adj: usize =
+            self.fwd.iter().chain(self.bwd.iter()).map(|d| d.heap_bytes()).sum::<usize>();
+        ids + adj + self.edge_nodes.capacity() * std::mem::size_of::<(usize, usize)>()
     }
 }
 
@@ -165,7 +438,12 @@ pub fn build_rig(ctx: &SimContext<'_>, bfl: &BflIndex, opts: &RigOptions) -> Rig
     let mut pruned = 0;
     let cos: Vec<Bitset> = match opts.select {
         SelectMode::MatchSets => ctx.match_sets(),
-        SelectMode::PrefilterOnly => prefilter(ctx),
+        SelectMode::PrefilterOnly => {
+            let ms_total = match_set_total(ctx);
+            let pf = prefilter(ctx);
+            pruned = ms_total - total_len(&pf);
+            pf
+        }
         SelectMode::SimOnly => {
             let r = double_simulation(ctx, &opts.sim);
             sim_passes = r.passes;
@@ -173,178 +451,305 @@ pub fn build_rig(ctx: &SimContext<'_>, bfl: &BflIndex, opts: &RigOptions) -> Rig
             r.fb
         }
         SelectMode::PrefilterThenSim => {
-            // The pre-filter is a cheap first pass; feeding its output into
-            // the simulation as the initial relation preserves the fixpoint
-            // (prefilter output still contains FB).
+            // The pre-filter is a cheap first pass; the simulation fixpoint
+            // then *starts* from its output (rather than re-deriving its
+            // prunes from the raw match sets), which preserves FB because
+            // the prefilter output still sandwiches it.
+            let ms_total = match_set_total(ctx);
             let pf = prefilter(ctx);
+            let pf_pruned = ms_total - total_len(&pf);
             let r = double_simulation_seeded(ctx, &opts.sim, pf);
             sim_passes = r.passes;
-            pruned = r.pruned;
+            pruned = pf_pruned + r.pruned;
             r.fb
         }
     };
     let select_time = select_start.elapsed();
+    let stats = RigStats { select_time, sim_passes, pruned, ..Default::default() };
+    finish_rig(ctx, bfl, opts, cos, stats)
+}
 
+/// Builds a RIG whose candidate sets are supplied by the caller (each must
+/// sandwich `os(q) ⊆ cos[q] ⊆ ms(q)`), skipping the selection phase. Used
+/// by engines with their own filtering front end (e.g. the RapidMatch
+/// analogue's tree-restricted filter).
+pub fn build_rig_from_candidates(
+    ctx: &SimContext<'_>,
+    bfl: &BflIndex,
+    opts: &RigOptions,
+    cos: Vec<Bitset>,
+) -> Rig {
+    assert_eq!(cos.len(), ctx.query.num_nodes(), "one candidate set per query node");
+    finish_rig(ctx, bfl, opts, cos, RigStats::default())
+}
+
+fn total_len(sets: &[Bitset]) -> u64 {
+    sets.iter().map(|s| s.len()).sum()
+}
+
+fn match_set_total(ctx: &SimContext<'_>) -> u64 {
+    ctx.query
+        .labels()
+        .iter()
+        .map(|&l| {
+            if (l as usize) < ctx.graph.num_labels() {
+                ctx.graph.label_bitset(l).len()
+            } else {
+                0
+            }
+        })
+        .sum()
+}
+
+/// Shared tail of RIG construction: the node expansion phase (§4.5) on a
+/// fixed candidate selection.
+fn finish_rig(
+    ctx: &SimContext<'_>,
+    bfl: &BflIndex,
+    opts: &RigOptions,
+    cos: Vec<Bitset>,
+    stats: RigStats,
+) -> Rig {
+    let nq = ctx.query.num_nodes();
     let ne = ctx.query.num_edges();
-    let mut rig = Rig {
-        cos,
-        fwd: vec![FxHashMap::default(); ne],
-        bwd: vec![FxHashMap::default(); ne],
-        stats: RigStats { select_time, sim_passes, pruned, ..Default::default() },
-    };
+    let edge_nodes: Vec<(usize, usize)> = (0..ne)
+        .map(|eid| {
+            let e = ctx.query.edge(eid as EdgeId);
+            (e.from as usize, e.to as usize)
+        })
+        .collect();
 
     // Empty candidate set => empty answer; skip expansion (§4.3).
-    if rig.is_empty() {
-        for c in rig.cos.iter_mut() {
-            c.clear();
+    if cos.iter().any(|c| c.is_empty()) {
+        let mut rig = Rig {
+            ids: vec![Vec::new(); nq],
+            fwd: Vec::with_capacity(ne),
+            bwd: Vec::with_capacity(ne),
+            edge_nodes,
+            stats,
+        };
+        for _ in 0..ne {
+            rig.fwd.push(CsrDir::new(vec![0], Vec::new(), 0));
+            rig.bwd.push(CsrDir::new(vec![0], Vec::new(), 0));
         }
         rig.stats.node_count = 0;
         return rig;
     }
 
+    // The selection bitsets are decoded into the sorted candidate arrays
+    // (the rank dictionaries) and dropped — the RIG keeps one candidate
+    // representation, not two.
+    let ids: Vec<Vec<NodeId>> = cos.iter().map(|c| c.to_vec()).collect();
+    drop(cos);
+    let mut rig =
+        Rig { ids, fwd: Vec::with_capacity(ne), bwd: Vec::with_capacity(ne), edge_nodes, stats };
+
     // ---- node expansion phase ----
     let expand_start = Instant::now();
     for eid in 0..ne as EdgeId {
-        expand_edge(ctx, bfl, opts, &mut rig, eid);
+        let (p, q) = rig.edge_nodes[eid as usize];
+        let (offsets, targets) = expand_edge(ctx, bfl, opts, &rig.ids, eid, p, q);
+        let fwd = CsrDir::new(offsets, targets, rig.ids[q].len());
+        let (boff, btgt) = fwd.transpose(rig.ids[q].len());
+        let bwd = CsrDir::new(boff, btgt, rig.ids[p].len());
+        rig.fwd.push(fwd);
+        rig.bwd.push(bwd);
     }
     rig.stats.expand_time = expand_start.elapsed();
-    rig.stats.node_count = rig.cos.iter().map(|c| c.len()).sum();
-    rig.stats.edge_count = rig.fwd.iter().flat_map(|m| m.values()).map(|b| b.len()).sum();
+    rig.stats.node_count = rig.ids.iter().map(|c| c.len() as u64).sum();
+    rig.stats.edge_count = rig.fwd.iter().map(|d| d.targets.len() as u64).sum();
     rig
 }
 
-/// Double simulation starting from a pre-pruned relation instead of the raw
-/// match sets.
-fn double_simulation_seeded(
-    ctx: &SimContext<'_>,
-    opts: &SimOptions,
-    seed: Vec<Bitset>,
-) -> rig_sim::SimResult {
-    // The rig-sim crate always starts from ms; intersecting its result with
-    // the seed is equivalent because both are supersets of FB and
-    // simulation is a decreasing fixpoint. To keep the pass accounting of
-    // Fig. 12b faithful we run the simulation on the seeded sets by
-    // re-running prunes until stable, reusing the public API.
-    let mut r = double_simulation(ctx, opts);
-    for (acc, s) in r.fb.iter_mut().zip(seed.iter()) {
-        acc.and_assign(s);
-    }
-    r
-}
-
+/// Expands one query edge into forward CSR runs (local target ids).
 fn expand_edge(
     ctx: &SimContext<'_>,
     bfl: &BflIndex,
     opts: &RigOptions,
-    rig: &mut Rig,
+    ids: &[Vec<NodeId>],
     eid: EdgeId,
-) {
-    let e = ctx.query.edge(eid);
-    let (p, q) = (e.from as usize, e.to as usize);
-    match e.kind {
-        EdgeKind::Direct => {
-            // adjf(v_p) ∩ cos(q) in one bitmap AND per source (§4.5).
-            let mut fwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
-            let mut bwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
-            for u in rig.cos[p].iter() {
-                let succ = Bitset::from_sorted_dedup(ctx.graph.out_neighbors(u)).and(&rig.cos[q]);
-                if succ.is_empty() {
-                    continue;
-                }
-                for v in succ.iter() {
-                    bwd.entry(v).or_default().insert(u);
-                }
-                fwd.insert(u, succ);
-            }
-            rig.fwd[eid as usize] = fwd;
-            rig.bwd[eid as usize] = bwd;
-        }
+    p: usize,
+    q: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    match ctx.query.edge(eid).kind {
+        EdgeKind::Direct => expand_direct(ctx, ids, p, q),
         EdgeKind::Reachability => match opts.reach_expand {
-            ReachExpandMode::PairwiseBfl => expand_reach_pairwise(ctx, bfl, opts, rig, eid, p, q),
-            ReachExpandMode::PrunedDfs => expand_reach_dfs(ctx, rig, eid, p, q),
+            ReachExpandMode::PairwiseBfl => expand_reach_pairwise(ctx, bfl, opts, ids, p, q),
+            ReachExpandMode::PrunedDfs => expand_reach_dfs(ctx, ids, p, q),
         },
+    }
+}
+
+/// Appends the next CSR offset, refusing to wrap: a single query edge is
+/// limited to `u32::MAX` RIG adjacency entries (the data graph uses u64
+/// offsets, so a pathological edge could exceed that — fail loudly rather
+/// than corrupt run bounds).
+#[inline]
+fn push_offset(offsets: &mut Vec<u32>, targets_len: usize) {
+    assert!(
+        u32::try_from(targets_len).is_ok(),
+        "query-edge adjacency exceeds u32::MAX entries ({targets_len}); CSR offsets would wrap"
+    );
+    offsets.push(targets_len as u32);
+}
+
+/// Direct-edge expansion: `adjf(u) ∩ cos(q)` per source, written straight
+/// into the CSR arena as local ids (§4.5) — no per-source bitmaps, no
+/// hash maps.
+fn expand_direct(
+    ctx: &SimContext<'_>,
+    ids: &[Vec<NodeId>],
+    p: usize,
+    q: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let (src, tgt) = (&ids[p], &ids[q]);
+    let mut offsets = Vec::with_capacity(src.len() + 1);
+    offsets.push(0u32);
+    let mut targets = Vec::new();
+    for &u in src {
+        intersect_to_locals(ctx.graph.out_neighbors(u), tgt, &mut targets);
+        push_offset(&mut offsets, targets.len());
+    }
+    (offsets, targets)
+}
+
+/// Intersects two sorted id lists, emitting the *positions in `tgt`* (local
+/// ids) of the common values. Gallops when the sizes are lopsided.
+fn intersect_to_locals(nbrs: &[NodeId], tgt: &[NodeId], out: &mut Vec<u32>) {
+    if nbrs.is_empty() || tgt.is_empty() {
+        return;
+    }
+    if nbrs.len() * 16 < tgt.len() {
+        for &v in nbrs {
+            if let Ok(j) = tgt.binary_search(&v) {
+                out.push(j as u32);
+            }
+        }
+    } else if tgt.len() * 16 < nbrs.len() {
+        for (j, t) in tgt.iter().enumerate() {
+            if nbrs.binary_search(t).is_ok() {
+                out.push(j as u32);
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0, 0);
+        while i < nbrs.len() && j < tgt.len() {
+            match nbrs[i].cmp(&tgt[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(j as u32);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
     }
 }
 
 /// Reachability expansion with per-pair BFL probes; candidates of `q` are
 /// visited in ascending interval `begin` so that scanning can stop at the
 /// first candidate with `begin > u.end` (early expansion termination).
+///
+/// The target list, its interval sort and the per-target
+/// component/interval lookups are all hoisted out of the per-source loop,
+/// and whole runs are memoized per source SCC: every source in one
+/// component reaches exactly the same candidates (self-candidacy included,
+/// because a trivial component's sole member is its only possible source).
 fn expand_reach_pairwise(
     ctx: &SimContext<'_>,
     bfl: &BflIndex,
     opts: &RigOptions,
-    rig: &mut Rig,
-    eid: EdgeId,
+    ids: &[Vec<NodeId>],
     p: usize,
     q: usize,
-) {
+) -> (Vec<u32>, Vec<u32>) {
     let cond = bfl.condensation();
     let intervals = bfl.intervals();
-    // cos(q) sorted by interval begin
-    let mut targets: Vec<NodeId> = rig.cos[q].iter().collect();
+    let (src, tgt) = (&ids[p], &ids[q]);
+    // (begin, target node, local id), cached once per edge; sorted by
+    // interval begin only when the early-termination cut needs that order.
+    let mut tinfo: Vec<(u32, NodeId, u32)> = tgt
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| (intervals.begin[cond.component(v) as usize], v, j as u32))
+        .collect();
     if opts.early_termination {
-        intervals.sort_nodes_by_begin(cond, &mut targets);
+        tinfo.sort_unstable();
     }
-    let mut fwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
-    let mut bwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
-    for u in rig.cos[p].iter() {
+    let mut offsets = Vec::with_capacity(src.len() + 1);
+    offsets.push(0u32);
+    let mut targets = Vec::new();
+    let mut memo: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    let mut run: Vec<u32> = Vec::new();
+    for &u in src {
         let cu = cond.component(u);
+        let nontrivial = cond.nontrivial[cu as usize];
+        // Only nontrivial SCCs can host more than one source, so only they
+        // are worth memoizing (a trivial component's run could never be
+        // requested again).
+        if nontrivial {
+            if let Some(cached) = memo.get(&cu) {
+                targets.extend_from_slice(cached);
+                push_offset(&mut offsets, targets.len());
+                continue;
+            }
+        }
+        run.clear();
         let u_end = intervals.end[cu as usize];
-        let mut succ = Bitset::new();
-        for &v in &targets {
-            if opts.early_termination {
-                let cv = cond.component(v);
-                if intervals.begin[cv as usize] > u_end {
-                    break; // all later candidates are unreachable from u
-                }
+        for &(begin, v, j) in &tinfo {
+            if opts.early_termination && begin > u_end {
+                break; // all later candidates are unreachable from u
             }
-            if (u != v || cond.nontrivial[cu as usize]) && ctx.reach.reaches(u, v) {
-                succ.insert(v);
+            if (u != v || nontrivial) && ctx.reach.reaches(u, v) {
+                run.push(j);
             }
         }
-        if succ.is_empty() {
-            continue;
+        if opts.early_termination {
+            run.sort_unstable(); // begin order -> local-id order
         }
-        for v in succ.iter() {
-            bwd.entry(v).or_default().insert(u);
+        targets.extend_from_slice(&run);
+        push_offset(&mut offsets, targets.len());
+        if nontrivial {
+            memo.insert(cu, run.clone());
         }
-        fwd.insert(u, succ);
     }
-    rig.fwd[eid as usize] = fwd;
-    rig.bwd[eid as usize] = bwd;
+    (offsets, targets)
 }
 
 /// Reachability expansion by one pruned DFS per source node.
-fn expand_reach_dfs(ctx: &SimContext<'_>, rig: &mut Rig, eid: EdgeId, p: usize, q: usize) {
+fn expand_reach_dfs(
+    ctx: &SimContext<'_>,
+    ids: &[Vec<NodeId>],
+    p: usize,
+    q: usize,
+) -> (Vec<u32>, Vec<u32>) {
     let g = ctx.graph;
-    let n = g.num_nodes();
-    let mut stamp = vec![u32::MAX; n];
-    let mut fwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
-    let mut bwd: FxHashMap<NodeId, Bitset> = FxHashMap::default();
-    for (epoch, u) in rig.cos[p].iter().enumerate() {
+    let (src, tgt) = (&ids[p], &ids[q]);
+    let mut stamp = vec![u32::MAX; g.num_nodes()];
+    let mut offsets = Vec::with_capacity(src.len() + 1);
+    offsets.push(0u32);
+    let mut targets = Vec::new();
+    let mut run: Vec<u32> = Vec::new();
+    for (epoch, &u) in src.iter().enumerate() {
         let epoch = epoch as u32;
-        let mut succ = Bitset::new();
+        run.clear();
         let mut stack: Vec<NodeId> = g.out_neighbors(u).to_vec();
         while let Some(x) = stack.pop() {
             if stamp[x as usize] == epoch {
                 continue;
             }
             stamp[x as usize] = epoch;
-            if rig.cos[q].contains(x) {
-                succ.insert(x);
+            if let Ok(j) = tgt.binary_search(&x) {
+                run.push(j as u32);
             }
             stack.extend_from_slice(g.out_neighbors(x));
         }
-        if succ.is_empty() {
-            continue;
-        }
-        for v in succ.iter() {
-            bwd.entry(v).or_default().insert(u);
-        }
-        fwd.insert(u, succ);
+        run.sort_unstable();
+        targets.extend_from_slice(&run);
+        push_offset(&mut offsets, targets.len());
     }
-    rig.fwd[eid as usize] = fwd;
-    rig.bwd[eid as usize] = bwd;
+    (offsets, targets)
 }
 
 #[cfg(test)]
@@ -393,9 +798,9 @@ mod tests {
         let g = fig2_graph();
         let q = fig2_query();
         let rig = build(&g, &q, &RigOptions::exact());
-        assert_eq!(rig.cos[0].to_vec(), vec![1, 2]); // {a1, a2}
-        assert_eq!(rig.cos[1].to_vec(), vec![3, 5]); // {b0, b2}
-        assert_eq!(rig.cos[2].to_vec(), vec![7, 9]); // {c0, c2}
+        assert_eq!(rig.cos(0).to_vec(), vec![1, 2]); // {a1, a2}
+        assert_eq!(rig.cos(1).to_vec(), vec![3, 5]); // {b0, b2}
+        assert_eq!(rig.cos(2).to_vec(), vec![7, 9]); // {c0, c2}
                                                      // edge (A,B) direct
         assert_eq!(rig.successors(0, 1).unwrap().to_vec(), vec![3]);
         assert_eq!(rig.successors(0, 2).unwrap().to_vec(), vec![5]);
@@ -415,6 +820,32 @@ mod tests {
         assert!(rig.size_ratio(&g) > 0.0);
     }
 
+    /// The CSR local-id dictionary round-trips and the local runs mirror
+    /// the materialized accessors.
+    #[test]
+    fn local_id_dictionary_and_runs() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        let rig = build(&g, &q, &RigOptions::exact());
+        assert_eq!(rig.candidates(1), &[3, 5]);
+        assert_eq!(rig.local_of(1, 5), Some(1));
+        assert_eq!(rig.local_of(1, 4), None);
+        assert_eq!(rig.node_at(1, 0), 3);
+        // edge (B,C): local run of b2 (local 1) = {c0, c2} = locals {0, 1}
+        let run = rig.successors_local(2, 1);
+        assert_eq!(run.list, &[0, 1]);
+        assert!(run.contains(0) && run.contains(1) && !run.contains(2));
+        let mut cursor = 0;
+        assert!(run.contains_from(&mut cursor, 0));
+        assert!(run.contains_from(&mut cursor, 1));
+        assert!(!run.contains_from(&mut cursor, 7));
+        // backward run of c0 (local 0) = {b0, b2} = locals {0, 1}
+        assert_eq!(rig.predecessors_local(2, 0).list, &[0, 1]);
+        assert_eq!(rig.edge_endpoints(2), (1, 2));
+        assert_eq!(rig.edge_cardinality(2), 3);
+        assert!(rig.heap_bytes() > 0);
+    }
+
     /// All (select-mode, expand-mode, early-termination) combinations agree
     /// on edges whenever their candidate sets agree; and every variant's
     /// RIG contains the refined RIG (supersets shrink monotonically).
@@ -428,7 +859,7 @@ mod tests {
             let r = build(&g, &q, &opts);
             for i in 0..q.num_nodes() {
                 assert!(
-                    refined.cos[i].is_subset(&r.cos[i]),
+                    refined.cos(i).is_subset(&r.cos(i)),
                     "{select:?}: refined cos({i}) ⊄ variant"
                 );
             }
@@ -456,7 +887,7 @@ mod tests {
                 &RigOptions { reach_expand: ReachExpandMode::PrunedDfs, ..RigOptions::exact() },
             );
             assert_eq!(a.stats.edge_count, b.stats.edge_count, "early={early}");
-            for u in a.cos[1].iter() {
+            for u in a.cos(1).iter() {
                 assert_eq!(
                     a.successors(2, u).map(|s| s.to_vec()),
                     b.successors(2, u).map(|s| s.to_vec()),
@@ -492,7 +923,7 @@ mod tests {
         // match sets: 3 a's + 4 b's + 3 c's
         assert_eq!(m.stats.node_count, 10);
         // (A,B) matches: a1->b0, a2->b2, a0->b1 = 3 edges
-        assert_eq!(m.fwd[0].values().map(|s| s.len()).sum::<u64>(), 3);
+        assert_eq!(m.edge_cardinality(0), 3);
     }
 
     #[test]
@@ -502,7 +933,52 @@ mod tests {
         let capped = build(&g, &q, &RigOptions::default());
         let exact = build(&g, &q, &RigOptions::exact());
         for i in 0..q.num_nodes() {
-            assert!(exact.cos[i].is_subset(&capped.cos[i]));
+            assert!(exact.cos(i).is_subset(&capped.cos(i)));
         }
+    }
+
+    /// `build_rig_from_candidates` on the FB sets equals the refined RIG.
+    #[test]
+    fn candidates_entry_point_matches_full_build() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        let bfl = BflIndex::new(&g);
+        let ctx = SimContext::new(&g, &q, &bfl);
+        let full = build_rig(&ctx, &bfl, &RigOptions::exact());
+        let fb = rig_sim::double_simulation(&ctx, &SimOptions::exact()).fb;
+        let seeded = build_rig_from_candidates(&ctx, &bfl, &RigOptions::exact(), fb);
+        for i in 0..q.num_nodes() {
+            assert_eq!(full.cos(i).to_vec(), seeded.cos(i).to_vec());
+        }
+        assert_eq!(full.stats.edge_count, seeded.stats.edge_count);
+    }
+
+    /// Dense bitmap rows kick in on long runs and agree with the sparse
+    /// list.
+    #[test]
+    fn dense_rows_agree_with_sparse_runs() {
+        // one a-node pointing at many b-nodes
+        let mut b = GraphBuilder::new();
+        let a0 = b.add_node(0);
+        let mut bs = Vec::new();
+        for _ in 0..500 {
+            bs.push(b.add_node(1));
+        }
+        for &x in &bs {
+            b.add_edge(a0, x);
+        }
+        let g = b.build();
+        let mut q = PatternQuery::new(vec![0, 1]);
+        q.add_edge(0, 1, EdgeKind::Direct);
+        let rig = build(&g, &q, &RigOptions::exact());
+        let run = rig.successors_local(0, 0);
+        assert_eq!(run.len(), 500);
+        assert!(run.dense.is_some(), "long run must carry a dense row");
+        for l in 0..500u32 {
+            assert!(run.contains(l));
+            let mut cur = 0;
+            assert!(run.contains_from(&mut cur, l));
+        }
+        assert!(!run.contains(500));
     }
 }

@@ -66,7 +66,7 @@ proptest! {
             prop_assert_eq!(base.stats.edge_count, other.stats.edge_count, "early={}", early);
             for eid in 0..q.num_edges() as u32 {
                 let p = q.edge(eid).from as usize;
-                for u in base.cos[p].iter() {
+                for u in base.cos(p).iter() {
                     prop_assert_eq!(
                         base.successors(eid, u).map(|s| s.to_vec()),
                         other.successors(eid, u).map(|s| s.to_vec()),
@@ -85,7 +85,7 @@ proptest! {
         let rig = build_rig(&ctx, &bfl, &RigOptions::exact());
         for eid in 0..q.num_edges() as u32 {
             let e = q.edge(eid);
-            for u in rig.cos[e.from as usize].iter() {
+            for u in rig.cos(e.from as usize).iter() {
                 if let Some(succ) = rig.successors(eid, u) {
                     for v in succ.iter() {
                         let pred = rig.predecessors(eid, v);
@@ -96,7 +96,7 @@ proptest! {
                     }
                 }
             }
-            for v in rig.cos[e.to as usize].iter() {
+            for v in rig.cos(e.to as usize).iter() {
                 if let Some(pred) = rig.predecessors(eid, v) {
                     for u in pred.iter() {
                         let succ = rig.successors(eid, u);
@@ -118,9 +118,9 @@ proptest! {
         let rig = build_rig(&ctx, &bfl, &RigOptions::exact());
         for eid in 0..q.num_edges() as u32 {
             let e = q.edge(eid);
-            for u in rig.cos[e.from as usize].iter() {
+            for u in rig.cos(e.from as usize).iter() {
                 if let Some(succ) = rig.successors(eid, u) {
-                    prop_assert!(succ.is_subset(&rig.cos[e.to as usize]));
+                    prop_assert!(succ.is_subset(&rig.cos(e.to as usize)));
                 }
             }
         }

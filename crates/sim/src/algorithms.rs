@@ -7,8 +7,28 @@ use rig_query::{EdgeId, QNode};
 
 /// Computes the double simulation `FB` of `ctx.query` by `ctx.graph`.
 pub fn double_simulation(ctx: &SimContext<'_>, opts: &SimOptions) -> SimResult {
-    let mut runner = Runner::new(ctx, opts);
-    match opts.algorithm {
+    run_from(Runner::new(ctx, opts))
+}
+
+/// Like [`double_simulation`], but the fixpoint starts from `seed` instead
+/// of the raw match sets. `seed[q]` must sandwich `FB(q) ⊆ seed[q] ⊆ ms(q)`
+/// — e.g. the pre-filter output — so the largest simulation contained in
+/// the seed is still `FB` and no answer can be lost. Starting from the
+/// pre-pruned relation lets the prefilter's work carry into the fixpoint
+/// instead of being thrown away and re-derived; pass counts in the result
+/// reflect the passes actually run on the seeded relation.
+pub fn double_simulation_seeded(
+    ctx: &SimContext<'_>,
+    opts: &SimOptions,
+    seed: Vec<Bitset>,
+) -> SimResult {
+    assert_eq!(seed.len(), ctx.query.num_nodes(), "one seed set per query node");
+    run_from(Runner::with_start(ctx, opts, seed))
+}
+
+fn run_from(mut runner: Runner<'_, '_>) -> SimResult {
+    let ctx = runner.ctx;
+    match runner.opts.algorithm {
         SimAlgorithm::Basic => runner.run_basic(),
         SimAlgorithm::Dag | SimAlgorithm::DagDelta => {
             if ctx.query.is_dag() {
@@ -38,6 +58,10 @@ struct Runner<'c, 'a> {
 impl<'c, 'a> Runner<'c, 'a> {
     fn new(ctx: &'c SimContext<'a>, opts: &SimOptions) -> Self {
         let fb = ctx.match_sets();
+        Self::with_start(ctx, opts, fb)
+    }
+
+    fn with_start(ctx: &'c SimContext<'a>, opts: &SimOptions, fb: Vec<Bitset>) -> Self {
         let n = ctx.query.num_nodes();
         Runner {
             ctx,
@@ -354,6 +378,46 @@ mod tests {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// The seeded fixpoint started from the prefilter output equals the
+    /// unseeded fixpoint: the largest simulation contained in any sandwich
+    /// `FB ⊆ seed ⊆ ms` is FB itself.
+    #[test]
+    fn seeded_from_prefilter_equals_unseeded_fixpoint() {
+        use crate::{double_simulation_seeded, prefilter};
+        for seed in 0..12u64 {
+            let g = random_labeled_graph(25, 60, 3, seed);
+            let q = random_pattern(3, seed);
+            let reach = BflIndex::new(&g);
+            let ctx = SimContext::new(&g, &q, &reach);
+            let opts = SimOptions::exact();
+            let plain = double_simulation(&ctx, &opts);
+            let pf = prefilter(&ctx);
+            let seeded = double_simulation_seeded(&ctx, &opts, pf);
+            for i in 0..q.num_nodes() {
+                assert_eq!(plain.fb[i].to_vec(), seeded.fb[i].to_vec(), "seed={seed} node={i}");
+            }
+            assert!(seeded.passes >= 1);
+        }
+    }
+
+    /// With a pass cap the seeded run stays a sound overapproximation of FB.
+    #[test]
+    fn seeded_with_cap_is_sound() {
+        use crate::{double_simulation_seeded, prefilter};
+        for seed in 0..8u64 {
+            let g = random_labeled_graph(25, 60, 3, seed);
+            let q = random_pattern(3, seed);
+            let reach = BflIndex::new(&g);
+            let ctx = SimContext::new(&g, &q, &reach);
+            let exact = double_simulation(&ctx, &SimOptions::exact());
+            let pf = prefilter(&ctx);
+            let capped = double_simulation_seeded(&ctx, &SimOptions::paper_default(), pf);
+            for i in 0..q.num_nodes() {
+                assert!(exact.fb[i].is_subset(&capped.fb[i]), "seed={seed} node={i}");
             }
         }
     }

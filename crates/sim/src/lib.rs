@@ -29,7 +29,7 @@ mod algorithms;
 mod checks;
 mod prefilter;
 
-pub use algorithms::double_simulation;
+pub use algorithms::{double_simulation, double_simulation_seeded};
 pub use checks::{backward_prune_edge, forward_prune_edge};
 pub use prefilter::prefilter;
 

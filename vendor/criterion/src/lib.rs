@@ -28,6 +28,16 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // CRITERION_SMOKE=1 switches to a single-shot configuration (one
+        // sample, minimal warm-up) so CI can assert every benchmark still
+        // *runs* without paying measurement-quality time.
+        if std::env::var_os("CRITERION_SMOKE").is_some() {
+            return Criterion {
+                sample_size: 1,
+                measurement_time: Duration::from_millis(20),
+                warm_up_time: Duration::from_millis(5),
+            };
+        }
         Criterion {
             sample_size: 20,
             measurement_time: Duration::from_secs(2),
