@@ -95,20 +95,38 @@ pub trait Engine {
     }
 }
 
-/// GM behind the [`Engine`] trait.
+/// GM behind the [`Engine`] trait. With `threads > 1` the enumeration
+/// stage runs the morsel-driven parallel engine (counting sinks — no
+/// materialization), still honoring the budget's limit and timeout.
 pub struct GmEngine<'g> {
     matcher: Matcher<'g>,
     config: GmConfig,
     name: &'static str,
+    threads: usize,
 }
 
 impl<'g> GmEngine<'g> {
     pub fn new(graph: &'g DataGraph) -> Self {
-        GmEngine { matcher: Matcher::new(graph), config: GmConfig::default(), name: "GM" }
+        GmEngine {
+            matcher: Matcher::new(graph),
+            config: GmConfig::default(),
+            name: "GM",
+            threads: 1,
+        }
     }
 
     pub fn with_config(graph: &'g DataGraph, config: GmConfig, name: &'static str) -> Self {
-        GmEngine { matcher: Matcher::new(graph), config, name }
+        GmEngine { matcher: Matcher::new(graph), config, name, threads: 1 }
+    }
+
+    /// GM with `threads` morsel-driven enumeration workers.
+    pub fn with_threads(graph: &'g DataGraph, threads: usize) -> Self {
+        GmEngine {
+            matcher: Matcher::new(graph),
+            config: GmConfig::default(),
+            name: "GM-par",
+            threads,
+        }
     }
 
     pub fn matcher(&self) -> &Matcher<'g> {
@@ -125,7 +143,11 @@ impl Engine for GmEngine<'_> {
         let mut cfg = self.config;
         cfg.enumeration.limit = budget.match_limit;
         cfg.enumeration.timeout = budget.timeout;
-        let outcome = self.matcher.count(query, &cfg);
+        let outcome = if self.threads > 1 {
+            self.matcher.par_count(query, &cfg, self.threads)
+        } else {
+            self.matcher.count(query, &cfg)
+        };
         outcome.report(self.name)
     }
 
@@ -176,5 +198,14 @@ mod tests {
         let e = GmEngine::new(&g);
         let r = e.evaluate(&fig2_query(), &Budget::with_limit(1));
         assert_eq!(r.occurrences, 1);
+    }
+
+    #[test]
+    fn parallel_gm_engine_agrees_and_honors_limit() {
+        let g = fig2_graph();
+        let par = GmEngine::with_threads(&g, 4);
+        assert_eq!(par.name(), "GM-par");
+        assert_eq!(par.evaluate(&fig2_query(), &Budget::default()).occurrences, 2);
+        assert_eq!(par.evaluate(&fig2_query(), &Budget::with_limit(1)).occurrences, 1);
     }
 }

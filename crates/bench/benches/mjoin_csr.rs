@@ -45,8 +45,8 @@ fn bench_enumerate(c: &mut Criterion) {
     let opts = RigOptions::default();
     let rig = build_rig(&ctx, &bfl, &opts);
     let ref_rig = build_reference_rig(&ctx, &bfl, &opts);
-    // No limit: the workload is bounded by the graph scale, and a limit
-    // would make par_count silently fall back to the sequential engine.
+    // No limit: the workload is bounded by the graph scale, so every
+    // engine enumerates the identical full answer.
     let eo = EnumOptions::default();
     c.bench_function("mjoin/enumerate/csr", |b| b.iter(|| count(&q, &rig, &eo)));
     c.bench_function("mjoin/enumerate/reference", |b| b.iter(|| ref_count(&q, &ref_rig, &eo)));

@@ -4,8 +4,14 @@
 //! CI runs this after regenerating the artifacts so a malformed emitter
 //! fails the gate.
 //!
-//! Usage: `benchcheck <file.json>...` — exits non-zero on the first
-//! invalid file.
+//! Parallel-sweep artifacts (`"parallel": true`, emitted by
+//! `fig9 --json-parallel`) are validated against the sweep schema instead;
+//! with `--min-par-speedup <x>` the best measured speedup must reach `x`
+//! (CI applies this gate only when the hardware actually has cores to
+//! parallelize over).
+//!
+//! Usage: `benchcheck [--min-par-speedup X] <file.json>...` — exits
+//! non-zero on the first invalid file.
 
 use rig_bench::json::{parse, JsonValue};
 
@@ -21,7 +27,81 @@ fn require_num(path: &str, obj: &JsonValue, key: &str) -> f64 {
     }
 }
 
-fn check(path: &str) {
+/// Validates a parallel-sweep artifact; returns its best speedup.
+fn check_parallel(path: &str, doc: &JsonValue) -> f64 {
+    for key in ["harness", "baseline"] {
+        if doc.get(key).and_then(|v| v.as_str()).is_none() {
+            fail(path, &format!("missing string field {key:?}"));
+        }
+    }
+    for key in ["scale", "seed", "timeout_s", "limit", "hw_threads", "morsel"] {
+        if !doc.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+            fail(path, &format!("missing numeric field {key:?}"));
+        }
+    }
+    let thread_counts = match doc.get("thread_counts").and_then(|t| t.as_arr()) {
+        Some(t) if !t.is_empty() => t,
+        _ => fail(path, "thread_counts must be a non-empty array"),
+    };
+    let queries = match doc.get("queries").and_then(|q| q.as_arr()) {
+        Some(q) if !q.is_empty() => q,
+        _ => fail(path, "queries must be a non-empty array"),
+    };
+    for (i, q) in queries.iter().enumerate() {
+        if q.get("query").and_then(|v| v.as_str()).is_none() {
+            fail(path, &format!("queries[{i}].query missing"));
+        }
+        let runs = match q.get("runs").and_then(|r| r.as_arr()) {
+            Some(r) if r.len() == thread_counts.len() => r,
+            _ => fail(path, &format!("queries[{i}].runs must have one entry per thread count")),
+        };
+        for (j, r) in runs.iter().enumerate() {
+            for key in ["threads", "enum_s", "matches", "steps"] {
+                if !r.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+                    fail(path, &format!("queries[{i}].runs[{j}].{key} missing"));
+                }
+            }
+            for key in ["timed_out", "limit_hit"] {
+                if !matches!(r.get(key), Some(JsonValue::Bool(_))) {
+                    fail(path, &format!("queries[{i}].runs[{j}].{key} missing or not a bool"));
+                }
+            }
+        }
+    }
+    let totals = match doc.get("totals") {
+        Some(t) => t,
+        None => fail(path, "missing totals object"),
+    };
+    for key in ["queries", "comparable_queries", "incomparable_queries", "matches", "base_threads"]
+    {
+        require_num(path, totals, key);
+    }
+    let sweeps = match totals.get("sweeps").and_then(|s| s.as_arr()) {
+        Some(s) if s.len() == thread_counts.len() => s,
+        _ => fail(path, "totals.sweeps must have one entry per thread count"),
+    };
+    for (i, s) in sweeps.iter().enumerate() {
+        for key in ["threads", "enum_s", "throughput_per_s", "speedup_vs_base"] {
+            if !s.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+                fail(path, &format!("totals.sweeps[{i}].{key} missing"));
+            }
+        }
+    }
+    let comparable = require_num(path, totals, "comparable_queries");
+    if comparable == 0.0 {
+        fail(path, "no comparable queries — speedup totals are meaningless");
+    }
+    let best = require_num(path, totals, "best_speedup");
+    let hw = doc.get("hw_threads").and_then(|v| v.as_f64()).unwrap_or(1.0);
+    println!(
+        "benchcheck: {path}: OK (parallel sweep, {} queries, {comparable} comparable, \
+         best speedup {best:.2}x on {hw} hw thread(s))",
+        queries.len()
+    );
+    best
+}
+
+fn check(path: &str, min_par_speedup: Option<f64>) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => fail(path, &format!("read error: {e}")),
@@ -30,6 +110,15 @@ fn check(path: &str) {
         Ok(d) => d,
         Err(e) => fail(path, &format!("parse error: {e}")),
     };
+    if matches!(doc.get("parallel"), Some(JsonValue::Bool(true))) {
+        let best = check_parallel(path, &doc);
+        if let Some(min) = min_par_speedup {
+            if best < min {
+                fail(path, &format!("best parallel speedup {best:.2}x is below the {min}x gate"));
+            }
+        }
+        return;
+    }
     for key in ["harness", "baseline"] {
         if doc.get(key).and_then(|v| v.as_str()).is_none() {
             fail(path, &format!("missing string field {key:?}"));
@@ -103,12 +192,28 @@ fn check(path: &str) {
 }
 
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut min_par_speedup: Option<f64> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--min-par-speedup" {
+            i += 1;
+            let v = argv.get(i).and_then(|s| s.parse::<f64>().ok());
+            min_par_speedup = Some(v.unwrap_or_else(|| {
+                eprintln!("benchcheck: --min-par-speedup needs a number");
+                std::process::exit(2);
+            }));
+        } else {
+            paths.push(argv[i].clone());
+        }
+        i += 1;
+    }
     if paths.is_empty() {
-        eprintln!("usage: benchcheck <file.json>...");
+        eprintln!("usage: benchcheck [--min-par-speedup X] <file.json>...");
         std::process::exit(2);
     }
     for path in &paths {
-        check(path);
+        check(path, min_par_speedup);
     }
 }

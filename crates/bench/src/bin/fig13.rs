@@ -13,6 +13,10 @@
 //! `--json <path>` additionally compares the CSR RIG against the
 //! pre-refactor hashmap reference (build time + heap bytes + enumeration)
 //! on this workload and writes the artifact as `BENCH_rig.json`.
+//!
+//! `--threads 1,2,8` additionally sweeps **parallel RIG construction**
+//! (per-query-edge CSR blocks built on scoped worker threads) over the
+//! same workload and prints total build time per thread count.
 
 use rig_baselines::{Engine, GmEngine, Tm};
 use rig_bench::{
@@ -83,6 +87,24 @@ fn main() {
     size_t.print("Fig. 13(a): auxiliary-structure size, % of |G| (nodes+edges)");
     build_t.print("Fig. 13(b): auxiliary-structure construction time [s]");
     query_t.print("Fig. 13(c): total query time [s]");
+
+    if !args.threads.is_empty() {
+        let mut sweep = Table::new(&["threads", "total RIG build [s]", "Σ|RIG|"]);
+        for &t in &args.threads {
+            let cfg =
+                GmConfig { rig: RigOptions::default().with_build_threads(t), ..Default::default() };
+            let mut total_s = 0.0f64;
+            let mut total_size = 0u64;
+            for id in ids {
+                let q = template_query_probed(&g, &matcher, id, Flavor::H, args.seed);
+                let rig = matcher.build_rig_only(&q, &cfg);
+                total_s += (rig.stats.select_time + rig.stats.expand_time).as_secs_f64();
+                total_size += rig.stats.size();
+            }
+            sweep.row(vec![t.to_string(), format!("{total_s:.4}"), total_size.to_string()]);
+        }
+        sweep.print("Fig. 13 parallel RIG-construction sweep (build_threads)");
+    }
 
     if let Some(path) = &args.json {
         let records = measurements.iter().map(|m| m.to_json()).collect();

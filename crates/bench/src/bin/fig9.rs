@@ -8,11 +8,17 @@
 //! MJoin against the in-process pre-refactor reference implementation on
 //! the same workload and writes the comparison (enumeration throughput,
 //! build time, heap bytes) as `BENCH_mjoin.json`.
+//!
+//! `--threads 1,2,8` additionally sweeps the morsel-driven parallel engine
+//! over the same workload (RIG built once per query, enumeration timed at
+//! each worker count); `--json-parallel <path>` writes the sweep as
+//! `BENCH_parallel.json` for the benchcheck speedup gate.
 
 use rig_baselines::{Budget, Engine, GmEngine, Jm, Tm};
 use rig_bench::{
-    load, measure_pair, random_queries, template_query_probed, totals_json, write_bench_json, Args,
-    PairMeasurement, Table,
+    load, measure_pair, measure_parallel, parallel_totals_json, random_queries,
+    template_query_probed, totals_json, write_bench_json, write_parallel_json, Args,
+    PairMeasurement, ParallelMeasurement, Table,
 };
 use rig_core::GmConfig;
 use rig_mjoin::EnumOptions;
@@ -35,6 +41,7 @@ fn main() {
     let budget = args.budget();
     let ids = [0usize, 3, 5, 6, 8, 17, 11, 12, 19, 10, 13, 14];
     let mut measurements: Vec<PairMeasurement> = Vec::new();
+    let mut par_measurements: Vec<ParallelMeasurement> = Vec::new();
 
     for ds in ["ep", "bs"] {
         let g = load(ds, &args);
@@ -60,6 +67,15 @@ fn main() {
             ]);
             if args.json.is_some() {
                 measurements.push(measure_pair(gm.matcher(), &format!("{ds}/CQ{id}"), &q, &budget));
+            }
+            if !args.threads.is_empty() {
+                par_measurements.push(measure_parallel(
+                    gm.matcher(),
+                    &format!("{ds}/CQ{id}"),
+                    &q,
+                    &budget,
+                    &args.threads,
+                ));
             }
         }
         table.print(&format!("Fig. 9 ({ds}) C-query time [s]"));
@@ -89,6 +105,15 @@ fn main() {
         if args.json.is_some() {
             measurements.push(measure_pair(gm.matcher(), &format!("hu/{name}"), &q, &budget));
         }
+        if !args.threads.is_empty() {
+            par_measurements.push(measure_parallel(
+                gm.matcher(),
+                &format!("hu/{name}"),
+                &q,
+                &budget,
+                &args.threads,
+            ));
+        }
     }
     table.print("Fig. 9 (hu) random C-query time [s]");
 
@@ -96,5 +121,27 @@ fn main() {
         let records = measurements.iter().map(|m| m.to_json()).collect();
         let totals = totals_json(&measurements);
         write_bench_json(path, "fig9", &args, records, totals);
+    }
+
+    if !args.threads.is_empty() {
+        let totals = parallel_totals_json(&par_measurements, &args.threads);
+        let mut sweep_table = Table::new(&["threads", "enum [s]", "speedup"]);
+        if let Some(sweeps) = totals.get("sweeps").and_then(|s| s.as_arr()) {
+            for s in sweeps {
+                sweep_table.row(vec![
+                    format!("{}", s.get("threads").and_then(|v| v.as_f64()).unwrap_or(0.0)),
+                    format!("{:.3}", s.get("enum_s").and_then(|v| v.as_f64()).unwrap_or(0.0)),
+                    format!(
+                        "{:.2}x",
+                        s.get("speedup_vs_base").and_then(|v| v.as_f64()).unwrap_or(0.0)
+                    ),
+                ]);
+            }
+        }
+        sweep_table.print("Fig. 9 morsel-parallel enumeration sweep");
+        if let Some(path) = &args.json_parallel {
+            let records = par_measurements.iter().map(|m| m.to_json()).collect();
+            write_parallel_json(path, "fig9-parallel", &args, &args.threads, records, totals);
+        }
     }
 }

@@ -32,7 +32,7 @@ use rig_core::Matcher;
 use rig_datasets::spec;
 use rig_graph::DataGraph;
 use rig_index::{build_rig, RigOptions};
-use rig_mjoin::EnumOptions;
+use rig_mjoin::{EnumOptions, ParOptions};
 use rig_query::{random_query, template, Flavor, GeneratorConfig, PatternQuery};
 use rig_sim::SimContext;
 
@@ -45,6 +45,11 @@ pub struct Args {
     pub limit: u64,
     /// Emit a machine-readable benchmark artifact to this path.
     pub json: Option<String>,
+    /// Thread counts for the parallel sweep (`--threads 1,2,8`); empty =
+    /// sweep disabled.
+    pub threads: Vec<usize>,
+    /// Emit the parallel-sweep artifact (`BENCH_parallel.json`) here.
+    pub json_parallel: Option<String>,
 }
 
 impl Default for Args {
@@ -55,13 +60,15 @@ impl Default for Args {
             timeout: Duration::from_secs(10),
             limit: 1_000_000,
             json: None,
+            threads: Vec::new(),
+            json_parallel: None,
         }
     }
 }
 
 impl Args {
-    /// Parses `--scale/--seed/--timeout/--limit/--json` from
-    /// `std::env::args`.
+    /// Parses `--scale/--seed/--timeout/--limit/--json/--threads/
+    /// --json-parallel` from `std::env::args`.
     pub fn parse() -> Self {
         let mut out = Args::default();
         let argv: Vec<String> = std::env::args().collect();
@@ -75,9 +82,16 @@ impl Args {
                 }
                 "--limit" => out.limit = argv[i + 1].parse().expect("bad --limit"),
                 "--json" => out.json = Some(argv[i + 1].clone()),
+                "--threads" => out.threads = parse_thread_list(&argv[i + 1]),
+                "--json-parallel" => out.json_parallel = Some(argv[i + 1].clone()),
                 other => panic!("unknown flag {other}"),
             }
             i += 2;
+        }
+        // The parallel artifact implies a sweep; default to the CI gate's
+        // thread counts when --threads was not given explicitly.
+        if out.json_parallel.is_some() && out.threads.is_empty() {
+            out.threads = vec![1, 2, 8];
         }
         out
     }
@@ -90,6 +104,21 @@ impl Args {
             match_limit: Some(self.limit),
         }
     }
+}
+
+/// Parses a `--threads` value: a comma-separated list of worker counts
+/// (`"1,2,8"`), deduplicated, in the given order.
+pub fn parse_thread_list(s: &str) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    for part in s.split(',') {
+        let t: usize = part.trim().parse().unwrap_or_else(|_| panic!("bad thread count {part:?}"));
+        assert!(t >= 1, "thread counts must be >= 1");
+        if !out.contains(&t) {
+            out.push(t);
+        }
+    }
+    assert!(!out.is_empty(), "--threads needs at least one count");
+    out
 }
 
 /// Generates dataset `name` at the configured scale. Small datasets (the
@@ -392,6 +421,180 @@ pub fn totals_json(ms: &[PairMeasurement]) -> JsonValue {
     ])
 }
 
+/// One thread-count point of a parallel sweep over a single query.
+#[derive(Debug, Clone)]
+pub struct ParRun {
+    pub threads: usize,
+    pub enum_s: f64,
+    pub matches: u64,
+    pub steps: u64,
+    pub timed_out: bool,
+    pub limit_hit: bool,
+}
+
+/// Thread-count sweep of the morsel-driven engine over one query: the RIG
+/// is built once, then enumeration is timed at each worker count on the
+/// identical index under the identical budget.
+#[derive(Debug, Clone)]
+pub struct ParallelMeasurement {
+    pub name: String,
+    pub runs: Vec<ParRun>,
+}
+
+impl ParallelMeasurement {
+    /// Every thread count finished the same work: no timeouts, and the
+    /// match count / limit outcome is identical across the sweep, so the
+    /// wall-clock ratios are genuine speedups.
+    pub fn comparable(&self) -> bool {
+        self.runs.iter().all(|r| !r.timed_out)
+            && self
+                .runs
+                .windows(2)
+                .all(|w| w[0].matches == w[1].matches && w[0].limit_hit == w[1].limit_hit)
+    }
+
+    /// The per-query JSON record.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("query", self.name.as_str().into()),
+            ("comparable", JsonValue::Bool(self.comparable())),
+            (
+                "runs",
+                JsonValue::Arr(
+                    self.runs
+                        .iter()
+                        .map(|r| {
+                            JsonValue::obj(vec![
+                                ("threads", r.threads.into()),
+                                ("enum_s", r.enum_s.into()),
+                                ("matches", r.matches.into()),
+                                ("steps", r.steps.into()),
+                                ("timed_out", JsonValue::Bool(r.timed_out)),
+                                ("limit_hit", JsonValue::Bool(r.limit_hit)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Runs the parallel sweep for one query. Doubles as an in-harness
+/// differential check: whenever no budget tripped, all thread counts must
+/// report the identical match count.
+pub fn measure_parallel(
+    matcher: &Matcher<'_>,
+    name: &str,
+    query: &PatternQuery,
+    budget: &Budget,
+    thread_counts: &[usize],
+) -> ParallelMeasurement {
+    let bfl = matcher.bfl();
+    let ctx = SimContext::new(matcher.graph(), query, bfl);
+    let rig = build_rig(&ctx, bfl, &RigOptions::default());
+    let eo =
+        EnumOptions { limit: budget.match_limit, timeout: budget.timeout, ..Default::default() };
+    let mut runs = Vec::with_capacity(thread_counts.len());
+    for &t in thread_counts {
+        let par = ParOptions::with_threads(t);
+        let start = Instant::now();
+        let r = rig_mjoin::par_count_with(query, &rig, &eo, &par);
+        runs.push(ParRun {
+            threads: t,
+            enum_s: start.elapsed().as_secs_f64(),
+            matches: r.count,
+            steps: r.steps,
+            timed_out: r.timed_out,
+            limit_hit: r.limit_hit,
+        });
+    }
+    let clean: Vec<&ParRun> = runs.iter().filter(|r| !r.timed_out && !r.limit_hit).collect();
+    for pair in clean.windows(2) {
+        assert_eq!(
+            pair[0].matches, pair[1].matches,
+            "{name}: thread counts {} and {} disagree on the answer",
+            pair[0].threads, pair[1].threads
+        );
+    }
+    ParallelMeasurement { name: name.to_string(), runs }
+}
+
+/// Aggregates a parallel sweep into its `totals` object: total enumeration
+/// time per thread count over **comparable** queries, the speedup of each
+/// count versus the first (baseline) count, and the best speedup — the
+/// number the CI gate asserts on.
+pub fn parallel_totals_json(ms: &[ParallelMeasurement], thread_counts: &[usize]) -> JsonValue {
+    let comparable: Vec<&ParallelMeasurement> = ms.iter().filter(|m| m.comparable()).collect();
+    let sum_at = |t: usize| -> f64 {
+        comparable
+            .iter()
+            .map(|m| m.runs.iter().find(|r| r.threads == t).map_or(0.0, |r| r.enum_s))
+            .sum()
+    };
+    let base_threads = thread_counts.first().copied().unwrap_or(1);
+    let base_s = sum_at(base_threads);
+    let matches: u64 = comparable.iter().map(|m| m.runs.first().map_or(0, |r| r.matches)).sum();
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let mut best_speedup = 0.0f64;
+    let sweeps: Vec<JsonValue> = thread_counts
+        .iter()
+        .map(|&t| {
+            let s = sum_at(t);
+            let speedup = ratio(base_s, s);
+            if t != base_threads {
+                best_speedup = best_speedup.max(speedup);
+            }
+            JsonValue::obj(vec![
+                ("threads", t.into()),
+                ("enum_s", s.into()),
+                ("throughput_per_s", ratio(matches as f64, s).into()),
+                ("speedup_vs_base", speedup.into()),
+            ])
+        })
+        .collect();
+    JsonValue::obj(vec![
+        ("queries", ms.len().into()),
+        ("comparable_queries", comparable.len().into()),
+        ("incomparable_queries", (ms.len() - comparable.len()).into()),
+        ("matches", matches.into()),
+        ("base_threads", base_threads.into()),
+        ("sweeps", JsonValue::Arr(sweeps)),
+        ("best_speedup", best_speedup.into()),
+    ])
+}
+
+/// Writes the parallel-sweep artifact (`BENCH_parallel.json`): flagged
+/// `"parallel": true` for `benchcheck`, self-describing about the hardware
+/// (`hw_threads`) so a committed artifact from a small machine is read in
+/// context.
+pub fn write_parallel_json(
+    path: &str,
+    harness: &str,
+    args: &Args,
+    thread_counts: &[usize],
+    records: Vec<JsonValue>,
+    totals: JsonValue,
+) {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let doc = JsonValue::obj(vec![
+        ("harness", harness.into()),
+        ("parallel", JsonValue::Bool(true)),
+        ("scale", args.scale.into()),
+        ("seed", args.seed.into()),
+        ("timeout_s", args.timeout.as_secs_f64().into()),
+        ("limit", args.limit.into()),
+        ("hw_threads", hw.into()),
+        ("morsel", rig_mjoin::parallel::DEFAULT_MORSEL.into()),
+        ("thread_counts", JsonValue::Arr(thread_counts.iter().map(|&t| t.into()).collect())),
+        ("baseline", "morsel engine at the first (base) thread count".into()),
+        ("queries", JsonValue::Arr(records)),
+        ("totals", totals),
+    ]);
+    std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path}");
+}
+
 /// Wraps records + totals in the top-level artifact and writes it.
 pub fn write_bench_json(
     path: &str,
@@ -451,6 +654,61 @@ mod tests {
         for (_, q) in &qs {
             assert!(q.is_connected());
         }
+    }
+
+    #[test]
+    fn thread_list_parses_and_dedups() {
+        assert_eq!(parse_thread_list("1,2,8"), vec![1, 2, 8]);
+        assert_eq!(parse_thread_list("4, 4 ,2"), vec![4, 2]);
+    }
+
+    #[test]
+    fn parallel_measurement_roundtrip() {
+        let m = ParallelMeasurement {
+            name: "q".into(),
+            runs: vec![
+                ParRun {
+                    threads: 1,
+                    enum_s: 0.4,
+                    matches: 10,
+                    steps: 20,
+                    timed_out: false,
+                    limit_hit: false,
+                },
+                ParRun {
+                    threads: 8,
+                    enum_s: 0.1,
+                    matches: 10,
+                    steps: 22,
+                    timed_out: false,
+                    limit_hit: false,
+                },
+            ],
+        };
+        assert!(m.comparable());
+        let totals = parallel_totals_json(&[m], &[1, 8]);
+        let sweeps = totals.get("sweeps").unwrap().as_arr().unwrap();
+        assert_eq!(sweeps.len(), 2);
+        let speedup = totals.get("best_speedup").unwrap().as_f64().unwrap();
+        assert!((speedup - 4.0).abs() < 1e-9, "0.4s -> 0.1s is a 4x speedup, got {speedup}");
+    }
+
+    #[test]
+    fn timed_out_sweep_is_incomparable() {
+        let m = ParallelMeasurement {
+            name: "q".into(),
+            runs: vec![ParRun {
+                threads: 1,
+                enum_s: 2.0,
+                matches: 5,
+                steps: 9,
+                timed_out: true,
+                limit_hit: false,
+            }],
+        };
+        assert!(!m.comparable());
+        let totals = parallel_totals_json(&[m], &[1]);
+        assert_eq!(totals.get("comparable_queries").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]

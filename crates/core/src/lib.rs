@@ -149,13 +149,15 @@ impl<'g> Matcher<'g> {
         &self.bfl
     }
 
-    /// Evaluates `query`, streaming every occurrence tuple (indexed by
-    /// query node) to `visit`; return `false` to stop early.
-    pub fn run_with(
+    /// Shared GM pipeline (§3 reduction, Alg. 4 RIG build, Alg. 5
+    /// enumeration) with the enumeration stage supplied by the caller: the
+    /// sequential, sink-streaming and morsel-parallel entry points all run
+    /// through here so they stay behaviorally identical up to the engine.
+    fn run_pipeline(
         &self,
         query: &PatternQuery,
         cfg: &GmConfig,
-        visit: impl FnMut(&[NodeId]) -> bool,
+        enumerate_stage: impl FnOnce(&PatternQuery, &Rig) -> EnumResult,
     ) -> QueryOutcome {
         let total_start = Instant::now();
 
@@ -180,9 +182,9 @@ impl<'g> Matcher<'g> {
         // 4–5. ordering + enumeration (Alg. 5)
         let order_start = Instant::now();
         let result = if rig.is_empty() {
-            EnumResult { count: 0, timed_out: false, limit_hit: false, order: Vec::new(), steps: 0 }
+            EnumResult::empty(Vec::new())
         } else {
-            enumerate(query_ref, &rig, &cfg.enumeration, visit)
+            enumerate_stage(query_ref, &rig)
         };
         let enum_total = order_start.elapsed();
 
@@ -196,47 +198,85 @@ impl<'g> Matcher<'g> {
         QueryOutcome { result, metrics }
     }
 
+    /// Evaluates `query`, streaming every occurrence tuple (indexed by
+    /// query node) to `visit`; return `false` to stop early.
+    pub fn run_with(
+        &self,
+        query: &PatternQuery,
+        cfg: &GmConfig,
+        visit: impl FnMut(&[NodeId]) -> bool,
+    ) -> QueryOutcome {
+        self.run_pipeline(query, cfg, |q, rig| enumerate(q, rig, &cfg.enumeration, visit))
+    }
+
+    /// Evaluates `query`, streaming occurrences into `sink` (see
+    /// `rig_mjoin::sink` for count-only / first-k / batched consumers).
+    pub fn run_sink<S: ResultSink>(
+        &self,
+        query: &PatternQuery,
+        cfg: &GmConfig,
+        sink: &mut S,
+    ) -> QueryOutcome {
+        let mut engine_ran = false;
+        let outcome = self.run_pipeline(query, cfg, |q, rig| {
+            engine_ran = true;
+            rig_mjoin::enumerate_sink(q, rig, &cfg.enumeration, sink)
+        });
+        // An empty RIG short-circuits before the engine runs; the sink
+        // contract (finish fires exactly once per run) must still hold.
+        if !engine_ran {
+            sink.finish();
+        }
+        outcome
+    }
+
     /// Counts the occurrences of `query`.
     pub fn count(&self, query: &PatternQuery, cfg: &GmConfig) -> QueryOutcome {
         self.run_with(query, cfg, |_| true)
     }
 
-    /// Counts occurrences with `threads` parallel workers (§6 future work;
-    /// partitions the first search-order node's candidates). Falls back to
-    /// sequential counting when a match limit is configured.
+    /// Counts occurrences with `threads` morsel-driven parallel workers
+    /// (§6 future work). `limit` and `timeout` are enforced across
+    /// workers — no sequential fallback.
     pub fn par_count(&self, query: &PatternQuery, cfg: &GmConfig, threads: usize) -> QueryOutcome {
-        let total_start = Instant::now();
-        let red_start = Instant::now();
-        let reduced_storage;
-        let edges_reduced;
-        let query_ref: &PatternQuery = if cfg.skip_reduction {
-            edges_reduced = 0;
-            query
-        } else {
-            reduced_storage = transitive_reduction(query);
-            edges_reduced = query.num_edges() - reduced_storage.num_edges();
-            &reduced_storage
-        };
-        let reduction_time = red_start.elapsed();
-        let ctx = SimContext::new(self.graph, query_ref, &self.bfl);
-        let rig = build_rig(&ctx, &self.bfl, &cfg.rig);
-        let enum_start = Instant::now();
-        let result = if rig.is_empty() {
-            EnumResult { count: 0, timed_out: false, limit_hit: false, order: Vec::new(), steps: 0 }
-        } else {
-            rig_mjoin::par_count(query_ref, &rig, &cfg.enumeration, threads)
-        };
-        let enumeration_time = enum_start.elapsed();
-        QueryOutcome {
-            result,
-            metrics: GmMetrics {
-                reduction_time,
-                rig_stats: rig.stats.clone(),
-                enumeration_time,
-                total_time: total_start.elapsed(),
-                edges_reduced,
-            },
+        self.run_pipeline(query, cfg, |q, rig| {
+            rig_mjoin::par_count(q, rig, &cfg.enumeration, threads)
+        })
+    }
+
+    /// Parallel evaluation streaming into per-worker sinks
+    /// (`make_sink(worker_index)`); returns the sinks alongside the
+    /// outcome. See [`rig_mjoin::par_enumerate`] for the sink contract.
+    pub fn par_run<S, F>(
+        &self,
+        query: &PatternQuery,
+        cfg: &GmConfig,
+        par: &ParOptions,
+        make_sink: F,
+    ) -> (Vec<S>, QueryOutcome)
+    where
+        S: ResultSink + Send,
+        F: Fn(usize) -> S + Sync,
+    {
+        let mut sinks = Vec::new();
+        let outcome = self.run_pipeline(query, cfg, |q, rig| {
+            let (s, r) = rig_mjoin::par_enumerate(q, rig, &cfg.enumeration, par, &make_sink);
+            sinks = s;
+            r
+        });
+        // An empty RIG short-circuits before the engine runs; still hand
+        // back one (finished) sink per worker so callers can merge
+        // uniformly.
+        if sinks.is_empty() {
+            sinks = (0..par.threads.max(1))
+                .map(|w| {
+                    let mut s = make_sink(w);
+                    s.finish();
+                    s
+                })
+                .collect();
         }
+        (sinks, outcome)
     }
 
     /// Collects up to `max` occurrence tuples.
@@ -267,7 +307,10 @@ impl<'g> Matcher<'g> {
 // re-export the pieces users need to drive the matcher without digging
 // through sub-crates
 pub use rig_index::{ReachExpandMode, RigOptions as RigBuildOptions, SelectMode};
-pub use rig_mjoin::{EnumOptions as EnumerationOptions, SearchOrder};
+pub use rig_mjoin::{
+    BatchSink, CollectSink, CountSink, EnumOptions as EnumerationOptions, FirstKSink, FnSink,
+    ParOptions, ResultSink, SearchOrder,
+};
 pub use rig_sim::{DirectCheckMode, ReachCheckMode, SimAlgorithm, SimOptions};
 
 #[cfg(test)]
@@ -367,6 +410,80 @@ mod tests {
         let exact = m.count(&fig2_query(), &GmConfig::exact());
         let capped = m.count(&fig2_query(), &GmConfig::default());
         assert_eq!(exact.result.count, capped.result.count);
+    }
+
+    #[test]
+    fn parallel_facade_agrees_with_sequential() {
+        let g = fig2_graph();
+        let m = Matcher::new(&g);
+        let seq = m.count(&fig2_query(), &GmConfig::exact());
+        for threads in [2usize, 8] {
+            let par = m.par_count(&fig2_query(), &GmConfig::exact(), threads);
+            assert_eq!(par.result.count, seq.result.count, "threads={threads}");
+        }
+        let (sinks, outcome) = m.par_run(
+            &fig2_query(),
+            &GmConfig::exact(),
+            &ParOptions { threads: 3, morsel: 1 },
+            |_| CollectSink::default(),
+        );
+        let mut tuples: Vec<Vec<NodeId>> = sinks.into_iter().flat_map(|s| s.tuples).collect();
+        tuples.sort();
+        assert_eq!(tuples, vec![vec![1, 3, 7], vec![2, 5, 9]]);
+        assert_eq!(outcome.result.count, 2);
+    }
+
+    #[test]
+    fn parallel_limit_is_enforced_not_fallen_back() {
+        let g = fig2_graph();
+        let m = Matcher::new(&g);
+        let cfg = GmConfig {
+            enumeration: EnumOptions { limit: Some(1), ..Default::default() },
+            ..GmConfig::exact()
+        };
+        let o = m.par_count(&fig2_query(), &cfg, 4);
+        assert_eq!(o.result.count, 1);
+        assert!(o.result.limit_hit);
+    }
+
+    #[test]
+    fn sink_facade_streams() {
+        let g = fig2_graph();
+        let m = Matcher::new(&g);
+        let mut sink = CountSink::default();
+        let o = m.run_sink(&fig2_query(), &GmConfig::exact(), &mut sink);
+        assert_eq!(sink.count, 2);
+        assert_eq!(o.result.count, 2);
+    }
+
+    /// `finish` must fire exactly once per run even when the empty-RIG
+    /// short circuit skips the engine entirely.
+    #[test]
+    fn sink_finish_fires_on_empty_rig_short_circuit() {
+        struct FinishCounter {
+            finished: u32,
+        }
+        impl ResultSink for FinishCounter {
+            fn push(&mut self, _t: &[NodeId]) -> bool {
+                true
+            }
+            fn finish(&mut self) {
+                self.finished += 1;
+            }
+        }
+        let g = fig2_graph();
+        let m = Matcher::new(&g);
+        // label 2 -> label 0 direct edge never occurs: empty RIG
+        let mut q = PatternQuery::new(vec![2, 0]);
+        q.add_edge(0, 1, EdgeKind::Direct);
+        let mut sink = FinishCounter { finished: 0 };
+        let o = m.run_sink(&q, &GmConfig::exact(), &mut sink);
+        assert_eq!(o.result.count, 0);
+        assert_eq!(sink.finished, 1, "finish must fire exactly once");
+        // non-empty path fires it exactly once too (inside the engine)
+        let mut sink2 = FinishCounter { finished: 0 };
+        m.run_sink(&fig2_query(), &GmConfig::exact(), &mut sink2);
+        assert_eq!(sink2.finished, 1);
     }
 
     #[test]

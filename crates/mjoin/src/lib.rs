@@ -26,14 +26,25 @@
 //!
 //! An *injective* mode turns homomorphism enumeration into isomorphism-style
 //! enumeration (the ISO comparison of Fig. 9).
+//!
+//! Results stream through a [`ResultSink`] (see [`sink`]) rather than being
+//! materialized, and the same engine core powers the **morsel-driven
+//! parallel** entry points [`par_count`] / [`par_enumerate`] (see
+//! [`parallel`] and `docs/parallel.md`): workers pull fixed-size morsels of
+//! the root candidate range off a shared atomic cursor and share the
+//! `limit`/timeout budget through atomics, so parallel runs honor both
+//! without falling back to the sequential engine.
 
 pub(crate) mod order;
-mod parallel;
+pub mod parallel;
 pub mod reference;
+pub mod sink;
 
 pub use order::{compute_order, edge_cardinality, is_connected_order, SearchOrder};
-pub use parallel::par_count;
+pub use parallel::{par_collect_sorted, par_count, par_count_with, par_enumerate, ParOptions};
+pub use sink::{BatchSink, CollectSink, CountSink, FirstKSink, FnSink, ResultSink};
 
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use rig_bitset::Bitset;
@@ -74,6 +85,25 @@ pub struct EnumResult {
     pub steps: u64,
 }
 
+impl EnumResult {
+    /// An empty result carrying only the search order.
+    pub fn empty(order: Vec<QNode>) -> EnumResult {
+        EnumResult { count: 0, timed_out: false, limit_hit: false, order, steps: 0 }
+    }
+
+    /// Totals `other` into `self`: counts and steps add, **both** budget
+    /// flags OR (a limit or timeout that stopped any worker stopped the
+    /// run). This is the only correct way to combine per-worker results —
+    /// dropping `limit_hit` here was a real bug in the pre-morsel
+    /// partitioned driver.
+    pub fn merge(&mut self, other: &EnumResult) {
+        self.count += other.count;
+        self.steps += other.steps;
+        self.timed_out |= other.timed_out;
+        self.limit_hit |= other.limit_hit;
+    }
+}
+
 /// Enumerates the answer of `query` over the RIG, invoking `visit` with
 /// each occurrence tuple **indexed by query node id** (not search
 /// position). Returning `false` from `visit` stops the enumeration.
@@ -83,12 +113,25 @@ pub fn enumerate(
     opts: &EnumOptions,
     visit: impl FnMut(&[NodeId]) -> bool,
 ) -> EnumResult {
-    enumerate_inner(query, rig, opts, None, visit)
+    let mut sink = FnSink(visit);
+    enumerate_inner(query, rig, opts, None, &mut sink)
+}
+
+/// Like [`enumerate`], but streams occurrences into a [`ResultSink`]
+/// (`sink.finish()` is called when the run ends).
+pub fn enumerate_sink<S: ResultSink>(
+    query: &PatternQuery,
+    rig: &Rig,
+    opts: &EnumOptions,
+    sink: &mut S,
+) -> EnumResult {
+    enumerate_inner(query, rig, opts, None, sink)
 }
 
 /// Like [`enumerate`], but only explores bindings of the *first*
-/// search-order node that lie in `root_filter` — the partitioning hook the
-/// parallel driver uses.
+/// search-order node that lie in `root_filter` — the partitioning hook kept
+/// for external drivers (the in-tree parallel engine now morsel-slices the
+/// root range directly, see [`parallel`]).
 pub fn enumerate_restricted(
     query: &PatternQuery,
     rig: &Rig,
@@ -96,87 +139,31 @@ pub fn enumerate_restricted(
     root_filter: &Bitset,
     visit: impl FnMut(&[NodeId]) -> bool,
 ) -> EnumResult {
-    enumerate_inner(query, rig, opts, Some(root_filter), visit)
+    let mut sink = FnSink(visit);
+    enumerate_inner(query, rig, opts, Some(root_filter), &mut sink)
 }
 
-fn enumerate_inner(
+fn enumerate_inner<S: ResultSink>(
     query: &PatternQuery,
     rig: &Rig,
     opts: &EnumOptions,
     root_filter: Option<&Bitset>,
-    mut visit: impl FnMut(&[NodeId]) -> bool,
+    sink: &mut S,
 ) -> EnumResult {
-    let order = compute_order(query, rig, opts.order);
-    let mut result =
-        EnumResult { count: 0, timed_out: false, limit_hit: false, order: order.clone(), steps: 0 };
+    let plan = Plan::new(query, rig, opts.order);
     if rig.is_empty() || query.num_nodes() == 0 {
-        return result;
+        sink.finish();
+        return EnumResult::empty(plan.order);
     }
-
-    // Pre-resolve, for each search step i, the edges connecting order[i]
-    // to earlier-bound query nodes: (edge id, bound search position,
-    // bound_is_source).
-    let n = order.len();
-    let mut pos_of = vec![usize::MAX; n];
-    for (i, &q) in order.iter().enumerate() {
-        pos_of[q as usize] = i;
-    }
-    let mut constraints: Vec<Vec<(u32, usize, bool)>> = vec![Vec::new(); n];
-    for (eid, e) in query.edges().iter().enumerate() {
-        let pf = pos_of[e.from as usize];
-        let pt = pos_of[e.to as usize];
-        if pf < pt {
-            // `from` bound first: at step pt, follow successors of t[pf]
-            constraints[pt].push((eid as u32, pf, true));
-        } else {
-            // `to` bound first: at step pf, follow predecessors of t[pt]
-            constraints[pf].push((eid as u32, pt, false));
-        }
-    }
-
-    // Per-depth reusable state: every buffer is sized for the worst case up
-    // front (|cos(q_i)| bounds any intersection at step i — the Thm. 5.1
-    // space bound), so steady-state recursion never reallocates.
-    let steps: Vec<Step<'_>> = order
-        .iter()
-        .enumerate()
-        .map(|(i, &q)| {
-            let n_local = rig.candidates(q as usize).len();
-            Step {
-                q: q as usize,
-                n_local: n_local as u32,
-                ops: Vec::with_capacity(constraints[i].len()),
-                cursors: Vec::with_capacity(constraints[i].len()),
-                buf: Vec::with_capacity(n_local),
-            }
-        })
-        .collect();
-    // Root partition (parallel driver): global ids -> root-local ids.
-    let root_locals: Option<Vec<u32>> = root_filter.map(|f| {
-        let rq = order[0] as usize;
+    let mut worker = Worker::new(rig, opts, &plan, None);
+    // Root partition (restricted driver): global ids -> root-local ids.
+    worker.root_locals = root_filter.map(|f| {
+        let rq = plan.order[0] as usize;
         f.iter().filter_map(|v| rig.local_of(rq, v)).collect()
     });
-
-    let mut tuple_local = vec![0u32; n];
-    let mut tuple_global = vec![0 as NodeId; n];
-    let mut out_tuple = vec![0 as NodeId; n];
-    let mut engine = Engine {
-        rig,
-        opts,
-        constraints: &constraints,
-        steps,
-        root_locals,
-        started: Instant::now(),
-        check_counter: 0,
-        result: &mut result,
-    };
-    engine.recurse(0, &mut tuple_local, &mut tuple_global, &mut |tg: &[NodeId]| {
-        for (i, &q) in order.iter().enumerate() {
-            out_tuple[q as usize] = tg[i];
-        }
-        visit(&out_tuple)
-    });
-    result
+    worker.recurse(0, sink);
+    sink.finish();
+    worker.result
 }
 
 /// Counts occurrences (no per-tuple callback overhead beyond counting).
@@ -201,7 +188,76 @@ pub fn collect(
     (out, r)
 }
 
-/// Reusable per-depth scratch (allocated once per [`enumerate`] call).
+/// The query-shaped, RIG-independent-of-binding part of an enumeration:
+/// the search order plus, per search step, the edges connecting that step
+/// to earlier-bound query nodes. Computed once and shared (read-only) by
+/// every worker of a parallel run.
+pub(crate) struct Plan {
+    pub(crate) order: Vec<QNode>,
+    /// Per step `i`: `(edge id, bound search position, bound_is_source)`.
+    constraints: Vec<Vec<(u32, usize, bool)>>,
+}
+
+impl Plan {
+    pub(crate) fn new(query: &PatternQuery, rig: &Rig, strategy: SearchOrder) -> Plan {
+        let order = compute_order(query, rig, strategy);
+        let n = order.len();
+        let mut pos_of = vec![usize::MAX; n];
+        for (i, &q) in order.iter().enumerate() {
+            pos_of[q as usize] = i;
+        }
+        let mut constraints: Vec<Vec<(u32, usize, bool)>> = vec![Vec::new(); n];
+        for (eid, e) in query.edges().iter().enumerate() {
+            let pf = pos_of[e.from as usize];
+            let pt = pos_of[e.to as usize];
+            if pf < pt {
+                // `from` bound first: at step pt, follow successors of t[pf]
+                constraints[pt].push((eid as u32, pf, true));
+            } else {
+                // `to` bound first: at step pf, follow predecessors of t[pt]
+                constraints[pf].push((eid as u32, pt, false));
+            }
+        }
+        Plan { order, constraints }
+    }
+}
+
+/// Budget and work-distribution state shared by all workers of one
+/// parallel run. Everything is lock-free: morsel claims and match
+/// reservations are single `fetch_add`s, termination is a flag every
+/// worker polls once per recursion step.
+pub(crate) struct SharedState {
+    /// Next unclaimed root-candidate position (the morsel cursor).
+    /// Work-stealing degenerates to contention on this one counter: a fast
+    /// worker simply claims more morsels than a slow one.
+    pub(crate) cursor: AtomicUsize,
+    /// Set on any terminal condition (limit reached, timeout, sink stop);
+    /// all workers observe it within one recursion step.
+    pub(crate) stop: AtomicBool,
+    /// Match reservations when a limit is set: a worker may emit the n-th
+    /// match iff `n <= limit`, so exactly `limit` matches are emitted
+    /// across all workers.
+    emitted: AtomicU64,
+    pub(crate) timed_out: AtomicBool,
+    pub(crate) limit_hit: AtomicBool,
+    /// One deadline for the whole run (same wall clock for every worker).
+    deadline: Option<Instant>,
+}
+
+impl SharedState {
+    pub(crate) fn new(opts: &EnumOptions) -> SharedState {
+        SharedState {
+            cursor: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            emitted: AtomicU64::new(0),
+            timed_out: AtomicBool::new(false),
+            limit_hit: AtomicBool::new(false),
+            deadline: opts.timeout.map(|t| Instant::now() + t),
+        }
+    }
+}
+
+/// Reusable per-depth scratch (allocated once per worker).
 struct Step<'r> {
     /// Query node bound at this depth.
     q: usize,
@@ -220,7 +276,7 @@ enum Src<'r> {
     /// Unconstrained: the full local range `0..n_local` (no clone of the
     /// base candidate set).
     Range,
-    /// Unconstrained root restricted by the parallel driver's partition.
+    /// Unconstrained root restricted by the partitioned driver.
     Root,
     /// Exactly one operand: iterate its run in place.
     Slice(&'r [u32]),
@@ -228,23 +284,85 @@ enum Src<'r> {
     Buf,
 }
 
-struct Engine<'a, 'r> {
+/// One enumeration worker: all per-run mutable state (per-depth scratch,
+/// tuple buffers, budget counters). Sequential enumeration is a single
+/// worker driven from the root; parallel enumeration is `threads` workers
+/// pulling root morsels off a [`SharedState`] cursor, each reusing its own
+/// scratch across morsels (zero steady-state allocations per step, same as
+/// the sequential hot loop).
+pub(crate) struct Worker<'a, 'r> {
     rig: &'r Rig,
     opts: &'a EnumOptions,
-    constraints: &'a [Vec<(u32, usize, bool)>],
+    plan: &'a Plan,
     steps: Vec<Step<'r>>,
+    /// Root partition of the restricted (sequential) driver.
     root_locals: Option<Vec<u32>>,
-    started: Instant,
+    tuple_local: Vec<u32>,
+    tuple_global: Vec<NodeId>,
+    /// Occurrence remapped to query-node indexing, handed to the sink.
+    out_tuple: Vec<NodeId>,
+    deadline: Option<Instant>,
     check_counter: u32,
-    result: &'a mut EnumResult,
+    shared: Option<&'a SharedState>,
+    pub(crate) result: EnumResult,
 }
 
-impl<'r> Engine<'_, 'r> {
-    fn stop(&mut self) -> bool {
+impl<'a, 'r> Worker<'a, 'r> {
+    pub(crate) fn new(
+        rig: &'r Rig,
+        opts: &'a EnumOptions,
+        plan: &'a Plan,
+        shared: Option<&'a SharedState>,
+    ) -> Worker<'a, 'r> {
+        let n = plan.order.len();
+        // Every buffer is sized for the worst case up front (|cos(q_i)|
+        // bounds any intersection at step i — the Thm. 5.1 space bound), so
+        // steady-state recursion never reallocates.
+        let steps: Vec<Step<'r>> = plan
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let n_local = rig.candidates(q as usize).len();
+                Step {
+                    q: q as usize,
+                    n_local: n_local as u32,
+                    ops: Vec::with_capacity(plan.constraints[i].len()),
+                    cursors: Vec::with_capacity(plan.constraints[i].len()),
+                    buf: Vec::with_capacity(n_local),
+                }
+            })
+            .collect();
+        let deadline = match shared {
+            Some(sh) => sh.deadline,
+            None => opts.timeout.map(|t| Instant::now() + t),
+        };
+        Worker {
+            rig,
+            opts,
+            plan,
+            steps,
+            root_locals: None,
+            tuple_local: vec![0; n],
+            tuple_global: vec![0; n],
+            out_tuple: vec![0; n],
+            deadline,
+            check_counter: 0,
+            shared,
+            result: EnumResult::empty(plan.order.clone()),
+        }
+    }
+
+    /// Terminal-condition poll, run once per recursion step.
+    fn stopped(&mut self) -> bool {
         if self.result.timed_out || self.result.limit_hit {
             return true;
         }
-        if let Some(limit) = self.opts.limit {
+        if let Some(sh) = self.shared {
+            if sh.stop.load(Ordering::Relaxed) {
+                return true;
+            }
+        } else if let Some(limit) = self.opts.limit {
             if self.result.count >= limit {
                 self.result.limit_hit = true;
                 return true;
@@ -253,27 +371,38 @@ impl<'r> Engine<'_, 'r> {
         self.check_counter += 1;
         if self.check_counter >= 1024 {
             self.check_counter = 0;
-            if let Some(budget) = self.opts.timeout {
-                if self.started.elapsed() > budget {
-                    self.result.timed_out = true;
-                    return true;
-                }
+            if self.deadline_expired() {
+                return true;
             }
         }
         false
     }
 
-    /// Returns false when enumeration must stop entirely.
-    fn recurse(
-        &mut self,
-        i: usize,
-        tuple_local: &mut [u32],
-        tuple_global: &mut [NodeId],
-        emit: &mut impl FnMut(&[NodeId]) -> bool,
-    ) -> bool {
-        if i == self.steps.len() {
+    /// Checks the wall-clock deadline, recording (and broadcasting) the
+    /// timeout when it has passed.
+    fn deadline_expired(&mut self) -> bool {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                self.result.timed_out = true;
+                if let Some(sh) = self.shared {
+                    sh.timed_out.store(true, Ordering::Relaxed);
+                    sh.stop.store(true, Ordering::Relaxed);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Emits the current full binding. Returns `false` when the
+    /// enumeration must stop (limit reached or sink asked to stop).
+    fn emit<S: ResultSink>(&mut self, sink: &mut S) -> bool {
+        for (i, &q) in self.plan.order.iter().enumerate() {
+            self.out_tuple[q as usize] = self.tuple_global[i];
+        }
+        let Some(sh) = self.shared else {
             self.result.count += 1;
-            let keep = emit(tuple_global);
+            let keep = sink.push(&self.out_tuple);
             if let Some(limit) = self.opts.limit {
                 if self.result.count >= limit {
                     self.result.limit_hit = true;
@@ -281,8 +410,86 @@ impl<'r> Engine<'_, 'r> {
                 }
             }
             return keep;
+        };
+        match self.opts.limit {
+            None => {
+                self.result.count += 1;
+                let keep = sink.push(&self.out_tuple);
+                if !keep {
+                    sh.stop.store(true, Ordering::Relaxed);
+                }
+                keep
+            }
+            Some(limit) => {
+                // Reserve a slot before emitting: the n-th reservation may
+                // be emitted iff n <= limit, so the k workers collectively
+                // emit exactly `limit` matches, never more.
+                let prev = sh.emitted.fetch_add(1, Ordering::Relaxed);
+                if prev >= limit {
+                    sh.limit_hit.store(true, Ordering::Relaxed);
+                    sh.stop.store(true, Ordering::Relaxed);
+                    return false;
+                }
+                self.result.count += 1;
+                let keep = sink.push(&self.out_tuple);
+                if prev + 1 == limit {
+                    self.result.limit_hit = true;
+                    sh.limit_hit.store(true, Ordering::Relaxed);
+                    sh.stop.store(true, Ordering::Relaxed);
+                    return false;
+                }
+                if !keep {
+                    sh.stop.store(true, Ordering::Relaxed);
+                }
+                keep
+            }
         }
-        if self.stop() {
+    }
+
+    /// Morsel loop of one parallel worker: claim `[lo, lo + morsel)` root
+    /// positions off the shared cursor, run the ordinary backtracking
+    /// search under each claimed root binding, repeat until the cursor is
+    /// exhausted or the run stops. Load balancing is automatic — cursor
+    /// contention *is* the work-stealing protocol.
+    pub(crate) fn run_morsels<S: ResultSink>(&mut self, sink: &mut S, morsel: usize) {
+        let sh = self.shared.expect("run_morsels requires shared state");
+        debug_assert!(
+            self.plan.constraints[0].is_empty(),
+            "the first search-order node has no earlier-bound constraints"
+        );
+        // An already-expired (e.g. zero) budget stops the worker before it
+        // claims any work.
+        if self.deadline_expired() {
+            sink.finish();
+            return;
+        }
+        let n_root = self.steps[0].n_local as usize;
+        let q_root = self.steps[0].q;
+        let morsel = morsel.max(1);
+        'claim: while !sh.stop.load(Ordering::Relaxed) {
+            let lo = sh.cursor.fetch_add(morsel, Ordering::Relaxed);
+            if lo >= n_root {
+                break;
+            }
+            let hi = (lo + morsel).min(n_root);
+            self.result.steps += 1; // root-level step, one per claimed morsel
+            for k in lo..hi {
+                self.tuple_local[0] = k as u32;
+                self.tuple_global[0] = self.rig.node_at(q_root, k as u32);
+                if !self.recurse(1, sink) {
+                    break 'claim;
+                }
+            }
+        }
+        sink.finish();
+    }
+
+    /// Returns false when enumeration must stop entirely.
+    fn recurse<S: ResultSink>(&mut self, i: usize, sink: &mut S) -> bool {
+        if i == self.steps.len() {
+            return self.emit(sink);
+        }
+        if self.stopped() {
             return false;
         }
         self.result.steps += 1;
@@ -291,8 +498,8 @@ impl<'r> Engine<'_, 'r> {
         // 4-7). All runs live in cos(q_i)-local id space, so cos(q_i)
         // itself never has to join the intersection.
         self.steps[i].ops.clear();
-        for &(eid, bound_pos, bound_is_source) in &self.constraints[i] {
-            let bound_local = tuple_local[bound_pos];
+        for &(eid, bound_pos, bound_is_source) in &self.plan.constraints[i] {
+            let bound_local = self.tuple_local[bound_pos];
             let run = if bound_is_source {
                 self.rig.successors_local(eid, bound_local)
             } else {
@@ -331,12 +538,12 @@ impl<'r> Engine<'_, 'r> {
                 Src::Buf => self.steps[i].buf[k],
             };
             let v_global = self.rig.node_at(q, v_local);
-            if self.opts.injective && tuple_global[..i].contains(&v_global) {
+            if self.opts.injective && self.tuple_global[..i].contains(&v_global) {
                 continue;
             }
-            tuple_local[i] = v_local;
-            tuple_global[i] = v_global;
-            if !self.recurse(i + 1, tuple_local, tuple_global, emit) {
+            self.tuple_local[i] = v_local;
+            self.tuple_global[i] = v_global;
+            if !self.recurse(i + 1, sink) {
                 return false;
             }
         }
@@ -578,5 +785,49 @@ mod tests {
         let r = count(&q, &rig, &EnumOptions::default());
         assert_eq!(r.count, 0);
         assert_eq!(r.steps, 0);
+    }
+
+    /// The sink entry point streams the same answer the closure API does,
+    /// and `finish` flushes batch tails.
+    #[test]
+    fn sink_entry_point_streams_batches() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        let rig = rig_for(&g, &q);
+        let mut flat: Vec<NodeId> = Vec::new();
+        let mut flushes = 0usize;
+        {
+            let mut sink = BatchSink::new(q.num_nodes(), 1, |b: &[NodeId], arity| {
+                assert_eq!(arity, 3);
+                flat.extend_from_slice(b);
+                flushes += 1;
+            });
+            let r = enumerate_sink(&q, &rig, &EnumOptions::default(), &mut sink);
+            assert_eq!(r.count, 2);
+            assert_eq!(sink.pushed, 2);
+        }
+        assert_eq!(flushes, 2);
+        let mut tuples: Vec<Vec<NodeId>> = flat.chunks(3).map(|c| c.to_vec()).collect();
+        tuples.sort();
+        assert_eq!(tuples, vec![vec![1, 3, 7], vec![2, 5, 9]]);
+    }
+
+    /// EnumResult::merge is total: counts/steps add, both flags OR.
+    #[test]
+    fn enum_result_merge_is_total() {
+        let mut a = EnumResult {
+            count: 3,
+            timed_out: false,
+            limit_hit: true,
+            order: vec![0, 1],
+            steps: 10,
+        };
+        let b =
+            EnumResult { count: 4, timed_out: true, limit_hit: false, order: vec![0, 1], steps: 7 };
+        a.merge(&b);
+        assert_eq!(a.count, 7);
+        assert_eq!(a.steps, 17);
+        assert!(a.timed_out, "timed_out must survive the merge");
+        assert!(a.limit_hit, "limit_hit must survive the merge");
     }
 }

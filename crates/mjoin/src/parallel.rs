@@ -1,60 +1,163 @@
-//! Parallel MJoin (§6 future work: "exploit [bitmap chunking] to design a
-//! parallel graph pattern evaluation algorithm that works with multiple
-//! threads").
+//! Morsel-driven parallel MJoin (§6 future work: "exploit [bitmap
+//! chunking] to design a parallel graph pattern evaluation algorithm that
+//! works with multiple threads").
 //!
-//! Strategy: partition the candidate set of the *first* search-order node
-//! into `threads` slices; each worker runs the ordinary sequential
-//! backtracking search rooted at its slice. The RIG is immutable and
-//! shared by reference; no synchronization is needed beyond the final sum.
-//! Because the first node's bindings partition the answer space, the
-//! per-worker counts sum exactly to the sequential count.
+//! Strategy (see `docs/parallel.md` for the full protocol): the candidate
+//! array of the *first* search-order node is a single shared work queue.
+//! Workers claim fixed-size **morsels** `[lo, lo + morsel)` of that range
+//! with one `fetch_add` on an atomic cursor and run the ordinary
+//! allocation-free backtracking search under each claimed root binding.
+//! There is no static partitioning and therefore no slice imbalance: a
+//! worker that lands on cheap roots simply claims more morsels
+//! (work-stealing degenerates to cursor contention). The RIG is immutable
+//! and shared by reference; each worker owns its per-depth scratch and its
+//! [`ResultSink`], so the emit path takes no locks.
+//!
+//! Unlike the earlier static-partition driver, `limit` and `timeout` are
+//! honored **under parallelism**: matches are reserved on a shared atomic
+//! counter (exactly `limit` matches are emitted across all workers, and
+//! `limit_hit` survives the merge), and a shared deadline + stop flag
+//! terminates every worker within one recursion step.
 
-use crate::{compute_order, count, enumerate_restricted, EnumOptions, EnumResult};
-use rig_bitset::Bitset;
+use std::sync::atomic::Ordering;
+
+use crate::sink::{CollectSink, CountSink, ResultSink};
+use crate::{count, EnumOptions, EnumResult, Plan, SharedState, Worker};
+use rig_graph::NodeId;
 use rig_index::Rig;
 use rig_query::PatternQuery;
 
-/// Counts occurrences with `threads` worker threads. Falls back to the
-/// sequential [`count`] when a match limit is set (a global limit would
-/// need cross-thread coordination that would serialize the workers) or
-/// when parallelism cannot help (`threads <= 1`, tiny candidate sets).
+/// Default morsel size: big enough to amortize a cache-hot `fetch_add`,
+/// small enough to balance skewed root bindings.
+pub const DEFAULT_MORSEL: usize = 64;
+
+/// Parallel-execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct ParOptions {
+    /// Worker threads. `0` and `1` both mean one worker.
+    pub threads: usize,
+    /// Root-range positions claimed per cursor bump (clamped to >= 1).
+    pub morsel: usize,
+}
+
+impl Default for ParOptions {
+    fn default() -> Self {
+        ParOptions {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            morsel: DEFAULT_MORSEL,
+        }
+    }
+}
+
+impl ParOptions {
+    /// `threads` workers with the default morsel size.
+    pub fn with_threads(threads: usize) -> Self {
+        ParOptions { threads, morsel: DEFAULT_MORSEL }
+    }
+}
+
+/// Counts occurrences with `threads` worker threads (default morsel size).
+/// `limit` and `timeout` are enforced across workers — no sequential
+/// fallback. `threads <= 1` runs the sequential [`count`] directly.
 pub fn par_count(
     query: &PatternQuery,
     rig: &Rig,
     opts: &EnumOptions,
     threads: usize,
 ) -> EnumResult {
-    if threads <= 1 || opts.limit.is_some() || rig.is_empty() || query.num_nodes() == 0 {
-        return count(query, rig, opts);
-    }
-    let order = compute_order(query, rig, opts.order);
-    let root = order[0];
-    // The RIG's sorted candidate array partitions directly — no bitmap
-    // decode needed to slice the root's binding space.
-    let root_values: &[u32] = rig.candidates(root as usize);
-    if root_values.len() < threads * 2 {
-        return count(query, rig, opts);
-    }
-    let chunk = root_values.len().div_ceil(threads);
-    let slices: Vec<Bitset> = root_values.chunks(chunk).map(Bitset::from_sorted_dedup).collect();
+    par_count_with(query, rig, opts, &ParOptions::with_threads(threads))
+}
 
-    let results: Vec<EnumResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = slices
-            .iter()
-            .map(|slice| {
-                scope.spawn(move || enumerate_restricted(query, rig, opts, slice, |_| true))
+/// [`par_count`] with explicit [`ParOptions`].
+pub fn par_count_with(
+    query: &PatternQuery,
+    rig: &Rig,
+    opts: &EnumOptions,
+    par: &ParOptions,
+) -> EnumResult {
+    if par.threads <= 1 {
+        return count(query, rig, opts);
+    }
+    let (sinks, result) = par_enumerate(query, rig, opts, par, |_| CountSink::default());
+    debug_assert_eq!(result.count, sinks.iter().map(|s| s.count).sum::<u64>());
+    result
+}
+
+/// Enumerates in parallel, streaming matches into **per-worker sinks**
+/// (`make_sink(worker_index)` builds one sink per worker; no locking on
+/// the emit path). Returns the sinks — in worker-index order — plus the
+/// merged [`EnumResult`]. Which worker sees which match is
+/// scheduling-dependent, but without a `limit` the *multiset* of matches
+/// across all sinks is exactly the sequential answer, for every thread
+/// count and morsel size (see [`par_collect_sorted`] for a deterministic
+/// ordering).
+pub fn par_enumerate<S, F>(
+    query: &PatternQuery,
+    rig: &Rig,
+    opts: &EnumOptions,
+    par: &ParOptions,
+    make_sink: F,
+) -> (Vec<S>, EnumResult)
+where
+    S: ResultSink + Send,
+    F: Fn(usize) -> S + Sync,
+{
+    let threads = par.threads.max(1);
+    let morsel = par.morsel.max(1);
+    let plan = Plan::new(query, rig, opts.order);
+    let mut merged = EnumResult::empty(plan.order.clone());
+    if rig.is_empty() || query.num_nodes() == 0 {
+        let sinks = (0..threads)
+            .map(|w| {
+                let mut s = make_sink(w);
+                s.finish();
+                s
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        return (sinks, merged);
+    }
+
+    let shared = SharedState::new(opts);
+    let (plan_ref, shared_ref, make_sink_ref) = (&plan, &shared, &make_sink);
+    let worker_outputs: Vec<(S, EnumResult)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut sink = make_sink_ref(w);
+                    let mut worker = Worker::new(rig, opts, plan_ref, Some(shared_ref));
+                    worker.run_morsels(&mut sink, morsel);
+                    (sink, worker.result)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("mjoin worker panicked")).collect()
     });
 
-    let mut merged = EnumResult { count: 0, timed_out: false, limit_hit: false, order, steps: 0 };
-    for r in results {
-        merged.count += r.count;
-        merged.steps += r.steps;
-        merged.timed_out |= r.timed_out;
+    let mut sinks = Vec::with_capacity(threads);
+    for (sink, r) in worker_outputs {
+        merged.merge(&r);
+        sinks.push(sink);
     }
-    merged
+    merged.timed_out |= shared.timed_out.load(Ordering::Relaxed);
+    merged.limit_hit |= shared.limit_hit.load(Ordering::Relaxed);
+    (sinks, merged)
+}
+
+/// Parallel enumeration with a **deterministic** result: collects every
+/// worker's matches and returns them sorted, so the output is
+/// byte-identical for every thread count and morsel size (as long as no
+/// `limit` truncates the answer — which k matches survive a limit is
+/// inherently scheduling-dependent).
+pub fn par_collect_sorted(
+    query: &PatternQuery,
+    rig: &Rig,
+    opts: &EnumOptions,
+    par: &ParOptions,
+) -> (Vec<Vec<NodeId>>, EnumResult) {
+    let (sinks, result) = par_enumerate(query, rig, opts, par, |_| CollectSink::default());
+    let mut tuples: Vec<Vec<NodeId>> = sinks.into_iter().flat_map(|s| s.tuples).collect();
+    tuples.sort_unstable();
+    (tuples, result)
 }
 
 #[cfg(test)]
@@ -101,12 +204,16 @@ mod tests {
             for threads in [2usize, 4, 8] {
                 let par = par_count(&q, &rig, &EnumOptions::default(), threads);
                 assert_eq!(par.count, seq.count, "seed={seed} threads={threads}");
+                assert!(!par.timed_out && !par.limit_hit);
             }
         }
     }
 
+    /// Limits no longer force a sequential fallback: the shared reservation
+    /// counter caps emission at exactly `limit` across workers and the
+    /// merged result reports `limit_hit`.
     #[test]
-    fn limit_falls_back_to_sequential() {
+    fn limit_honored_under_parallelism() {
         let (g, q) = random_setup(0);
         let bfl = BflIndex::new(&g);
         let ctx = SimContext::new(&g, &q, &bfl);
@@ -115,6 +222,12 @@ mod tests {
         let r = par_count(&q, &rig, &opts, 4);
         assert_eq!(r.count, 3);
         assert!(r.limit_hit);
+        // the emitted tuples themselves are also capped at the limit
+        let (sinks, r2) = par_enumerate(&q, &rig, &opts, &ParOptions::with_threads(4), |_| {
+            CollectSink::default()
+        });
+        assert_eq!(sinks.iter().map(|s| s.tuples.len()).sum::<usize>(), 3);
+        assert!(r2.limit_hit);
     }
 
     #[test]
@@ -126,5 +239,46 @@ mod tests {
         let a = par_count(&q, &rig, &EnumOptions::default(), 1);
         let b = count(&q, &rig, &EnumOptions::default());
         assert_eq!(a.count, b.count);
+    }
+
+    #[test]
+    fn sorted_collection_matches_sequential_answer() {
+        let (g, q) = random_setup(2);
+        let bfl = BflIndex::new(&g);
+        let ctx = SimContext::new(&g, &q, &bfl);
+        let rig = build_rig(&ctx, &bfl, &RigOptions::exact());
+        let (mut seq, _) = crate::collect(&q, &rig, &EnumOptions::default(), usize::MAX);
+        seq.sort_unstable();
+        let (par, r) = par_collect_sorted(
+            &q,
+            &rig,
+            &EnumOptions::default(),
+            &ParOptions { threads: 3, morsel: 2 },
+        );
+        assert_eq!(par, seq);
+        assert_eq!(r.count as usize, seq.len());
+    }
+
+    /// A sink that asks to stop stops every worker (cooperative early
+    /// termination without setting `limit_hit`).
+    #[test]
+    fn sink_stop_propagates_to_all_workers() {
+        let (g, q) = random_setup(3);
+        let bfl = BflIndex::new(&g);
+        let ctx = SimContext::new(&g, &q, &bfl);
+        let rig = build_rig(&ctx, &bfl, &RigOptions::exact());
+        let seq = count(&q, &rig, &EnumOptions::default());
+        assert!(seq.count > 8, "workload must be non-trivial");
+        let (sinks, r) = par_enumerate(
+            &q,
+            &rig,
+            &EnumOptions::default(),
+            &ParOptions { threads: 4, morsel: 1 },
+            |_| crate::FirstKSink::new(2),
+        );
+        let kept: usize = sinks.iter().map(|s| s.tuples.len()).sum();
+        assert!(kept >= 2, "at least one worker filled its sink");
+        assert!(r.count < seq.count, "early stop must prune the run");
+        assert!(!r.limit_hit, "sink stop is not a limit");
     }
 }

@@ -1,0 +1,205 @@
+//! Semantics of the morsel-driven parallel engine: deterministic match
+//! sets, exact limits, prompt timeouts, and total `EnumResult` merging.
+
+use std::time::{Duration, Instant};
+
+use rig_graph::{GraphBuilder, NodeId};
+use rig_index::{build_rig, Rig, RigOptions};
+use rig_mjoin::{
+    collect, count, par_collect_sorted, par_count, par_count_with, par_enumerate, CollectSink,
+    EnumOptions, EnumResult, ParOptions,
+};
+use rig_query::{EdgeKind, PatternQuery};
+use rig_reach::BflIndex;
+use rig_sim::SimContext;
+
+fn build(g: &rig_graph::DataGraph, q: &PatternQuery) -> Rig {
+    let bfl = BflIndex::new(g);
+    let ctx = SimContext::new(g, q, &bfl);
+    build_rig(&ctx, &bfl, &RigOptions::exact())
+}
+
+/// Mixed-label random graph with a hybrid 3-node pattern — a mid-size
+/// answer set with skewed per-root work.
+fn mixed_setup(seed: u64) -> (rig_graph::DataGraph, PatternQuery) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 150usize;
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_node(rng.gen_range(0..3));
+    }
+    for _ in 0..600 {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    let g = b.build();
+    let mut q = PatternQuery::new(vec![0, 1, 2]);
+    q.add_edge(0, 1, EdgeKind::Direct);
+    q.add_edge(1, 2, EdgeKind::Reachability);
+    q.add_edge(0, 2, EdgeKind::Reachability);
+    (g, q)
+}
+
+/// One-label dense graph whose 5-chain reachability query has an
+/// astronomically large answer — the budget-stress workload.
+fn explosive_setup() -> (rig_graph::DataGraph, PatternQuery) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    let n = 300usize;
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_node(0);
+    }
+    for _ in 0..3000 {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    let g = b.build();
+    let mut q = PatternQuery::new(vec![0; 5]);
+    for i in 1..5u32 {
+        q.add_edge(i - 1, i, EdgeKind::Reachability);
+    }
+    (g, q)
+}
+
+/// Determinism: with a sorting (collect-then-sort) sink, the match set is
+/// byte-identical for every thread count and every morsel size — including
+/// morsel size 1 and a morsel larger than the whole root candidate range.
+#[test]
+fn sorted_match_sets_are_invariant_to_threads_and_morsels() {
+    let (g, q) = mixed_setup(11);
+    let rig = build(&g, &q);
+    let opts = EnumOptions::default();
+    let (mut expect, seq) = collect(&q, &rig, &opts, usize::MAX);
+    expect.sort_unstable();
+    assert!(seq.count > 50, "workload too small to be meaningful: {}", seq.count);
+    let huge = rig.candidates(0).len() + 7; // > |candidates| of every node
+    for threads in [1usize, 2, 3, 8] {
+        for morsel in [1usize, 5, 64, huge] {
+            let (tuples, r) = par_collect_sorted(&q, &rig, &opts, &ParOptions { threads, morsel });
+            assert_eq!(tuples, expect, "match set differs at threads={threads} morsel={morsel}");
+            assert_eq!(r.count, seq.count);
+            assert!(!r.timed_out && !r.limit_hit);
+        }
+    }
+}
+
+/// With `limit = k`, sequential and parallel runs both produce exactly `k`
+/// matches and set `limit_hit` — the shared reservation counter caps
+/// emission across workers with no sequential fallback.
+#[test]
+fn limit_is_exact_and_flagged_in_both_engines() {
+    let (g, q) = explosive_setup();
+    let rig = build(&g, &q);
+    for k in [1u64, 17, 1000] {
+        let opts = EnumOptions { limit: Some(k), ..Default::default() };
+        let seq = count(&q, &rig, &opts);
+        assert_eq!(seq.count, k);
+        assert!(seq.limit_hit && !seq.timed_out);
+        for threads in [2usize, 8] {
+            let (sinks, par) =
+                par_enumerate(&q, &rig, &opts, &ParOptions { threads, morsel: 4 }, |_| {
+                    CollectSink::default()
+                });
+            assert_eq!(par.count, k, "threads={threads} k={k}");
+            assert!(par.limit_hit, "threads={threads} k={k}: limit_hit dropped");
+            assert!(!par.timed_out);
+            let emitted: usize = sinks.iter().map(|s| s.tuples.len()).sum();
+            assert_eq!(emitted as u64, k, "sinks saw a different number of tuples");
+        }
+    }
+}
+
+/// A zero wall-clock budget terminates every worker promptly: no worker
+/// claims a morsel, the run reports `timed_out`, and the whole call stays
+/// far under the explosive workload's natural runtime.
+#[test]
+fn zero_budget_timeout_terminates_workers_promptly() {
+    let (g, q) = explosive_setup();
+    let rig = build(&g, &q);
+    let opts = EnumOptions { timeout: Some(Duration::ZERO), ..Default::default() };
+    let start = Instant::now();
+    let r = par_count(&q, &rig, &opts, 8);
+    let elapsed = start.elapsed();
+    assert!(r.timed_out, "zero budget must time out");
+    assert_eq!(r.count, 0, "no matches can be produced on an expired budget");
+    assert!(elapsed < Duration::from_secs(5), "workers did not stop promptly: {elapsed:?}");
+}
+
+/// A small nonzero budget interrupts a parallel explosive enumeration and
+/// the flag survives the merge.
+#[test]
+fn parallel_timeout_interrupts_explosive_enumeration() {
+    let (g, q) = explosive_setup();
+    let rig = build(&g, &q);
+    let opts = EnumOptions { timeout: Some(Duration::from_millis(50)), ..Default::default() };
+    let start = Instant::now();
+    let r = par_count(&q, &rig, &opts, 4);
+    assert!(r.timed_out, "must hit the wall-clock budget");
+    assert!(start.elapsed() < Duration::from_secs(10));
+    assert!(r.count > 0, "partial results are still produced");
+}
+
+/// Regression for the pre-morsel merge bug: the static-partition driver
+/// OR'd `timed_out` across workers but silently dropped `limit_hit`.
+/// `EnumResult::merge` must keep both flags, in every combination.
+#[test]
+fn merge_keeps_both_budget_flags() {
+    for (lh_a, lh_b) in [(false, true), (true, false), (true, true)] {
+        for (to_a, to_b) in [(false, true), (true, false), (false, false)] {
+            let mut a =
+                EnumResult { count: 2, timed_out: to_a, limit_hit: lh_a, order: vec![0], steps: 5 };
+            let b =
+                EnumResult { count: 3, timed_out: to_b, limit_hit: lh_b, order: vec![0], steps: 6 };
+            a.merge(&b);
+            assert_eq!(a.count, 5);
+            assert_eq!(a.steps, 11);
+            assert_eq!(a.limit_hit, lh_a || lh_b, "limit_hit must OR across workers");
+            assert_eq!(a.timed_out, to_a || to_b, "timed_out must OR across workers");
+        }
+    }
+}
+
+/// par_count with limit reports `limit_hit` end to end (the observable
+/// symptom of the old dropped-flag bug, now exercised through the real
+/// parallel path instead of a fallback).
+#[test]
+fn par_count_reports_limit_hit() {
+    let (g, q) = mixed_setup(4);
+    let rig = build(&g, &q);
+    let full = count(&q, &rig, &EnumOptions::default());
+    assert!(full.count >= 4, "need a few matches");
+    let k = full.count / 2;
+    let opts = EnumOptions { limit: Some(k), ..Default::default() };
+    let r = par_count_with(&q, &rig, &opts, &ParOptions { threads: 3, morsel: 2 });
+    assert_eq!(r.count, k);
+    assert!(r.limit_hit, "limit_hit lost in the parallel merge");
+}
+
+/// Degenerate shapes: more threads than root candidates, and an empty RIG.
+#[test]
+fn degenerate_shapes_are_safe() {
+    let (g, q) = mixed_setup(7);
+    let rig = build(&g, &q);
+    let seq = count(&q, &rig, &EnumOptions::default());
+    let wide =
+        par_count_with(&q, &rig, &EnumOptions::default(), &ParOptions { threads: 64, morsel: 1 });
+    assert_eq!(wide.count, seq.count);
+
+    // empty RIG: label 7 never occurs
+    let mut q2 = PatternQuery::new(vec![7, 1]);
+    q2.add_edge(0, 1, EdgeKind::Direct);
+    let rig2 = build(&g, &q2);
+    let r = par_count(&q2, &rig2, &EnumOptions::default(), 4);
+    assert_eq!(r.count, 0);
+    assert!(!r.timed_out && !r.limit_hit);
+}

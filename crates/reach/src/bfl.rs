@@ -16,7 +16,7 @@
 //! tiny even on large graphs — the property Fig. 18(a) contrasts against
 //! transitive-closure and catalog construction.
 
-use std::cell::RefCell;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::interval::IntervalLabels;
@@ -63,7 +63,11 @@ pub struct BflIndex {
     intervals: IntervalLabels,
     lout: Vec<Filter>,
     lin: Vec<Filter>,
-    visit: RefCell<VisitBuf>,
+    /// DFS-fallback scratch. A `Mutex` (not `RefCell`) so the index is
+    /// `Sync` and can be probed from parallel RIG-construction workers;
+    /// the lock is only ever taken on the rare guided-DFS fallback path —
+    /// interval and Bloom cuts resolve most probes without touching it.
+    visit: Mutex<VisitBuf>,
     build_secs: f64,
 }
 
@@ -102,7 +106,7 @@ impl BflIndex {
             intervals,
             lout,
             lin,
-            visit: RefCell::new(VisitBuf { stamp: vec![0; n], epoch: 0, stack: Vec::new() }),
+            visit: Mutex::new(VisitBuf { stamp: vec![0; n], epoch: 0, stack: Vec::new() }),
             build_secs,
         }
     }
@@ -134,8 +138,23 @@ impl BflIndex {
         {
             return false;
         }
-        // Guided DFS with interval/Bloom pruning.
-        let mut buf = self.visit.borrow_mut();
+        // Guided DFS with interval/Bloom pruning. The shared scratch is
+        // taken opportunistically: under contention (parallel RIG-build
+        // workers hitting the fallback at once) each loser pays one local
+        // allocation instead of convoying on the lock.
+        let mut local_buf;
+        let mut guard;
+        let buf: &mut VisitBuf = match self.visit.try_lock() {
+            Ok(g) => {
+                guard = g;
+                &mut guard
+            }
+            Err(_) => {
+                local_buf =
+                    VisitBuf { stamp: vec![0; self.cond.count], epoch: 0, stack: Vec::new() };
+                &mut local_buf
+            }
+        };
         buf.epoch = buf.epoch.wrapping_add(1);
         if buf.epoch == 0 {
             buf.stamp.fill(0);

@@ -71,6 +71,11 @@ pub struct RigOptions {
     pub reach_expand: ReachExpandMode,
     /// Apply the interval-label early-termination cut during expansion.
     pub early_termination: bool,
+    /// Worker threads for the node-expansion phase: per-query-edge CSR
+    /// blocks are independent, so they are built on scoped threads that
+    /// claim edges off an atomic cursor. `0`/`1` = sequential. The
+    /// resulting RIG is bit-identical for every thread count.
+    pub build_threads: usize,
 }
 
 impl Default for RigOptions {
@@ -80,6 +85,7 @@ impl Default for RigOptions {
             sim: SimOptions::paper_default(),
             reach_expand: ReachExpandMode::PairwiseBfl,
             early_termination: true,
+            build_threads: 1,
         }
     }
 }
@@ -88,6 +94,11 @@ impl RigOptions {
     /// Exact-simulation configuration (fixpoint, no pass cap).
     pub fn exact() -> Self {
         RigOptions { sim: SimOptions::exact(), ..Default::default() }
+    }
+
+    /// Same options with `build_threads` workers expanding query edges.
+    pub fn with_build_threads(self, build_threads: usize) -> Self {
+        RigOptions { build_threads, ..self }
     }
 }
 
@@ -546,12 +557,7 @@ fn finish_rig(
 
     // ---- node expansion phase ----
     let expand_start = Instant::now();
-    for eid in 0..ne as EdgeId {
-        let (p, q) = rig.edge_nodes[eid as usize];
-        let (offsets, targets) = expand_edge(ctx, bfl, opts, &rig.ids, eid, p, q);
-        let fwd = CsrDir::new(offsets, targets, rig.ids[q].len());
-        let (boff, btgt) = fwd.transpose(rig.ids[q].len());
-        let bwd = CsrDir::new(boff, btgt, rig.ids[p].len());
+    for (fwd, bwd) in expand_all(ctx, bfl, opts, &rig.ids, &rig.edge_nodes) {
         rig.fwd.push(fwd);
         rig.bwd.push(bwd);
     }
@@ -559,6 +565,58 @@ fn finish_rig(
     rig.stats.node_count = rig.ids.iter().map(|c| c.len() as u64).sum();
     rig.stats.edge_count = rig.fwd.iter().map(|d| d.targets.len() as u64).sum();
     rig
+}
+
+/// Expands every query edge into its (forward, backward) CSR block pair,
+/// in edge-id order. With `opts.build_threads > 1`, scoped worker threads
+/// claim edges off an atomic cursor and build the blocks concurrently —
+/// each block only reads the shared context (graph, BFL, candidate
+/// arrays), so the output is identical to the sequential build for every
+/// thread count.
+fn expand_all(
+    ctx: &SimContext<'_>,
+    bfl: &BflIndex,
+    opts: &RigOptions,
+    ids: &[Vec<NodeId>],
+    edge_nodes: &[(usize, usize)],
+) -> Vec<(CsrDir, CsrDir)> {
+    let ne = edge_nodes.len();
+    let build_one = |eid: usize| {
+        let (p, q) = edge_nodes[eid];
+        let (offsets, targets) = expand_edge(ctx, bfl, opts, ids, eid as EdgeId, p, q);
+        let fwd = CsrDir::new(offsets, targets, ids[q].len());
+        let (boff, btgt) = fwd.transpose(ids[q].len());
+        let bwd = CsrDir::new(boff, btgt, ids[p].len());
+        (fwd, bwd)
+    };
+    let threads = opts.build_threads.clamp(1, ne.max(1));
+    if threads <= 1 || ne <= 1 {
+        return (0..ne).map(build_one).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, (CsrDir, CsrDir))>> = std::thread::scope(|scope| {
+        let (next, build_one) = (&next, &build_one);
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut built = Vec::new();
+                    loop {
+                        let eid = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if eid >= ne {
+                            return built;
+                        }
+                        built.push((eid, build_one(eid)));
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rig expansion worker panicked")).collect()
+    });
+    let mut slots: Vec<Option<(CsrDir, CsrDir)>> = (0..ne).map(|_| None).collect();
+    for (eid, block) in per_worker.into_iter().flatten() {
+        slots[eid] = Some(block);
+    }
+    slots.into_iter().map(|s| s.expect("every query edge expanded")).collect()
 }
 
 /// Expands one query edge into forward CSR runs (local target ids).
@@ -951,6 +1009,39 @@ mod tests {
             assert_eq!(full.cos(i).to_vec(), seeded.cos(i).to_vec());
         }
         assert_eq!(full.stats.edge_count, seeded.stats.edge_count);
+    }
+
+    /// Parallel expansion is a pure scheduling change: the RIG it builds
+    /// is identical to the sequential one for every thread count.
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let g = fig2_graph();
+        let q = fig2_query();
+        let seq = build(&g, &q, &RigOptions::exact());
+        for threads in [2usize, 3, 8] {
+            let par = build(&g, &q, &RigOptions::exact().with_build_threads(threads));
+            for i in 0..q.num_nodes() {
+                assert_eq!(seq.candidates(i), par.candidates(i), "threads={threads} cos({i})");
+            }
+            for eid in 0..q.num_edges() as EdgeId {
+                assert_eq!(seq.edge_cardinality(eid), par.edge_cardinality(eid), "e{eid}");
+                let (p, t) = seq.edge_endpoints(eid);
+                for u in 0..seq.candidates(p).len() as u32 {
+                    assert_eq!(
+                        seq.successors_local(eid, u).list,
+                        par.successors_local(eid, u).list,
+                        "threads={threads} fwd(e{eid}, {u})"
+                    );
+                }
+                for v in 0..seq.candidates(t).len() as u32 {
+                    assert_eq!(
+                        seq.predecessors_local(eid, v).list,
+                        par.predecessors_local(eid, v).list,
+                        "threads={threads} bwd(e{eid}, {v})"
+                    );
+                }
+            }
+        }
     }
 
     /// Dense bitmap rows kick in on long runs and agree with the sparse

@@ -42,11 +42,17 @@ use rig_reach::Reachability;
 pub struct SimContext<'a> {
     pub graph: &'a DataGraph,
     pub query: &'a PatternQuery,
-    pub reach: &'a dyn Reachability,
+    /// `Sync` so one context can be shared by parallel RIG-construction
+    /// workers (every in-tree oracle is plain data or internally locked).
+    pub reach: &'a (dyn Reachability + Sync),
 }
 
 impl<'a> SimContext<'a> {
-    pub fn new(graph: &'a DataGraph, query: &'a PatternQuery, reach: &'a dyn Reachability) -> Self {
+    pub fn new(
+        graph: &'a DataGraph,
+        query: &'a PatternQuery,
+        reach: &'a (dyn Reachability + Sync),
+    ) -> Self {
         SimContext { graph, query, reach }
     }
 

@@ -57,11 +57,23 @@ fn main() {
     println!("pattern class: {:?}, {} reachability edges", q.class(), q.reachability_edge_count());
 
     let matcher = Matcher::new(&g);
-    let (tuples, outcome) = matcher.collect(&q, &GmConfig::default(), 5);
+    // Morsel-driven parallel evaluation, streaming into per-worker
+    // first-k sinks: nothing beyond the 5 reported structures is ever
+    // materialized, and the workers stop as soon as enough are found.
+    let mut cfg = GmConfig::default();
+    cfg.rig = cfg.rig.with_build_threads(2); // parallel RIG expansion too
+    let (sinks, outcome) =
+        matcher.par_run(&q, &cfg, &ParOptions::with_threads(2), |_| FirstKSink::new(5));
+    let mut tuples: Vec<Vec<NodeId>> = sinks.into_iter().flat_map(|s| s.tuples).collect();
+    tuples.sort();
+    tuples.truncate(5);
+    // With per-worker first-k sinks the engine may count a few more
+    // matches than are kept before the stop flag propagates, so report
+    // both numbers honestly.
     println!(
-        "{} suspicious round-trip structures ({} steps searched, {:.3} ms)",
+        "showing {} suspicious round-trip structures ({} found before early stop, {:.3} ms)",
+        tuples.len(),
         outcome.result.count,
-        outcome.result.steps,
         outcome.metrics.total_time.as_secs_f64() * 1e3
     );
     for t in &tuples {

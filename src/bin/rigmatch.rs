@@ -14,6 +14,12 @@
 //!   --stats                  print phase timings and RIG statistics
 //! ```
 //!
+//! With `--threads N` (N > 1) GM runs the morsel-driven parallel engine:
+//! counting uses per-worker counting sinks, enumeration streams matches
+//! through per-worker batched sinks (match order is then
+//! scheduling-dependent; RIG construction is parallelized too). `--limit`
+//! and `--timeout` are honored in both modes.
+//!
 //! Graph files use the `rig-graph` text format (`v <id> <label>` /
 //! `e <src> <dst>`); query files use the `rig-query` format (`n <id>
 //! <label>`, `d <from> <to>` direct, `r <from> <to>` reachability).
@@ -24,7 +30,7 @@ use std::time::Duration;
 use rigmatch::baselines::{Budget, Engine, Jm, NeoLike, Tm};
 use rigmatch::core::{GmConfig, Matcher};
 use rigmatch::graph::parse_text;
-use rigmatch::mjoin::{EnumOptions, SearchOrder};
+use rigmatch::mjoin::{BatchSink, EnumOptions, ParOptions, SearchOrder};
 use rigmatch::query::parse_query;
 
 struct Cli {
@@ -150,7 +156,7 @@ fn main() -> ExitCode {
 
     match cli.engine.as_str() {
         "gm" => {
-            let cfg = GmConfig {
+            let mut cfg = GmConfig {
                 skip_reduction: !cli.reduction,
                 enumeration: EnumOptions {
                     order: cli.order,
@@ -160,11 +166,33 @@ fn main() -> ExitCode {
                 },
                 ..Default::default()
             };
+            if cli.threads > 1 {
+                cfg.rig = cfg.rig.with_build_threads(cli.threads);
+            }
             let matcher = Matcher::new(&g);
             let outcome = if cli.count_only && cli.threads > 1 {
                 matcher.par_count(&q, &cfg, cli.threads)
             } else if cli.count_only {
                 matcher.count(&q, &cfg)
+            } else if cli.threads > 1 {
+                // Parallel streaming: each worker batches matches and
+                // flushes them under a shared stdout lock, so nothing is
+                // materialized and lines never interleave mid-tuple.
+                let stdout = std::io::stdout();
+                let (_, outcome) =
+                    matcher.par_run(&q, &cfg, &ParOptions::with_threads(cli.threads), |_worker| {
+                        let stdout = &stdout;
+                        BatchSink::new(q.num_nodes(), 256, move |flat: &[u32], arity| {
+                            use std::io::Write;
+                            let mut out = stdout.lock();
+                            for t in flat.chunks(arity.max(1)) {
+                                let line =
+                                    t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
+                                writeln!(out, "{line}").expect("stdout write");
+                            }
+                        })
+                    });
+                outcome
             } else {
                 matcher.run_with(&q, &cfg, |t| {
                     println!("{}", t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" "));

@@ -67,6 +67,8 @@ pub use rig_sim as sim;
 pub mod prelude {
     pub use rig_core::{GmConfig, GmMetrics, Matcher, QueryOutcome, RunReport, RunStatus};
     pub use rig_graph::{DataGraph, GraphBuilder, Label, NodeId};
-    pub use rig_mjoin::SearchOrder;
+    pub use rig_mjoin::{
+        BatchSink, CollectSink, CountSink, FirstKSink, FnSink, ParOptions, ResultSink, SearchOrder,
+    };
     pub use rig_query::{transitive_reduction, EdgeKind, Flavor, PatternQuery, QNode, QueryClass};
 }

@@ -65,6 +65,25 @@ fn bad_inputs_fail_cleanly() {
 }
 
 #[test]
+fn parallel_flags_stream_and_count() {
+    let g = write_tmp("g6.txt", GRAPH);
+    let q = write_tmp("q6.txt", QUERY);
+    // parallel counting (morsel engine + parallel RIG build)
+    let out = bin().arg(&g).arg(&q).args(["--count", "--threads", "4"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "1");
+    // parallel streaming enumeration (batched sinks under a stdout lock)
+    let out = bin().arg(&g).arg(&q).args(["--threads", "4"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "0 1 3");
+    // parallel counting with a limit — no sequential fallback, exact cap
+    let out =
+        bin().arg(&g).arg(&q).args(["--count", "--threads", "4", "--limit", "1"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "1");
+}
+
+#[test]
 fn limit_and_order_flags() {
     let g = write_tmp("g5.txt", GRAPH);
     let q = write_tmp("q5.txt", QUERY);
