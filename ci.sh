@@ -25,6 +25,27 @@ if [[ "${1:-}" != "quick" ]]; then
     step "cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
 
+    step "cargo doc --no-deps (broken intra-doc links fail)"
+    # vendor/ stand-ins are excluded: their docs mirror external crates
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet \
+        --exclude rand --exclude proptest --exclude criterion
+
+    step "CLI smoke: --query inline HPQL + explain + exit codes"
+    cli_tmp="$(mktemp -d)"
+    printf 'l 0 Author\nl 1 Paper\nv 0 0\nv 1 1\nv 2 1\ne 0 1\ne 1 2\n' \
+        > "${cli_tmp}/g.txt"
+    run_cli() { cargo run -q --release --bin rigmatch -- "$@"; }
+    [[ "$(run_cli "${cli_tmp}/g.txt" --query 'MATCH (a:Author)->(p:Paper)=>(q:Paper)' --count)" == "1" ]]
+    run_cli explain "${cli_tmp}/g.txt" \
+        --query 'MATCH (a:Author)->(p:Paper)=>(q:Paper), (a)=>(q)' \
+        | grep -q 'reduced:.*1 edge(s) removed'
+    # parse errors exit 3, I/O errors exit 4
+    rc=0; run_cli "${cli_tmp}/g.txt" --query 'MATCH (broken' 2> /dev/null || rc=$?
+    [[ "${rc}" == "3" ]]
+    rc=0; run_cli "${cli_tmp}/missing.txt" --query 'MATCH (a:Author)' 2> /dev/null || rc=$?
+    [[ "${rc}" == "4" ]]
+    rm -rf "${cli_tmp}"
+
     step "examples"
     for example in quickstart citation_network money_laundering provenance_supply; do
         echo "--- cargo run --release --example ${example}"

@@ -139,6 +139,10 @@ impl Engine for GmEngine<'_> {
         self.name
     }
 
+    // The harness keeps driving the borrowed Matcher shims: it hands the
+    // same &DataGraph to several engines at once, which the owning
+    // Session cannot do without cloning the graph.
+    #[allow(deprecated)]
     fn evaluate(&self, query: &PatternQuery, budget: &Budget) -> RunReport {
         let mut cfg = self.config;
         cfg.enumeration.limit = budget.match_limit;

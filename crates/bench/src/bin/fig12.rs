@@ -65,7 +65,7 @@ fn main() {
         // reachability back edge from the template's last node to node 0
         let base = template_query(&g, id, Flavor::H, args.seed);
         let mut q = base.clone();
-        q.add_edge(base.num_nodes() as u32 - 1, 0, EdgeKind::Reachability);
+        q.ensure_edge(base.num_nodes() as u32 - 1, 0, EdgeKind::Reachability);
         assert!(!q.is_dag(), "HQ{id} variant must be cyclic");
         let ctx = SimContext::new(&g, &q, &bfl);
         let mut cells = vec![format!("HQ{id}-cyc")];

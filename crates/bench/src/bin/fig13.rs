@@ -18,6 +18,8 @@
 //! (per-query-edge CSR blocks built on scoped worker threads) over the
 //! same workload and prints total build time per thread count.
 
+#![allow(deprecated)] // harness drives the borrowed Matcher shims
+
 use rig_baselines::{Engine, GmEngine, Tm};
 use rig_bench::{
     load, measure_pair, template_query_probed, totals_json, write_bench_json, Args,

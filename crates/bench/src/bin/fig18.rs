@@ -23,7 +23,7 @@ use rig_reach::TransitiveClosure;
 fn reach_to_direct(q: &PatternQuery) -> PatternQuery {
     let mut out = PatternQuery::new(q.labels().to_vec());
     for e in q.edges() {
-        out.add_edge(e.from, e.to, EdgeKind::Direct);
+        out.ensure_edge(e.from, e.to, EdgeKind::Direct);
     }
     out
 }

@@ -32,7 +32,7 @@ use rig_core::Matcher;
 use rig_datasets::spec;
 use rig_graph::DataGraph;
 use rig_index::{build_rig, RigOptions};
-use rig_mjoin::{EnumOptions, ParOptions};
+use rig_mjoin::EnumOptions;
 use rig_query::{random_query, template, Flavor, GeneratorConfig, PatternQuery};
 use rig_sim::SimContext;
 
@@ -152,6 +152,7 @@ pub fn template_query(g: &DataGraph, id: usize, flavor: Flavor, seed: u64) -> Pa
 /// instance that matches. Falls back to the last candidate when none
 /// matches within the attempt budget — the paper's workloads also contain
 /// some empty queries, which exercise early termination.
+#[allow(deprecated)] // probing borrows the harness Matcher shared with other engines
 pub fn template_query_probed(
     g: &DataGraph,
     matcher: &rig_core::Matcher<'_>,
@@ -480,26 +481,39 @@ impl ParallelMeasurement {
     }
 }
 
-/// Runs the parallel sweep for one query. Doubles as an in-harness
-/// differential check: whenever no budget tripped, all thread counts must
-/// report the identical match count.
+/// Runs the parallel sweep for one query through the Session API: the
+/// query is prepared once, the first thread count's run builds (and
+/// caches) the RIG, and every later count reuses the cached plan — the
+/// sweep measures enumeration only, as before, now via the same code path
+/// applications use. Doubles as an in-harness differential check:
+/// whenever no budget tripped, all thread counts must report the
+/// identical match count.
 pub fn measure_parallel(
-    matcher: &Matcher<'_>,
+    session: &rig_core::Session,
     name: &str,
     query: &PatternQuery,
     budget: &Budget,
     thread_counts: &[usize],
 ) -> ParallelMeasurement {
-    let bfl = matcher.bfl();
-    let ctx = SimContext::new(matcher.graph(), query, bfl);
-    let rig = build_rig(&ctx, bfl, &RigOptions::default());
-    let eo =
-        EnumOptions { limit: budget.match_limit, timeout: budget.timeout, ..Default::default() };
+    let prepared = session
+        .prepare(query)
+        .unwrap_or_else(|e| panic!("{name}: workload query must prepare: {e}"));
+    // Charge the RIG build to the prepare side of the ledger, not to the
+    // first swept thread count.
+    let _ = prepared.run().explain();
     let mut runs = Vec::with_capacity(thread_counts.len());
     for &t in thread_counts {
-        let par = ParOptions::with_threads(t);
+        let mut run = prepared.run().threads(t);
+        if let Some(l) = budget.match_limit {
+            run = run.limit(l);
+        }
+        if let Some(d) = budget.timeout {
+            run = run.timeout(d);
+        }
         let start = Instant::now();
-        let r = rig_mjoin::par_count_with(query, &rig, &eo, &par);
+        let o = run.count();
+        assert!(o.metrics.rig_from_cache, "{name}: sweep must reuse the cached RIG");
+        let r = o.result;
         runs.push(ParRun {
             threads: t,
             enum_s: start.elapsed().as_secs_f64(),

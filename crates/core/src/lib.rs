@@ -13,10 +13,20 @@
 //!
 //! Every §7.4 ablation is a [`GmConfig`] knob, so the experiment harnesses
 //! run the same code paths the library's users do.
+//!
+//! The primary application API is the [`Session`] (see [`session`]): it
+//! owns the graph + reachability index, accepts queries as HPQL text or
+//! [`PatternQuery`] values, and caches built RIGs across executions. The
+//! borrowed [`Matcher`] facade below predates it; its execution entry
+//! points are kept as deprecated shims over the same pipeline.
 
+mod error;
 mod report;
+pub mod session;
 
+pub use error::{Error, ErrorKind};
 pub use report::{RunReport, RunStatus};
+pub use session::{validate_pattern, CacheStats, Explain, IntoPattern, Prepared, Run, Session};
 
 use std::time::{Duration, Instant};
 
@@ -62,6 +72,10 @@ pub struct GmMetrics {
     pub total_time: Duration,
     /// Reachability edges removed by the reduction.
     pub edges_reduced: usize,
+    /// True when the RIG was served from a [`Session`] plan cache: the
+    /// selection + expansion phases were skipped and `rig_stats` carries
+    /// the timings recorded when the plan was originally built.
+    pub rig_from_cache: bool,
 }
 
 impl GmMetrics {
@@ -80,6 +94,20 @@ pub struct QueryOutcome {
 }
 
 impl QueryOutcome {
+    /// Errs with [`Error::Budget`] when the match limit or timeout
+    /// truncated the answer; otherwise passes the outcome through. The
+    /// strict form behind `Run::try_count` and the CLI's `--strict` flag.
+    pub fn require_complete(self) -> Result<QueryOutcome, Error> {
+        if self.result.timed_out || self.result.limit_hit {
+            Err(Error::Budget {
+                timed_out: self.result.timed_out,
+                limit_hit: self.result.limit_hit,
+            })
+        } else {
+            Ok(self)
+        }
+    }
+
     /// Converts to the engine-neutral report used by the harnesses.
     pub fn report(&self, engine: &str) -> RunReport {
         RunReport {
@@ -99,6 +127,12 @@ impl QueryOutcome {
 /// reachability index once; every query evaluation reuses it (the paper's
 /// per-graph setup, Fig. 18a).
 ///
+/// The execution entry points (`count`, `collect`, `run_sink`, …) are
+/// **deprecated shims**: prefer [`Session`], which owns the graph, adds
+/// HPQL text queries and caches built RIGs across executions. `Matcher`
+/// remains for harnesses that borrow a graph they also hand to other
+/// engines.
+///
 /// ```
 /// use rig_core::{GmConfig, Matcher};
 /// use rig_graph::GraphBuilder;
@@ -114,7 +148,11 @@ impl QueryOutcome {
 /// q.add_edge(0, 1, EdgeKind::Reachability); // label-0 node reaching a label-2 node
 ///
 /// let matcher = Matcher::new(&g);
-/// assert_eq!(matcher.count(&q, &GmConfig::default()).result.count, 1);
+/// # #[allow(deprecated)]
+/// # fn run(matcher: &Matcher<'_>, q: &PatternQuery) -> u64 {
+/// #     matcher.count(q, &GmConfig::default()).result.count
+/// # }
+/// assert_eq!(run(&matcher, &q), 1);
 /// ```
 pub struct Matcher<'g> {
     graph: &'g DataGraph,
@@ -194,12 +232,14 @@ impl<'g> Matcher<'g> {
             enumeration_time: enum_total,
             total_time: total_start.elapsed(),
             edges_reduced,
+            rig_from_cache: false,
         };
         QueryOutcome { result, metrics }
     }
 
     /// Evaluates `query`, streaming every occurrence tuple (indexed by
     /// query node) to `visit`; return `false` to stop early.
+    #[deprecated(note = "use Session::prepare + Run::stream (see rig_core::session)")]
     pub fn run_with(
         &self,
         query: &PatternQuery,
@@ -211,6 +251,7 @@ impl<'g> Matcher<'g> {
 
     /// Evaluates `query`, streaming occurrences into `sink` (see
     /// `rig_mjoin::sink` for count-only / first-k / batched consumers).
+    #[deprecated(note = "use Session::prepare + Run::stream (see rig_core::session)")]
     pub fn run_sink<S: ResultSink>(
         &self,
         query: &PatternQuery,
@@ -231,6 +272,8 @@ impl<'g> Matcher<'g> {
     }
 
     /// Counts the occurrences of `query`.
+    #[deprecated(note = "use Session::prepare + Run::count (see rig_core::session)")]
+    #[allow(deprecated)]
     pub fn count(&self, query: &PatternQuery, cfg: &GmConfig) -> QueryOutcome {
         self.run_with(query, cfg, |_| true)
     }
@@ -238,6 +281,7 @@ impl<'g> Matcher<'g> {
     /// Counts occurrences with `threads` morsel-driven parallel workers
     /// (§6 future work). `limit` and `timeout` are enforced across
     /// workers — no sequential fallback.
+    #[deprecated(note = "use Session::prepare + Run::threads(n).count (see rig_core::session)")]
     pub fn par_count(&self, query: &PatternQuery, cfg: &GmConfig, threads: usize) -> QueryOutcome {
         self.run_pipeline(query, cfg, |q, rig| {
             rig_mjoin::par_count(q, rig, &cfg.enumeration, threads)
@@ -247,6 +291,7 @@ impl<'g> Matcher<'g> {
     /// Parallel evaluation streaming into per-worker sinks
     /// (`make_sink(worker_index)`); returns the sinks alongside the
     /// outcome. See [`rig_mjoin::par_enumerate`] for the sink contract.
+    #[deprecated(note = "use Session::prepare + Run::par_stream (see rig_core::session)")]
     pub fn par_run<S, F>(
         &self,
         query: &PatternQuery,
@@ -280,6 +325,8 @@ impl<'g> Matcher<'g> {
     }
 
     /// Collects up to `max` occurrence tuples.
+    #[deprecated(note = "use Session::prepare + Run::collect (see rig_core::session)")]
+    #[allow(deprecated)]
     pub fn collect(
         &self,
         query: &PatternQuery,
@@ -298,6 +345,7 @@ impl<'g> Matcher<'g> {
 
     /// Builds (and returns) just the RIG for `query` — used by the Fig. 13
     /// harness to measure index size and build time without enumeration.
+    #[deprecated(note = "use Session::prepare + Run::explain, or rig_index::build_rig directly")]
     pub fn build_rig_only(&self, query: &PatternQuery, cfg: &GmConfig) -> Rig {
         let ctx = SimContext::new(self.graph, query, &self.bfl);
         build_rig(&ctx, &self.bfl, &cfg.rig)
@@ -314,6 +362,7 @@ pub use rig_mjoin::{
 pub use rig_sim::{DirectCheckMode, ReachCheckMode, SimAlgorithm, SimOptions};
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay covered until they are removed
 mod tests {
     use super::*;
     use rig_mjoin::EnumOptions;

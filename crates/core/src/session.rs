@@ -1,0 +1,972 @@
+//! The `Session` API — the single front door to the GM pipeline.
+//!
+//! A [`Session`] owns a data graph, its BFL reachability index, and an LRU
+//! cache of built RIGs (the per-query "plans" of this engine). Queries
+//! enter as HPQL text (`MATCH (a:Author)->(p:Paper)=>(q:Paper)`) or as
+//! hand-built [`PatternQuery`] values, are parsed / validated /
+//! transitively reduced / canonicalized **once** by [`Session::prepare`],
+//! and then execute any number of times through the [`Run`] builder:
+//!
+//! ```
+//! use rig_core::Session;
+//! use rig_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_named_node("Author");
+//! let p = b.add_named_node("Paper");
+//! let q = b.add_named_node("Paper");
+//! b.add_edge(a, p);
+//! b.add_edge(p, q);
+//! let session = Session::new(b.build());
+//!
+//! let prepared = session.prepare("MATCH (a:Author)->(p:Paper)=>(q:Paper)").unwrap();
+//! assert_eq!(prepared.run().count().result.count, 1);
+//! // the second execution reuses the cached RIG
+//! assert_eq!(prepared.run().count().result.count, 1);
+//! assert_eq!(session.cache_stats().hits, 1);
+//! ```
+//!
+//! The cache is keyed by `(canonical reduced query, RIG build options,
+//! graph epoch)`; [`Session::replace_graph`] bumps the epoch, so plans
+//! prepared against an older graph can never serve stale candidates.
+//! Execution skips straight to MJoin on a hit — the selection + expansion
+//! phases of Alg. 4 are not re-run (`GmMetrics::rig_from_cache` records
+//! this per run).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rig_graph::{DataGraph, Label, NodeId};
+use rig_index::{build_rig, Rig, RigOptions, RigStats};
+use rig_mjoin::{compute_order, EnumOptions, EnumResult, ParOptions, ResultSink, SearchOrder};
+use rig_query::{hpql, parse_hpql, transitive_reduction, PatternQuery, QNode};
+use rig_reach::{BflIndex, Reachability};
+use rig_sim::SimContext;
+
+use crate::{Error, GmConfig, GmMetrics, QueryOutcome};
+
+/// Default number of cached RIGs per session.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+// ---------------------------------------------------------------------------
+// plan cache
+// ---------------------------------------------------------------------------
+
+#[derive(PartialEq, Eq)]
+struct CacheKey {
+    labels: Vec<Label>,
+    edges: Vec<rig_query::PatternEdge>,
+    opts: RigOptions,
+    epoch: u64,
+}
+
+impl CacheKey {
+    fn new(query: &PatternQuery, rig_opts: &RigOptions, epoch: u64) -> CacheKey {
+        // build_threads is normalized out: the expansion phase is
+        // bit-identical at every thread count (see docs/parallel.md), so
+        // plans are shared across it.
+        let opts = RigOptions { build_threads: 0, ..*rig_opts };
+        CacheKey { labels: query.labels().to_vec(), edges: query.edges().to_vec(), opts, epoch }
+    }
+}
+
+/// Tiny exact-LRU over a vec: entries ordered most- to least-recently
+/// used. Capacities are small (default 64), so the linear scan is cheaper
+/// than a linked-hash structure and keeps the code dependency-free.
+struct PlanCache {
+    capacity: usize,
+    entries: Vec<(CacheKey, Arc<Rig>)>,
+    evictions: u64,
+}
+
+impl PlanCache {
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<Rig>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let rig = Arc::clone(&entry.1);
+        self.entries.insert(0, entry);
+        Some(rig)
+    }
+
+    fn insert(&mut self, key: CacheKey, rig: Arc<Rig>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        self.entries.insert(0, (key, rig));
+        while self.entries.len() > self.capacity {
+            self.entries.pop();
+            self.evictions += 1;
+        }
+    }
+}
+
+/// Plan-cache counters (see [`Session::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Executions served from a cached RIG.
+    pub hits: u64,
+    /// Executions that had to build their RIG.
+    pub misses: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub entries: usize,
+    /// Maximum resident plans.
+    pub capacity: usize,
+}
+
+// ---------------------------------------------------------------------------
+// session
+// ---------------------------------------------------------------------------
+
+/// A query session over one data graph: owns the graph, its reachability
+/// index, and the RIG plan cache. See the [module docs](self) for a tour.
+pub struct Session {
+    graph: Arc<DataGraph>,
+    bfl: BflIndex,
+    config: GmConfig,
+    epoch: u64,
+    cache: Mutex<PlanCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Session {
+    /// Opens a session on `graph` with the paper-default [`GmConfig`].
+    /// Builds the BFL reachability index once (the per-graph setup cost of
+    /// Fig. 18a); every prepared query reuses it.
+    pub fn new(graph: impl Into<Arc<DataGraph>>) -> Session {
+        Session::with_config(graph, GmConfig::default())
+    }
+
+    /// Opens a session with an explicit pipeline configuration (ablation
+    /// knobs, simulation tuning, RIG build threads).
+    pub fn with_config(graph: impl Into<Arc<DataGraph>>, config: GmConfig) -> Session {
+        let graph = graph.into();
+        let bfl = BflIndex::new(&graph);
+        Session {
+            graph,
+            bfl,
+            config,
+            epoch: 0,
+            cache: Mutex::new(PlanCache {
+                capacity: DEFAULT_CACHE_CAPACITY,
+                entries: Vec::new(),
+                evictions: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the plan-cache capacity (0 disables caching). Builder-style;
+    /// call right after construction.
+    pub fn cache_capacity(self, capacity: usize) -> Session {
+        {
+            let mut cache = self.cache.lock().unwrap();
+            cache.capacity = capacity;
+            while cache.entries.len() > capacity {
+                cache.entries.pop();
+                cache.evictions += 1;
+            }
+        }
+        self
+    }
+
+    /// The session's data graph.
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// The session's pipeline configuration.
+    pub fn config(&self) -> &GmConfig {
+        &self.config
+    }
+
+    /// The graph epoch: bumped by every [`Session::replace_graph`], part
+    /// of every plan-cache key.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Reachability-index construction time (Fig. 18a's "BFL" column).
+    pub fn index_build_time(&self) -> Duration {
+        Duration::from_secs_f64(self.bfl.build_seconds())
+    }
+
+    /// The concrete BFL index, for harnesses that drive RIG construction
+    /// outside the session.
+    pub fn bfl(&self) -> &BflIndex {
+        &self.bfl
+    }
+
+    /// Swaps in a new graph: rebuilds the reachability index, bumps the
+    /// epoch and drops every cached plan. Outstanding [`Prepared`] values
+    /// cannot exist across this call (they borrow the session), so no plan
+    /// prepared against the old graph can run against the new one.
+    pub fn replace_graph(&mut self, graph: impl Into<Arc<DataGraph>>) {
+        self.graph = graph.into();
+        self.bfl = BflIndex::new(&self.graph);
+        self.epoch += 1;
+        self.cache.lock().unwrap().entries.clear();
+    }
+
+    /// Drops every cached plan (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.lock().unwrap().entries.clear();
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock().unwrap();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: cache.evictions,
+            entries: cache.entries.len(),
+            capacity: cache.capacity,
+        }
+    }
+
+    /// Parses (HPQL text) or adopts (a [`PatternQuery`]) the query,
+    /// validates it against the graph, applies §3 transitive reduction and
+    /// canonicalizes the result. The returned [`Prepared`] executes any
+    /// number of times via [`Prepared::run`]; repeated executions reuse
+    /// the cached RIG.
+    pub fn prepare<'s, Q: IntoPattern>(&'s self, source: Q) -> Result<Prepared<'s>, Error> {
+        let (original, vars) = source.into_pattern(&self.graph)?;
+        validate_pattern(&self.graph, &original, vars.as_deref())?;
+        let red_start = Instant::now();
+        let (reduced, edges_reduced) = if self.config.skip_reduction {
+            (original.clone(), 0)
+        } else {
+            let r = transitive_reduction(&original);
+            let removed = original.num_edges() - r.num_edges();
+            (r, removed)
+        };
+        let exec = reduced.canonical();
+        let reduction_time = red_start.elapsed();
+        Ok(Prepared {
+            session: self,
+            original,
+            exec,
+            vars,
+            edges_reduced,
+            reduction_time,
+            epoch: self.epoch,
+        })
+    }
+
+    /// Looks up or builds the RIG for `prepared`. Returns the plan and
+    /// whether it came from the cache. The cache lock is not held during
+    /// the build, so two sessions' worth of concurrent misses on the same
+    /// key build twice and the second insert wins — wasted work, never a
+    /// wrong answer.
+    fn rig_for(&self, prepared: &Prepared<'_>, use_cache: bool) -> (Arc<Rig>, bool) {
+        let key = CacheKey::new(&prepared.exec, &self.config.rig, self.epoch);
+        if use_cache {
+            if let Some(rig) = self.cache.lock().unwrap().get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (rig, true);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let ctx = SimContext::new(&self.graph, &prepared.exec, &self.bfl);
+        let rig = Arc::new(build_rig(&ctx, &self.bfl, &self.config.rig));
+        if use_cache {
+            self.cache.lock().unwrap().insert(key, Arc::clone(&rig));
+        }
+        (rig, false)
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("graph", &self.graph)
+            .field("epoch", &self.epoch)
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+/// Validates a pattern against a graph: non-empty, connected, and every
+/// label inside the graph's label space (labels with zero data nodes are
+/// fine — they simply produce an empty answer). [`Session::prepare`] runs
+/// this; front ends that hand patterns to non-Session engines (the CLI
+/// baselines) call it directly so bad queries classify identically across
+/// engines. `vars` supplies HPQL variable names for error messages.
+pub fn validate_pattern(
+    graph: &DataGraph,
+    query: &PatternQuery,
+    vars: Option<&[String]>,
+) -> Result<(), Error> {
+    if query.num_nodes() == 0 {
+        return Err(Error::validation("query has no nodes"));
+    }
+    if !query.is_connected() {
+        return Err(Error::validation(
+            "query must be connected (every pattern node linked by some chain of edges)",
+        ));
+    }
+    let num_labels = graph.num_labels() as Label;
+    for (i, &l) in query.labels().iter().enumerate() {
+        if l >= num_labels {
+            let var = vars.map_or_else(|| format!("node {i}"), |v| v[i].clone());
+            return Err(Error::validation(format!(
+                "label id {l} of {var} is outside the graph's label space \
+                 (graph has labels 0..{num_labels})"
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// query sources
+// ---------------------------------------------------------------------------
+
+/// Anything [`Session::prepare`] accepts: HPQL text, a pre-parsed
+/// [`rig_query::HpqlQuery`], or a hand-built [`PatternQuery`].
+pub trait IntoPattern {
+    /// Produces the pattern plus its variable names (text sources only).
+    fn into_pattern(self, graph: &DataGraph) -> Result<(PatternQuery, Option<Vec<String>>), Error>;
+}
+
+impl IntoPattern for &str {
+    fn into_pattern(self, graph: &DataGraph) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
+        parse_hpql(self)?.into_pattern(graph)
+    }
+}
+
+impl IntoPattern for &String {
+    fn into_pattern(self, graph: &DataGraph) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
+        self.as_str().into_pattern(graph)
+    }
+}
+
+impl IntoPattern for rig_query::HpqlQuery {
+    fn into_pattern(self, graph: &DataGraph) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
+        let resolved = self.resolve(|name| graph.label_id(name))?;
+        Ok((resolved.query, Some(resolved.vars)))
+    }
+}
+
+impl IntoPattern for PatternQuery {
+    fn into_pattern(
+        self,
+        _graph: &DataGraph,
+    ) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
+        Ok((self, None))
+    }
+}
+
+impl IntoPattern for &PatternQuery {
+    fn into_pattern(
+        self,
+        _graph: &DataGraph,
+    ) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
+        Ok((self.clone(), None))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prepared queries
+// ---------------------------------------------------------------------------
+
+/// A parsed, validated, reduced and canonicalized query, bound to its
+/// [`Session`]. Create with [`Session::prepare`]; execute with
+/// [`Prepared::run`].
+pub struct Prepared<'s> {
+    session: &'s Session,
+    original: PatternQuery,
+    /// The query the engine runs: transitively reduced + canonical edge
+    /// order. Node ids match `original` (they index occurrence tuples).
+    exec: PatternQuery,
+    vars: Option<Vec<String>>,
+    edges_reduced: usize,
+    reduction_time: Duration,
+    epoch: u64,
+}
+
+impl<'s> Prepared<'s> {
+    /// The session this plan belongs to.
+    pub fn session(&self) -> &'s Session {
+        self.session
+    }
+
+    /// The query as given (before reduction).
+    pub fn query(&self) -> &PatternQuery {
+        &self.original
+    }
+
+    /// The reduced, canonical query the engine executes.
+    pub fn reduced(&self) -> &PatternQuery {
+        &self.exec
+    }
+
+    /// Variable names (parallel to pattern node ids / occurrence-tuple
+    /// positions) when the query came from HPQL text.
+    pub fn vars(&self) -> Option<&[String]> {
+        self.vars.as_deref()
+    }
+
+    /// Reachability edges removed by §3 transitive reduction.
+    pub fn edges_reduced(&self) -> usize {
+        self.edges_reduced
+    }
+
+    /// Pretty-prints the *reduced* query as HPQL (label names resolved
+    /// through the graph's dictionary where present).
+    pub fn to_hpql(&self) -> String {
+        self.render(&self.exec)
+    }
+
+    /// Pretty-prints the query *as given* as HPQL.
+    pub fn original_hpql(&self) -> String {
+        self.render(&self.original)
+    }
+
+    fn render(&self, q: &PatternQuery) -> String {
+        let g = self.session.graph();
+        hpql::to_hpql(q, self.vars.as_deref(), |l| {
+            let name = g.label_name(l);
+            (!name.is_empty()).then(|| name.to_string())
+        })
+    }
+
+    /// Starts building an execution of this plan.
+    pub fn run(&self) -> Run<'_, 's> {
+        Run {
+            prepared: self,
+            opts: self.session.config.enumeration,
+            threads: 1,
+            morsel: None,
+            use_cache: true,
+        }
+    }
+}
+
+impl std::fmt::Debug for Prepared<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("hpql", &self.to_hpql())
+            .field("edges_reduced", &self.edges_reduced)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// run builder
+// ---------------------------------------------------------------------------
+
+/// Fluent execution builder:
+/// `prepared.run().limit(10).timeout(d).threads(4).count()`.
+///
+/// Defaults come from the session's `GmConfig::enumeration`; every knob
+/// here overrides per run. Terminal methods: [`Run::count`],
+/// [`Run::collect`], [`Run::collect_all`], [`Run::stream`],
+/// [`Run::par_stream`], [`Run::explain`].
+#[must_use = "a Run does nothing until a terminal method (count/collect/stream/explain) is called"]
+pub struct Run<'a, 's> {
+    prepared: &'a Prepared<'s>,
+    opts: EnumOptions,
+    threads: usize,
+    morsel: Option<usize>,
+    use_cache: bool,
+}
+
+impl<'a, 's> Run<'a, 's> {
+    /// Stop after `k` occurrences (exact under parallelism; the run
+    /// reports `limit_hit`).
+    pub fn limit(mut self, k: u64) -> Self {
+        self.opts.limit = Some(k);
+        self
+    }
+
+    /// Wall-clock budget for the enumeration phase.
+    pub fn timeout(mut self, d: Duration) -> Self {
+        self.opts.timeout = Some(d);
+        self
+    }
+
+    /// Search-order strategy (§5.2).
+    pub fn order(mut self, order: SearchOrder) -> Self {
+        self.opts.order = order;
+        self
+    }
+
+    /// Enforce injectivity (isomorphism-style matching).
+    pub fn injective(mut self, injective: bool) -> Self {
+        self.opts.injective = injective;
+        self
+    }
+
+    /// Morsel-driven parallel enumeration with `n` workers (1 =
+    /// sequential).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Morsel size for the parallel engine (positions claimed per cursor
+    /// bump).
+    pub fn morsel(mut self, morsel: usize) -> Self {
+        self.morsel = Some(morsel.max(1));
+        self
+    }
+
+    /// Bypass the plan cache for this run (the RIG is rebuilt and not
+    /// stored) — benchmarking cold paths, mostly.
+    pub fn no_cache(mut self) -> Self {
+        self.use_cache = false;
+        self
+    }
+
+    fn par_options(&self) -> ParOptions {
+        let mut par = ParOptions::with_threads(self.threads);
+        if let Some(m) = self.morsel {
+            par.morsel = m;
+        }
+        par
+    }
+
+    fn execute(
+        self,
+        engine: impl FnOnce(&PatternQuery, &Rig, &EnumOptions) -> EnumResult,
+    ) -> QueryOutcome {
+        let total_start = Instant::now();
+        let (rig, from_cache) = self.prepared.session.rig_for(self.prepared, self.use_cache);
+        let enum_start = Instant::now();
+        let result = if rig.is_empty() {
+            EnumResult::empty(Vec::new())
+        } else {
+            engine(&self.prepared.exec, &rig, &self.opts)
+        };
+        let enumeration_time = enum_start.elapsed();
+        let metrics = GmMetrics {
+            reduction_time: self.prepared.reduction_time,
+            rig_stats: rig.stats.clone(),
+            enumeration_time,
+            total_time: total_start.elapsed(),
+            edges_reduced: self.prepared.edges_reduced,
+            rig_from_cache: from_cache,
+        };
+        QueryOutcome { result, metrics }
+    }
+
+    /// Counts the occurrences.
+    pub fn count(self) -> QueryOutcome {
+        let threads = self.threads;
+        let par = self.par_options();
+        self.execute(|q, rig, opts| {
+            if threads > 1 {
+                rig_mjoin::par_count_with(q, rig, opts, &par)
+            } else {
+                rig_mjoin::count(q, rig, opts)
+            }
+        })
+    }
+
+    /// Like [`Run::count`] but errs with [`Error::Budget`] when the limit
+    /// or timeout truncated the answer.
+    pub fn try_count(self) -> Result<QueryOutcome, Error> {
+        self.count().require_complete()
+    }
+
+    /// Collects up to `max` occurrence tuples (indexed by pattern node
+    /// id). Parallel runs return the tuples sorted (deterministic across
+    /// schedules); sequential runs return enumeration order.
+    pub fn collect(mut self, max: usize) -> (Vec<Vec<NodeId>>, QueryOutcome) {
+        // cap enumeration at `max` unless a tighter limit is already set
+        if self.opts.limit.is_none_or(|l| l > max as u64) {
+            self.opts.limit = Some(max as u64);
+        }
+        let threads = self.threads;
+        let par = self.par_options();
+        let mut tuples = Vec::new();
+        let outcome = self.execute(|q, rig, opts| {
+            if threads > 1 {
+                let (t, r) = rig_mjoin::par_collect_sorted(q, rig, opts, &par);
+                tuples = t;
+                r
+            } else {
+                let (t, r) = rig_mjoin::collect(q, rig, opts, max);
+                tuples = t;
+                r
+            }
+        });
+        (tuples, outcome)
+    }
+
+    /// Collects every occurrence tuple (honors an explicit
+    /// [`Run::limit`]).
+    pub fn collect_all(self) -> (Vec<Vec<NodeId>>, QueryOutcome) {
+        let max = self.opts.limit.map_or(usize::MAX, |l| l as usize);
+        self.collect(max)
+    }
+
+    /// Streams every occurrence into `sink` on the calling thread
+    /// (ignores [`Run::threads`] — parallel streaming needs per-worker
+    /// sinks, see [`Run::par_stream`]).
+    pub fn stream<S: ResultSink>(self, sink: &mut S) -> QueryOutcome {
+        let mut ran = false;
+        let outcome = self.execute(|q, rig, opts| {
+            ran = true;
+            rig_mjoin::enumerate_sink(q, rig, opts, sink)
+        });
+        if !ran {
+            // empty-RIG short circuit: the sink contract (finish exactly
+            // once per run) must still hold
+            sink.finish();
+        }
+        outcome
+    }
+
+    /// Parallel streaming: `make_sink(worker)` builds one sink per
+    /// worker; returns the sinks (all finished) with the outcome.
+    pub fn par_stream<S, F>(self, make_sink: F) -> (Vec<S>, QueryOutcome)
+    where
+        S: ResultSink + Send,
+        F: Fn(usize) -> S + Sync,
+    {
+        let par = self.par_options();
+        let mut sinks = Vec::new();
+        let outcome = self.execute(|q, rig, opts| {
+            let (s, r) = rig_mjoin::par_enumerate(q, rig, opts, &par, &make_sink);
+            sinks = s;
+            r
+        });
+        if sinks.is_empty() {
+            // empty-RIG short circuit: hand back one finished sink per
+            // worker so callers can merge uniformly
+            sinks = (0..par.threads.max(1))
+                .map(|w| {
+                    let mut s = make_sink(w);
+                    s.finish();
+                    s
+                })
+                .collect();
+        }
+        (sinks, outcome)
+    }
+
+    /// Explains the plan without enumerating: the reduced query, whether
+    /// its RIG came from the cache, the RIG statistics and the search
+    /// order MJoin would use.
+    pub fn explain(self) -> Explain {
+        let prepared = self.prepared;
+        let (rig, from_cache) = prepared.session.rig_for(prepared, self.use_cache);
+        let order = if rig.is_empty() {
+            Vec::new()
+        } else {
+            compute_order(&prepared.exec, &rig, self.opts.order)
+        };
+        Explain {
+            hpql: prepared.original_hpql(),
+            reduced_hpql: prepared.to_hpql(),
+            edges_reduced: prepared.edges_reduced,
+            rig_stats: rig.stats.clone(),
+            rig_from_cache: from_cache,
+            empty_answer: rig.is_empty(),
+            order_kind: self.opts.order,
+            order,
+            vars: prepared.vars.clone(),
+        }
+    }
+}
+
+/// Plan description produced by [`Run::explain`] (and the CLI's `explain`
+/// mode).
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The query as given, pretty-printed as HPQL.
+    pub hpql: String,
+    /// The transitively reduced, canonical query the engine executes.
+    pub reduced_hpql: String,
+    /// Reachability edges removed by the reduction.
+    pub edges_reduced: usize,
+    /// Statistics of the (possibly cached) RIG.
+    pub rig_stats: RigStats,
+    /// True when the RIG came from the session's plan cache.
+    pub rig_from_cache: bool,
+    /// True when some candidate set is empty — the answer is empty and
+    /// enumeration would be skipped entirely.
+    pub empty_answer: bool,
+    /// Search-order strategy that would drive MJoin.
+    pub order_kind: SearchOrder,
+    /// The concrete node order (empty when `empty_answer`).
+    pub order: Vec<QNode>,
+    /// Variable names, when the query came from HPQL.
+    pub vars: Option<Vec<String>>,
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "query:    {}", self.hpql)?;
+        writeln!(f, "reduced:  {} ({} edge(s) removed)", self.reduced_hpql, self.edges_reduced)?;
+        writeln!(
+            f,
+            "RIG:      {} nodes / {} edges ({}, {} sim passes, {} pruned)",
+            self.rig_stats.node_count,
+            self.rig_stats.edge_count,
+            if self.rig_from_cache { "cached" } else { "built" },
+            self.rig_stats.sim_passes,
+            self.rig_stats.pruned,
+        )?;
+        if self.empty_answer {
+            writeln!(f, "order:    — (empty candidate set: answer is empty)")?;
+        } else {
+            let names: Vec<String> = self
+                .order
+                .iter()
+                .map(|&q| match &self.vars {
+                    Some(v) => v[q as usize].clone(),
+                    None => format!("v{q}"),
+                })
+                .collect();
+            writeln!(f, "order:    {:?} [{}]", self.order_kind, names.join(" → "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rig_mjoin::CountSink;
+    use rig_query::EdgeKind;
+
+    fn fig2_session() -> Session {
+        use rig_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        for _ in 0..3 {
+            b.add_node_with_name(0, "A");
+        }
+        for _ in 0..4 {
+            b.add_node_with_name(1, "B");
+        }
+        for _ in 0..3 {
+            b.add_node_with_name(2, "C");
+        }
+        b.add_edge(1, 3);
+        b.add_edge(1, 7);
+        b.add_edge(3, 8);
+        b.add_edge(8, 7);
+        b.add_edge(2, 5);
+        b.add_edge(2, 9);
+        b.add_edge(5, 9);
+        b.add_edge(5, 8);
+        b.add_edge(0, 4);
+        b.add_edge(4, 7);
+        b.add_edge(6, 0);
+        Session::new(b.build())
+    }
+
+    const FIG2_HPQL: &str = "MATCH (a:A)->(b:B)=>(c:C), (a)->(c)";
+
+    #[test]
+    fn text_and_builder_agree_through_the_session() {
+        let session = fig2_session();
+        let by_text = session.prepare(FIG2_HPQL).unwrap();
+        let by_builder = session.prepare(rig_query::fig2_query()).unwrap();
+        let (mut t1, o1) = by_text.run().collect_all();
+        let (mut t2, o2) = by_builder.run().collect_all();
+        t1.sort();
+        t2.sort();
+        assert_eq!(t1, vec![vec![1, 3, 7], vec![2, 5, 9]]);
+        assert_eq!(t1, t2);
+        assert_eq!(o1.result.count, 2);
+        assert_eq!(o2.result.count, 2);
+        // identical canonical plans => the second prepare's run was a hit
+        assert_eq!(session.cache_stats().misses, 1);
+        assert_eq!(session.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn second_execution_reuses_the_cached_rig() {
+        let session = fig2_session();
+        let p = session.prepare(FIG2_HPQL).unwrap();
+        let cold = p.run().count();
+        assert!(!cold.metrics.rig_from_cache);
+        assert_eq!(cold.result.count, 2);
+        let warm = p.run().count();
+        assert!(warm.metrics.rig_from_cache);
+        assert_eq!(warm.result.count, 2);
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // the cached stats still describe the same RIG
+        assert_eq!(warm.metrics.rig_stats.node_count, cold.metrics.rig_stats.node_count);
+    }
+
+    #[test]
+    fn no_cache_bypasses_and_capacity_zero_disables() {
+        let session = fig2_session().cache_capacity(0);
+        let p = session.prepare(FIG2_HPQL).unwrap();
+        assert_eq!(p.run().count().result.count, 2);
+        assert_eq!(p.run().count().result.count, 2);
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, 0);
+
+        let session = fig2_session();
+        let p = session.prepare(FIG2_HPQL).unwrap();
+        p.run().no_cache().count();
+        p.run().no_cache().count();
+        assert_eq!(session.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let session = fig2_session().cache_capacity(2);
+        let a = session.prepare("MATCH (a:A)->(b:B)").unwrap();
+        let b = session.prepare("MATCH (b:B)=>(c:C)").unwrap();
+        let c = session.prepare("MATCH (a:A)=>(c:C)").unwrap();
+        a.run().count(); // cache: [a]
+        b.run().count(); // cache: [b, a]
+        a.run().count(); // hit; cache: [a, b]
+        c.run().count(); // evicts b; cache: [c, a]
+        b.run().count(); // miss again
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn replace_graph_bumps_epoch_and_invalidates() {
+        let mut session = fig2_session();
+        {
+            let p = session.prepare(FIG2_HPQL).unwrap();
+            p.run().count();
+            p.run().count();
+            assert_eq!(session.cache_stats().hits, 1);
+        }
+        let epoch_before = session.epoch();
+        // same graph content — but the epoch bump must force a rebuild
+        session.replace_graph(fig2_session().graph().clone());
+        assert_eq!(session.epoch(), epoch_before + 1);
+        let p = session.prepare(FIG2_HPQL).unwrap();
+        let outcome = p.run().count();
+        assert!(!outcome.metrics.rig_from_cache);
+        assert_eq!(outcome.result.count, 2);
+        assert_eq!(session.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn prepare_validates() {
+        let session = fig2_session();
+        // disconnected
+        let mut q = PatternQuery::new(vec![0, 1, 2]);
+        q.add_edge(0, 1, EdgeKind::Direct);
+        assert!(matches!(session.prepare(q), Err(Error::Validation(_))));
+        // label out of range
+        let mut q = PatternQuery::new(vec![0, 9]);
+        q.add_edge(0, 1, EdgeKind::Direct);
+        let err = session.prepare(q).unwrap_err();
+        assert!(matches!(err, Error::Validation(_)), "{err}");
+        // unknown label name
+        assert!(matches!(session.prepare("MATCH (a:A)->(x:Nope)"), Err(Error::Hpql(_))));
+        // empty
+        assert!(session.prepare("MATCH ;").is_err());
+    }
+
+    #[test]
+    fn run_builder_knobs() {
+        let session = fig2_session();
+        let p = session.prepare(FIG2_HPQL).unwrap();
+        let o = p.run().limit(1).count();
+        assert_eq!(o.result.count, 1);
+        assert!(o.result.limit_hit);
+        assert!(matches!(p.run().limit(1).try_count(), Err(Error::Budget { .. })));
+        for order in [SearchOrder::Jo, SearchOrder::Ri, SearchOrder::Bj] {
+            assert_eq!(p.run().order(order).count().result.count, 2, "{order:?}");
+        }
+        for threads in [2usize, 4] {
+            assert_eq!(p.run().threads(threads).count().result.count, 2);
+            let (tuples, _) = p.run().threads(threads).morsel(1).collect_all();
+            assert_eq!(tuples, vec![vec![1, 3, 7], vec![2, 5, 9]]);
+        }
+        let (tuples, _) = p.run().collect(1);
+        assert_eq!(tuples.len(), 1);
+        let mut sink = CountSink::default();
+        assert_eq!(p.run().stream(&mut sink).result.count, 2);
+        assert_eq!(sink.count, 2);
+    }
+
+    #[test]
+    fn stream_finishes_sink_on_empty_rig() {
+        let session = fig2_session();
+        // C -> A never occurs
+        let mut q = PatternQuery::new(vec![2, 0]);
+        q.add_edge(0, 1, EdgeKind::Direct);
+        let p = session.prepare(q).unwrap();
+        struct FinishCounter(u32);
+        impl ResultSink for FinishCounter {
+            fn push(&mut self, _t: &[NodeId]) -> bool {
+                true
+            }
+            fn finish(&mut self) {
+                self.0 += 1;
+            }
+        }
+        let mut sink = FinishCounter(0);
+        let o = p.run().stream(&mut sink);
+        assert_eq!(o.result.count, 0);
+        assert_eq!(sink.0, 1);
+        let (sinks, o) = p.run().threads(3).par_stream(|_| FinishCounter(0));
+        assert_eq!(o.result.count, 0);
+        assert_eq!(sinks.len(), 3);
+        assert!(sinks.iter().all(|s| s.0 == 1));
+    }
+
+    #[test]
+    fn explain_reports_reduction_and_cache_state() {
+        let session = fig2_session();
+        // A -> B => C plus the redundant A => C
+        let p = session.prepare("MATCH (a:A)->(b:B)=>(c:C), (a)=>(c)").unwrap();
+        let ex = p.run().explain();
+        assert_eq!(ex.edges_reduced, 1);
+        assert!(!ex.rig_from_cache);
+        assert!(!ex.empty_answer);
+        assert_eq!(ex.order.len(), 3);
+        let shown = ex.to_string();
+        assert!(shown.contains("reduced:"), "{shown}");
+        assert!(shown.contains("built"), "{shown}");
+        // explain populated the cache: a run right after is a hit
+        let o = p.run().count();
+        assert!(o.metrics.rig_from_cache);
+        let ex2 = p.run().explain();
+        assert!(ex2.rig_from_cache);
+        assert!(ex2.to_string().contains("cached"));
+    }
+
+    #[test]
+    fn equivalent_texts_share_one_plan() {
+        let session = fig2_session();
+        // same constraints and variable order, but a different chain
+        // decomposition => different edge insertion order; the canonical
+        // cache key unifies them
+        let p1 = session.prepare("MATCH (a:A)->(b:B)=>(c:C), (a)->(c)").unwrap();
+        let p2 = session.prepare("MATCH (a:A)->(b:B), (a)->(c:C), (b)=>(c)").unwrap();
+        assert_ne!(p1.query(), p2.query(), "raw edge order differs");
+        p1.run().count();
+        p2.run().count();
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1), "{stats:?}");
+        // renaming variables keeps the plan shared (names are not part of
+        // the key); *reordering* them is a different query (tuple indexing)
+        let p3 = session.prepare("MATCH (x:A)->(y:B)=>(z:C), (x)->(z)").unwrap();
+        p3.run().count();
+        assert_eq!(session.cache_stats().hits, 2);
+        let p4 = session.prepare("MATCH (x:A)->(z:C), (x)->(y:B), (y)=>(z)").unwrap();
+        p4.run().count();
+        assert_eq!(session.cache_stats().misses, 2, "variable order is part of the plan");
+    }
+}

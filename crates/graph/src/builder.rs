@@ -1,16 +1,24 @@
 //! Mutable construction of [`DataGraph`]s.
 
-use crate::{DataGraph, Label, NodeId};
+use crate::{DataGraph, FxHashMap, Label, NodeId};
 
 /// Accumulates nodes and edges, then freezes into an immutable CSR graph.
 ///
 /// Duplicate edges and self-loops are allowed on input; duplicates are
 /// removed at [`GraphBuilder::build`] time (the paper's data model has
 /// simple directed graphs).
+///
+/// The builder also maintains the graph's **label-name dictionary**: label
+/// ids can be interned from names ([`GraphBuilder::intern_label`] /
+/// [`GraphBuilder::add_named_node`]), and the frozen [`DataGraph`] resolves
+/// names back to ids (`DataGraph::label_id`) — the lookup HPQL queries use
+/// for `(var:LabelName)` references.
 #[derive(Default)]
 pub struct GraphBuilder {
     labels: Vec<Label>,
     label_names: Vec<String>,
+    name_to_label: FxHashMap<String, Label>,
+    next_label: Label,
     adj: Vec<Vec<NodeId>>,
     edge_count_hint: usize,
 }
@@ -24,9 +32,9 @@ impl GraphBuilder {
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
         GraphBuilder {
             labels: Vec::with_capacity(nodes),
-            label_names: Vec::new(),
             adj: Vec::with_capacity(nodes),
             edge_count_hint: edges,
+            ..Default::default()
         }
     }
 
@@ -34,20 +42,52 @@ impl GraphBuilder {
     pub fn add_node(&mut self, label: Label) -> NodeId {
         let id = self.labels.len() as NodeId;
         self.labels.push(label);
+        self.next_label = self.next_label.max(label + 1);
         self.adj.push(Vec::new());
         id
+    }
+
+    /// Interns `name` in the label dictionary: returns its existing label
+    /// id, or assigns the next free one. Assigned ids come after every
+    /// numerically-added label seen so far, so named and numeric labels can
+    /// mix without colliding.
+    pub fn intern_label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.name_to_label.get(name) {
+            return l;
+        }
+        let l = self.next_label;
+        self.next_label += 1;
+        self.set_label_name(l, name);
+        l
+    }
+
+    /// Adds a node labeled by *name* (interned on first use); returns its
+    /// node id.
+    pub fn add_named_node(&mut self, label_name: &str) -> NodeId {
+        let l = self.intern_label(label_name);
+        self.add_node(l)
+    }
+
+    /// Records `name` for label id `label` (first writer wins; later
+    /// different names for the same id are ignored).
+    pub fn set_label_name(&mut self, label: Label, name: &str) {
+        // a named label claims its id even with no nodes yet, so
+        // intern_label never hands the same id to a different name
+        self.next_label = self.next_label.max(label + 1);
+        let idx = label as usize;
+        if self.label_names.len() <= idx {
+            self.label_names.resize(idx + 1, String::new());
+        }
+        if self.label_names[idx].is_empty() && !name.is_empty() {
+            self.label_names[idx] = name.to_string();
+            self.name_to_label.entry(name.to_string()).or_insert(label);
+        }
     }
 
     /// Adds a node and records a human-readable name for its label.
     pub fn add_node_with_name(&mut self, label: Label, name: &str) -> NodeId {
         let id = self.add_node(label);
-        let idx = label as usize;
-        if self.label_names.len() <= idx {
-            self.label_names.resize(idx + 1, String::new());
-        }
-        if self.label_names[idx].is_empty() {
-            self.label_names[idx] = name.to_string();
-        }
+        self.set_label_name(label, name);
         id
     }
 
@@ -112,6 +152,64 @@ mod tests {
         assert_eq!(g.num_labels(), 4); // labels 0..=3 exist as id space
         assert_eq!(g.nodes_with_label(3).len(), 5);
         assert_eq!(g.nodes_with_label(0).len(), 0);
+    }
+
+    #[test]
+    fn label_interning() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_named_node("Author");
+        let y = b.add_named_node("Paper");
+        let z = b.add_named_node("Author");
+        b.add_edge(x, y);
+        b.add_edge(y, z);
+        let g = b.build();
+        assert_eq!(g.label(x), g.label(z));
+        assert_ne!(g.label(x), g.label(y));
+        assert_eq!(g.label_id("Author"), Some(g.label(x)));
+        assert_eq!(g.label_id("Paper"), Some(g.label(y)));
+        assert_eq!(g.label_id("Ghost"), None);
+        assert_eq!(g.label_name(g.label(y)), "Paper");
+        assert!(g.has_label_names());
+    }
+
+    #[test]
+    fn named_label_without_nodes_survives_and_claims_its_id() {
+        // the dictionary entry must survive build() even with no nodes
+        let mut b = GraphBuilder::new();
+        b.set_label_name(2, "Retracted");
+        b.add_node(0);
+        b.add_node(1);
+        let g = b.build();
+        assert_eq!(g.num_labels(), 3);
+        assert_eq!(g.label_id("Retracted"), Some(2));
+        assert!(g.nodes_with_label(2).is_empty());
+        // and a named-but-empty id is never re-handed to a different name
+        let mut b = GraphBuilder::new();
+        b.set_label_name(0, "X");
+        let y = b.add_named_node("Y");
+        let y2 = b.add_named_node("Y");
+        let g = b.build();
+        assert_eq!(g.label(y), 1, "id 0 belongs to X");
+        assert_eq!(g.label(y), g.label(y2));
+        assert_eq!(g.label_id("X"), Some(0));
+        assert_eq!(g.label_id("Y"), Some(1));
+    }
+
+    #[test]
+    fn named_and_numeric_labels_mix() {
+        let mut b = GraphBuilder::new();
+        b.add_node(5); // numeric labels reserve 0..=5
+        let named = b.add_named_node("Extra");
+        let g = b.build();
+        assert_eq!(g.label(named), 6, "interned name must not collide with numeric labels");
+        assert_eq!(g.label_id("Extra"), Some(6));
+        // first name recorded for an id wins
+        let mut b = GraphBuilder::new();
+        b.add_node_with_name(0, "First");
+        b.add_node_with_name(0, "Second");
+        let g = b.build();
+        assert_eq!(g.label_name(0), "First");
+        assert_eq!(g.label_id("Second"), None);
     }
 
     #[test]

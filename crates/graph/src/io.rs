@@ -7,8 +7,13 @@
 //! t <num_nodes> <num_edges>    # optional header
 //! v <id> <label> [degree]      # node line; ids must be 0..n densely
 //! e <src> <dst>                # edge line
+//! l <label-id> <name>          # optional label-name dictionary entry
 //! # comment
 //! ```
+//!
+//! `l` lines populate the graph's label-name dictionary, which HPQL
+//! queries (`MATCH (a:Author)->...`) resolve `(var:Name)` references
+//! against.
 
 use crate::{DataGraph, GraphBuilder, Label, NodeId};
 
@@ -35,6 +40,7 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 pub fn parse_text(input: &str) -> Result<DataGraph, ParseError> {
     let mut labels: Vec<(NodeId, Label)> = Vec::new();
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut names: Vec<(Label, String)> = Vec::new();
     for (ln, raw) in input.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('t') {
@@ -64,6 +70,14 @@ pub fn parse_text(input: &str) -> Result<DataGraph, ParseError> {
                     .ok_or_else(|| err(ln + 1, "bad edge target"))?;
                 edges.push((u, v));
             }
+            Some("l") => {
+                let id: Label = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln + 1, "bad label id"))?;
+                let name = parts.next().ok_or_else(|| err(ln + 1, "missing label name"))?;
+                names.push((id, name.to_string()));
+            }
             Some(tok) => return Err(err(ln + 1, format!("unknown record '{tok}'"))),
             None => {}
         }
@@ -77,6 +91,9 @@ pub fn parse_text(input: &str) -> Result<DataGraph, ParseError> {
     let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
     for &(_, l) in &labels {
         b.add_node(l);
+    }
+    for (l, name) in names {
+        b.set_label_name(l, &name);
     }
     let n = labels.len() as NodeId;
     for (u, v) in edges {
@@ -93,6 +110,11 @@ pub fn parse_text(input: &str) -> Result<DataGraph, ParseError> {
 pub fn to_text(g: &DataGraph) -> String {
     let mut out = String::new();
     out.push_str(&format!("t {} {}\n", g.num_nodes(), g.num_edges()));
+    for (l, name) in g.label_names().iter().enumerate() {
+        if !name.is_empty() {
+            out.push_str(&format!("l {l} {name}\n"));
+        }
+    }
     for v in 0..g.num_nodes() as NodeId {
         out.push_str(&format!("v {} {}\n", v, g.label(v)));
     }
@@ -127,6 +149,24 @@ mod tests {
         let g = parse_text("v 1 0\nv 0 1\ne 0 1\n").unwrap();
         assert_eq!(g.label(0), 1);
         assert_eq!(g.label(1), 0);
+    }
+
+    #[test]
+    fn label_dictionary_roundtrip() {
+        let text = "t 2 1\nl 0 Author\nl 1 Paper\nv 0 0\nv 1 1\ne 0 1\n";
+        let g = parse_text(text).unwrap();
+        assert_eq!(g.label_id("Author"), Some(0));
+        assert_eq!(g.label_id("Paper"), Some(1));
+        assert_eq!(g.label_name(1), "Paper");
+        assert_eq!(to_text(&g), text);
+        assert!(parse_text("l x Author\n").is_err());
+        assert!(parse_text("l 0\n").is_err());
+        // a dictionary entry for a label with no nodes round-trips too
+        let text = "t 2 1\nl 0 A\nl 1 B\nl 2 Retracted\nv 0 0\nv 1 1\ne 0 1\n";
+        let g = parse_text(text).unwrap();
+        assert_eq!(g.num_labels(), 3);
+        assert_eq!(g.label_id("Retracted"), Some(2));
+        assert_eq!(to_text(&g), text);
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub struct DataGraph {
     inverted_bits: Vec<Bitset>,
     /// Optional human-readable label names (parallel to label ids).
     label_names: Vec<String>,
+    /// Reverse dictionary: label name -> id (only named labels appear).
+    name_to_label: FxHashMap<String, Label>,
 }
 
 impl DataGraph {
@@ -104,9 +106,21 @@ impl DataGraph {
         self.label_names.get(label as usize).map(|s| s.as_str()).unwrap_or("")
     }
 
-    /// Resolves a label name back to its id.
+    /// All label names, indexed by label id (empty string = unnamed).
+    pub fn label_names(&self) -> &[String] {
+        &self.label_names
+    }
+
+    /// Resolves a label name back to its id through the label-name
+    /// dictionary (O(1) hash lookup).
     pub fn label_id(&self, name: &str) -> Option<Label> {
-        self.label_names.iter().position(|n| n == name).map(|i| i as Label)
+        self.name_to_label.get(name).copied()
+    }
+
+    /// True iff any label carries a name (i.e. the graph was built with a
+    /// label dictionary).
+    pub fn has_label_names(&self) -> bool {
+        !self.name_to_label.is_empty()
     }
 
     /// Sorted out-neighbors of `v` (the forward adjacency list `adjf`).
@@ -257,7 +271,13 @@ impl DataGraph {
         }
         // in-neighbor slices must be sorted: sources are visited in
         // ascending order, so each slice is already sorted.
-        let num_labels = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        // The label space covers named-but-unpopulated labels too (their
+        // inverted lists stay empty): a dictionary entry like `l 2 X` on a
+        // graph whose nodes only use labels 0..2 must survive, so that
+        // `(v:X)` queries validate and produce the (empty) answer instead
+        // of an unknown-label error.
+        let num_labels =
+            labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0).max(label_names.len());
         let mut inverted: Vec<Vec<NodeId>> = vec![Vec::new(); num_labels];
         for (v, &l) in labels.iter().enumerate() {
             inverted[l as usize].push(v as NodeId);
@@ -265,6 +285,12 @@ impl DataGraph {
         let inverted_bits = inverted.iter().map(|list| Bitset::from_sorted_dedup(list)).collect();
         let mut names = label_names;
         names.resize(num_labels, String::new());
+        let mut name_to_label = FxHashMap::default();
+        for (l, name) in names.iter().enumerate() {
+            if !name.is_empty() {
+                name_to_label.entry(name.clone()).or_insert(l as Label);
+            }
+        }
         DataGraph {
             labels,
             fwd_offsets,
@@ -274,6 +300,7 @@ impl DataGraph {
             inverted,
             inverted_bits,
             label_names: names,
+            name_to_label,
         }
     }
 }

@@ -70,6 +70,28 @@ impl Default for EnumOptions {
     }
 }
 
+impl EnumOptions {
+    /// Same options with the given search order.
+    pub fn with_order(self, order: SearchOrder) -> Self {
+        EnumOptions { order, ..self }
+    }
+
+    /// Same options stopping after `limit` occurrences.
+    pub fn with_limit(self, limit: u64) -> Self {
+        EnumOptions { limit: Some(limit), ..self }
+    }
+
+    /// Same options with a wall-clock budget.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        EnumOptions { timeout: Some(timeout), ..self }
+    }
+
+    /// Same options with injectivity (isomorphism-style matching) toggled.
+    pub fn with_injective(self, injective: bool) -> Self {
+        EnumOptions { injective, ..self }
+    }
+}
+
 /// Outcome of an enumeration run.
 #[derive(Debug, Clone)]
 pub struct EnumResult {

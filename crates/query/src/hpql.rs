@@ -1,0 +1,784 @@
+//! HPQL — the textual **H**ybrid **P**attern **Q**uery **L**anguage.
+//!
+//! HPQL writes a hybrid pattern the way the paper draws it: a `MATCH`
+//! keyword followed by comma-separated *chains* of parenthesized nodes
+//! connected by `->` (direct, edge-to-edge) and `=>` (reachability,
+//! edge-to-path) arrows:
+//!
+//! ```text
+//! MATCH (a:Author)->(p:Paper)=>(q:Paper), (a)->(q)
+//! ```
+//!
+//! Grammar (whitespace-insensitive; `#` and `//` start line comments):
+//!
+//! ```text
+//! query  :=  MATCH chain (',' chain)* [';']
+//! chain  :=  node (arrow node)*
+//! arrow  :=  '->' | '=>'
+//! node   :=  '(' [var] [':' label] ')'
+//! var    :=  IDENT
+//! label  :=  IDENT | INTEGER          (a label name or a raw label id)
+//! ```
+//!
+//! * A **variable** names a query node; every later `(var)` mention refers
+//!   to the same node. The first labeled mention fixes the node's label;
+//!   re-labeling a variable with a different label is an error, and a
+//!   variable that is never labeled is an error.
+//! * `(:Label)` without a variable introduces a fresh anonymous node.
+//! * Self-loops (`(a)->(a)`) and duplicate edges (same endpoints *and*
+//!   kind) are rejected; a direct and a reachability edge between the same
+//!   pair are distinct constraints and both allowed.
+//!
+//! Parsing yields an [`HpqlQuery`] AST. Label *names* are resolved to
+//! dense label ids by [`HpqlQuery::resolve`] (against a graph's label-name
+//! dictionary — see `rig_graph::DataGraph::label_id`) or
+//! [`HpqlQuery::resolve_interned`] (first-use interning, for graph-free
+//! round trips). The inverse direction is [`to_hpql`], the pretty-printer
+//! used by `explain` output and asserted round-trip-stable by proptests.
+
+use crate::{EdgeKind, PatternError, PatternQuery, QNode};
+use rig_graph::Label;
+
+/// Error from HPQL parsing or label resolution, with 1-based source
+/// position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HpqlError {
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for HpqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for HpqlError {}
+
+fn err(line: usize, col: usize, message: impl Into<String>) -> HpqlError {
+    HpqlError { line, col, message: message.into() }
+}
+
+/// A node label as written: a name to be resolved, or a raw label id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelSpec {
+    Name(String),
+    Id(Label),
+}
+
+/// Parsed (but not yet label-resolved) HPQL query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HpqlQuery {
+    /// One variable name per query node (anonymous nodes get fresh
+    /// `_a<k>` names), in order of first appearance.
+    vars: Vec<String>,
+    /// One label per query node.
+    labels: Vec<LabelSpec>,
+    /// Pattern edges over node indexes.
+    edges: Vec<(QNode, QNode, EdgeKind)>,
+}
+
+/// A resolved HPQL query: the pattern plus its variable names (parallel to
+/// pattern node ids — occurrence tuples are indexed the same way).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HpqlResolved {
+    pub query: PatternQuery,
+    pub vars: Vec<String>,
+}
+
+impl HpqlQuery {
+    /// Number of pattern nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Variable names, parallel to node ids.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Label specs, parallel to node ids.
+    pub fn labels(&self) -> &[LabelSpec] {
+        &self.labels
+    }
+
+    /// Resolves label names through `resolve_name` (raw `Id` labels pass
+    /// through) and builds the [`PatternQuery`].
+    pub fn resolve(
+        &self,
+        mut resolve_name: impl FnMut(&str) -> Option<Label>,
+    ) -> Result<HpqlResolved, HpqlError> {
+        let labels: Vec<Label> = self
+            .labels
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| match spec {
+                LabelSpec::Id(id) => Ok(*id),
+                LabelSpec::Name(name) => resolve_name(name).ok_or_else(|| {
+                    err(
+                        0,
+                        0,
+                        format!(
+                            "unknown label name '{name}' (variable '{}'): \
+                             not in the graph's label dictionary",
+                            self.vars[i]
+                        ),
+                    )
+                }),
+            })
+            .collect::<Result<_, _>>()?;
+        self.build(labels)
+    }
+
+    /// Resolves label names by interning them in first-use order (raw `Id`
+    /// labels pass through unchanged). Returns the resolved query plus the
+    /// interned name table (`table[label] = name`, empty string for labels
+    /// only ever written numerically). Useful where no graph dictionary
+    /// exists — tests, offline tooling, query fixtures.
+    pub fn resolve_interned(&self) -> Result<(HpqlResolved, Vec<String>), HpqlError> {
+        let mut table: Vec<String> = Vec::new();
+        let mut labels: Vec<Label> = Vec::with_capacity(self.labels.len());
+        for spec in &self.labels {
+            let id = match spec {
+                LabelSpec::Id(id) => *id,
+                LabelSpec::Name(name) => match table.iter().position(|n| n == name) {
+                    Some(i) => i as Label,
+                    None => {
+                        table.push(name.clone());
+                        (table.len() - 1) as Label
+                    }
+                },
+            };
+            labels.push(id);
+        }
+        let max_label = labels.iter().copied().max().unwrap_or(0) as usize;
+        if table.len() <= max_label {
+            table.resize(max_label + 1, String::new());
+        }
+        Ok((self.build(labels)?, table))
+    }
+
+    fn build(&self, labels: Vec<Label>) -> Result<HpqlResolved, HpqlError> {
+        let mut query = PatternQuery::new(labels);
+        for &(f, t, kind) in &self.edges {
+            query.try_add_edge(f, t, kind).map_err(|e: PatternError| err(0, 0, e.to_string()))?;
+        }
+        Ok(HpqlResolved { query, vars: self.vars.clone() })
+    }
+}
+
+/// Parses HPQL text into an [`HpqlQuery`] AST.
+pub fn parse_hpql(input: &str) -> Result<HpqlQuery, HpqlError> {
+    Parser::new(input)?.parse()
+}
+
+/// True if `text` looks like HPQL (its first significant token is the
+/// `MATCH` keyword) rather than the legacy line-oriented `n`/`d`/`r`
+/// format. Used by the CLI to auto-detect query file formats.
+pub fn looks_like_hpql(text: &str) -> bool {
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with("//") {
+            continue;
+        }
+        let word: String = line.chars().take_while(|c| c.is_ascii_alphabetic()).collect();
+        return word.eq_ignore_ascii_case("match");
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Match,
+    Ident(String),
+    Int(u32),
+    LParen,
+    RParen,
+    Colon,
+    Comma,
+    Semi,
+    Direct, // ->
+    Reach,  // =>
+    Eof,
+}
+
+impl Tok {
+    fn describe(&self) -> String {
+        match self {
+            Tok::Match => "'MATCH'".into(),
+            Tok::Ident(s) => format!("identifier '{s}'"),
+            Tok::Int(n) => format!("integer {n}"),
+            Tok::LParen => "'('".into(),
+            Tok::RParen => "')'".into(),
+            Tok::Colon => "':'".into(),
+            Tok::Comma => "','".into(),
+            Tok::Semi => "';'".into(),
+            Tok::Direct => "'->'".into(),
+            Tok::Reach => "'=>'".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Lexed {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<Lexed>, HpqlError> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    let (mut line, mut col) = (1usize, 1usize);
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '#' => {
+                while chars.peek().is_some_and(|&c| c != '\n') {
+                    bump!();
+                }
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while chars.peek().is_some_and(|&c| c != '\n') {
+                        bump!();
+                    }
+                } else {
+                    return Err(err(tl, tc, "unexpected '/' (did you mean a '//' comment?)"));
+                }
+            }
+            '(' => {
+                bump!();
+                out.push(Lexed { tok: Tok::LParen, line: tl, col: tc });
+            }
+            ')' => {
+                bump!();
+                out.push(Lexed { tok: Tok::RParen, line: tl, col: tc });
+            }
+            ':' => {
+                bump!();
+                out.push(Lexed { tok: Tok::Colon, line: tl, col: tc });
+            }
+            ',' => {
+                bump!();
+                out.push(Lexed { tok: Tok::Comma, line: tl, col: tc });
+            }
+            ';' => {
+                bump!();
+                out.push(Lexed { tok: Tok::Semi, line: tl, col: tc });
+            }
+            '-' => {
+                bump!();
+                if chars.peek() == Some(&'>') {
+                    bump!();
+                    out.push(Lexed { tok: Tok::Direct, line: tl, col: tc });
+                } else {
+                    return Err(err(tl, tc, "unexpected '-' (direct edges are written '->')"));
+                }
+            }
+            '=' => {
+                bump!();
+                if chars.peek() == Some(&'>') {
+                    bump!();
+                    out.push(Lexed { tok: Tok::Reach, line: tl, col: tc });
+                } else {
+                    return Err(err(
+                        tl,
+                        tc,
+                        "unexpected '=' (reachability edges are written '=>')",
+                    ));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    s.push(bump!().unwrap());
+                }
+                let n: u32 =
+                    s.parse().map_err(|_| err(tl, tc, format!("label id '{s}' out of range")))?;
+                out.push(Lexed { tok: Tok::Int(n), line: tl, col: tc });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while chars.peek().is_some_and(|&c| c.is_ascii_alphanumeric() || c == '_') {
+                    s.push(bump!().unwrap());
+                }
+                let tok = if s.eq_ignore_ascii_case("match") { Tok::Match } else { Tok::Ident(s) };
+                out.push(Lexed { tok, line: tl, col: tc });
+            }
+            other => return Err(err(tl, tc, format!("unexpected character '{other}'"))),
+        }
+    }
+    out.push(Lexed { tok: Tok::Eof, line, col });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Lexed>,
+    pos: usize,
+    vars: Vec<String>,
+    labels: Vec<Option<LabelSpec>>,
+    /// (line, col) of each node's first mention, for "never labeled" errors.
+    first_mention: Vec<(usize, usize)>,
+    edges: Vec<(QNode, QNode, EdgeKind)>,
+    anon: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser, HpqlError> {
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+            vars: Vec::new(),
+            labels: Vec::new(),
+            first_mention: Vec::new(),
+            edges: Vec::new(),
+            anon: 0,
+        })
+    }
+
+    fn peek(&self) -> &Lexed {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Lexed {
+        let l = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<Lexed, HpqlError> {
+        let got = self.next();
+        if got.tok == want {
+            Ok(got)
+        } else {
+            Err(err(
+                got.line,
+                got.col,
+                format!("expected {}, found {}", want.describe(), got.tok.describe()),
+            ))
+        }
+    }
+
+    fn parse(mut self) -> Result<HpqlQuery, HpqlError> {
+        self.expect(Tok::Match)?;
+        loop {
+            self.chain()?;
+            match self.peek().tok {
+                Tok::Comma => {
+                    self.next();
+                }
+                Tok::Semi => {
+                    self.next();
+                    break;
+                }
+                Tok::Eof => break,
+                _ => {
+                    let got = self.next();
+                    return Err(err(
+                        got.line,
+                        got.col,
+                        format!(
+                            "expected ',', ';', '->', '=>' or end of query, found {}",
+                            got.tok.describe()
+                        ),
+                    ));
+                }
+            }
+        }
+        let trailing = self.next();
+        if trailing.tok != Tok::Eof {
+            return Err(err(
+                trailing.line,
+                trailing.col,
+                format!("trailing input after query: {}", trailing.tok.describe()),
+            ));
+        }
+        // every node must have a label by the end of the query
+        let mut labels = Vec::with_capacity(self.labels.len());
+        for (i, l) in self.labels.iter().enumerate() {
+            match l {
+                Some(spec) => labels.push(spec.clone()),
+                None => {
+                    let (line, col) = self.first_mention[i];
+                    return Err(err(
+                        line,
+                        col,
+                        format!(
+                            "variable '{}' is never labeled; write ({}:Label) at one mention",
+                            self.vars[i], self.vars[i]
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(HpqlQuery { vars: self.vars, labels, edges: self.edges })
+    }
+
+    fn chain(&mut self) -> Result<(), HpqlError> {
+        let mut prev = self.node()?;
+        loop {
+            let kind = match self.peek().tok {
+                Tok::Direct => EdgeKind::Direct,
+                Tok::Reach => EdgeKind::Reachability,
+                _ => return Ok(()),
+            };
+            let arrow = self.next();
+            let next = self.node()?;
+            if prev == next {
+                return Err(err(
+                    arrow.line,
+                    arrow.col,
+                    format!(
+                        "self-loop on variable '{}' is not expressible",
+                        self.vars[prev as usize]
+                    ),
+                ));
+            }
+            if self.edges.iter().any(|&(f, t, k)| f == prev && t == next && k == kind) {
+                return Err(err(
+                    arrow.line,
+                    arrow.col,
+                    format!(
+                        "duplicate {} edge ({})->({})",
+                        match kind {
+                            EdgeKind::Direct => "direct",
+                            EdgeKind::Reachability => "reachability",
+                        },
+                        self.vars[prev as usize],
+                        self.vars[next as usize]
+                    ),
+                ));
+            }
+            self.edges.push((prev, next, kind));
+            prev = next;
+        }
+    }
+
+    /// Parses one `(var[:label])` node reference; returns its node index.
+    fn node(&mut self) -> Result<QNode, HpqlError> {
+        let open = self.expect(Tok::LParen)?;
+        let (loc_line, loc_col) = (open.line, open.col);
+        let var = match self.peek().tok {
+            Tok::Ident(_) => {
+                let Lexed { tok: Tok::Ident(name), .. } = self.next() else { unreachable!() };
+                Some(name)
+            }
+            _ => None,
+        };
+        let label = if self.peek().tok == Tok::Colon {
+            self.next();
+            let got = self.next();
+            match got.tok {
+                Tok::Ident(name) => Some(LabelSpec::Name(name)),
+                Tok::Int(id) => Some(LabelSpec::Id(id)),
+                other => {
+                    return Err(err(
+                        got.line,
+                        got.col,
+                        format!(
+                            "expected a label name or id after ':', found {}",
+                            other.describe()
+                        ),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        self.expect(Tok::RParen)?;
+
+        let idx = match var {
+            Some(name) => match self.vars.iter().position(|v| v == &name) {
+                Some(i) => i as QNode,
+                None => self.declare(name, loc_line, loc_col),
+            },
+            None => {
+                if label.is_none() {
+                    return Err(err(
+                        loc_line,
+                        loc_col,
+                        "empty node '()': write a variable, a label, or both",
+                    ));
+                }
+                // anonymous node: synthesize a non-colliding variable name
+                loop {
+                    let name = format!("_a{}", self.anon);
+                    self.anon += 1;
+                    if !self.vars.iter().any(|v| v == &name) {
+                        break self.declare(name, loc_line, loc_col);
+                    }
+                }
+            }
+        };
+        if let Some(spec) = label {
+            match &self.labels[idx as usize] {
+                None => self.labels[idx as usize] = Some(spec),
+                Some(existing) if *existing == spec => {}
+                Some(existing) => {
+                    return Err(err(
+                        loc_line,
+                        loc_col,
+                        format!(
+                            "variable '{}' relabeled: already {}, now {}",
+                            self.vars[idx as usize],
+                            describe_label(existing),
+                            describe_label(&spec)
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(idx)
+    }
+
+    fn declare(&mut self, name: String, line: usize, col: usize) -> QNode {
+        let idx = self.vars.len() as QNode;
+        self.vars.push(name);
+        self.labels.push(None);
+        self.first_mention.push((line, col));
+        idx
+    }
+}
+
+fn describe_label(spec: &LabelSpec) -> String {
+    match spec {
+        LabelSpec::Name(n) => format!("':{n}'"),
+        LabelSpec::Id(i) => format!("':{i}'"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pretty-printer
+// ---------------------------------------------------------------------------
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !s.eq_ignore_ascii_case("match")
+}
+
+/// Pretty-prints a pattern as HPQL. `vars` supplies variable names
+/// (parallel to node ids; invalid or missing names fall back to `v<i>`);
+/// `label_name` maps a label id to its display name (`None` or a
+/// non-identifier prints the raw id). The output re-parses to the same
+/// pattern modulo node numbering — node ids follow first appearance in the
+/// text, and the variable names carry the correspondence (see the
+/// round-trip proptests).
+pub fn to_hpql(
+    q: &PatternQuery,
+    vars: Option<&[String]>,
+    mut label_name: impl FnMut(Label) -> Option<String>,
+) -> String {
+    let n = q.num_nodes();
+    let var_of = |i: usize| -> String {
+        match vars.and_then(|v| v.get(i)) {
+            Some(name) if is_ident(name) => name.clone(),
+            _ => format!("v{i}"),
+        }
+    };
+    let mut mentioned = vec![false; n];
+    let mut node_text = |i: usize, mentioned: &mut [bool]| -> String {
+        if mentioned[i] {
+            format!("({})", var_of(i))
+        } else {
+            mentioned[i] = true;
+            let l = q.label(i as QNode);
+            match label_name(l) {
+                Some(name) if is_ident(&name) => format!("({}:{})", var_of(i), name),
+                _ => format!("({}:{})", var_of(i), l),
+            }
+        }
+    };
+
+    let mut used = vec![false; q.num_edges()];
+    let mut chains: Vec<String> = Vec::new();
+    // Chains start from the lowest-id unused edge and greedily extend from
+    // the chain tail, so typical path/tree patterns print as one chain.
+    while let Some(start) = used.iter().position(|&u| !u) {
+        used[start] = true;
+        let e = q.edge(start as crate::EdgeId);
+        let mut chain = String::new();
+        chain.push_str(&node_text(e.from as usize, &mut mentioned));
+        chain.push_str(arrow(e.kind));
+        chain.push_str(&node_text(e.to as usize, &mut mentioned));
+        let mut tail = e.to;
+        'extend: loop {
+            for &eid in q.out_edges(tail) {
+                if !used[eid as usize] {
+                    used[eid as usize] = true;
+                    let e = q.edge(eid);
+                    chain.push_str(arrow(e.kind));
+                    chain.push_str(&node_text(e.to as usize, &mut mentioned));
+                    tail = e.to;
+                    continue 'extend;
+                }
+            }
+            break;
+        }
+        chains.push(chain);
+    }
+    // isolated nodes (only possible in edge-free patterns) still print
+    for i in 0..n {
+        if !mentioned[i] {
+            chains.push(node_text(i, &mut mentioned));
+        }
+    }
+    format!("MATCH {}", chains.join(", "))
+}
+
+fn arrow(kind: EdgeKind) -> &'static str {
+    match kind {
+        EdgeKind::Direct => "->",
+        EdgeKind::Reachability => "=>",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig2_query;
+
+    fn parse_interned(text: &str) -> (PatternQuery, Vec<String>) {
+        let (r, _names) = parse_hpql(text).unwrap().resolve_interned().unwrap();
+        (r.query, r.vars)
+    }
+
+    #[test]
+    fn parses_the_issue_example() {
+        let (q, vars) = parse_interned("MATCH (a:Author)->(p:Paper)=>(q:Paper), (a)->(q)");
+        assert_eq!(vars, vec!["a", "p", "q"]);
+        assert_eq!(q.num_nodes(), 3);
+        assert_eq!(q.num_edges(), 3);
+        assert_eq!(q.label(0), 0); // Author
+        assert_eq!(q.label(1), 1); // Paper
+        assert_eq!(q.label(2), 1); // Paper (same name, same id)
+        assert_eq!(q.edge(0).kind, EdgeKind::Direct);
+        assert_eq!(q.edge(1).kind, EdgeKind::Reachability);
+        assert_eq!(q.edge(2).kind, EdgeKind::Direct);
+    }
+
+    #[test]
+    fn numeric_labels_and_anonymous_nodes() {
+        let (q, vars) = parse_interned("MATCH (x:0)=>(:7)");
+        assert_eq!(q.num_nodes(), 2);
+        assert_eq!(q.label(0), 0);
+        assert_eq!(q.label(1), 7);
+        assert_eq!(vars[0], "x");
+        assert!(vars[1].starts_with("_a"));
+    }
+
+    #[test]
+    fn comments_whitespace_case_and_semicolon() {
+        let (q, _) =
+            parse_interned("# a comment\n  match // trailing\n   (a:L) -> (b:M)\n , (b) => (a) ;");
+        assert_eq!(q.num_edges(), 2);
+        assert_eq!(q.edge(1).kind, EdgeKind::Reachability);
+    }
+
+    #[test]
+    fn label_first_mention_wins_and_conflicts_error() {
+        let (q, _) = parse_interned("MATCH (a:L)->(b:M), (b)->(a)");
+        assert_eq!(q.label(0), 0);
+        let e = parse_hpql("MATCH (a:L)->(b:M), (a:M)->(b)").unwrap_err();
+        assert!(e.message.contains("relabeled"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_and_self_loop_edges_rejected() {
+        let e = parse_hpql("MATCH (a:L)->(b:M), (a)->(b)").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+        let e = parse_hpql("MATCH (a:L)->(a)").unwrap_err();
+        assert!(e.message.contains("self-loop"), "{e}");
+        // parallel edges of different kinds are fine
+        let (q, _) = parse_interned("MATCH (a:L)->(b:M), (a)=>(b)");
+        assert_eq!(q.num_edges(), 2);
+    }
+
+    #[test]
+    fn unlabeled_variable_errors_with_position() {
+        let e = parse_hpql("MATCH (a:L)->(b)").unwrap_err();
+        assert!(e.message.contains("'b' is never labeled"), "{e}");
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn unknown_name_resolution_fails() {
+        let ast = parse_hpql("MATCH (a:Ghost)->(b:0)").unwrap();
+        let e = ast.resolve(|_| None).unwrap_err();
+        assert!(e.message.contains("Ghost"), "{e}");
+    }
+
+    #[test]
+    fn lex_errors_carry_position() {
+        for bad in ["MATCH (a:L) -> (b:M) !", "MATCH (a:L) - (b:M)", "MATCH (a:L) = (b:M)"] {
+            let e = parse_hpql(bad).unwrap_err();
+            assert!(e.line >= 1 && e.col >= 1, "{bad}: {e}");
+        }
+        assert!(parse_hpql("(a:L)->(b:M)").unwrap_err().message.contains("MATCH"));
+        assert!(parse_hpql("MATCH ()").is_err());
+    }
+
+    #[test]
+    fn printer_round_trips_fig2() {
+        let q = fig2_query();
+        let text = to_hpql(&q, None, |_| None);
+        assert_eq!(text, "MATCH (v0:0)->(v1:1)=>(v2:2), (v0)->(v2)");
+        let (back, vars) = parse_interned(&text);
+        // v0,v1,v2 appear in id order here, so node numbering is preserved
+        assert_eq!(vars, vec!["v0", "v1", "v2"]);
+        assert_eq!(back.canonical(), q.canonical());
+    }
+
+    #[test]
+    fn printer_uses_names_and_vars_when_given() {
+        let q = fig2_query();
+        let vars: Vec<String> = ["a", "p", "q"].iter().map(|s| s.to_string()).collect();
+        let names = ["Author", "Paper", "Cited"];
+        let text = to_hpql(&q, Some(&vars), |l| Some(names[l as usize].to_string()));
+        assert_eq!(text, "MATCH (a:Author)->(p:Paper)=>(q:Cited), (a)->(q)");
+    }
+
+    #[test]
+    fn printer_handles_edge_free_patterns() {
+        let q = PatternQuery::new(vec![3]);
+        assert_eq!(to_hpql(&q, None, |_| None), "MATCH (v0:3)");
+    }
+
+    #[test]
+    fn hpql_detection() {
+        assert!(looks_like_hpql("  # c\n MATCH (a:0)->(b:1)"));
+        assert!(looks_like_hpql("match (a:0)->(b:1)"));
+        assert!(!looks_like_hpql("n 0 0\nn 1 1\nd 0 1\n"));
+        assert!(!looks_like_hpql(""));
+    }
+}

@@ -12,14 +12,18 @@
 //! * the 20 reconstructed **Fig. 7 templates** and their C/H/D flavors;
 //! * **random query extraction** from a data graph with a non-empty-answer
 //!   guarantee (used by the hp/yt/hu workloads of §7);
-//! * a line-oriented text **parser** for queries.
+//! * a line-oriented text **parser** for queries;
+//! * **HPQL**, the textual hybrid-pattern language
+//!   (`MATCH (a:Author)->(p:Paper)=>(q:Paper)`), in [`hpql`].
 
 pub mod generator;
+pub mod hpql;
 pub mod parser;
 pub mod reduction;
 pub mod templates;
 
 pub use generator::{random_query, GeneratorConfig};
+pub use hpql::{looks_like_hpql, parse_hpql, to_hpql, HpqlError, HpqlQuery, HpqlResolved};
 pub use parser::{parse_query, query_to_text, QueryParseError};
 pub use reduction::{transitive_closure, transitive_reduction};
 pub use templates::{template, template_count, Flavor, TemplateId};
@@ -48,6 +52,44 @@ pub struct PatternEdge {
     pub to: QNode,
     pub kind: EdgeKind,
 }
+
+/// Structural error from pattern construction
+/// ([`PatternQuery::try_add_edge`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// An edge endpoint is not a node of the pattern.
+    NodeOutOfRange { node: QNode, num_nodes: usize },
+    /// `from == to`: self-loop constraints are not expressible in the
+    /// paper's model (Def. 2.1 patterns are simple).
+    SelfLoop { node: QNode },
+    /// The exact `(from, to, kind)` triple is already present.
+    DuplicateEdge { edge: PatternEdge },
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "edge endpoint {node} out of range (pattern has {num_nodes} node(s))")
+            }
+            PatternError::SelfLoop { node } => {
+                write!(f, "self-loop on pattern node {node} is not expressible")
+            }
+            PatternError::DuplicateEdge { edge } => write!(
+                f,
+                "duplicate {} edge ({}, {})",
+                match edge.kind {
+                    EdgeKind::Direct => "direct",
+                    EdgeKind::Reachability => "reachability",
+                },
+                edge.from,
+                edge.to
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
 
 /// Structural class used to group workloads in §7.1.
 ///
@@ -83,24 +125,60 @@ impl PatternQuery {
         }
     }
 
-    /// Adds an edge; duplicate `(from, to, kind)` triples are ignored.
-    ///
-    /// Panics if an endpoint is out of range or `from == to` (patterns are
-    /// simple: a self-loop constraint is not expressible in the paper's
-    /// model).
-    pub fn add_edge(&mut self, from: QNode, to: QNode, kind: EdgeKind) -> EdgeId {
-        assert!((from as usize) < self.labels.len(), "bad source {from}");
-        assert!((to as usize) < self.labels.len(), "bad target {to}");
-        assert_ne!(from, to, "pattern self-loops are not supported");
+    /// Adds an edge, rejecting malformed input with a [`PatternError`]:
+    /// out-of-range endpoints, self-loops, and duplicate `(from, to, kind)`
+    /// triples (which earlier versions silently ignored). A direct and a
+    /// reachability edge between the same endpoints are distinct
+    /// constraints and both accepted.
+    pub fn try_add_edge(
+        &mut self,
+        from: QNode,
+        to: QNode,
+        kind: EdgeKind,
+    ) -> Result<EdgeId, PatternError> {
+        let n = self.labels.len();
+        for node in [from, to] {
+            if node as usize >= n {
+                return Err(PatternError::NodeOutOfRange { node, num_nodes: n });
+            }
+        }
+        if from == to {
+            return Err(PatternError::SelfLoop { node: from });
+        }
         let e = PatternEdge { from, to, kind };
-        if let Some(pos) = self.edges.iter().position(|&x| x == e) {
-            return pos as EdgeId;
+        if self.edges.contains(&e) {
+            return Err(PatternError::DuplicateEdge { edge: e });
         }
         let id = self.edges.len() as EdgeId;
         self.edges.push(e);
         self.out_adj[from as usize].push(id);
         self.in_adj[to as usize].push(id);
-        id
+        Ok(id)
+    }
+
+    /// Adds an edge; panics on what [`PatternQuery::try_add_edge`] rejects
+    /// (the infallible convenience for hand-built patterns whose shape is
+    /// statically known — parsers and generators use `try_add_edge` /
+    /// [`PatternQuery::ensure_edge`] instead).
+    #[track_caller]
+    pub fn add_edge(&mut self, from: QNode, to: QNode, kind: EdgeKind) -> EdgeId {
+        match self.try_add_edge(from, to, kind) {
+            Ok(id) => id,
+            Err(e) => panic!("add_edge: {e}"),
+        }
+    }
+
+    /// Adds the edge if absent, returning the id of the (new or existing)
+    /// edge. The dedup behavior `add_edge` used to have, for callers that
+    /// build patterns from sources with legitimate repeats (transitive
+    /// closure, random extraction, kind-collapsing rewrites).
+    #[track_caller]
+    pub fn ensure_edge(&mut self, from: QNode, to: QNode, kind: EdgeKind) -> EdgeId {
+        let e = PatternEdge { from, to, kind };
+        if let Some(pos) = self.edges.iter().position(|&x| x == e) {
+            return pos as EdgeId;
+        }
+        self.add_edge(from, to, kind)
     }
 
     /// Removes edge `id`, renumbering subsequent edge ids.
@@ -286,6 +364,22 @@ impl PatternQuery {
         q
     }
 
+    /// The canonical form of this pattern: same nodes and labels, edges
+    /// sorted by `(from, to, kind)` so that two patterns with the same
+    /// constraints compare equal regardless of edge insertion order. Node
+    /// numbering is preserved — it is part of the query's meaning
+    /// (occurrence tuples are indexed by it). Used as the plan-cache key by
+    /// `rigmatch`'s `Session` and by the HPQL round-trip tests.
+    pub fn canonical(&self) -> PatternQuery {
+        let mut edges = self.edges.clone();
+        edges.sort_unstable_by_key(|e| (e.from, e.to, e.kind == EdgeKind::Reachability));
+        let mut q = PatternQuery::new(self.labels.clone());
+        for e in edges {
+            q.add_edge(e.from, e.to, e.kind);
+        }
+        q
+    }
+
     /// Number of independent undirected cycles (`|E| - |V| + components`).
     pub fn cycle_rank(&self) -> usize {
         // count undirected components
@@ -407,15 +501,61 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_edges_ignored() {
+    fn duplicate_edges_rejected() {
         let mut q = PatternQuery::new(vec![0, 1]);
-        let e1 = q.add_edge(0, 1, EdgeKind::Direct);
-        let e2 = q.add_edge(0, 1, EdgeKind::Direct);
-        assert_eq!(e1, e2);
+        let e1 = q.try_add_edge(0, 1, EdgeKind::Direct).unwrap();
+        let dup = q.try_add_edge(0, 1, EdgeKind::Direct);
+        assert!(matches!(dup, Err(PatternError::DuplicateEdge { .. })), "{dup:?}");
+        assert_eq!(q.num_edges(), 1);
+        // ensure_edge keeps the old dedup semantics
+        assert_eq!(q.ensure_edge(0, 1, EdgeKind::Direct), e1);
         assert_eq!(q.num_edges(), 1);
         // parallel edge of a different kind is a distinct constraint
         q.add_edge(0, 1, EdgeKind::Reachability);
         assert_eq!(q.num_edges(), 2);
+    }
+
+    #[test]
+    fn try_add_edge_errors() {
+        let mut q = PatternQuery::new(vec![0, 1]);
+        assert!(matches!(
+            q.try_add_edge(0, 7, EdgeKind::Direct),
+            Err(PatternError::NodeOutOfRange { node: 7, num_nodes: 2 })
+        ));
+        assert!(matches!(
+            q.try_add_edge(1, 1, EdgeKind::Direct),
+            Err(PatternError::SelfLoop { node: 1 })
+        ));
+        // errors leave the pattern untouched
+        assert_eq!(q.num_edges(), 0);
+        for err in [
+            PatternError::NodeOutOfRange { node: 7, num_nodes: 2 },
+            PatternError::SelfLoop { node: 1 },
+            PatternError::DuplicateEdge {
+                edge: PatternEdge { from: 0, to: 1, kind: EdgeKind::Direct },
+            },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn canonical_sorts_edges_but_keeps_nodes() {
+        let mut a = PatternQuery::new(vec![0, 1, 2]);
+        a.add_edge(1, 2, EdgeKind::Reachability);
+        a.add_edge(0, 1, EdgeKind::Direct);
+        a.add_edge(0, 2, EdgeKind::Direct);
+        let mut b = PatternQuery::new(vec![0, 1, 2]);
+        b.add_edge(0, 1, EdgeKind::Direct);
+        b.add_edge(0, 2, EdgeKind::Direct);
+        b.add_edge(1, 2, EdgeKind::Reachability);
+        assert_ne!(a, b); // edge order differs
+        assert_eq!(a.canonical(), b.canonical());
+        // a parallel pair sorts Direct before Reachability
+        let mut c = PatternQuery::new(vec![0, 1]);
+        c.add_edge(0, 1, EdgeKind::Reachability);
+        c.add_edge(0, 1, EdgeKind::Direct);
+        assert_eq!(c.canonical().edge(0).kind, EdgeKind::Direct);
     }
 
     #[test]

@@ -71,16 +71,9 @@ pub fn parse_query(input: &str) -> Result<PatternQuery, QueryParseError> {
             return Err(err(0, format!("node ids not dense: missing {expect}")));
         }
     }
-    let n = nodes.len() as u32;
     let mut q = PatternQuery::new(nodes.into_iter().map(|(_, l)| l).collect());
     for (f, t, k) in edges {
-        if f >= n || t >= n {
-            return Err(err(0, format!("edge ({f},{t}) references unknown node")));
-        }
-        if f == t {
-            return Err(err(0, format!("self-loop on node {f} not supported")));
-        }
-        q.add_edge(f, t, k);
+        q.try_add_edge(f, t, k).map_err(|e| err(0, e.to_string()))?;
     }
     Ok(q)
 }

@@ -18,7 +18,7 @@ pub fn transitive_closure(q: &PatternQuery) -> PatternQuery {
     for x in 0..n {
         for y in 0..n {
             if x != y && q.reaches(x, y) {
-                out.add_edge(x, y, EdgeKind::Reachability);
+                out.ensure_edge(x, y, EdgeKind::Reachability);
             }
         }
     }

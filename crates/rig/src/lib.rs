@@ -64,7 +64,7 @@ pub enum ReachExpandMode {
 }
 
 /// Options for [`build_rig`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RigOptions {
     pub select: SelectMode,
     pub sim: SimOptions,

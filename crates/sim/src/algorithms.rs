@@ -337,7 +337,7 @@ mod tests {
             if a != b {
                 let kind =
                     if rng.gen_bool(0.5) { EdgeKind::Direct } else { EdgeKind::Reachability };
-                q.add_edge(a, b, kind);
+                q.ensure_edge(a, b, kind);
             }
         }
         q

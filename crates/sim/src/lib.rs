@@ -108,7 +108,7 @@ pub enum ReachCheckMode {
 }
 
 /// Tuning options for [`double_simulation`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimOptions {
     pub algorithm: SimAlgorithm,
     pub direct_mode: DirectCheckMode,

@@ -4,30 +4,32 @@
 //! same author — a query needing *both* direct edges (author–paper,
 //! paper–venue-year) and a reachability edge (citation chains).
 //!
+//! The pattern is written in HPQL against the graph's label-name
+//! dictionary and served through a `Session`, whose plan cache makes the
+//! repeated variant queries below skip RIG construction.
+//!
 //! Run with: `cargo run --example citation_network`
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rigmatch::core::Session;
 use rigmatch::prelude::*;
 
-const AUTHOR: Label = 0;
-const VLDB_PAPER: Label = 1;
-const ICDE_PAPER: Label = 2;
-
 /// Builds a synthetic citation network: authors write papers at one of two
-/// venues; papers cite older papers forming chains.
+/// venues; papers cite older papers forming chains. Labels are registered
+/// by *name* — that is what HPQL queries resolve against.
 fn build_network(authors: usize, papers_per_author: usize, seed: u64) -> DataGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new();
     let mut author_ids = Vec::new();
     let mut paper_ids: Vec<NodeId> = Vec::new();
     for _ in 0..authors {
-        author_ids.push(b.add_node(AUTHOR));
+        author_ids.push(b.add_named_node("Author"));
     }
     for &a in &author_ids {
         for _ in 0..papers_per_author {
-            let venue = if rng.gen_bool(0.5) { VLDB_PAPER } else { ICDE_PAPER };
-            let p = b.add_node(venue);
+            let venue = if rng.gen_bool(0.5) { "VldbPaper" } else { "IcdePaper" };
+            let p = b.add_named_node(venue);
             b.add_edge(a, p); // author -> paper (direct "wrote")
                               // citations form long chains: mostly cite the newest paper,
                               // so most venue-to-venue connections are *indirect*
@@ -48,42 +50,41 @@ fn build_network(authors: usize, papers_per_author: usize, seed: u64) -> DataGra
 }
 
 fn main() {
-    let g = build_network(200, 6, 2023);
-    println!("citation network: {:?}", g);
+    let session = Session::new(build_network(200, 6, 2023));
+    println!("citation network: {:?}", session.graph());
 
     // Pattern (Fig. 1(a) without the year node, which our labels fold in):
     //   author -> VLDB paper      (direct: wrote)
     //   author -> ICDE paper      (direct: wrote)
     //   VLDB paper => ICDE paper  (reachability: citation chain)
-    let mut q = PatternQuery::new(vec![AUTHOR, VLDB_PAPER, ICDE_PAPER]);
-    q.add_edge(0, 1, EdgeKind::Direct);
-    q.add_edge(0, 2, EdgeKind::Direct);
-    q.add_edge(1, 2, EdgeKind::Reachability);
-    assert_eq!(q.class(), QueryClass::Clique);
+    let hybrid = session
+        .prepare("MATCH (a:Author)->(v:VldbPaper)=>(i:IcdePaper), (a)->(i)")
+        .expect("valid HPQL");
+    assert_eq!(hybrid.query().class(), QueryClass::Clique);
 
-    let matcher = Matcher::new(&g);
-    let hybrid = matcher.count(&q, &GmConfig::default());
-    let (tuples, _) = matcher.collect(&q, &GmConfig::default(), 5);
+    let outcome = hybrid.run().count();
+    let (tuples, _) = hybrid.run().collect(5);
     println!(
         "{} self-citing author occurrences found in {:.3} ms; first {}:",
-        hybrid.result.count,
-        hybrid.metrics.total_time.as_secs_f64() * 1e3,
+        outcome.result.count,
+        outcome.metrics.total_time.as_secs_f64() * 1e3,
         tuples.len()
     );
     for t in &tuples {
         println!("  author {} : VLDB paper {} =cites…=> ICDE paper {}", t[0], t[1], t[2]);
     }
+    // the collect() above reused the count()'s cached RIG
+    assert_eq!(session.cache_stats().hits, 1);
 
     // Contrast with the direct-only variant: citation chains are missed.
-    let mut q_direct = PatternQuery::new(vec![AUTHOR, VLDB_PAPER, ICDE_PAPER]);
-    q_direct.add_edge(0, 1, EdgeKind::Direct);
-    q_direct.add_edge(0, 2, EdgeKind::Direct);
-    q_direct.add_edge(1, 2, EdgeKind::Direct);
-    let direct = matcher.count(&q_direct, &GmConfig::default());
+    let direct_only = session
+        .prepare("MATCH (a:Author)->(v:VldbPaper)->(i:IcdePaper), (a)->(i)")
+        .expect("valid HPQL");
+    let direct = direct_only.run().count();
     println!(
         "direct-only variant finds {} occurrences — {} hidden matches needed edge-to-path",
         direct.result.count,
-        hybrid.result.count - direct.result.count
+        outcome.result.count - direct.result.count
     );
-    assert!(direct.result.count <= hybrid.result.count);
+    assert!(direct.result.count <= outcome.result.count);
 }

@@ -5,24 +5,23 @@
 //!
 //! The pattern is cyclic in the undirected sense and hybrid: the "layering"
 //! steps are reachability edges (arbitrarily long transfer chains), the
-//! "placement" and "integration" steps are direct transfers.
+//! "placement" and "integration" steps are direct transfers. It is written
+//! as HPQL and executed through the `Session` run builder — here with the
+//! morsel-driven parallel engine and per-worker first-k sinks.
 //!
 //! Run with: `cargo run --example money_laundering`
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rigmatch::core::Session;
 use rigmatch::prelude::*;
-
-const PERSON: Label = 0;
-const LEGAL: Label = 1;
-const ILLEGAL: Label = 2;
 
 fn build_transfers(people: usize, accounts: usize, transfers: usize, seed: u64) -> DataGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new();
-    let persons: Vec<NodeId> = (0..people).map(|_| b.add_node(PERSON)).collect();
+    let persons: Vec<NodeId> = (0..people).map(|_| b.add_named_node("Person")).collect();
     let accts: Vec<NodeId> = (0..accounts)
-        .map(|_| b.add_node(if rng.gen_bool(0.7) { LEGAL } else { ILLEGAL }))
+        .map(|_| b.add_named_node(if rng.gen_bool(0.7) { "Legal" } else { "Illegal" }))
         .collect();
     // ownership: person -> account (direct)
     for &a in &accts {
@@ -41,29 +40,27 @@ fn build_transfers(people: usize, accounts: usize, transfers: usize, seed: u64) 
 }
 
 fn main() {
-    let g = build_transfers(50, 400, 1200, 7);
-    println!("transfer graph: {:?}", g);
+    // parallel RIG expansion too: 2 build threads in the session config
+    let mut cfg = GmConfig::default();
+    cfg.rig = cfg.rig.with_build_threads(2);
+    let session = Session::with_config(build_transfers(50, 400, 1200, 7), cfg);
+    println!("transfer graph: {:?}", session.graph());
 
     // Pattern:
-    //   person -> legal account          (direct: owns/controls)
-    //   person -> illegal account        (direct: owns/controls)
-    //   legal  => illegal                (reachability: layered transfers)
-    //   illegal -> legal2 (direct hop), legal2 back under scrutiny
-    let mut q = PatternQuery::new(vec![PERSON, LEGAL, ILLEGAL, LEGAL]);
-    q.add_edge(0, 1, EdgeKind::Direct); // owns placement account
-    q.add_edge(0, 3, EdgeKind::Direct); // owns integration account
-    q.add_edge(1, 2, EdgeKind::Reachability); // layering chain
-    q.add_edge(2, 3, EdgeKind::Reachability); // chain back to own account
+    //   person -> legal account     (direct: owns/controls)
+    //   person -> legal2 account    (direct: owns/controls)
+    //   legal  => illegal           (reachability: layered transfers)
+    //   illegal => legal2           (reachability: chain back to own account)
+    let prepared = session
+        .prepare("MATCH (p:Person)->(src:Legal)=>(mid:Illegal)=>(dst:Legal), (p)->(dst)")
+        .expect("valid HPQL");
+    let q = prepared.query();
     println!("pattern class: {:?}, {} reachability edges", q.class(), q.reachability_edge_count());
 
-    let matcher = Matcher::new(&g);
     // Morsel-driven parallel evaluation, streaming into per-worker
     // first-k sinks: nothing beyond the 5 reported structures is ever
     // materialized, and the workers stop as soon as enough are found.
-    let mut cfg = GmConfig::default();
-    cfg.rig = cfg.rig.with_build_threads(2); // parallel RIG expansion too
-    let (sinks, outcome) =
-        matcher.par_run(&q, &cfg, &ParOptions::with_threads(2), |_| FirstKSink::new(5));
+    let (sinks, outcome) = prepared.run().threads(2).par_stream(|_| FirstKSink::new(5));
     let mut tuples: Vec<Vec<NodeId>> = sinks.into_iter().flat_map(|s| s.tuples).collect();
     tuples.sort();
     tuples.truncate(5);
@@ -81,6 +78,7 @@ fn main() {
     }
 
     // Show the RIG compression: candidate space vs raw label space.
+    let g = session.graph();
     let raw: u64 = q.labels().iter().map(|&l| g.nodes_with_label(l).len() as u64).sum();
     println!(
         "RIG kept {} candidate nodes out of {} label-matched nodes",

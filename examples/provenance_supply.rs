@@ -3,31 +3,30 @@
 //! or indirectly supplies both the retailer and the whole-seller, and both
 //! of them receive services *directly* from the same bank.
 //!
-//! Demonstrates: query transitive reduction (§3) — we deliberately write a
-//! redundant reachability edge and show GM removing it — and the engine
-//! comparison API (GM vs JM vs TM on the same workload).
+//! Demonstrates: `Session::prepare` + `Run::explain` on an HPQL query with
+//! a deliberately redundant reachability edge (§3 transitive reduction
+//! removes it before evaluation), and the engine comparison API (GM vs JM
+//! vs TM on the same workload — the harnesses share one graph through an
+//! `Arc`).
 //!
 //! Run with: `cargo run --example provenance_supply`
+
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rigmatch::baselines::{Budget, Engine, GmEngine, Jm, Tm};
+use rigmatch::core::Session;
 use rigmatch::prelude::*;
-
-const SUPPLIER: Label = 0;
-const RETAILER: Label = 1;
-const WHOLESELLER: Label = 2;
-const BANK: Label = 3;
-const DEPOT: Label = 4; // intermediate hops in the supply chain
 
 fn build_chain(seed: u64) -> DataGraph {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::new();
-    let suppliers: Vec<NodeId> = (0..40).map(|_| b.add_node(SUPPLIER)).collect();
-    let depots: Vec<NodeId> = (0..200).map(|_| b.add_node(DEPOT)).collect();
-    let retailers: Vec<NodeId> = (0..60).map(|_| b.add_node(RETAILER)).collect();
-    let wholesellers: Vec<NodeId> = (0..60).map(|_| b.add_node(WHOLESELLER)).collect();
-    let banks: Vec<NodeId> = (0..10).map(|_| b.add_node(BANK)).collect();
+    let suppliers: Vec<NodeId> = (0..40).map(|_| b.add_named_node("Supplier")).collect();
+    let depots: Vec<NodeId> = (0..200).map(|_| b.add_named_node("Depot")).collect();
+    let retailers: Vec<NodeId> = (0..60).map(|_| b.add_named_node("Retailer")).collect();
+    let wholesellers: Vec<NodeId> = (0..60).map(|_| b.add_named_node("WholeSeller")).collect();
+    let banks: Vec<NodeId> = (0..10).map(|_| b.add_named_node("Bank")).collect();
     // suppliers feed depots, depots feed depots/retailers/whole-sellers
     for &s in &suppliers {
         for _ in 0..3 {
@@ -50,30 +49,33 @@ fn build_chain(seed: u64) -> DataGraph {
     b.build()
 }
 
+// The hybrid pattern, with one deliberately redundant reachability edge:
+// supplier => retailer is implied by supplier -> depot =*=> retailer, so
+// §3 transitive reduction drops it before evaluation.
+const PATTERN: &str = "MATCH (s:Supplier)->(d:Depot)=>(r:Retailer), \
+                       (s)=>(r), (s)=>(w:WholeSeller), \
+                       (b:Bank)->(r), (b)->(w)";
+
 fn main() {
-    let g = build_chain(11);
+    let g = Arc::new(build_chain(11));
     println!("supply chain: {:?}", g);
 
-    // The hybrid pattern, with one deliberately redundant reachability
-    // edge (supplier => retailer is implied by supplier => whole-seller?
-    // no — but supplier => depot-chain => retailer makes the long edge
-    // (0,1) redundant once we also add the two-hop path below).
-    let mut q = PatternQuery::new(vec![SUPPLIER, RETAILER, WHOLESELLER, BANK, DEPOT]);
-    q.add_edge(0, 4, EdgeKind::Direct); // supplier -> depot
-    q.add_edge(4, 1, EdgeKind::Reachability); // depot =*=> retailer
-    q.add_edge(0, 1, EdgeKind::Reachability); // redundant: implied by path
-    q.add_edge(0, 2, EdgeKind::Reachability); // supplier =*=> whole-seller
-    q.add_edge(3, 1, EdgeKind::Direct); // bank -> retailer
-    q.add_edge(3, 2, EdgeKind::Direct); // bank -> whole-seller
-    let reduced = transitive_reduction(&q);
-    println!(
-        "transitive reduction removed {} of {} edges",
-        q.num_edges() - reduced.num_edges(),
-        q.num_edges()
-    );
-    assert_eq!(q.num_edges() - reduced.num_edges(), 1);
+    // One session for the application path; the engine harnesses below
+    // borrow the same graph through the Arc.
+    let session = Session::new(Arc::clone(&g));
+    let prepared = session.prepare(PATTERN).expect("valid HPQL");
+    print!("{}", prepared.run().explain());
+    assert_eq!(prepared.edges_reduced(), 1);
+
+    let outcome = prepared.run().count();
+    println!("GM via Session: {} occurrences (RIG cached: {})", outcome.result.count, {
+        // explain() above built and cached the plan, so this run hit it
+        outcome.metrics.rig_from_cache
+    });
+    assert!(outcome.metrics.rig_from_cache);
 
     // Evaluate with all three approaches on the same budget.
+    let q = prepared.query().clone();
     let budget = Budget {
         timeout: Some(std::time::Duration::from_secs(30)),
         max_intermediate: Some(5_000_000),
@@ -96,6 +98,7 @@ fn main() {
     let a = gm.evaluate(&q, &budget).occurrences;
     let b = jm.evaluate(&q, &budget).occurrences;
     let c = tm.evaluate(&q, &budget).occurrences;
+    assert_eq!(a, outcome.result.count);
     assert_eq!(a, b);
     assert_eq!(a, c);
 }

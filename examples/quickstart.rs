@@ -1,32 +1,41 @@
-//! Quickstart: evaluate the paper's running example (Fig. 2) end to end,
-//! printing the double simulation, the RIG, and the answer.
+//! Quickstart: evaluate the paper's running example (Fig. 2) end to end —
+//! the Session API with an HPQL text query, then a peek under the hood at
+//! the double simulation and the RIG, and finally the plan cache at work.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use rigmatch::core::{GmConfig, Matcher};
+use rigmatch::core::Session;
 use rigmatch::datasets::examples::fig2_graph;
-use rigmatch::query::fig2_query;
 use rigmatch::reach::BflIndex;
 use rigmatch::rig::{build_rig, RigOptions};
 use rigmatch::sim::{double_simulation, SimContext, SimOptions};
 
 fn main() {
-    // The Fig. 2 data graph: three 'a' nodes, four 'b', three 'c'.
+    // The Fig. 2 data graph: three 'a' nodes, four 'b', three 'c' (the
+    // builder records label names, so HPQL can say (x:a) instead of (x:0)).
     let g = fig2_graph();
     println!("data graph: {:?}", g);
 
-    // The Fig. 2 query: A -> B (direct), A -> C (direct), B => C (path).
-    let q = fig2_query();
-    println!(
-        "query: {} nodes, {} edges ({} reachability)",
-        q.num_nodes(),
-        q.num_edges(),
-        q.reachability_edge_count()
-    );
+    // The Fig. 2 query as HPQL: A -> B (direct), B => C (path), A -> C
+    // (direct). One session owns the graph, its reachability index and
+    // the plan cache.
+    let session = Session::new(g);
+    let prepared = session.prepare("MATCH (x:a)->(y:b)=>(z:c), (x)->(z)").expect("valid HPQL");
+    println!("query: {}", prepared.to_hpql());
 
-    // --- phase 1a: double simulation (the node filter of §4.2) ---
-    let bfl = BflIndex::new(&g);
-    let ctx = SimContext::new(&g, &q, &bfl);
+    // --- the answer, via the fluent run builder ---
+    let (tuples, outcome) = prepared.run().collect(100);
+    println!("answer ({} occurrences):", outcome.result.count);
+    for t in &tuples {
+        println!("  x={} y={} z={}", t[0], t[1], t[2]);
+    }
+    assert_eq!(outcome.result.count, 2);
+
+    // --- under the hood, phase 1a: double simulation (§4.2) ---
+    let g = session.graph();
+    let q = prepared.reduced();
+    let bfl = BflIndex::new(g);
+    let ctx = SimContext::new(g, q, &bfl);
     let sim = double_simulation(&ctx, &SimOptions::exact());
     for (i, fb) in sim.fb.iter().enumerate() {
         println!("FB({}) = {:?}", ["A", "B", "C"][i], fb);
@@ -38,21 +47,20 @@ fn main() {
         "RIG: {} candidate nodes, {} candidate edges ({}% of |G|)",
         rig.stats.node_count,
         rig.stats.edge_count,
-        (100.0 * rig.size_ratio(&g)).round()
+        (100.0 * rig.size_ratio(g)).round()
     );
 
-    // --- phase 2: enumeration through the high-level facade ---
-    let matcher = Matcher::new(&g);
-    let (tuples, outcome) = matcher.collect(&q, &GmConfig::default(), 100);
-    println!("answer ({} occurrences):", outcome.result.count);
-    for t in &tuples {
-        println!("  A={} B={} C={}", t[0], t[1], t[2]);
-    }
-    assert_eq!(outcome.result.count, 2);
+    // --- the plan cache: the second run skips the RIG build entirely ---
+    let warm = prepared.run().count();
+    assert!(warm.metrics.rig_from_cache);
+    let stats = session.cache_stats();
     println!(
-        "total {:.3} ms (matching {:.3} ms, enumeration {:.3} ms)",
-        outcome.metrics.total_time.as_secs_f64() * 1e3,
-        outcome.metrics.matching_time().as_secs_f64() * 1e3,
-        outcome.metrics.enumeration_time.as_secs_f64() * 1e3,
+        "plan cache: {} hit(s) / {} miss(es); warm run total {:.3} ms \
+         (matching {:.3} ms, enumeration {:.3} ms)",
+        stats.hits,
+        stats.misses,
+        warm.metrics.total_time.as_secs_f64() * 1e3,
+        warm.metrics.matching_time().as_secs_f64() * 1e3,
+        warm.metrics.enumeration_time.as_secs_f64() * 1e3,
     );
 }

@@ -1,9 +1,10 @@
 //! `rigmatch` — command-line hybrid graph pattern matching.
 //!
 //! ```text
-//! rigmatch <graph-file> <query-file> [options]
+//! rigmatch [explain] <graph-file> (<query-file> | --query 'HPQL') [options]
 //!
 //! options:
+//!   --query 'MATCH ...'      inline HPQL query (instead of a query file)
 //!   --engine gm|jm|tm|neo    matcher to use            (default gm)
 //!   --limit <n>              stop after n matches      (default all)
 //!   --timeout <secs>         wall-clock budget         (default none)
@@ -12,7 +13,22 @@
 //!   --order jo|ri|bj         search order, gm only     (default jo)
 //!   --no-reduction           skip query transitive reduction
 //!   --stats                  print phase timings and RIG statistics
+//!   --strict                 fail (exit 6) if limit/timeout truncated the run
 //! ```
+//!
+//! `explain` (first argument) prints the plan instead of running it: the
+//! query as given, its transitive reduction, the RIG statistics and the
+//! search order MJoin would use.
+//!
+//! Query sources: a file in either format — **HPQL**
+//! (`MATCH (a:Author)->(p:Paper)=>(q:Paper)`, detected by its leading
+//! `MATCH` keyword) or the legacy line format (`n <id> <label>`, `d`/`r`
+//! edges) — or inline HPQL via `--query`. HPQL label names resolve through
+//! the graph's label-name dictionary (`l <id> <name>` lines in the graph
+//! file); numeric labels (`(a:0)`) always work.
+//!
+//! Graph files use the `rig-graph` text format (`v <id> <label>` /
+//! `e <src> <dst>` / optional `l <id> <name>`).
 //!
 //! With `--threads N` (N > 1) GM runs the morsel-driven parallel engine:
 //! counting uses per-worker counting sinks, enumeration streams matches
@@ -20,22 +36,25 @@
 //! scheduling-dependent; RIG construction is parallelized too). `--limit`
 //! and `--timeout` are honored in both modes.
 //!
-//! Graph files use the `rig-graph` text format (`v <id> <label>` /
-//! `e <src> <dst>`); query files use the `rig-query` format (`n <id>
-//! <label>`, `d <from> <to>` direct, `r <from> <to>` reachability).
+//! Exit codes: `0` success, `1` internal error, `2` usage, `3` parse
+//! error, `4` I/O error, `5` validation error, `6` budget exceeded (with
+//! `--strict`).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use rigmatch::baselines::{Budget, Engine, Jm, NeoLike, Tm};
-use rigmatch::core::{GmConfig, Matcher};
+use rigmatch::core::{Error, GmConfig, Session};
 use rigmatch::graph::parse_text;
-use rigmatch::mjoin::{BatchSink, EnumOptions, ParOptions, SearchOrder};
-use rigmatch::query::parse_query;
+use rigmatch::mjoin::{BatchSink, EnumOptions, SearchOrder};
+use rigmatch::query::{looks_like_hpql, parse_query, PatternQuery};
 
 struct Cli {
+    explain: bool,
     graph_path: String,
-    query_path: String,
+    /// A query file path, unless `--query` supplied inline text.
+    query_path: Option<String>,
+    query_text: Option<String>,
     engine: String,
     limit: Option<u64>,
     timeout: Option<Duration>,
@@ -44,25 +63,29 @@ struct Cli {
     order: SearchOrder,
     reduction: bool,
     stats: bool,
+    strict: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rigmatch <graph-file> <query-file> [--engine gm|jm|tm|neo] \
-         [--limit N] [--timeout SECS] [--threads N] [--count] \
-         [--order jo|ri|bj] [--no-reduction] [--stats]"
+        "usage: rigmatch [explain] <graph-file> (<query-file> | --query 'HPQL') \
+         [--engine gm|jm|tm|neo] [--limit N] [--timeout SECS] [--threads N] \
+         [--count] [--order jo|ri|bj] [--no-reduction] [--stats] [--strict]"
     );
     std::process::exit(2);
 }
 
 fn parse_cli() -> Cli {
-    let argv: Vec<String> = std::env::args().collect();
-    if argv.len() < 3 {
-        usage();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let explain = argv.first().map(|s| s.as_str()) == Some("explain");
+    if explain {
+        argv.remove(0);
     }
     let mut cli = Cli {
-        graph_path: argv[1].clone(),
-        query_path: argv[2].clone(),
+        explain,
+        graph_path: String::new(),
+        query_path: None,
+        query_text: None,
         engine: "gm".into(),
         limit: None,
         timeout: None,
@@ -71,10 +94,16 @@ fn parse_cli() -> Cli {
         order: SearchOrder::Jo,
         reduction: true,
         stats: false,
+        strict: false,
     };
-    let mut i = 3;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--query" => {
+                i += 1;
+                cli.query_text = Some(argv.get(i).unwrap_or_else(|| usage()).clone());
+            }
             "--engine" => {
                 i += 1;
                 cli.engine = argv.get(i).unwrap_or_else(|| usage()).clone();
@@ -105,170 +134,223 @@ fn parse_cli() -> Cli {
             }
             "--no-reduction" => cli.reduction = false,
             "--stats" => cli.stats = true,
-            _ => usage(),
+            "--strict" => cli.strict = true,
+            flag if flag.starts_with("--") => usage(),
+            _ => positional.push(argv[i].clone()),
         }
         i += 1;
+    }
+    match (positional.len(), cli.query_text.is_some()) {
+        (2, false) => {
+            cli.graph_path = positional.remove(0);
+            cli.query_path = Some(positional.remove(0));
+        }
+        (1, true) => cli.graph_path = positional.remove(0),
+        _ => usage(),
     }
     cli
 }
 
+fn exit_for(e: &Error) -> ExitCode {
+    eprintln!("error: {e}");
+    ExitCode::from(e.kind().exit_code())
+}
+
+fn read_file(path: &str) -> Result<String, Error> {
+    std::fs::read_to_string(path).map_err(|io| Error::io(path, io))
+}
+
+/// The query as the session will receive it: HPQL text (resolved against
+/// the graph inside `prepare`) or an already-parsed legacy pattern.
+enum QuerySource {
+    Hpql(String),
+    Legacy(PatternQuery),
+}
+
+fn load_query(cli: &Cli) -> Result<QuerySource, Error> {
+    if let Some(text) = &cli.query_text {
+        return Ok(QuerySource::Hpql(text.clone()));
+    }
+    let path = cli.query_path.as_deref().expect("parse_cli guarantees a query source");
+    let text = read_file(path)?;
+    if looks_like_hpql(&text) {
+        Ok(QuerySource::Hpql(text))
+    } else {
+        Ok(QuerySource::Legacy(parse_query(&text)?))
+    }
+}
+
 fn main() -> ExitCode {
     let cli = parse_cli();
-    let graph_text = match std::fs::read_to_string(&cli.graph_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", cli.graph_path);
-            return ExitCode::FAILURE;
-        }
-    };
-    let query_text = match std::fs::read_to_string(&cli.query_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", cli.query_path);
-            return ExitCode::FAILURE;
-        }
-    };
-    let g = match parse_text(&graph_text) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("error: bad graph file: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let q = match parse_query(&query_text) {
-        Ok(q) => q,
-        Err(e) => {
-            eprintln!("error: bad query file: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if !q.is_connected() {
-        eprintln!("error: query must be connected");
-        return ExitCode::FAILURE;
+    match run(&cli) {
+        Ok(code) => code,
+        Err(e) => exit_for(&e),
     }
+}
+
+fn run(cli: &Cli) -> Result<ExitCode, Error> {
+    let graph_text = read_file(&cli.graph_path)?;
+    let g = parse_text(&graph_text)?;
+    let source = load_query(cli)?;
+
+    let cfg = GmConfig {
+        skip_reduction: !cli.reduction,
+        enumeration: EnumOptions {
+            order: cli.order,
+            limit: cli.limit,
+            timeout: cli.timeout,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    match cli.engine.as_str() {
+        "gm" => run_gm(cli, g, source, cfg),
+        name @ ("jm" | "tm" | "neo") => run_baseline(cli, &g, &source, name),
+        other => {
+            eprintln!("error: unknown engine '{other}'");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn run_gm(
+    cli: &Cli,
+    g: rigmatch::graph::DataGraph,
+    source: QuerySource,
+    mut cfg: GmConfig,
+) -> Result<ExitCode, Error> {
+    if cli.threads > 1 {
+        cfg.rig = cfg.rig.with_build_threads(cli.threads);
+    }
+    let session = Session::with_config(g, cfg);
+    let prepared = match source {
+        QuerySource::Hpql(text) => session.prepare(text.as_str())?,
+        QuerySource::Legacy(q) => session.prepare(q)?,
+    };
+    let q = prepared.query();
     eprintln!(
         "graph: {:?}; query: {} nodes / {} edges ({} reachability)",
-        g,
+        session.graph(),
         q.num_nodes(),
         q.num_edges(),
         q.reachability_edge_count()
     );
 
-    match cli.engine.as_str() {
-        "gm" => {
-            let mut cfg = GmConfig {
-                skip_reduction: !cli.reduction,
-                enumeration: EnumOptions {
-                    order: cli.order,
-                    limit: cli.limit,
-                    timeout: cli.timeout,
-                    ..Default::default()
-                },
-                ..Default::default()
-            };
-            if cli.threads > 1 {
-                cfg.rig = cfg.rig.with_build_threads(cli.threads);
-            }
-            let matcher = Matcher::new(&g);
-            let outcome = if cli.count_only && cli.threads > 1 {
-                matcher.par_count(&q, &cfg, cli.threads)
-            } else if cli.count_only {
-                matcher.count(&q, &cfg)
-            } else if cli.threads > 1 {
-                // Parallel streaming: each worker batches matches and
-                // flushes them under a shared stdout lock, so nothing is
-                // materialized and lines never interleave mid-tuple.
-                let stdout = std::io::stdout();
-                let (_, outcome) =
-                    matcher.par_run(&q, &cfg, &ParOptions::with_threads(cli.threads), |_worker| {
-                        let stdout = &stdout;
-                        BatchSink::new(q.num_nodes(), 256, move |flat: &[u32], arity| {
-                            use std::io::Write;
-                            let mut out = stdout.lock();
-                            for t in flat.chunks(arity.max(1)) {
-                                let line =
-                                    t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
-                                writeln!(out, "{line}").expect("stdout write");
-                            }
-                        })
-                    });
-                outcome
-            } else {
-                matcher.run_with(&q, &cfg, |t| {
-                    println!("{}", t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" "));
-                    true
-                })
-            };
-            eprintln!(
-                "{} occurrence(s){}",
-                outcome.result.count,
-                if outcome.result.timed_out { " [timeout]" } else { "" }
-            );
-            if cli.count_only {
-                println!("{}", outcome.result.count);
-            }
-            if cli.stats {
-                let m = &outcome.metrics;
-                eprintln!(
-                    "reduction: {} edge(s) removed in {:?}",
-                    m.edges_reduced, m.reduction_time
-                );
-                eprintln!(
-                    "RIG: {} nodes / {} edges (select {:?}, expand {:?}, {} sim passes, {} pruned)",
-                    m.rig_stats.node_count,
-                    m.rig_stats.edge_count,
-                    m.rig_stats.select_time,
-                    m.rig_stats.expand_time,
-                    m.rig_stats.sim_passes,
-                    m.rig_stats.pruned
-                );
-                eprintln!(
-                    "times: total {:?} (matching {:?}, enumeration {:?})",
-                    m.total_time,
-                    m.matching_time(),
-                    m.enumeration_time
-                );
-            }
-        }
-        name @ ("jm" | "tm" | "neo") => {
-            let budget = Budget {
-                timeout: cli.timeout,
-                max_intermediate: Some(50_000_000),
-                match_limit: cli.limit,
-            };
-            let jm;
-            let tm;
-            let neo;
-            let engine: &dyn Engine = match name {
-                "jm" => {
-                    jm = Jm::new(&g);
-                    &jm
-                }
-                "tm" => {
-                    tm = Tm::new(&g);
-                    &tm
-                }
-                _ => {
-                    neo = NeoLike::new(&g);
-                    &neo
-                }
-            };
-            let r = engine.evaluate(&q, &budget);
-            eprintln!(
-                "{}: {} occurrence(s) in {:?} [{}], {} intermediate tuple(s)",
-                engine.name(),
-                r.occurrences,
-                r.total_time,
-                r.status.code(),
-                r.intermediate_tuples
-            );
-            println!("{}", r.occurrences);
-        }
-        other => {
-            eprintln!("error: unknown engine '{other}'");
-            return ExitCode::FAILURE;
-        }
+    if cli.explain {
+        print!("{}", prepared.run().order(cli.order).explain());
+        return Ok(ExitCode::SUCCESS);
     }
-    // sanity cross-check available to scripts via exit code
-    ExitCode::SUCCESS
+
+    let outcome = if cli.count_only {
+        prepared.run().threads(cli.threads).count()
+    } else if cli.threads > 1 {
+        // Parallel streaming: each worker batches matches and flushes
+        // them under a shared stdout lock, so nothing is materialized
+        // and lines never interleave mid-tuple.
+        let stdout = std::io::stdout();
+        let arity = q.num_nodes();
+        let (_, outcome) = prepared.run().threads(cli.threads).par_stream(|_worker| {
+            let stdout = &stdout;
+            BatchSink::new(arity, 256, move |flat: &[u32], arity| {
+                use std::io::Write;
+                let mut out = stdout.lock();
+                for t in flat.chunks(arity.max(1)) {
+                    let line = t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
+                    writeln!(out, "{line}").expect("stdout write");
+                }
+            })
+        });
+        outcome
+    } else {
+        let mut sink = rigmatch::mjoin::FnSink(|t: &[u32]| {
+            println!("{}", t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" "));
+            true
+        });
+        prepared.run().stream(&mut sink)
+    };
+
+    eprintln!(
+        "{} occurrence(s){}",
+        outcome.result.count,
+        if outcome.result.timed_out { " [timeout]" } else { "" }
+    );
+    if cli.count_only {
+        println!("{}", outcome.result.count);
+    }
+    if cli.stats {
+        let m = &outcome.metrics;
+        eprintln!("reduction: {} edge(s) removed in {:?}", m.edges_reduced, m.reduction_time);
+        eprintln!(
+            "RIG: {} nodes / {} edges ({}; select {:?}, expand {:?}, {} sim passes, {} pruned)",
+            m.rig_stats.node_count,
+            m.rig_stats.edge_count,
+            if m.rig_from_cache { "cached" } else { "built" },
+            m.rig_stats.select_time,
+            m.rig_stats.expand_time,
+            m.rig_stats.sim_passes,
+            m.rig_stats.pruned
+        );
+        eprintln!(
+            "times: total {:?} (matching {:?}, enumeration {:?})",
+            m.total_time,
+            m.matching_time(),
+            m.enumeration_time
+        );
+    }
+    if cli.strict {
+        // propagate a truncated answer as a distinct exit code for scripts
+        outcome.require_complete()?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_baseline(
+    cli: &Cli,
+    g: &rigmatch::graph::DataGraph,
+    source: &QuerySource,
+    name: &str,
+) -> Result<ExitCode, Error> {
+    if cli.explain {
+        return Err(Error::validation("explain is only available for the gm engine"));
+    }
+    // Baselines take a ready pattern; resolve and validate through the
+    // same path Session::prepare uses, so a bad query classifies (and
+    // exits) identically whichever engine was asked to run it.
+    use rigmatch::core::{validate_pattern, IntoPattern};
+    let (q, vars) = match source {
+        QuerySource::Legacy(q) => q.into_pattern(g)?,
+        QuerySource::Hpql(text) => text.as_str().into_pattern(g)?,
+    };
+    validate_pattern(g, &q, vars.as_deref())?;
+    let budget =
+        Budget { timeout: cli.timeout, max_intermediate: Some(50_000_000), match_limit: cli.limit };
+    let jm;
+    let tm;
+    let neo;
+    let engine: &dyn Engine = match name {
+        "jm" => {
+            jm = Jm::new(g);
+            &jm
+        }
+        "tm" => {
+            tm = Tm::new(g);
+            &tm
+        }
+        _ => {
+            neo = NeoLike::new(g);
+            &neo
+        }
+    };
+    let r = engine.evaluate(&q, &budget);
+    eprintln!(
+        "{}: {} occurrence(s) in {:?} [{}], {} intermediate tuple(s)",
+        engine.name(),
+        r.occurrences,
+        r.total_time,
+        r.status.code(),
+        r.intermediate_tuples
+    );
+    println!("{}", r.occurrences);
+    Ok(ExitCode::SUCCESS)
 }

@@ -15,40 +15,57 @@
 //!
 //! ## Quick start
 //!
+//! Open a [`Session`] on a graph, write the pattern in **HPQL** (`->`
+//! direct, `=>` reachability), prepare it once, run it as often as you
+//! like — repeated executions reuse the session's cached RIG:
+//!
 //! ```
 //! use rigmatch::prelude::*;
 //!
 //! // data graph: an author with a paper that transitively cites another
 //! let mut b = GraphBuilder::new();
-//! let a = b.add_node(0); // author
-//! let p1 = b.add_node(1); // VLDB paper
-//! let p2 = b.add_node(2); // ICDE paper
+//! let a = b.add_named_node("Author");
+//! let p1 = b.add_named_node("VldbPaper");
+//! let p2 = b.add_named_node("IcdePaper");
 //! b.add_edge(a, p1);
 //! b.add_edge(p1, p2);
-//! let g = b.build();
+//! let session = Session::new(b.build());
 //!
 //! // pattern: author -> VLDB paper =cites…=> ICDE paper
-//! let mut q = PatternQuery::new(vec![0, 1, 2]);
-//! q.add_edge(0, 1, EdgeKind::Direct);
-//! q.add_edge(1, 2, EdgeKind::Reachability);
+//! let prepared = session
+//!     .prepare("MATCH (a:Author)->(v:VldbPaper)=>(i:IcdePaper)")
+//!     .expect("parses and validates");
 //!
-//! let matcher = Matcher::new(&g);
-//! let outcome = matcher.count(&q, &GmConfig::default());
+//! let outcome = prepared.run().count();
 //! assert_eq!(outcome.result.count, 1);
+//!
+//! // the second execution skips RIG construction entirely
+//! let warm = prepared.run().count();
+//! assert!(warm.metrics.rig_from_cache);
+//! assert_eq!(session.cache_stats().hits, 1);
 //! ```
+//!
+//! The [`Run`](core::Run) builder carries every per-execution knob:
+//! `prepared.run().limit(10).timeout(d).threads(4).order(o)` with
+//! terminals `.count()`, `.collect(max)`, `.stream(sink)`,
+//! `.par_stream(make_sink)` and `.explain()`. Patterns can also be built
+//! programmatically as [`PatternQuery`](query::PatternQuery) values and
+//! prepared the same way — both paths produce identical plans (and share
+//! one plan-cache entry). See `docs/api.md` for the full grammar and a
+//! tour.
 //!
 //! ## Crate map
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`graph`] | data graphs (CSR + label inverted lists) |
-//! | [`query`] | hybrid pattern queries, transitive reduction, templates |
+//! | [`graph`] | data graphs (CSR + label inverted lists + label dictionary) |
+//! | [`query`] | hybrid pattern queries, HPQL, transitive reduction, templates |
 //! | [`bitset`] | roaring-style compressed bitmaps |
 //! | [`reach`] | reachability indexes (BFL, intervals, transitive closure) |
 //! | [`sim`] | double simulation (FBSimBas / FBSimDag / FBSim) |
 //! | [`rig`] | runtime index graphs and `BuildRIG` |
 //! | [`mjoin`] | MJoin enumeration and search orders |
-//! | [`core`] | the GM matcher facade |
+//! | [`core`] | the [`Session`] API, unified [`Error`], the GM pipeline |
 //! | [`baselines`] | JM / TM and engine analogues used in the experiments |
 //! | [`datasets`] | synthetic Table 2 dataset generators |
 
@@ -63,12 +80,21 @@ pub use rig_query as query;
 pub use rig_reach as reach;
 pub use rig_sim as sim;
 
+pub use rig_core::{Error, ErrorKind, Session};
+
 /// The types most applications need.
 pub mod prelude {
-    pub use rig_core::{GmConfig, GmMetrics, Matcher, QueryOutcome, RunReport, RunStatus};
+    pub use rig_core::Matcher;
+    pub use rig_core::{
+        CacheStats, Error, ErrorKind, Explain, GmConfig, GmMetrics, Prepared, QueryOutcome, Run,
+        RunReport, RunStatus, Session,
+    };
     pub use rig_graph::{DataGraph, GraphBuilder, Label, NodeId};
     pub use rig_mjoin::{
         BatchSink, CollectSink, CountSink, FirstKSink, FnSink, ParOptions, ResultSink, SearchOrder,
     };
-    pub use rig_query::{transitive_reduction, EdgeKind, Flavor, PatternQuery, QNode, QueryClass};
+    pub use rig_query::{
+        parse_hpql, to_hpql, transitive_reduction, EdgeKind, Flavor, HpqlQuery, PatternQuery,
+        QNode, QueryClass,
+    };
 }

@@ -12,8 +12,10 @@ fn write_tmp(name: &str, contents: &str) -> std::path::PathBuf {
     path
 }
 
-const GRAPH: &str = "v 0 0\nv 1 1\nv 2 1\nv 3 2\ne 0 1\ne 0 2\ne 1 3\n";
+const GRAPH: &str =
+    "l 0 Author\nl 1 Paper\nl 2 Cited\nv 0 0\nv 1 1\nv 2 1\nv 3 2\ne 0 1\ne 0 2\ne 1 3\n";
 const QUERY: &str = "n 0 0\nn 1 1\nn 2 2\nd 0 1\nr 1 2\n";
+const HPQL: &str = "MATCH (a:Author)->(p:Paper)=>(c:Cited)";
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_rigmatch"))
@@ -81,6 +83,79 @@ fn parallel_flags_stream_and_count() {
         bin().arg(&g).arg(&q).args(["--count", "--threads", "4", "--limit", "1"]).output().unwrap();
     assert!(out.status.success(), "{out:?}");
     assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "1");
+}
+
+#[test]
+fn hpql_query_files_are_autodetected() {
+    let g = write_tmp("g7.txt", GRAPH);
+    let q = write_tmp("q7.hpql", "# citation pattern\nMATCH (a:Author)->(p:Paper)=>(c:Cited)\n");
+    let out = bin().arg(&g).arg(&q).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "0 1 3");
+}
+
+#[test]
+fn inline_query_flag() {
+    let g = write_tmp("g8.txt", GRAPH);
+    // named labels via the graph's dictionary
+    let out = bin().arg(&g).args(["--query", HPQL, "--count"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "1");
+    // numeric labels always work
+    let out =
+        bin().arg(&g).args(["--query", "MATCH (a:0)->(p:1)=>(c:2)", "--count"]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "1");
+    // baselines accept HPQL too
+    for engine in ["jm", "tm", "neo"] {
+        let out = bin().arg(&g).args(["--query", HPQL, "--engine", engine]).output().unwrap();
+        assert!(out.status.success(), "{engine}: {out:?}");
+        assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "1", "{engine}");
+    }
+}
+
+#[test]
+fn explain_mode_prints_the_plan() {
+    let g = write_tmp("g9.txt", GRAPH);
+    let redundant = "MATCH (a:Author)->(p:Paper)=>(c:Cited), (a)=>(c)";
+    let out = bin().arg("explain").arg(&g).args(["--query", redundant]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("reduced:"), "{stdout}");
+    assert!(stdout.contains("1 edge(s) removed"), "{stdout}");
+    assert!(stdout.contains("RIG:"), "{stdout}");
+    assert!(stdout.contains("order:"), "{stdout}");
+    assert!(stdout.contains("a → p → c") || stdout.contains("order"), "{stdout}");
+}
+
+#[test]
+fn distinct_exit_codes() {
+    let g = write_tmp("g10.txt", GRAPH);
+    let code = |out: &std::process::Output| out.status.code().unwrap();
+    // usage = 2
+    let out = bin().output().unwrap();
+    assert_eq!(code(&out), 2);
+    // parse = 3 (bad HPQL, bad legacy query file, unknown label name)
+    let out = bin().arg(&g).args(["--query", "MATCH (a:Author"]).output().unwrap();
+    assert_eq!(code(&out), 3, "{out:?}");
+    let bad_q = write_tmp("q10.txt", "n 0 0\nd 0 9\n");
+    let out = bin().arg(&g).arg(&bad_q).output().unwrap();
+    assert_eq!(code(&out), 3, "{out:?}");
+    let out = bin().arg(&g).args(["--query", "MATCH (a:Ghost)->(p:Paper)"]).output().unwrap();
+    assert_eq!(code(&out), 3, "{out:?}");
+    // io = 4
+    let out = bin().arg("/nonexistent-graph").args(["--query", HPQL]).output().unwrap();
+    assert_eq!(code(&out), 4, "{out:?}");
+    // validation = 5 (disconnected query)
+    let disconnected = write_tmp("q11.txt", "n 0 0\nn 1 1\nn 2 2\nd 0 1\n");
+    let out = bin().arg(&g).arg(&disconnected).output().unwrap();
+    assert_eq!(code(&out), 5, "{out:?}");
+    // budget = 6 only under --strict; without it truncation still exits 0
+    let args = ["--query", HPQL, "--count", "--limit", "0"];
+    let out = bin().arg(&g).args(args).output().unwrap();
+    assert_eq!(code(&out), 0, "{out:?}");
+    let out = bin().arg(&g).args(args).arg("--strict").output().unwrap();
+    assert_eq!(code(&out), 6, "{out:?}");
 }
 
 #[test]

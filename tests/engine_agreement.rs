@@ -123,7 +123,7 @@ fn tc_conversion_preserves_d_query_answers() {
         let q = template(id).instantiate_modulo(Flavor::D, g.num_labels());
         let mut qc = PatternQuery::new(q.labels().to_vec());
         for e in q.edges() {
-            qc.add_edge(e.from, e.to, EdgeKind::Direct);
+            qc.ensure_edge(e.from, e.to, EdgeKind::Direct);
         }
         assert_eq!(
             gm.evaluate(&q, &budget).occurrences,

@@ -1,0 +1,117 @@
+//! HPQL round-trip property: for any pattern, `parse(to_hpql(q))` yields
+//! the same canonical query (modulo node renumbering, which the printed
+//! variable names make explicit — node ids follow first appearance in the
+//! text, so the test maps them back through the `v<i>` names).
+
+use proptest::prelude::*;
+use rigmatch::query::{parse_hpql, to_hpql, EdgeKind, PatternQuery, QNode};
+
+const NUM_LABELS: u32 = 4;
+
+/// Strategy: a connected pattern of 1–6 nodes, mixed edge kinds, with
+/// extra chords (including parallel direct+reachability pairs).
+fn query_strategy() -> impl Strategy<Value = PatternQuery> {
+    (
+        prop::collection::vec(0..NUM_LABELS, 1..7),
+        prop::collection::vec((0..7u32, 0..7u32, prop::bool::ANY), 0..8),
+        prop::collection::vec(prop::bool::ANY, 6),
+    )
+        .prop_map(|(labels, extra, chain_kinds)| {
+            let n = labels.len() as u32;
+            let mut q = PatternQuery::new(labels);
+            for i in 1..n {
+                let kind = if chain_kinds[(i as usize - 1) % 6] {
+                    EdgeKind::Direct
+                } else {
+                    EdgeKind::Reachability
+                };
+                q.add_edge(i - 1, i, kind);
+            }
+            for (a, b, dir) in extra {
+                let (a, b) = (a % n, b % n);
+                if a != b {
+                    let kind = if dir { EdgeKind::Direct } else { EdgeKind::Reachability };
+                    q.ensure_edge(a, b, kind);
+                }
+            }
+            q
+        })
+}
+
+/// Renumbers `parsed` back into the original node order using the printed
+/// `v<i>` variable names, then compares canonical forms.
+fn assert_round_trips(q: &PatternQuery, text: &str) {
+    let ast = parse_hpql(text).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{text}"));
+    let (resolved, _names) = ast.resolve_interned().expect("numeric labels resolve");
+    let parsed = resolved.query;
+    assert_eq!(parsed.num_nodes(), q.num_nodes(), "{text}");
+    // orig_of[j] = original node id of parsed node j (from its var name)
+    let orig_of: Vec<QNode> = resolved
+        .vars
+        .iter()
+        .map(|v| v.strip_prefix('v').and_then(|s| s.parse().ok()).expect("printer names are v<i>"))
+        .collect();
+    let mut renumbered = PatternQuery::new(
+        (0..q.num_nodes())
+            .map(|i| {
+                let j = orig_of.iter().position(|&o| o == i as QNode).expect("var for every node");
+                parsed.label(j as QNode)
+            })
+            .collect(),
+    );
+    for e in parsed.edges() {
+        renumbered.add_edge(orig_of[e.from as usize], orig_of[e.to as usize], e.kind);
+    }
+    assert_eq!(renumbered.canonical(), q.canonical(), "{text}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// parse ∘ pretty-print = identity on canonical queries.
+    #[test]
+    fn parse_print_parse_is_identity(q in query_strategy()) {
+        let text = to_hpql(&q, None, |_| None);
+        assert_round_trips(&q, text.as_str());
+    }
+
+    /// The same property with named labels: printing resolves ids to
+    /// names, re-parsing resolves names back to the same ids.
+    #[test]
+    fn round_trip_with_label_names(q in query_strategy()) {
+        let names = ["Alpha", "Beta", "Gamma", "Delta"];
+        let text = to_hpql(&q, None, |l| Some(names[l as usize].to_string()));
+        let ast = parse_hpql(&text).unwrap();
+        let resolved = ast
+            .resolve(|n| names.iter().position(|x| *x == n).map(|i| i as u32))
+            .unwrap();
+        let orig_of: Vec<QNode> = resolved
+            .vars
+            .iter()
+            .map(|v| v.strip_prefix('v').and_then(|s| s.parse().ok()).unwrap())
+            .collect();
+        let mut renumbered = PatternQuery::new(
+            (0..q.num_nodes())
+                .map(|i| {
+                    let j = orig_of.iter().position(|&o| o == i as QNode).unwrap();
+                    resolved.query.label(j as QNode)
+                })
+                .collect(),
+        );
+        for e in resolved.query.edges() {
+            renumbered.add_edge(orig_of[e.from as usize], orig_of[e.to as usize], e.kind);
+        }
+        prop_assert_eq!(renumbered.canonical(), q.canonical(), "{}", text);
+    }
+
+    /// Printing the canonical form and the raw form parse to the same
+    /// canonical query (printer output is insertion-order independent at
+    /// the semantic level).
+    #[test]
+    fn canonical_and_raw_print_equivalently(q in query_strategy()) {
+        let a = to_hpql(&q, None, |_| None);
+        let b = to_hpql(&q.canonical(), None, |_| None);
+        assert_round_trips(&q, a.as_str());
+        assert_round_trips(&q, b.as_str());
+    }
+}

@@ -1,5 +1,7 @@
 //! The paper's worked examples, end to end across crates.
 
+#![allow(deprecated)] // deliberately keeps the Matcher shims under test
+
 use rigmatch::core::{GmConfig, Matcher};
 use rigmatch::datasets::examples::{fig2_graph, fig4_g2};
 use rigmatch::query::{fig2_query, transitive_reduction, EdgeKind, PatternQuery};

@@ -7,6 +7,8 @@
 //!   covers;
 //! * transitive reduction preserves answers (§3, query equivalence).
 
+#![allow(deprecated)] // deliberately keeps the Matcher shims under test
+
 use proptest::prelude::*;
 use rigmatch::core::{GmConfig, Matcher};
 use rigmatch::graph::{DataGraph, GraphBuilder, NodeId};
@@ -59,7 +61,7 @@ fn query_strategy() -> impl Strategy<Value = PatternQuery> {
                 let (a, b) = (a % n, b % n);
                 if a != b {
                     let kind = if dir { EdgeKind::Direct } else { EdgeKind::Reachability };
-                    q.add_edge(a, b, kind);
+                    q.ensure_edge(a, b, kind);
                 }
             }
             q
