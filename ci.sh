@@ -36,14 +36,25 @@ if [[ "${1:-}" != "quick" ]]; then
         > "${cli_tmp}/g.txt"
     run_cli() { cargo run -q --release --bin rigmatch -- "$@"; }
     [[ "$(run_cli "${cli_tmp}/g.txt" --query 'MATCH (a:Author)->(p:Paper)=>(q:Paper)' --count)" == "1" ]]
-    run_cli explain "${cli_tmp}/g.txt" \
-        --query 'MATCH (a:Author)->(p:Paper)=>(q:Paper), (a)=>(q)' \
-        | grep -q 'reduced:.*1 edge(s) removed'
+    # capture first, then grep: `| grep -q` can exit at the first match and
+    # EPIPE the CLI's remaining line-buffered writes
+    explain_out="$(run_cli explain "${cli_tmp}/g.txt" \
+        --query 'MATCH (a:Author)->(p:Paper)=>(q:Paper), (a)=>(q)')"
+    grep -q 'reduced:.*1 edge(s) removed' <<< "${explain_out}"
     # parse errors exit 3, I/O errors exit 4
     rc=0; run_cli "${cli_tmp}/g.txt" --query 'MATCH (broken' 2> /dev/null || rc=$?
     [[ "${rc}" == "3" ]]
     rc=0; run_cli "${cli_tmp}/missing.txt" --query 'MATCH (a:Author)' 2> /dev/null || rc=$?
     [[ "${rc}" == "4" ]]
+    # dynamic updates: --mutations applies a script before the query runs
+    # (the overlay path), and `update` rewrites the materialized graph
+    printf 'a v Author\na e 3 1\ncommit\nd e 1 2\n' > "${cli_tmp}/m.txt"
+    [[ "$(run_cli "${cli_tmp}/g.txt" --count --mutations "${cli_tmp}/m.txt" \
+          --query 'MATCH (a:Author)->(p:Paper)')" == "2" ]]
+    run_cli update "${cli_tmp}/g.txt" "${cli_tmp}/m.txt" --output "${cli_tmp}/g2.txt"
+    grep -q '^e 3 1$' "${cli_tmp}/g2.txt"
+    [[ "$(run_cli "${cli_tmp}/g2.txt" --count \
+          --query 'MATCH (a:Author)->(p:Paper)')" == "2" ]]
     rm -rf "${cli_tmp}"
 
     step "examples"
@@ -89,6 +100,15 @@ if [[ "${1:-}" != "quick" ]]; then
         cargo run -q --release -p rig_bench --bin benchcheck -- \
             "${json_tmp}/BENCH_parallel.json"
     fi
+
+    step "dynamic-graph artifact (bench_updates) + benchcheck verification gate"
+    # the harness differentially verifies every overlay count against a
+    # from-scratch rebuild; benchcheck hard-fails on any unverified query
+    cargo run -q --release -p rig_bench --bin bench_updates -- \
+        --scale 0.005 --timeout 2 --limit 100000 \
+        --json "${json_tmp}/BENCH_updates.json" > /dev/null
+    cargo run -q --release -p rig_bench --bin benchcheck -- \
+        "${json_tmp}/BENCH_updates.json"
 fi
 
 step "OK"

@@ -445,7 +445,7 @@ mod tests {
                 q.add_edge(0, 2, EdgeKind::Reachability);
             }
             let jm = Jm::new(&g);
-            let gm = crate::GmEngine::new(&g);
+            let gm = crate::GmEngine::new(g.clone());
             let rj = jm.evaluate(&q, &Budget::unlimited());
             let rg = gm.evaluate(&q, &Budget::unlimited());
             assert_eq!(rj.occurrences, rg.occurrences, "seed={seed}");

@@ -40,9 +40,10 @@ pub use rm::RmLike;
 pub use tm::Tm;
 pub use wcoj::wcoj_count;
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use rig_core::{GmConfig, Matcher, RunReport, RunStatus};
+use rig_core::{GmConfig, RunReport, RunStatus, Session};
 use rig_graph::DataGraph;
 use rig_query::PatternQuery;
 
@@ -98,65 +99,63 @@ pub trait Engine {
 /// GM behind the [`Engine`] trait. With `threads > 1` the enumeration
 /// stage runs the morsel-driven parallel engine (counting sinks — no
 /// materialization), still honoring the budget's limit and timeout.
-pub struct GmEngine<'g> {
-    matcher: Matcher<'g>,
-    config: GmConfig,
+///
+/// Owns a [`Session`] (the application entry point), so harness runs
+/// exercise the same code path — including the plan cache — users do.
+/// Constructors take `impl Into<Arc<DataGraph>>`: harnesses that share
+/// one graph across several engines pass `Arc::clone(&g)` (or clone the
+/// graph) explicitly.
+pub struct GmEngine {
+    session: Session,
     name: &'static str,
     threads: usize,
 }
 
-impl<'g> GmEngine<'g> {
-    pub fn new(graph: &'g DataGraph) -> Self {
-        GmEngine {
-            matcher: Matcher::new(graph),
-            config: GmConfig::default(),
-            name: "GM",
-            threads: 1,
-        }
+impl GmEngine {
+    pub fn new(graph: impl Into<Arc<DataGraph>>) -> Self {
+        GmEngine { session: Session::new(graph), name: "GM", threads: 1 }
     }
 
-    pub fn with_config(graph: &'g DataGraph, config: GmConfig, name: &'static str) -> Self {
-        GmEngine { matcher: Matcher::new(graph), config, name, threads: 1 }
+    pub fn with_config(
+        graph: impl Into<Arc<DataGraph>>,
+        config: GmConfig,
+        name: &'static str,
+    ) -> Self {
+        GmEngine { session: Session::with_config(graph, config), name, threads: 1 }
     }
 
     /// GM with `threads` morsel-driven enumeration workers.
-    pub fn with_threads(graph: &'g DataGraph, threads: usize) -> Self {
-        GmEngine {
-            matcher: Matcher::new(graph),
-            config: GmConfig::default(),
-            name: "GM-par",
-            threads,
-        }
+    pub fn with_threads(graph: impl Into<Arc<DataGraph>>, threads: usize) -> Self {
+        GmEngine { session: Session::new(graph), name: "GM-par", threads }
     }
 
-    pub fn matcher(&self) -> &Matcher<'g> {
-        &self.matcher
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 }
 
-impl Engine for GmEngine<'_> {
+impl Engine for GmEngine {
     fn name(&self) -> &'static str {
         self.name
     }
 
-    // The harness keeps driving the borrowed Matcher shims: it hands the
-    // same &DataGraph to several engines at once, which the owning
-    // Session cannot do without cloning the graph.
-    #[allow(deprecated)]
     fn evaluate(&self, query: &PatternQuery, budget: &Budget) -> RunReport {
-        let mut cfg = self.config;
-        cfg.enumeration.limit = budget.match_limit;
-        cfg.enumeration.timeout = budget.timeout;
-        let outcome = if self.threads > 1 {
-            self.matcher.par_count(query, &cfg, self.threads)
-        } else {
-            self.matcher.count(query, &cfg)
-        };
-        outcome.report(self.name)
+        let prepared = self
+            .session
+            .prepare(query)
+            .unwrap_or_else(|e| panic!("harness query must prepare: {e}"));
+        let mut run = prepared.run().threads(self.threads);
+        if let Some(l) = budget.match_limit {
+            run = run.limit(l);
+        }
+        if let Some(d) = budget.timeout {
+            run = run.timeout(d);
+        }
+        run.count().report(self.name)
     }
 
     fn setup_time(&self) -> Duration {
-        self.matcher.index_build_time()
+        self.session.index_build_time()
     }
 }
 
@@ -188,26 +187,26 @@ mod tests {
 
     #[test]
     fn gm_engine_adapter() {
-        let g = fig2_graph();
-        let e = GmEngine::new(&g);
+        let e = GmEngine::new(fig2_graph());
         assert_eq!(e.name(), "GM");
         let r = e.evaluate(&fig2_query(), &Budget::default());
         assert_eq!(r.status, RunStatus::Completed);
         assert_eq!(r.occurrences, 2);
+        // repeated harness evaluations hit the session plan cache
+        e.evaluate(&fig2_query(), &Budget::default());
+        assert_eq!(e.session().cache_stats().hits, 1);
     }
 
     #[test]
     fn budget_limit_respected() {
-        let g = fig2_graph();
-        let e = GmEngine::new(&g);
+        let e = GmEngine::new(fig2_graph());
         let r = e.evaluate(&fig2_query(), &Budget::with_limit(1));
         assert_eq!(r.occurrences, 1);
     }
 
     #[test]
     fn parallel_gm_engine_agrees_and_honors_limit() {
-        let g = fig2_graph();
-        let par = GmEngine::with_threads(&g, 4);
+        let par = GmEngine::with_threads(fig2_graph(), 4);
         assert_eq!(par.name(), "GM-par");
         assert_eq!(par.evaluate(&fig2_query(), &Budget::default()).occurrences, 2);
         assert_eq!(par.evaluate(&fig2_query(), &Budget::with_limit(1)).occurrences, 1);

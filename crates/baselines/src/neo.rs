@@ -313,7 +313,7 @@ mod tests {
             q.add_edge(0, 1, EdgeKind::Reachability);
             q.add_edge(1, 2, EdgeKind::Direct);
             let neo = NeoLike::new(&g);
-            let gm = crate::GmEngine::new(&g);
+            let gm = crate::GmEngine::new(g.clone());
             assert_eq!(
                 neo.evaluate(&q, &Budget::unlimited()).occurrences,
                 gm.evaluate(&q, &Budget::unlimited()).occurrences,

@@ -140,7 +140,7 @@ mod tests {
                 q.add_edge(0, 2, EdgeKind::Direct);
             }
             let rm = RmLike::new(&g);
-            let gm = crate::GmEngine::new(&g);
+            let gm = crate::GmEngine::new(g.clone());
             assert_eq!(
                 rm.evaluate(&q, &Budget::unlimited()).occurrences,
                 gm.evaluate(&q, &Budget::unlimited()).occurrences,

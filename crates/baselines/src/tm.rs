@@ -203,7 +203,7 @@ mod tests {
                 q.add_edge(0, 3, EdgeKind::Reachability);
             }
             let tm = Tm::new(&g);
-            let gm = crate::GmEngine::new(&g);
+            let gm = crate::GmEngine::new(g.clone());
             let rt = tm.evaluate(&q, &Budget::unlimited());
             let rg = gm.evaluate(&q, &Budget::unlimited());
             assert_eq!(rt.occurrences, rg.occurrences, "seed={seed}");

@@ -1,0 +1,222 @@
+//! `bench_updates` — dynamic-graph figure: update throughput and query
+//! latency at increasing delta fill levels.
+//!
+//! For each fill level (0%, 25%, 75% of the base edge count, compaction
+//! disabled so the level holds), the harness:
+//!
+//! 1. opens a fresh [`Session`] on the shared base graph;
+//! 2. applies random valid mutations (weighted edge churn + node
+//!    add/remove) in fixed-size transactions until the target delta size
+//!    is reached, timing commit throughput;
+//! 3. runs the probed template workload cold (`no_cache`) on the overlay,
+//!    timing per-query latency;
+//! 4. **differentially verifies** every count against a from-scratch
+//!    rebuild of the materialized snapshot (fresh CSR + BFL) — a mismatch
+//!    aborts the run.
+//!
+//! `--json <path>` writes the `BENCH_updates.json` artifact (flagged
+//! `"updates": true` for `benchcheck`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rig_bench::json::JsonValue;
+use rig_bench::{load, template_query_probed, Args, Table};
+use rig_core::{CompactionPolicy, Session};
+use rig_graph::{CommitImpact, DeltaOverlay};
+use rig_query::{Flavor, PatternQuery};
+
+const FILL_LEVELS: [f64; 3] = [0.0, 0.25, 0.75];
+const TXN_OPS: usize = 128;
+
+struct QueryPoint {
+    name: String,
+    cold_s: f64,
+    matches: u64,
+    verified: bool,
+}
+
+struct LevelPoint {
+    fill_pct: f64,
+    target_ops: u64,
+    applied_ops: u64,
+    update_s: f64,
+    queries: Vec<QueryPoint>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let g = Arc::new(load("yt", &args));
+    println!("# dataset yt: {:?}", g.stats());
+    let base_nodes = g.num_nodes();
+    let base_edges = g.num_edges();
+    let num_labels = g.num_labels() as u32;
+
+    // the workload is fixed on the *base* graph so every level runs the
+    // same queries
+    let probe_session = Session::new(Arc::clone(&g));
+    let ids = [0usize, 6, 11, 17];
+    let queries: Vec<(String, PatternQuery)> = ids
+        .iter()
+        .map(|&id| {
+            (format!("CQ{id}"), template_query_probed(&g, &probe_session, id, Flavor::C, args.seed))
+        })
+        .collect();
+    drop(probe_session);
+
+    let mut table =
+        Table::new(&["fill", "delta ops", "update ops/s", "Σ cold query [s]", "matches"]);
+    let mut levels: Vec<LevelPoint> = Vec::new();
+
+    for fill in FILL_LEVELS {
+        let target_ops = (fill * base_edges as f64) as u64;
+        let session = Session::new(Arc::clone(&g)).with_compaction(CompactionPolicy::disabled());
+        let mut gen_state = args.seed ^ (fill * 1000.0) as u64;
+
+        // ---- update phase ----
+        let update_start = Instant::now();
+        let mut applied = 0u64;
+        while applied < target_ops {
+            let mut scratch: DeltaOverlay = (**session.graph().delta()).clone();
+            let mut txn = session.begin();
+            let batch = TXN_OPS.min((target_ops - applied) as usize);
+            for _ in 0..batch {
+                // the shared workload generator (also drives the
+                // update-vs-rebuild differential suite)
+                if let Some(op) = scratch.random_mutation(&mut gen_state, num_labels) {
+                    let mut impact = CommitImpact::default();
+                    // only count ops that changed something (an AddEdge of
+                    // an existing edge is an idempotent no-op)
+                    if scratch.apply(&op, &mut impact).is_ok() && impact.ops() > 0 {
+                        txn.push(op);
+                        applied += 1;
+                    }
+                }
+            }
+            session.commit(txn).expect("scratch-validated batch commits");
+        }
+        let update_s = update_start.elapsed().as_secs_f64();
+        let delta_ops = session.graph().delta().ops();
+
+        // ---- query phase (cold plans on the overlay) + verification ----
+        let rebuilt = Session::new(session.graph().materialize());
+        let mut points = Vec::new();
+        let mut total_cold = 0.0f64;
+        let mut total_matches = 0u64;
+        for (name, q) in &queries {
+            let p = session.prepare(q).expect("workload validates");
+            let start = Instant::now();
+            let o = p.run().no_cache().limit(args.limit).timeout(args.timeout).count();
+            let cold_s = start.elapsed().as_secs_f64();
+            let expect = rebuilt
+                .prepare(q)
+                .expect("rebuild validates")
+                .run()
+                .limit(args.limit)
+                .timeout(args.timeout)
+                .count();
+            let comparable = !o.result.timed_out && !expect.result.timed_out;
+            let verified = comparable && o.result.count == expect.result.count;
+            assert!(
+                verified || !comparable,
+                "{name}: overlay count {} != rebuild count {}",
+                o.result.count,
+                expect.result.count
+            );
+            total_cold += cold_s;
+            total_matches += o.result.count;
+            points.push(QueryPoint {
+                name: name.clone(),
+                cold_s,
+                matches: o.result.count,
+                verified,
+            });
+        }
+        let ops_per_s = if update_s > 0.0 { applied as f64 / update_s } else { 0.0 };
+        table.row(vec![
+            format!("{:.0}%", fill * 100.0),
+            delta_ops.to_string(),
+            format!("{ops_per_s:.0}"),
+            format!("{total_cold:.5}"),
+            total_matches.to_string(),
+        ]);
+        levels.push(LevelPoint {
+            fill_pct: fill * 100.0,
+            target_ops,
+            applied_ops: applied,
+            update_s,
+            queries: points,
+        });
+    }
+    table.print("Dynamic graphs: update throughput and cold query latency by delta fill");
+
+    if let Some(path) = &args.json {
+        let verified: u64 =
+            levels.iter().flat_map(|l| &l.queries).filter(|q| q.verified).count() as u64;
+        let total_queries: u64 = levels.iter().map(|l| l.queries.len() as u64).sum();
+        let matches: u64 = levels.iter().flat_map(|l| &l.queries).map(|q| q.matches).sum();
+        let update_ops: u64 = levels.iter().map(|l| l.applied_ops).sum();
+        let update_s: f64 = levels.iter().map(|l| l.update_s).sum();
+        let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        let level_records: Vec<JsonValue> = levels
+            .iter()
+            .map(|l| {
+                JsonValue::obj(vec![
+                    ("fill_pct", l.fill_pct.into()),
+                    ("target_ops", l.target_ops.into()),
+                    ("applied_ops", l.applied_ops.into()),
+                    ("update_s", l.update_s.into()),
+                    ("update_ops_per_s", ratio(l.applied_ops as f64, l.update_s).into()),
+                    (
+                        "queries",
+                        JsonValue::Arr(
+                            l.queries
+                                .iter()
+                                .map(|q| {
+                                    JsonValue::obj(vec![
+                                        ("query", q.name.as_str().into()),
+                                        ("cold_s", q.cold_s.into()),
+                                        ("matches", q.matches.into()),
+                                        ("verified", JsonValue::Bool(q.verified)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = JsonValue::obj(vec![
+            ("harness", "bench_updates".into()),
+            ("updates", JsonValue::Bool(true)),
+            ("scale", args.scale.into()),
+            ("seed", args.seed.into()),
+            ("timeout_s", args.timeout.as_secs_f64().into()),
+            ("limit", args.limit.into()),
+            (
+                "base",
+                JsonValue::obj(vec![
+                    ("nodes", base_nodes.into()),
+                    ("edges", base_edges.into()),
+                    ("labels", (num_labels as usize).into()),
+                ]),
+            ),
+            ("baseline", "from-scratch rebuild (materialized snapshot, fresh CSR + BFL)".into()),
+            ("levels", JsonValue::Arr(level_records)),
+            (
+                "totals",
+                JsonValue::obj(vec![
+                    ("levels", levels.len().into()),
+                    ("queries", total_queries.into()),
+                    ("verified_queries", verified.into()),
+                    ("unverified_queries", (total_queries - verified).into()),
+                    ("matches", matches.into()),
+                    ("update_ops", update_ops.into()),
+                    ("update_ops_per_s", ratio(update_ops as f64, update_s).into()),
+                ]),
+            ),
+        ]);
+        std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}

@@ -10,6 +10,12 @@
 //! (CI applies this gate only when the hardware actually has cores to
 //! parallelize over).
 //!
+//! Dynamic-graph artifacts (`"updates": true`, emitted by
+//! `bench_updates --json`) are validated against the updates schema: base
+//! sizes, per-fill-level update throughput, per-query cold latency, and —
+//! hard gate — **zero unverified queries** (every overlay count must have
+//! matched its from-scratch-rebuild oracle in the harness).
+//!
 //! Usage: `benchcheck [--min-par-speedup X] <file.json>...` — exits
 //! non-zero on the first invalid file.
 
@@ -101,6 +107,73 @@ fn check_parallel(path: &str, doc: &JsonValue) -> f64 {
     best
 }
 
+/// Validates a `bench_updates` artifact.
+fn check_updates(path: &str, doc: &JsonValue) {
+    if doc.get("harness").and_then(|v| v.as_str()).is_none() {
+        fail(path, "missing string field \"harness\"");
+    }
+    for key in ["scale", "seed", "timeout_s", "limit"] {
+        if !doc.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+            fail(path, &format!("missing numeric field {key:?}"));
+        }
+    }
+    let base = match doc.get("base") {
+        Some(b) => b,
+        None => fail(path, "missing base object"),
+    };
+    for key in ["nodes", "edges", "labels"] {
+        require_num(path, base, key);
+    }
+    let levels = match doc.get("levels").and_then(|l| l.as_arr()) {
+        Some(l) if !l.is_empty() => l,
+        _ => fail(path, "levels must be a non-empty array"),
+    };
+    for (i, l) in levels.iter().enumerate() {
+        for key in ["fill_pct", "target_ops", "applied_ops", "update_s", "update_ops_per_s"] {
+            if !l.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+                fail(path, &format!("levels[{i}].{key} missing"));
+            }
+        }
+        let queries = match l.get("queries").and_then(|q| q.as_arr()) {
+            Some(q) if !q.is_empty() => q,
+            _ => fail(path, &format!("levels[{i}].queries must be a non-empty array")),
+        };
+        for (j, q) in queries.iter().enumerate() {
+            if q.get("query").and_then(|v| v.as_str()).is_none() {
+                fail(path, &format!("levels[{i}].queries[{j}].query missing"));
+            }
+            for key in ["cold_s", "matches"] {
+                if !q.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+                    fail(path, &format!("levels[{i}].queries[{j}].{key} missing"));
+                }
+            }
+            if !matches!(q.get("verified"), Some(JsonValue::Bool(_))) {
+                fail(path, &format!("levels[{i}].queries[{j}].verified missing or not a bool"));
+            }
+        }
+    }
+    let totals = match doc.get("totals") {
+        Some(t) => t,
+        None => fail(path, "missing totals object"),
+    };
+    for key in
+        ["levels", "queries", "verified_queries", "matches", "update_ops", "update_ops_per_s"]
+    {
+        require_num(path, totals, key);
+    }
+    let unverified = require_num(path, totals, "unverified_queries");
+    if unverified != 0.0 {
+        fail(path, &format!("{unverified} query run(s) failed update-vs-rebuild verification"));
+    }
+    let ops_per_s = require_num(path, totals, "update_ops_per_s");
+    println!(
+        "benchcheck: {path}: OK (updates, {} level(s), {} verified queries, \
+         {ops_per_s:.0} update ops/s)",
+        levels.len(),
+        require_num(path, totals, "verified_queries"),
+    );
+}
+
 fn check(path: &str, min_par_speedup: Option<f64>) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -110,6 +183,10 @@ fn check(path: &str, min_par_speedup: Option<f64>) {
         Ok(d) => d,
         Err(e) => fail(path, &format!("parse error: {e}")),
     };
+    if matches!(doc.get("updates"), Some(JsonValue::Bool(true))) {
+        check_updates(path, &doc);
+        return;
+    }
     if matches!(doc.get("parallel"), Some(JsonValue::Bool(true))) {
         let best = check_parallel(path, &doc);
         if let Some(min) = min_par_speedup {

@@ -18,8 +18,8 @@ fn main() {
         let mut table = Table::new(&["labels", "GM", "TM", "JM", "matches"]);
         for nl in [5usize, 10, 15, 20] {
             let g = base.relabel(|v, old| if (old as usize) < nl { old } else { v % nl as u32 });
-            let gm = GmEngine::new(&g);
-            let q = template_query_probed(&g, gm.matcher(), id, Flavor::H, args.seed);
+            let gm = GmEngine::new(g.clone());
+            let q = template_query_probed(&g, gm.session(), id, Flavor::H, args.seed);
             let tm = Tm::new(&g);
             let jm = Jm::new(&g);
             let rg = gm.evaluate(&q, &budget);

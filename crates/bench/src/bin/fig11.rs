@@ -17,8 +17,8 @@ fn main() {
         for step in 1..=5u32 {
             let scale = args.scale * step as f64 / 5.0;
             let g = load_scaled("db", scale, args.seed);
-            let gm = GmEngine::new(&g);
-            let q = template_query_probed(&g, gm.matcher(), id, Flavor::H, args.seed);
+            let gm = GmEngine::new(g.clone());
+            let q = template_query_probed(&g, gm.session(), id, Flavor::H, args.seed);
             let tm = Tm::new(&g);
             let jm = Jm::new(&g);
             let rg = gm.evaluate(&q, &budget);

@@ -18,16 +18,16 @@
 //! (per-query-edge CSR blocks built on scoped worker threads) over the
 //! same workload and prints total build time per thread count.
 
-#![allow(deprecated)] // harness drives the borrowed Matcher shims
-
 use rig_baselines::{Engine, GmEngine, Tm};
 use rig_bench::{
     load, measure_pair, template_query_probed, totals_json, write_bench_json, Args,
     PairMeasurement, Table,
 };
-use rig_core::{GmConfig, Matcher, SelectMode};
-use rig_index::RigOptions;
+use rig_core::{GmConfig, SelectMode, Session};
+use rig_index::{build_rig, Rig, RigOptions};
 use rig_query::Flavor;
+use rig_query::PatternQuery;
+use rig_sim::SimContext;
 
 fn main() {
     let args = Args::parse();
@@ -37,13 +37,27 @@ fn main() {
     let gsize = (g.num_nodes() + g.num_edges()) as f64;
     let ids = [0usize, 3, 5, 6, 8, 17, 11, 12, 19, 10, 13, 16];
 
-    let variants: [(&str, SelectMode); 3] = [
-        ("GM", SelectMode::PrefilterThenSim),
-        ("GM-S", SelectMode::SimOnly),
-        ("GM-F", SelectMode::PrefilterOnly),
-    ];
-
-    let matcher = Matcher::new(&g);
+    let g_arc = std::sync::Arc::new(g.clone());
+    let session = Session::new(std::sync::Arc::clone(&g_arc));
+    let bfl = session.bfl();
+    // one engine per variant, hoisted out of the query loop: constructing
+    // a GmEngine builds a Session (graph share + BFL) — doing that per
+    // (query, variant) pair would dominate the numbers being measured
+    let engines: Vec<(SelectMode, GmEngine)> =
+        [SelectMode::PrefilterThenSim, SelectMode::SimOnly, SelectMode::PrefilterOnly]
+            .into_iter()
+            .map(|select| {
+                let cfg = GmConfig {
+                    rig: RigOptions { select, ..RigOptions::default() },
+                    ..Default::default()
+                };
+                (select, GmEngine::with_config(std::sync::Arc::clone(&g_arc), cfg, "GM-variant"))
+            })
+            .collect();
+    let build_only = |q: &PatternQuery, opts: &RigOptions| -> Rig {
+        let ctx = SimContext::new(&g, q, &*bfl);
+        build_rig(&ctx, &bfl, opts)
+    };
     let tm = Tm::new(&g);
     let mut measurements: Vec<PairMeasurement> = Vec::new();
 
@@ -52,23 +66,19 @@ fn main() {
     let mut query_t = Table::new(&["query", "GM", "GM-S", "GM-F", "TM"]);
 
     for id in ids {
-        let q = template_query_probed(&g, &matcher, id, Flavor::H, args.seed);
+        let q = template_query_probed(&g, &session, id, Flavor::H, args.seed);
         let mut sizes = vec![format!("HQ{id}")];
         let mut builds = vec![format!("HQ{id}")];
         let mut times = vec![format!("HQ{id}")];
-        for (_, select) in variants {
-            let cfg = GmConfig {
-                rig: RigOptions { select, ..RigOptions::default() },
-                ..Default::default()
-            };
-            let rig = matcher.build_rig_only(&q, &cfg);
+        for (select, eng) in &engines {
+            let opts = RigOptions { select: *select, ..RigOptions::default() };
+            let rig = build_only(&q, &opts);
             sizes.push(format!("{:.3}", 100.0 * rig.stats.size() as f64 / gsize));
             builds.push(format!(
                 "{:.4}",
                 (rig.stats.select_time + rig.stats.expand_time).as_secs_f64()
             ));
             // total query time through the engine adapter
-            let eng = GmEngine::with_config(&g, cfg, "GM-variant");
             let r = eng.evaluate(&q, &budget);
             times.push(r.display_cell());
         }
@@ -82,7 +92,7 @@ fn main() {
         query_t.row(times);
 
         if args.json.is_some() {
-            measurements.push(measure_pair(&matcher, &format!("ep/HQ{id}"), &q, &budget));
+            measurements.push(measure_pair(&session, &format!("ep/HQ{id}"), &q, &budget));
         }
     }
 
@@ -98,8 +108,8 @@ fn main() {
             let mut total_s = 0.0f64;
             let mut total_size = 0u64;
             for id in ids {
-                let q = template_query_probed(&g, &matcher, id, Flavor::H, args.seed);
-                let rig = matcher.build_rig_only(&q, &cfg);
+                let q = template_query_probed(&g, &session, id, Flavor::H, args.seed);
+                let rig = build_only(&q, &cfg.rig);
                 total_s += (rig.stats.select_time + rig.stats.expand_time).as_secs_f64();
                 total_size += rig.stats.size();
             }

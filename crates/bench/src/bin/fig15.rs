@@ -18,16 +18,16 @@ fn main() {
     for ds in ["em", "ep"] {
         let g = load(ds, &args);
         println!("# dataset {ds}: {:?}", g.stats());
-        let gm = GmEngine::new(&g);
+        let gm = GmEngine::new(g.clone());
         let gm_nr = GmEngine::with_config(
-            &g,
+            g.clone(),
             GmConfig { skip_reduction: true, ..Default::default() },
             "GM-NR",
         );
         let tm = Tm::new(&g);
         let mut table = Table::new(&["query", "edges", "reduced", "GM", "GM-NR", "TM", "matches"]);
         for id in ids {
-            let q = template_query_probed(&g, gm.matcher(), id, Flavor::D, args.seed);
+            let q = template_query_probed(&g, gm.session(), id, Flavor::D, args.seed);
             let reduced = transitive_reduction(&q);
             let rg = gm.evaluate(&q, &budget);
             let rn = gm_nr.evaluate(&q, &budget);

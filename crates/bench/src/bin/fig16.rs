@@ -30,21 +30,21 @@ fn main() {
     for ds in all {
         if full_scale_catalog_oom(ds) {
             let g = load(ds, &args);
-            let m = rig_core::Matcher::new(&g);
+            let bfl = rig_reach::BflIndex::new(&g);
             ta.row(vec![
                 ds.into(),
                 "OM".into(),
-                format!("{:.4}", m.index_build_time().as_secs_f64()),
+                format!("{:.4}", rig_reach::Reachability::build_seconds(&bfl)),
             ]);
             continue;
         }
         let g = load(ds, &args);
         let cat = Catalog::build(&g).expect("model says this catalog builds");
-        let m = rig_core::Matcher::new(&g);
+        let bfl = rig_reach::BflIndex::new(&g);
         ta.row(vec![
             ds.into(),
             format!("{:.3}", cat.build_time.as_secs_f64()),
-            format!("{:.4}", m.index_build_time().as_secs_f64()),
+            format!("{:.4}", rig_reach::Reachability::build_seconds(&bfl)),
         ]);
     }
     ta.print("Fig. 16(a): GF catalog vs GM BFL build time (OM = paper's memory model)");
@@ -53,10 +53,10 @@ fn main() {
     let mut tb = Table::new(&["dataset", "query", "GM", "GF", "matches"]);
     for ds in ["am", "bs", "go", "hu", "yt"] {
         let g = load(ds, &args);
-        let gm = GmEngine::new(&g);
+        let gm = GmEngine::new(g.clone());
         let gf = GfLike::new(&g);
         for id in [17usize, 19, 16] {
-            let q = template_query_probed(&g, gm.matcher(), id, Flavor::C, args.seed);
+            let q = template_query_probed(&g, gm.session(), id, Flavor::C, args.seed);
             let rg = gm.evaluate(&q, &budget);
             let rf = gf.evaluate(&q, &budget);
             tb.row(vec![

@@ -29,7 +29,7 @@ fn main() {
     println!("# undirected hu: {:?}", g.stats());
 
     let gm_jo = GmEngine::with_config(
-        &g,
+        g.clone(),
         GmConfig {
             enumeration: EnumOptions { order: SearchOrder::Jo, ..Default::default() },
             ..Default::default()
@@ -37,7 +37,7 @@ fn main() {
         "GM-JO",
     );
     let gm_ri = GmEngine::with_config(
-        &g,
+        g.clone(),
         GmConfig {
             enumeration: EnumOptions { order: SearchOrder::Ri, ..Default::default() },
             ..Default::default()

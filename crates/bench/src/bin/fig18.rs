@@ -51,14 +51,14 @@ fn main() {
         (20, 5000),
     ] {
         let g = email_fragment(nodes, labels, args.seed);
-        let m = rig_core::Matcher::new(&g);
+        let bfl = rig_reach::BflIndex::new(&g);
         let tc = TransitiveClosure::new(&g);
         use rig_reach::Reachability;
         let cat = Catalog::build(&g);
         ta.row(vec![
             labels.to_string(),
             nodes.to_string(),
-            format!("{:.4}", m.index_build_time().as_secs_f64()),
+            format!("{:.4}", rig_reach::Reachability::build_seconds(&bfl)),
             format!("{:.4}", tc.build_seconds()),
             tc.pair_count().to_string(),
             match &cat {
@@ -73,13 +73,13 @@ fn main() {
     let mut tb = Table::new(&["query", "labels", "Neo4j", "GF(on TC)", "GM", "matches"]);
     for labels in [5usize, 10, 15, 20] {
         let g = email_fragment(1000, labels, args.seed);
-        let gm = GmEngine::new(&g);
+        let gm = GmEngine::new(g.clone());
         let neo = NeoLike::new(&g);
         let tc = TransitiveClosure::new(&g);
         let tc_graph = tc.to_graph(&g);
         let gf = GfLike::new(&tc_graph);
         for id in [4usize, 15, 16] {
-            let q = template_query_probed(&g, gm.matcher(), id, Flavor::D, args.seed);
+            let q = template_query_probed(&g, gm.session(), id, Flavor::D, args.seed);
             let rg = gm.evaluate(&q, &budget);
             let rn = neo.evaluate(&q, &budget);
             // GF runs the direct-converted query on the closure graph

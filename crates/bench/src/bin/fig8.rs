@@ -17,12 +17,12 @@ fn main() {
     for ds in ["em", "ep"] {
         let g = load(ds, &args);
         println!("# dataset {ds}: {:?}", g.stats());
-        let gm = GmEngine::new(&g);
+        let gm = GmEngine::new(g.clone());
         let tm = Tm::new(&g);
         let jm = Jm::new(&g);
         let mut table = Table::new(&["query", "class", "GM", "TM", "JM", "matches"]);
         for id in ids {
-            let q = template_query_probed(&g, gm.matcher(), id, Flavor::H, args.seed);
+            let q = template_query_probed(&g, gm.session(), id, Flavor::H, args.seed);
             let rg = gm.evaluate(&q, &budget);
             let rt = tm.evaluate(&q, &budget);
             let rj = jm.evaluate(&q, &budget);
@@ -41,7 +41,7 @@ fn main() {
     for ds in ["hp", "yt", "hu"] {
         let g = load(ds, &args);
         println!("# dataset {ds}: {:?}", g.stats());
-        let gm = GmEngine::new(&g);
+        let gm = GmEngine::new(g.clone());
         let tm = Tm::new(&g);
         let jm = Jm::new(&g);
         let mut table = Table::new(&["query", "GM", "TM", "JM", "matches"]);

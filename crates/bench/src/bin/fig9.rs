@@ -51,13 +51,13 @@ fn main() {
         // (cached-RIG execution). Built lazily — a Session carries its own
         // reachability index, which a sweep-less run should not pay for.
         let session = (!args.threads.is_empty()).then(|| Session::new(std::sync::Arc::clone(&g)));
-        let gm = GmEngine::new(&g);
-        let iso = GmEngine::with_config(&g, iso_config(&budget), "ISO");
+        let gm = GmEngine::new(g.clone());
+        let iso = GmEngine::with_config(g.clone(), iso_config(&budget), "ISO");
         let tm = Tm::new(&g);
         let jm = Jm::new(&g);
         let mut table = Table::new(&["query", "GM", "TM", "JM", "ISO", "matches"]);
         for id in ids {
-            let q = template_query_probed(&g, gm.matcher(), id, Flavor::C, args.seed);
+            let q = template_query_probed(&g, gm.session(), id, Flavor::C, args.seed);
             let rg = gm.evaluate(&q, &budget);
             let rt = tm.evaluate(&q, &budget);
             let rj = jm.evaluate(&q, &budget);
@@ -71,7 +71,7 @@ fn main() {
                 rg.occurrences.to_string(),
             ]);
             if args.json.is_some() {
-                measurements.push(measure_pair(gm.matcher(), &format!("{ds}/CQ{id}"), &q, &budget));
+                measurements.push(measure_pair(gm.session(), &format!("{ds}/CQ{id}"), &q, &budget));
             }
             if !args.threads.is_empty() {
                 par_measurements.push(measure_parallel(
@@ -90,8 +90,8 @@ fn main() {
     let g = std::sync::Arc::new(load("hu", &args));
     println!("# dataset hu: {:?}", g.stats());
     let session = (!args.threads.is_empty()).then(|| Session::new(std::sync::Arc::clone(&g)));
-    let gm = GmEngine::new(&g);
-    let iso = GmEngine::with_config(&g, iso_config(&budget), "ISO");
+    let gm = GmEngine::new(g.clone());
+    let iso = GmEngine::with_config(g.clone(), iso_config(&budget), "ISO");
     let tm = Tm::new(&g);
     let jm = Jm::new(&g);
     let mut table = Table::new(&["query", "GM", "TM", "JM", "ISO", "matches"]);
@@ -109,7 +109,7 @@ fn main() {
             rg.occurrences.to_string(),
         ]);
         if args.json.is_some() {
-            measurements.push(measure_pair(gm.matcher(), &format!("hu/{name}"), &q, &budget));
+            measurements.push(measure_pair(gm.session(), &format!("hu/{name}"), &q, &budget));
         }
         if !args.threads.is_empty() {
             par_measurements.push(measure_parallel(

@@ -18,7 +18,7 @@ fn main() {
         let g = load(ds, &args);
         println!("# dataset {ds}: {:?}", g.stats());
         let queries = random_queries(&g, &sizes, Flavor::D, args.seed);
-        let gm = GmEngine::new(&g);
+        let gm = GmEngine::new(g.clone());
         let tm = Tm::new(&g);
         let jm = Jm::new(&g);
         let engines: [&dyn Engine; 3] = [&jm, &tm, &gm];

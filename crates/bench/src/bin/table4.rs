@@ -22,9 +22,9 @@ fn main() {
     let ep = load("ep", &args);
     println!("# em: {:?}\n# ep: {:?}", em.stats(), ep.stats());
 
-    let make = |g, order, name| {
+    let make = |g: &rig_graph::DataGraph, order, name| {
         GmEngine::with_config(
-            g,
+            g.clone(),
             GmConfig {
                 enumeration: EnumOptions { order, ..Default::default() },
                 ..Default::default()
@@ -45,11 +45,11 @@ fn main() {
 
     for id in ids {
         let mut row = vec![format!("HQ{id}")];
-        let qe = template_query_probed(&em, engines_em[1].matcher(), id, Flavor::H, args.seed);
+        let qe = template_query_probed(&em, engines_em[1].session(), id, Flavor::H, args.seed);
         for e in &engines_em {
             row.push(e.evaluate(&qe, &budget).display_cell());
         }
-        let qp = template_query_probed(&ep, engines_ep[1].matcher(), id, Flavor::H, args.seed);
+        let qp = template_query_probed(&ep, engines_ep[1].session(), id, Flavor::H, args.seed);
         for e in &engines_ep {
             row.push(e.evaluate(&qp, &budget).display_cell());
         }

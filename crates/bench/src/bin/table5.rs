@@ -19,10 +19,10 @@ fn main() {
         let eh_probe = EhLike::probe_only(&g);
         let eh = EhLike::new(&g);
         let neo = NeoLike::new(&g);
-        let gm = GmEngine::new(&g);
+        let gm = GmEngine::new(g.clone());
         let mut table = Table::new(&["query", "EH-probe", "EH", "Neo4j", "GM", "matches"]);
         for id in ids {
-            let q = template_query_probed(&g, gm.matcher(), id, Flavor::C, args.seed);
+            let q = template_query_probed(&g, gm.session(), id, Flavor::C, args.seed);
             let rp = eh_probe.evaluate(&q, &budget);
             let re = eh.evaluate(&q, &budget);
             let rn = neo.evaluate(&q, &budget);

@@ -18,12 +18,12 @@ fn main() {
     let g = load_scaled("em", target_nodes as f64 / s.nodes as f64, args.seed);
     println!("# em fragment: {:?}", g.stats());
 
-    let gm = GmEngine::new(&g);
+    let gm = GmEngine::new(g.clone());
     let neo = NeoLike::new(&g);
     let ids = [0usize, 3, 5, 6, 8, 17, 11, 12, 19, 10, 13, 16];
     let mut table = Table::new(&["query", "Neo4j", "GM", "matches"]);
     for id in ids {
-        let q = template_query_probed(&g, gm.matcher(), id, Flavor::H, args.seed);
+        let q = template_query_probed(&g, gm.session(), id, Flavor::H, args.seed);
         let rn = neo.evaluate(&q, &budget);
         let rg = gm.evaluate(&q, &budget);
         table.row(vec![

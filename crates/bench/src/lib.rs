@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 
 use json::JsonValue;
 use rig_baselines::Budget;
-use rig_core::Matcher;
+use rig_core::Session;
 use rig_datasets::spec;
 use rig_graph::DataGraph;
 use rig_index::{build_rig, RigOptions};
@@ -148,14 +148,14 @@ pub fn template_query(g: &DataGraph, id: usize, flavor: Flavor, seed: u64) -> Pa
 
 /// Instantiates template `id` preferring label assignments with a
 /// *non-empty answer*: draws labels (weighted toward frequent ones) and
-/// probes each candidate with a 1-match GM evaluation, keeping the first
-/// instance that matches. Falls back to the last candidate when none
-/// matches within the attempt budget — the paper's workloads also contain
-/// some empty queries, which exercise early termination.
-#[allow(deprecated)] // probing borrows the harness Matcher shared with other engines
+/// probes each candidate with a 1-match GM evaluation through `session`,
+/// keeping the first instance that matches. Falls back to the last
+/// candidate when none matches within the attempt budget — the paper's
+/// workloads also contain some empty queries, which exercise early
+/// termination.
 pub fn template_query_probed(
     g: &DataGraph,
-    matcher: &rig_core::Matcher<'_>,
+    session: &Session,
     id: usize,
     flavor: Flavor,
     seed: u64,
@@ -167,20 +167,16 @@ pub fn template_query_probed(
     let mut by_freq: Vec<u32> = (0..g.num_labels() as u32).collect();
     by_freq.sort_by_key(|&l| std::cmp::Reverse(g.nodes_with_label(l).len()));
     let top = &by_freq[..by_freq.len().clamp(1, 8)];
-    let probe_cfg = rig_core::GmConfig {
-        enumeration: rig_mjoin::EnumOptions {
-            limit: Some(1),
-            timeout: Some(Duration::from_millis(500)),
-            ..Default::default()
-        },
-        ..Default::default()
-    };
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37).wrapping_add(id as u64));
     let mut last = t.instantiate_modulo(flavor, g.num_labels().max(1));
     for _ in 0..12 {
         let labels: Vec<u32> = (0..t.num_nodes).map(|_| top[rng.gen_range(0..top.len())]).collect();
         let q = t.instantiate(flavor, &labels);
-        if matcher.count(&q, &probe_cfg).result.count > 0 {
+        let probe = session.prepare(&q).expect("template query validates");
+        // probes bypass the plan cache so workload selection does not
+        // pollute the sweep's hit statistics
+        let hit = probe.run().no_cache().limit(1).timeout(Duration::from_millis(500)).count();
+        if hit.result.count > 0 {
             return q;
         }
         last = q;
@@ -294,13 +290,15 @@ impl PairMeasurement {
 /// the same process; both RIGs use the paper-default build options and both
 /// enumerations the same budget, so the numbers are directly comparable.
 pub fn measure_pair(
-    matcher: &Matcher<'_>,
+    session: &Session,
     name: &str,
     query: &PatternQuery,
     budget: &Budget,
 ) -> PairMeasurement {
-    let bfl = matcher.bfl();
-    let ctx = SimContext::new(matcher.graph(), query, bfl);
+    let bfl = session.bfl();
+    let snapshot = session.graph();
+    let ctx = SimContext::new(&snapshot, query, &*bfl);
+    let bfl = &*bfl;
     let opts = RigOptions::default();
     let eo =
         EnumOptions { limit: budget.match_limit, timeout: budget.timeout, ..Default::default() };

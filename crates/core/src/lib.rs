@@ -1,7 +1,7 @@
 //! GM — the end-to-end RIG-based hybrid graph pattern matcher (the paper's
 //! primary contribution, integrating §3–§6).
 //!
-//! The pipeline of [`Matcher::run_with`]:
+//! The pipeline behind every [`Session`] execution:
 //!
 //! 1. **transitive reduction** of the query (§3) — drop redundant
 //!    reachability edges;
@@ -14,11 +14,11 @@
 //! Every §7.4 ablation is a [`GmConfig`] knob, so the experiment harnesses
 //! run the same code paths the library's users do.
 //!
-//! The primary application API is the [`Session`] (see [`session`]): it
-//! owns the graph + reachability index, accepts queries as HPQL text or
-//! [`PatternQuery`] values, and caches built RIGs across executions. The
-//! borrowed [`Matcher`] facade below predates it; its execution entry
-//! points are kept as deprecated shims over the same pipeline.
+//! The application API is the [`Session`] (see [`session`]): it owns the
+//! versioned graph store (base CSR + delta overlay) and its reachability
+//! index, accepts queries as HPQL text or [`PatternQuery`] values, caches
+//! built RIGs across executions, and takes live mutations through
+//! [`GraphTxn`] / [`Session::commit`] with label-aware plan invalidation.
 
 mod error;
 mod report;
@@ -26,16 +26,16 @@ pub mod session;
 
 pub use error::{Error, ErrorKind};
 pub use report::{RunReport, RunStatus};
-pub use session::{validate_pattern, CacheStats, Explain, IntoPattern, Prepared, Run, Session};
+pub use session::{
+    validate_pattern, CacheStats, CommitSummary, CompactionPolicy, Explain, GraphTxn, IntoPattern,
+    Prepared, Run, Session, StoreStats,
+};
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use rig_graph::{DataGraph, NodeId};
-use rig_index::{build_rig, Rig, RigOptions, RigStats};
-use rig_mjoin::{enumerate, EnumOptions, EnumResult};
-use rig_query::{transitive_reduction, PatternQuery};
-use rig_reach::{BflIndex, Reachability};
-use rig_sim::SimContext;
+use rig_index::{RigOptions, RigStats};
+use rig_mjoin::{EnumOptions, EnumResult};
+use rig_query::PatternQuery;
 
 /// Full GM configuration. `Default` is the paper's evaluation setup.
 #[derive(Debug, Clone, Copy, Default)]
@@ -68,7 +68,7 @@ pub struct GmMetrics {
     /// is part of MJoin).
     pub enumeration_time: Duration,
     /// End-to-end evaluation time (excludes reachability-index build,
-    /// which is per-graph, reported by [`Matcher::index_build_time`]).
+    /// which is per-graph, reported by [`Session::index_build_time`]).
     pub total_time: Duration,
     /// Reachability edges removed by the reduction.
     pub edges_reduced: usize,
@@ -123,233 +123,17 @@ impl QueryOutcome {
     }
 }
 
-/// A GM matcher bound to one data graph. Construction builds the BFL
-/// reachability index once; every query evaluation reuses it (the paper's
-/// per-graph setup, Fig. 18a).
-///
-/// The execution entry points (`count`, `collect`, `run_sink`, …) are
-/// **deprecated shims**: prefer [`Session`], which owns the graph, adds
-/// HPQL text queries and caches built RIGs across executions. `Matcher`
-/// remains for harnesses that borrow a graph they also hand to other
-/// engines.
-///
-/// ```
-/// use rig_core::{GmConfig, Matcher};
-/// use rig_graph::GraphBuilder;
-/// use rig_query::{EdgeKind, PatternQuery};
-///
-/// let mut b = GraphBuilder::new();
-/// let (x, y, z) = (b.add_node(0), b.add_node(1), b.add_node(2));
-/// b.add_edge(x, y);
-/// b.add_edge(y, z);
-/// let g = b.build();
-///
-/// let mut q = PatternQuery::new(vec![0, 2]);
-/// q.add_edge(0, 1, EdgeKind::Reachability); // label-0 node reaching a label-2 node
-///
-/// let matcher = Matcher::new(&g);
-/// # #[allow(deprecated)]
-/// # fn run(matcher: &Matcher<'_>, q: &PatternQuery) -> u64 {
-/// #     matcher.count(q, &GmConfig::default()).result.count
-/// # }
-/// assert_eq!(run(&matcher, &q), 1);
-/// ```
-pub struct Matcher<'g> {
-    graph: &'g DataGraph,
-    bfl: BflIndex,
-}
-
-impl<'g> Matcher<'g> {
-    /// Builds the matcher (and its BFL index) for `graph`.
-    pub fn new(graph: &'g DataGraph) -> Self {
-        Matcher { graph, bfl: BflIndex::new(graph) }
-    }
-
-    /// The underlying data graph.
-    pub fn graph(&self) -> &'g DataGraph {
-        self.graph
-    }
-
-    /// Reachability-index construction time (Fig. 18a's "BFL" column).
-    pub fn index_build_time(&self) -> Duration {
-        Duration::from_secs_f64(self.bfl.build_seconds())
-    }
-
-    /// Direct access to the reachability oracle.
-    pub fn reachability(&self) -> &impl Reachability {
-        &self.bfl
-    }
-
-    /// The concrete BFL index (condensation + interval labels), as RIG
-    /// construction consumes it — used by harnesses that build RIGs
-    /// outside the facade (e.g. the CSR-vs-reference benchmarks).
-    pub fn bfl(&self) -> &BflIndex {
-        &self.bfl
-    }
-
-    /// Shared GM pipeline (§3 reduction, Alg. 4 RIG build, Alg. 5
-    /// enumeration) with the enumeration stage supplied by the caller: the
-    /// sequential, sink-streaming and morsel-parallel entry points all run
-    /// through here so they stay behaviorally identical up to the engine.
-    fn run_pipeline(
-        &self,
-        query: &PatternQuery,
-        cfg: &GmConfig,
-        enumerate_stage: impl FnOnce(&PatternQuery, &Rig) -> EnumResult,
-    ) -> QueryOutcome {
-        let total_start = Instant::now();
-
-        // 1. transitive reduction (§3)
-        let red_start = Instant::now();
-        let reduced_storage;
-        let edges_reduced;
-        let query_ref: &PatternQuery = if cfg.skip_reduction {
-            edges_reduced = 0;
-            query
-        } else {
-            reduced_storage = transitive_reduction(query);
-            edges_reduced = query.num_edges() - reduced_storage.num_edges();
-            &reduced_storage
-        };
-        let reduction_time = red_start.elapsed();
-
-        // 2–3. RIG construction (Alg. 4)
-        let ctx = SimContext::new(self.graph, query_ref, &self.bfl);
-        let rig = build_rig(&ctx, &self.bfl, &cfg.rig);
-
-        // 4–5. ordering + enumeration (Alg. 5)
-        let order_start = Instant::now();
-        let result = if rig.is_empty() {
-            EnumResult::empty(Vec::new())
-        } else {
-            enumerate_stage(query_ref, &rig)
-        };
-        let enum_total = order_start.elapsed();
-
-        let metrics = GmMetrics {
-            reduction_time,
-            rig_stats: rig.stats.clone(),
-            enumeration_time: enum_total,
-            total_time: total_start.elapsed(),
-            edges_reduced,
-            rig_from_cache: false,
-        };
-        QueryOutcome { result, metrics }
-    }
-
-    /// Evaluates `query`, streaming every occurrence tuple (indexed by
-    /// query node) to `visit`; return `false` to stop early.
-    #[deprecated(note = "use Session::prepare + Run::stream (see rig_core::session)")]
-    pub fn run_with(
-        &self,
-        query: &PatternQuery,
-        cfg: &GmConfig,
-        visit: impl FnMut(&[NodeId]) -> bool,
-    ) -> QueryOutcome {
-        self.run_pipeline(query, cfg, |q, rig| enumerate(q, rig, &cfg.enumeration, visit))
-    }
-
-    /// Evaluates `query`, streaming occurrences into `sink` (see
-    /// `rig_mjoin::sink` for count-only / first-k / batched consumers).
-    #[deprecated(note = "use Session::prepare + Run::stream (see rig_core::session)")]
-    pub fn run_sink<S: ResultSink>(
-        &self,
-        query: &PatternQuery,
-        cfg: &GmConfig,
-        sink: &mut S,
-    ) -> QueryOutcome {
-        let mut engine_ran = false;
-        let outcome = self.run_pipeline(query, cfg, |q, rig| {
-            engine_ran = true;
-            rig_mjoin::enumerate_sink(q, rig, &cfg.enumeration, sink)
-        });
-        // An empty RIG short-circuits before the engine runs; the sink
-        // contract (finish fires exactly once per run) must still hold.
-        if !engine_ran {
-            sink.finish();
-        }
-        outcome
-    }
-
-    /// Counts the occurrences of `query`.
-    #[deprecated(note = "use Session::prepare + Run::count (see rig_core::session)")]
-    #[allow(deprecated)]
-    pub fn count(&self, query: &PatternQuery, cfg: &GmConfig) -> QueryOutcome {
-        self.run_with(query, cfg, |_| true)
-    }
-
-    /// Counts occurrences with `threads` morsel-driven parallel workers
-    /// (§6 future work). `limit` and `timeout` are enforced across
-    /// workers — no sequential fallback.
-    #[deprecated(note = "use Session::prepare + Run::threads(n).count (see rig_core::session)")]
-    pub fn par_count(&self, query: &PatternQuery, cfg: &GmConfig, threads: usize) -> QueryOutcome {
-        self.run_pipeline(query, cfg, |q, rig| {
-            rig_mjoin::par_count(q, rig, &cfg.enumeration, threads)
-        })
-    }
-
-    /// Parallel evaluation streaming into per-worker sinks
-    /// (`make_sink(worker_index)`); returns the sinks alongside the
-    /// outcome. See [`rig_mjoin::par_enumerate`] for the sink contract.
-    #[deprecated(note = "use Session::prepare + Run::par_stream (see rig_core::session)")]
-    pub fn par_run<S, F>(
-        &self,
-        query: &PatternQuery,
-        cfg: &GmConfig,
-        par: &ParOptions,
-        make_sink: F,
-    ) -> (Vec<S>, QueryOutcome)
-    where
-        S: ResultSink + Send,
-        F: Fn(usize) -> S + Sync,
-    {
-        let mut sinks = Vec::new();
-        let outcome = self.run_pipeline(query, cfg, |q, rig| {
-            let (s, r) = rig_mjoin::par_enumerate(q, rig, &cfg.enumeration, par, &make_sink);
-            sinks = s;
-            r
-        });
-        // An empty RIG short-circuits before the engine runs; still hand
-        // back one (finished) sink per worker so callers can merge
-        // uniformly.
-        if sinks.is_empty() {
-            sinks = (0..par.threads.max(1))
-                .map(|w| {
-                    let mut s = make_sink(w);
-                    s.finish();
-                    s
-                })
-                .collect();
-        }
-        (sinks, outcome)
-    }
-
-    /// Collects up to `max` occurrence tuples.
-    #[deprecated(note = "use Session::prepare + Run::collect (see rig_core::session)")]
-    #[allow(deprecated)]
-    pub fn collect(
-        &self,
-        query: &PatternQuery,
-        cfg: &GmConfig,
-        max: usize,
-    ) -> (Vec<Vec<NodeId>>, QueryOutcome) {
-        let mut out = Vec::new();
-        let outcome = self.run_with(query, cfg, |t| {
-            if out.len() < max {
-                out.push(t.to_vec());
-            }
-            out.len() < max
-        });
-        (out, outcome)
-    }
-
-    /// Builds (and returns) just the RIG for `query` — used by the Fig. 13
-    /// harness to measure index size and build time without enumeration.
-    #[deprecated(note = "use Session::prepare + Run::explain, or rig_index::build_rig directly")]
-    pub fn build_rig_only(&self, query: &PatternQuery, cfg: &GmConfig) -> Rig {
-        let ctx = SimContext::new(self.graph, query, &self.bfl);
-        build_rig(&ctx, &self.bfl, &cfg.rig)
-    }
+/// Convenience for harnesses: evaluate `query` on `graph` once through a
+/// throwaway [`Session`] with `cfg`. Prefer a long-lived session when the
+/// graph is reused — it keeps the BFL index and plan cache warm.
+pub fn evaluate_once(
+    graph: &rig_graph::DataGraph,
+    query: &PatternQuery,
+    cfg: &GmConfig,
+) -> Result<QueryOutcome, Error> {
+    let session = Session::with_config(graph.clone(), *cfg);
+    let prepared = session.prepare(query)?;
+    Ok(prepared.run().count())
 }
 
 // re-export the pieces users need to drive the matcher without digging
@@ -362,9 +146,9 @@ pub use rig_mjoin::{
 pub use rig_sim::{DirectCheckMode, ReachCheckMode, SimAlgorithm, SimOptions};
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims stay covered until they are removed
 mod tests {
     use super::*;
+    use rig_graph::DataGraph;
     use rig_mjoin::EnumOptions;
     use rig_query::{fig2_query, EdgeKind, PatternQuery};
 
@@ -396,9 +180,9 @@ mod tests {
 
     #[test]
     fn end_to_end_fig2() {
-        let g = fig2_graph();
-        let m = Matcher::new(&g);
-        let (tuples, outcome) = m.collect(&fig2_query(), &GmConfig::exact(), 10);
+        let session = Session::with_config(fig2_graph(), GmConfig::exact());
+        let p = session.prepare(fig2_query()).unwrap();
+        let (tuples, outcome) = p.run().collect(10);
         let mut sorted = tuples;
         sorted.sort();
         assert_eq!(sorted, vec![vec![1, 3, 7], vec![2, 5, 9]]);
@@ -411,16 +195,16 @@ mod tests {
 
     #[test]
     fn reduction_removes_redundant_reachability_edge() {
-        let g = fig2_graph();
-        let m = Matcher::new(&g);
         // add redundant A => C on top of A -> B => C
         let mut q = PatternQuery::new(vec![0, 1, 2]);
         q.add_edge(0, 1, EdgeKind::Direct);
         q.add_edge(1, 2, EdgeKind::Reachability);
         q.add_edge(0, 2, EdgeKind::Reachability); // redundant
-        let with = m.count(&q, &GmConfig::exact());
+        let g = fig2_graph();
+        let with = evaluate_once(&g, &q, &GmConfig::exact()).unwrap();
         assert_eq!(with.metrics.edges_reduced, 1);
-        let without = m.count(&q, &GmConfig { skip_reduction: true, ..GmConfig::exact() });
+        let without =
+            evaluate_once(&g, &q, &GmConfig { skip_reduction: true, ..GmConfig::exact() }).unwrap();
         assert_eq!(without.metrics.edges_reduced, 0);
         // identical answers either way (equivalence of the reduction)
         assert_eq!(with.result.count, without.result.count);
@@ -428,25 +212,21 @@ mod tests {
 
     #[test]
     fn limit_and_timeout_paths() {
-        let g = fig2_graph();
-        let m = Matcher::new(&g);
         let cfg = GmConfig {
             enumeration: EnumOptions { limit: Some(1), ..Default::default() },
             ..GmConfig::exact()
         };
-        let o = m.count(&fig2_query(), &cfg);
+        let o = evaluate_once(&fig2_graph(), &fig2_query(), &cfg).unwrap();
         assert_eq!(o.result.count, 1);
         assert!(o.result.limit_hit);
     }
 
     #[test]
     fn empty_answer_short_circuits() {
-        let g = fig2_graph();
-        let m = Matcher::new(&g);
         // label 2 -> label 0 direct edge never occurs
         let mut q = PatternQuery::new(vec![2, 0]);
         q.add_edge(0, 1, EdgeKind::Direct);
-        let o = m.count(&q, &GmConfig::exact());
+        let o = evaluate_once(&fig2_graph(), &q, &GmConfig::exact()).unwrap();
         assert_eq!(o.result.count, 0);
         assert_eq!(o.metrics.rig_stats.node_count, 0);
     }
@@ -455,28 +235,23 @@ mod tests {
     fn three_pass_default_equals_exact_count() {
         // the §4.5 approximation changes the RIG, never the answer
         let g = fig2_graph();
-        let m = Matcher::new(&g);
-        let exact = m.count(&fig2_query(), &GmConfig::exact());
-        let capped = m.count(&fig2_query(), &GmConfig::default());
+        let exact = evaluate_once(&g, &fig2_query(), &GmConfig::exact()).unwrap();
+        let capped = evaluate_once(&g, &fig2_query(), &GmConfig::default()).unwrap();
         assert_eq!(exact.result.count, capped.result.count);
     }
 
     #[test]
-    fn parallel_facade_agrees_with_sequential() {
-        let g = fig2_graph();
-        let m = Matcher::new(&g);
-        let seq = m.count(&fig2_query(), &GmConfig::exact());
+    fn parallel_session_agrees_with_sequential() {
+        let session = Session::with_config(fig2_graph(), GmConfig::exact());
+        let p = session.prepare(fig2_query()).unwrap();
+        let seq = p.run().count();
         for threads in [2usize, 8] {
-            let par = m.par_count(&fig2_query(), &GmConfig::exact(), threads);
+            let par = p.run().threads(threads).count();
             assert_eq!(par.result.count, seq.result.count, "threads={threads}");
         }
-        let (sinks, outcome) = m.par_run(
-            &fig2_query(),
-            &GmConfig::exact(),
-            &ParOptions { threads: 3, morsel: 1 },
-            |_| CollectSink::default(),
-        );
-        let mut tuples: Vec<Vec<NodeId>> = sinks.into_iter().flat_map(|s| s.tuples).collect();
+        let (sinks, outcome) = p.run().threads(3).morsel(1).par_stream(|_| CollectSink::default());
+        let mut tuples: Vec<Vec<rig_graph::NodeId>> =
+            sinks.into_iter().flat_map(|s| s.tuples).collect();
         tuples.sort();
         assert_eq!(tuples, vec![vec![1, 3, 7], vec![2, 5, 9]]);
         assert_eq!(outcome.result.count, 2);
@@ -484,67 +259,19 @@ mod tests {
 
     #[test]
     fn parallel_limit_is_enforced_not_fallen_back() {
-        let g = fig2_graph();
-        let m = Matcher::new(&g);
-        let cfg = GmConfig {
-            enumeration: EnumOptions { limit: Some(1), ..Default::default() },
-            ..GmConfig::exact()
-        };
-        let o = m.par_count(&fig2_query(), &cfg, 4);
+        let session = Session::with_config(fig2_graph(), GmConfig::exact());
+        let p = session.prepare(fig2_query()).unwrap();
+        let o = p.run().threads(4).limit(1).count();
         assert_eq!(o.result.count, 1);
         assert!(o.result.limit_hit);
     }
 
     #[test]
-    fn sink_facade_streams() {
-        let g = fig2_graph();
-        let m = Matcher::new(&g);
-        let mut sink = CountSink::default();
-        let o = m.run_sink(&fig2_query(), &GmConfig::exact(), &mut sink);
-        assert_eq!(sink.count, 2);
-        assert_eq!(o.result.count, 2);
-    }
-
-    /// `finish` must fire exactly once per run even when the empty-RIG
-    /// short circuit skips the engine entirely.
-    #[test]
-    fn sink_finish_fires_on_empty_rig_short_circuit() {
-        struct FinishCounter {
-            finished: u32,
-        }
-        impl ResultSink for FinishCounter {
-            fn push(&mut self, _t: &[NodeId]) -> bool {
-                true
-            }
-            fn finish(&mut self) {
-                self.finished += 1;
-            }
-        }
-        let g = fig2_graph();
-        let m = Matcher::new(&g);
-        // label 2 -> label 0 direct edge never occurs: empty RIG
-        let mut q = PatternQuery::new(vec![2, 0]);
-        q.add_edge(0, 1, EdgeKind::Direct);
-        let mut sink = FinishCounter { finished: 0 };
-        let o = m.run_sink(&q, &GmConfig::exact(), &mut sink);
-        assert_eq!(o.result.count, 0);
-        assert_eq!(sink.finished, 1, "finish must fire exactly once");
-        // non-empty path fires it exactly once too (inside the engine)
-        let mut sink2 = FinishCounter { finished: 0 };
-        m.run_sink(&fig2_query(), &GmConfig::exact(), &mut sink2);
-        assert_eq!(sink2.finished, 1);
-    }
-
-    #[test]
     fn all_search_orders_agree_end_to_end() {
-        let g = fig2_graph();
-        let m = Matcher::new(&g);
+        let session = Session::with_config(fig2_graph(), GmConfig::exact());
+        let p = session.prepare(fig2_query()).unwrap();
         for order in [SearchOrder::Jo, SearchOrder::Ri, SearchOrder::Bj] {
-            let cfg = GmConfig {
-                enumeration: EnumOptions { order, ..Default::default() },
-                ..GmConfig::exact()
-            };
-            assert_eq!(m.count(&fig2_query(), &cfg).result.count, 2, "{order:?}");
+            assert_eq!(p.run().order(order).count().result.count, 2, "{order:?}");
         }
     }
 }

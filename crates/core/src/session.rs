@@ -1,11 +1,12 @@
 //! The `Session` API — the single front door to the GM pipeline.
 //!
-//! A [`Session`] owns a data graph, its BFL reachability index, and an LRU
-//! cache of built RIGs (the per-query "plans" of this engine). Queries
-//! enter as HPQL text (`MATCH (a:Author)->(p:Paper)=>(q:Paper)`) or as
-//! hand-built [`PatternQuery`] values, are parsed / validated /
-//! transitively reduced / canonicalized **once** by [`Session::prepare`],
-//! and then execute any number of times through the [`Run`] builder:
+//! A [`Session`] owns a **versioned graph store** (base CSR segment + delta
+//! overlay), its BFL reachability index, and an LRU cache of built RIGs
+//! (the per-query "plans" of this engine). Queries enter as HPQL text
+//! (`MATCH (a:Author)->(p:Paper)=>(q:Paper)`) or as hand-built
+//! [`PatternQuery`] values, are parsed / validated / transitively reduced /
+//! canonicalized **once** by [`Session::prepare`], and then execute any
+//! number of times through the [`Run`] builder:
 //!
 //! ```
 //! use rig_core::Session;
@@ -26,22 +27,54 @@
 //! assert_eq!(session.cache_stats().hits, 1);
 //! ```
 //!
-//! The cache is keyed by `(canonical reduced query, RIG build options,
-//! graph epoch)`; [`Session::replace_graph`] bumps the epoch, so plans
-//! prepared against an older graph can never serve stale candidates.
-//! Execution skips straight to MJoin on a hit — the selection + expansion
-//! phases of Alg. 4 are not re-run (`GmMetrics::rig_from_cache` records
-//! this per run).
+//! ## Dynamic graphs
+//!
+//! The graph is **mutable between runs**: stage node/edge changes on a
+//! [`GraphTxn`] and publish them with [`Session::commit`]. Every run
+//! executes against one immutable [`Snapshot`] (O(1) to take), so
+//! in-flight sequential and morsel-parallel enumerations keep a
+//! consistent view while writers proceed; the next run simply picks up
+//! the newest snapshot.
+//!
+//! ```
+//! use rig_core::Session;
+//! use rig_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_named_node("Author");
+//! let p = b.add_named_node("Paper");
+//! b.add_edge(a, p);
+//! let session = Session::new(b.build());
+//! let papers = session.prepare("MATCH (a:Author)->(p:Paper)").unwrap();
+//! assert_eq!(papers.run().count().result.count, 1);
+//!
+//! let mut txn = session.begin();
+//! let p2 = txn.add_named_node("Paper");
+//! txn.add_edge(0, p2);
+//! session.commit(txn).unwrap();
+//! assert_eq!(papers.run().count().result.count, 2);
+//! ```
+//!
+//! Commits invalidate cached plans **by label set**, not wholesale: a
+//! plan is dropped only when the commit touched one of the labels its
+//! reduced query reads, or when it contains reachability edges and the
+//! commit changed any edge (paths traverse arbitrary labels). Plans over
+//! disjoint labels stay hot — [`CacheStats::invalidated`] counts the
+//! drops. Once the delta grows past the [`CompactionPolicy`] threshold,
+//! the store compacts LSM-style: the overlay is merged into a fresh
+//! id-stable base segment and the BFL index is rebuilt.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use rig_graph::{DataGraph, Label, NodeId};
+use rig_graph::{
+    CommitImpact, DataGraph, DeltaOverlay, GraphView, Label, MutationOp, NodeId, Snapshot,
+};
 use rig_index::{build_rig, Rig, RigOptions, RigStats};
 use rig_mjoin::{compute_order, EnumOptions, EnumResult, ParOptions, ResultSink, SearchOrder};
-use rig_query::{hpql, parse_hpql, transitive_reduction, PatternQuery, QNode};
-use rig_reach::{BflIndex, Reachability};
+use rig_query::{hpql, parse_hpql, transitive_reduction, EdgeKind, PatternQuery, QNode};
+use rig_reach::{BflIndex, Reachability, SnapshotReach};
 use rig_sim::SimContext;
 
 use crate::{Error, GmConfig, GmMetrics, QueryOutcome};
@@ -58,17 +91,28 @@ struct CacheKey {
     labels: Vec<Label>,
     edges: Vec<rig_query::PatternEdge>,
     opts: RigOptions,
-    epoch: u64,
 }
 
 impl CacheKey {
-    fn new(query: &PatternQuery, rig_opts: &RigOptions, epoch: u64) -> CacheKey {
+    fn new(query: &PatternQuery, rig_opts: &RigOptions) -> CacheKey {
         // build_threads is normalized out: the expansion phase is
         // bit-identical at every thread count (see docs/parallel.md), so
         // plans are shared across it.
         let opts = RigOptions { build_threads: 0, ..*rig_opts };
-        CacheKey { labels: query.labels().to_vec(), edges: query.edges().to_vec(), opts, epoch }
+        CacheKey { labels: query.labels().to_vec(), edges: query.edges().to_vec(), opts }
     }
+}
+
+struct CacheEntry {
+    key: CacheKey,
+    rig: Arc<Rig>,
+    /// 64-bit label-set fingerprint of the reduced query (bit `l mod 64`
+    /// per label) — the cheap pre-check of the commit invalidation sweep.
+    mask: u64,
+    /// True when the reduced query has reachability edges: such plans
+    /// depend on paths through nodes of *any* label, so every structural
+    /// (edge-mutating) commit invalidates them.
+    has_reach: bool,
 }
 
 /// Tiny exact-LRU over a vec: entries ordered most- to least-recently
@@ -76,27 +120,27 @@ impl CacheKey {
 /// than a linked-hash structure and keeps the code dependency-free.
 struct PlanCache {
     capacity: usize,
-    entries: Vec<(CacheKey, Arc<Rig>)>,
+    entries: Vec<CacheEntry>,
     evictions: u64,
 }
 
 impl PlanCache {
     fn get(&mut self, key: &CacheKey) -> Option<Arc<Rig>> {
-        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let pos = self.entries.iter().position(|e| e.key == *key)?;
         let entry = self.entries.remove(pos);
-        let rig = Arc::clone(&entry.1);
+        let rig = Arc::clone(&entry.rig);
         self.entries.insert(0, entry);
         Some(rig)
     }
 
-    fn insert(&mut self, key: CacheKey, rig: Arc<Rig>) {
+    fn insert(&mut self, entry: CacheEntry) {
         if self.capacity == 0 {
             return;
         }
-        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+        if let Some(pos) = self.entries.iter().position(|e| e.key == entry.key) {
             self.entries.remove(pos);
         }
-        self.entries.insert(0, (key, rig));
+        self.entries.insert(0, entry);
         while self.entries.len() > self.capacity {
             self.entries.pop();
             self.evictions += 1;
@@ -109,10 +153,14 @@ impl PlanCache {
 pub struct CacheStats {
     /// Executions served from a cached RIG.
     pub hits: u64,
-    /// Executions that had to build their RIG.
+    /// Cache lookups that missed and built their RIG (`no_cache` bypass
+    /// runs count neither here nor as hits).
     pub misses: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Plans dropped by commit label-set invalidation (witnesses that a
+    /// commit hit a plan's labels — or its reachability edges).
+    pub invalidated: u64,
     /// Plans currently resident.
     pub entries: usize,
     /// Maximum resident plans.
@@ -120,19 +168,180 @@ pub struct CacheStats {
 }
 
 // ---------------------------------------------------------------------------
+// compaction policy & store statistics
+// ---------------------------------------------------------------------------
+
+/// When the delta overlay is merged into a fresh base segment.
+///
+/// Compaction triggers at the end of a commit once the overlay has
+/// absorbed at least `min_ops` mutations **and** at least
+/// `ratio * (|V| + |E|)` of the current base segment's size. Both knobs
+/// guard the two failure modes: tiny graphs should not recompact on every
+/// commit, and huge graphs should not let the (hash-probed) overlay grow
+/// into a significant fraction of reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Minimum delta operations before compaction is considered.
+    pub min_ops: u64,
+    /// Delta operations as a fraction of base size (nodes + edges).
+    pub ratio: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy { min_ops: 4096, ratio: 0.25 }
+    }
+}
+
+impl CompactionPolicy {
+    /// Never compact automatically ([`Session::compact`] still works).
+    pub const fn disabled() -> CompactionPolicy {
+        CompactionPolicy { min_ops: u64::MAX, ratio: f64::INFINITY }
+    }
+
+    fn due(&self, delta_ops: u64, base_size: u64) -> bool {
+        delta_ops >= self.min_ops && (delta_ops as f64) >= self.ratio * base_size as f64
+    }
+}
+
+/// Graph-store statistics (see [`Session::store_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Monotone store version: bumped by every commit and `replace_graph`.
+    pub version: u64,
+    /// Commits applied since the session opened.
+    pub commits: u64,
+    /// LSM compactions run (automatic + manual).
+    pub compactions: u64,
+    /// Mutations currently resident in the delta overlay.
+    pub delta_ops: u64,
+    /// Base segment size: node slots.
+    pub base_nodes: usize,
+    /// Base segment size: edges.
+    pub base_edges: usize,
+    /// Live nodes under the current snapshot.
+    pub live_nodes: usize,
+    /// Edges under the current snapshot.
+    pub edges: usize,
+}
+
+/// What one [`Session::commit`] did.
+#[derive(Debug, Clone)]
+pub struct CommitSummary {
+    /// Store version the commit published.
+    pub version: u64,
+    pub nodes_added: u64,
+    pub nodes_removed: u64,
+    pub edges_added: u64,
+    pub edges_removed: u64,
+    /// Labels whose membership or incident adjacency changed.
+    pub touched_labels: Vec<Label>,
+    /// True when any edge changed (see [`CacheStats::invalidated`] rules).
+    pub structural: bool,
+    /// Cached plans dropped by the label-aware invalidation sweep.
+    pub plans_invalidated: u64,
+    /// Cached plans that survived the sweep.
+    pub plans_retained: u64,
+    /// True when this commit tripped the compaction threshold.
+    pub compacted: bool,
+}
+
+// ---------------------------------------------------------------------------
+// transactions
+// ---------------------------------------------------------------------------
+
+/// A staged batch of graph mutations. Create with [`Session::begin`],
+/// stage changes, publish atomically with [`Session::commit`] —
+/// all-or-nothing: if any op fails validation the graph is untouched.
+///
+/// Node ids handed out by [`GraphTxn::add_node`] are *provisional*: they
+/// become real iff the commit succeeds. Commits are optimistic — a txn
+/// begun at store version `v` only commits against version `v`, so two
+/// racing writers cannot interleave half-applied batches.
+#[derive(Debug)]
+pub struct GraphTxn {
+    ops: Vec<MutationOp>,
+    next_node: NodeId,
+    start_version: u64,
+}
+
+impl GraphTxn {
+    /// Stages a node addition; returns the id the node will have.
+    pub fn add_node(&mut self, label: Label) -> NodeId {
+        self.stage_node(MutationOp::AddNode(rig_graph::LabelSpec::Id(label)))
+    }
+
+    /// Stages a node addition labeled by name (interned on first use).
+    pub fn add_named_node(&mut self, name: &str) -> NodeId {
+        self.stage_node(MutationOp::AddNode(rig_graph::LabelSpec::Named(name.to_string())))
+    }
+
+    fn stage_node(&mut self, op: MutationOp) -> NodeId {
+        self.ops.push(op);
+        let id = self.next_node;
+        self.next_node += 1;
+        id
+    }
+
+    /// Stages a node removal (tombstones the id, drops incident edges).
+    pub fn remove_node(&mut self, v: NodeId) {
+        self.ops.push(MutationOp::RemoveNode(v));
+    }
+
+    /// Stages an edge addition (idempotent if the edge exists).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.ops.push(MutationOp::AddEdge(u, v));
+    }
+
+    /// Stages an edge removal (the edge must exist at commit time).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
+        self.ops.push(MutationOp::RemoveEdge(u, v));
+    }
+
+    /// Stages a pre-parsed [`MutationOp`] (the CLI mutation-script path).
+    pub fn push(&mut self, op: MutationOp) {
+        if matches!(op, MutationOp::AddNode(_)) {
+            self.next_node += 1;
+        }
+        self.ops.push(op);
+    }
+
+    /// Number of staged operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // session
 // ---------------------------------------------------------------------------
 
-/// A query session over one data graph: owns the graph, its reachability
-/// index, and the RIG plan cache. See the [module docs](self) for a tour.
+struct State {
+    snapshot: Arc<Snapshot>,
+    bfl: Arc<BflIndex>,
+    version: u64,
+    commits: u64,
+    compactions: u64,
+    cache: PlanCache,
+}
+
+/// A query session over one data graph: owns the versioned graph store,
+/// its reachability index, and the RIG plan cache. See the
+/// [module docs](self) for a tour. `Session` is `Sync`: runs on other
+/// threads keep executing against their snapshots while a writer commits.
 pub struct Session {
-    graph: Arc<DataGraph>,
-    bfl: BflIndex,
+    state: Mutex<State>,
     config: GmConfig,
-    epoch: u64,
-    cache: Mutex<PlanCache>,
+    compaction: CompactionPolicy,
+    epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl Session {
@@ -146,20 +355,28 @@ impl Session {
     /// Opens a session with an explicit pipeline configuration (ablation
     /// knobs, simulation tuning, RIG build threads).
     pub fn with_config(graph: impl Into<Arc<DataGraph>>, config: GmConfig) -> Session {
-        let graph = graph.into();
-        let bfl = BflIndex::new(&graph);
+        let base = graph.into();
+        let bfl = Arc::new(BflIndex::new(&base));
+        let snapshot = Arc::new(Snapshot::clean(base));
         Session {
-            graph,
-            bfl,
-            config,
-            epoch: 0,
-            cache: Mutex::new(PlanCache {
-                capacity: DEFAULT_CACHE_CAPACITY,
-                entries: Vec::new(),
-                evictions: 0,
+            state: Mutex::new(State {
+                snapshot,
+                bfl,
+                version: 0,
+                commits: 0,
+                compactions: 0,
+                cache: PlanCache {
+                    capacity: DEFAULT_CACHE_CAPACITY,
+                    entries: Vec::new(),
+                    evictions: 0,
+                },
             }),
+            config,
+            compaction: CompactionPolicy::default(),
+            epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -167,19 +384,27 @@ impl Session {
     /// call right after construction.
     pub fn cache_capacity(self, capacity: usize) -> Session {
         {
-            let mut cache = self.cache.lock().unwrap();
-            cache.capacity = capacity;
-            while cache.entries.len() > capacity {
-                cache.entries.pop();
-                cache.evictions += 1;
+            let mut st = self.state.lock().unwrap();
+            st.cache.capacity = capacity;
+            while st.cache.entries.len() > capacity {
+                st.cache.entries.pop();
+                st.cache.evictions += 1;
             }
         }
         self
     }
 
-    /// The session's data graph.
-    pub fn graph(&self) -> &DataGraph {
-        &self.graph
+    /// Sets the delta-compaction policy. Builder-style; call right after
+    /// construction.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Session {
+        self.compaction = policy;
+        self
+    }
+
+    /// The current graph snapshot: an O(1) immutable view. Holding it
+    /// pins nothing — later commits simply publish newer snapshots.
+    pub fn graph(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.state.lock().unwrap().snapshot)
     }
 
     /// The session's pipeline configuration.
@@ -187,48 +412,203 @@ impl Session {
         &self.config
     }
 
-    /// The graph epoch: bumped by every [`Session::replace_graph`], part
-    /// of every plan-cache key.
+    /// The graph epoch: bumped by every [`Session::replace_graph`] (a
+    /// whole-graph swap, as opposed to the versioned commits of
+    /// [`Session::commit`]).
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// Reachability-index construction time (Fig. 18a's "BFL" column).
     pub fn index_build_time(&self) -> Duration {
-        Duration::from_secs_f64(self.bfl.build_seconds())
+        Duration::from_secs_f64(self.bfl().build_seconds())
     }
 
-    /// The concrete BFL index, for harnesses that drive RIG construction
-    /// outside the session.
-    pub fn bfl(&self) -> &BflIndex {
-        &self.bfl
+    /// The concrete BFL index of the current **base segment**, for
+    /// harnesses that drive RIG construction outside the session. On a
+    /// dirty snapshot pair it with [`rig_reach::SnapshotReach`].
+    pub fn bfl(&self) -> Arc<BflIndex> {
+        Arc::clone(&self.state.lock().unwrap().bfl)
     }
 
-    /// Swaps in a new graph: rebuilds the reachability index, bumps the
-    /// epoch and drops every cached plan. Outstanding [`Prepared`] values
-    /// cannot exist across this call (they borrow the session), so no plan
-    /// prepared against the old graph can run against the new one.
+    /// Swaps in a whole new graph: rebuilds the reachability index, bumps
+    /// the epoch and drops every cached plan. For incremental changes use
+    /// [`Session::begin`] / [`Session::commit`], which keep unaffected
+    /// plans cached.
+    ///
+    /// Takes `&mut self` deliberately: a [`Prepared`] resolved its label
+    /// names against the *old* graph, so the borrow checker must prevent
+    /// any from outliving the swap (commits only grow the label space, so
+    /// they are safe under `&self`; a wholesale replacement is not).
     pub fn replace_graph(&mut self, graph: impl Into<Arc<DataGraph>>) {
-        self.graph = graph.into();
-        self.bfl = BflIndex::new(&self.graph);
-        self.epoch += 1;
-        self.cache.lock().unwrap().entries.clear();
+        let base = graph.into();
+        let bfl = Arc::new(BflIndex::new(&base));
+        let mut st = self.state.lock().unwrap();
+        st.version += 1;
+        st.snapshot = Arc::new(Snapshot::new(Arc::new(DeltaOverlay::new(base)), st.version));
+        st.bfl = bfl;
+        st.cache.entries.clear();
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // -- mutation API -------------------------------------------------------
+
+    /// Starts a mutation transaction against the current store version.
+    pub fn begin(&self) -> GraphTxn {
+        let st = self.state.lock().unwrap();
+        GraphTxn {
+            ops: Vec::new(),
+            next_node: st.snapshot.num_nodes() as NodeId,
+            start_version: st.version,
+        }
+    }
+
+    /// Atomically applies a transaction: validates and applies every op to
+    /// a private copy of the delta, publishes a new snapshot on success,
+    /// sweeps the plan cache by label-set fingerprint, and compacts the
+    /// store if the delta crossed the policy threshold. Fails without side
+    /// effects on the first invalid op, or if another commit landed since
+    /// [`Session::begin`] (optimistic concurrency).
+    pub fn commit(&self, txn: GraphTxn) -> Result<CommitSummary, Error> {
+        let mut st = self.state.lock().unwrap();
+        if st.version != txn.start_version {
+            return Err(Error::validation(format!(
+                "write conflict: transaction began at store version {} but the store is at {}",
+                txn.start_version, st.version
+            )));
+        }
+        let mut overlay: DeltaOverlay = (**st.snapshot.delta()).clone();
+        let mut impact = CommitImpact::default();
+        for op in &txn.ops {
+            overlay.apply(op, &mut impact).map_err(Error::validation)?;
+        }
+        st.version += 1;
+        st.commits += 1;
+        let delta_ops = overlay.ops();
+        let base = overlay.base();
+        let base_size = (base.num_nodes() + base.num_edges()) as u64;
+        st.snapshot = Arc::new(Snapshot::new(Arc::new(overlay), st.version));
+
+        // label-aware invalidation sweep
+        let touched_mask = impact.touched_mask();
+        let version = st.version;
+        let mut invalidated = 0u64;
+        st.cache.entries.retain(|e| {
+            let stale = (e.has_reach && impact.structural)
+                || (e.mask & touched_mask != 0
+                    && e.key.labels.iter().any(|l| impact.touched.contains(l)));
+            if stale {
+                invalidated += 1;
+            }
+            !stale
+        });
+        self.invalidated.fetch_add(invalidated, Ordering::Relaxed);
+        let retained = st.cache.entries.len() as u64;
+        drop(st);
+
+        // compaction happens *outside* the state lock (materialize + BFL
+        // rebuild are the expensive part) so readers keep executing
+        // against the just-published snapshot in the meantime
+        let compacted = self.compaction.due(delta_ops, base_size) && self.compact_at(version);
+        Ok(CommitSummary {
+            version,
+            nodes_added: impact.nodes_added,
+            nodes_removed: impact.nodes_removed,
+            edges_added: impact.edges_added,
+            edges_removed: impact.edges_removed,
+            touched_labels: {
+                let mut t: Vec<Label> = impact.touched.iter().copied().collect();
+                t.sort_unstable();
+                t
+            },
+            structural: impact.structural,
+            plans_invalidated: invalidated,
+            plans_retained: retained,
+            compacted,
+        })
+    }
+
+    /// Convenience: begin + stage `ops` + commit.
+    pub fn apply(&self, ops: &[MutationOp]) -> Result<CommitSummary, Error> {
+        let mut txn = self.begin();
+        for op in ops {
+            txn.push(op.clone());
+        }
+        self.commit(txn)
+    }
+
+    /// Forces a compaction now (merge the delta into a fresh base segment
+    /// and rebuild BFL). Returns `false` when the delta was already empty
+    /// or a concurrent commit raced the merge (that commit will trigger
+    /// its own compaction if the delta is still over threshold).
+    pub fn compact(&self) -> bool {
+        let version = {
+            let st = self.state.lock().unwrap();
+            if !st.snapshot.is_dirty() {
+                return false;
+            }
+            st.version
+        };
+        self.compact_at(version)
+    }
+
+    /// Compacts the snapshot published at `version`: materializes the
+    /// merged base and rebuilds BFL **without holding the state lock**,
+    /// then swaps both in iff no commit landed in the meantime. Losing
+    /// the race just wastes the build — the racing commit re-evaluates
+    /// the threshold itself. Cached plans are deliberately kept:
+    /// compaction changes representation, never the graph.
+    fn compact_at(&self, version: u64) -> bool {
+        let snapshot = {
+            let st = self.state.lock().unwrap();
+            if st.version != version {
+                return false;
+            }
+            Arc::clone(&st.snapshot)
+        };
+        let merged = Arc::new(snapshot.materialize());
+        let bfl = Arc::new(BflIndex::new(&merged));
+        let mut st = self.state.lock().unwrap();
+        if st.version != version {
+            return false;
+        }
+        st.snapshot = Arc::new(Snapshot::new(Arc::new(DeltaOverlay::new(merged)), version));
+        st.bfl = bfl;
+        st.compactions += 1;
+        true
     }
 
     /// Drops every cached plan (counters are kept).
     pub fn clear_cache(&self) {
-        self.cache.lock().unwrap().entries.clear();
+        self.state.lock().unwrap().cache.entries.clear();
     }
 
     /// Plan-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        let cache = self.cache.lock().unwrap();
+        let st = self.state.lock().unwrap();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            evictions: cache.evictions,
-            entries: cache.entries.len(),
-            capacity: cache.capacity,
+            evictions: st.cache.evictions,
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            entries: st.cache.entries.len(),
+            capacity: st.cache.capacity,
+        }
+    }
+
+    /// Graph-store counters.
+    pub fn store_stats(&self) -> StoreStats {
+        let st = self.state.lock().unwrap();
+        let base = st.snapshot.base();
+        StoreStats {
+            version: st.version,
+            commits: st.commits,
+            compactions: st.compactions,
+            delta_ops: st.snapshot.delta().ops(),
+            base_nodes: base.num_nodes(),
+            base_edges: base.num_edges(),
+            live_nodes: st.snapshot.num_live_nodes(),
+            edges: st.snapshot.num_edges(),
         }
     }
 
@@ -236,10 +616,11 @@ impl Session {
     /// validates it against the graph, applies §3 transitive reduction and
     /// canonicalizes the result. The returned [`Prepared`] executes any
     /// number of times via [`Prepared::run`]; repeated executions reuse
-    /// the cached RIG.
+    /// the cached RIG, and each run sees the newest committed snapshot.
     pub fn prepare<'s, Q: IntoPattern>(&'s self, source: Q) -> Result<Prepared<'s>, Error> {
-        let (original, vars) = source.into_pattern(&self.graph)?;
-        validate_pattern(&self.graph, &original, vars.as_deref())?;
+        let snapshot = self.graph();
+        let (original, vars) = source.into_pattern(GraphView::from(&*snapshot))?;
+        validate_pattern(&*snapshot, &original, vars.as_deref())?;
         let red_start = Instant::now();
         let (reduced, edges_reduced) = if self.config.skip_reduction {
             (original.clone(), 0)
@@ -250,45 +631,93 @@ impl Session {
         };
         let exec = reduced.canonical();
         let reduction_time = red_start.elapsed();
+        // capture just the resolved label names for rendering — pinning
+        // the whole snapshot here would keep a superseded base segment +
+        // overlay alive for the Prepared's entire lifetime
+        let mut label_names: Vec<(Label, String)> = original
+            .labels()
+            .iter()
+            .map(|&l| (l, snapshot.label_name(l).to_string()))
+            .filter(|(_, n)| !n.is_empty())
+            .collect();
+        label_names.sort_unstable();
+        label_names.dedup();
         Ok(Prepared {
             session: self,
+            label_names,
             original,
             exec,
             vars,
             edges_reduced,
             reduction_time,
-            epoch: self.epoch,
         })
     }
 
     /// Looks up or builds the RIG for `prepared`. Returns the plan and
-    /// whether it came from the cache. The cache lock is not held during
-    /// the build, so two sessions' worth of concurrent misses on the same
-    /// key build twice and the second insert wins — wasted work, never a
-    /// wrong answer.
+    /// whether it came from the cache. No lock is held during the build,
+    /// so concurrent misses on the same key build twice and the second
+    /// insert wins — wasted work, never a wrong answer; a build raced by
+    /// a commit is simply not cached (its snapshot is already stale).
     fn rig_for(&self, prepared: &Prepared<'_>, use_cache: bool) -> (Arc<Rig>, bool) {
-        let key = CacheKey::new(&prepared.exec, &self.config.rig, self.epoch);
+        let key = CacheKey::new(&prepared.exec, &self.config.rig);
+        let (snapshot, bfl, version) = {
+            let mut st = self.state.lock().unwrap();
+            if use_cache {
+                if let Some(rig) = st.cache.get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (rig, true);
+                }
+                // only attempted lookups count as misses: `no_cache` runs
+                // bypass the cache and must not skew the hit rate
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            (Arc::clone(&st.snapshot), Arc::clone(&st.bfl), st.version)
+        };
+        let rig = Arc::new(build_plan(&snapshot, &bfl, &prepared.exec, &self.config.rig));
         if use_cache {
-            if let Some(rig) = self.cache.lock().unwrap().get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return (rig, true);
+            let mut st = self.state.lock().unwrap();
+            // a commit may have landed while we built: then this RIG
+            // describes a superseded snapshot and must not be cached
+            if st.version == version {
+                st.cache.insert(CacheEntry {
+                    mask: label_mask(&key.labels),
+                    has_reach: prepared
+                        .exec
+                        .edges()
+                        .iter()
+                        .any(|e| e.kind == EdgeKind::Reachability),
+                    rig: Arc::clone(&rig),
+                    key,
+                });
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let ctx = SimContext::new(&self.graph, &prepared.exec, &self.bfl);
-        let rig = Arc::new(build_rig(&ctx, &self.bfl, &self.config.rig));
-        if use_cache {
-            self.cache.lock().unwrap().insert(key, Arc::clone(&rig));
-        }
         (rig, false)
+    }
+}
+
+fn label_mask(labels: &[Label]) -> u64 {
+    labels.iter().fold(0u64, |m, &l| m | 1u64 << (l & 63))
+}
+
+/// Builds a RIG against one snapshot. Clean snapshots run the pure
+/// base-CSR + BFL path; dirty ones read adjacency through the overlay and
+/// probe reachability through the delta-aware [`SnapshotReach`] oracle.
+fn build_plan(snapshot: &Snapshot, bfl: &BflIndex, exec: &PatternQuery, opts: &RigOptions) -> Rig {
+    if snapshot.is_dirty() {
+        let reach = SnapshotReach::new(snapshot, bfl);
+        let ctx = SimContext::new(snapshot, exec, &reach);
+        build_rig(&ctx, bfl, opts)
+    } else {
+        let ctx = SimContext::new(snapshot.base(), exec, bfl);
+        build_rig(&ctx, bfl, opts)
     }
 }
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
-            .field("graph", &self.graph)
-            .field("epoch", &self.epoch)
+            .field("graph", &self.graph())
+            .field("store", &self.store_stats())
             .field("cache", &self.cache_stats())
             .finish()
     }
@@ -300,11 +729,12 @@ impl std::fmt::Debug for Session {
 /// this; front ends that hand patterns to non-Session engines (the CLI
 /// baselines) call it directly so bad queries classify identically across
 /// engines. `vars` supplies HPQL variable names for error messages.
-pub fn validate_pattern(
-    graph: &DataGraph,
+pub fn validate_pattern<'a>(
+    graph: impl Into<GraphView<'a>>,
     query: &PatternQuery,
     vars: Option<&[String]>,
 ) -> Result<(), Error> {
+    let graph = graph.into();
     if query.num_nodes() == 0 {
         return Err(Error::validation("query has no nodes"));
     }
@@ -334,23 +764,35 @@ pub fn validate_pattern(
 /// [`rig_query::HpqlQuery`], or a hand-built [`PatternQuery`].
 pub trait IntoPattern {
     /// Produces the pattern plus its variable names (text sources only).
-    fn into_pattern(self, graph: &DataGraph) -> Result<(PatternQuery, Option<Vec<String>>), Error>;
+    fn into_pattern(
+        self,
+        graph: GraphView<'_>,
+    ) -> Result<(PatternQuery, Option<Vec<String>>), Error>;
 }
 
 impl IntoPattern for &str {
-    fn into_pattern(self, graph: &DataGraph) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
+    fn into_pattern(
+        self,
+        graph: GraphView<'_>,
+    ) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
         parse_hpql(self)?.into_pattern(graph)
     }
 }
 
 impl IntoPattern for &String {
-    fn into_pattern(self, graph: &DataGraph) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
+    fn into_pattern(
+        self,
+        graph: GraphView<'_>,
+    ) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
         self.as_str().into_pattern(graph)
     }
 }
 
 impl IntoPattern for rig_query::HpqlQuery {
-    fn into_pattern(self, graph: &DataGraph) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
+    fn into_pattern(
+        self,
+        graph: GraphView<'_>,
+    ) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
         let resolved = self.resolve(|name| graph.label_id(name))?;
         Ok((resolved.query, Some(resolved.vars)))
     }
@@ -359,7 +801,7 @@ impl IntoPattern for rig_query::HpqlQuery {
 impl IntoPattern for PatternQuery {
     fn into_pattern(
         self,
-        _graph: &DataGraph,
+        _graph: GraphView<'_>,
     ) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
         Ok((self, None))
     }
@@ -368,7 +810,7 @@ impl IntoPattern for PatternQuery {
 impl IntoPattern for &PatternQuery {
     fn into_pattern(
         self,
-        _graph: &DataGraph,
+        _graph: GraphView<'_>,
     ) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
         Ok((self.clone(), None))
     }
@@ -380,9 +822,15 @@ impl IntoPattern for &PatternQuery {
 
 /// A parsed, validated, reduced and canonicalized query, bound to its
 /// [`Session`]. Create with [`Session::prepare`]; execute with
-/// [`Prepared::run`].
+/// [`Prepared::run`]. Runs always execute against the session's newest
+/// snapshot; only the query's resolved label names are captured at
+/// prepare time (the label space never shrinks, so validation stays
+/// good, and nothing of the prepare-time snapshot is pinned).
 pub struct Prepared<'s> {
     session: &'s Session,
+    /// `(label, name)` pairs for the query's named labels, for HPQL
+    /// rendering.
+    label_names: Vec<(Label, String)>,
     original: PatternQuery,
     /// The query the engine runs: transitively reduced + canonical edge
     /// order. Node ids match `original` (they index occurrence tuples).
@@ -390,7 +838,6 @@ pub struct Prepared<'s> {
     vars: Option<Vec<String>>,
     edges_reduced: usize,
     reduction_time: Duration,
-    epoch: u64,
 }
 
 impl<'s> Prepared<'s> {
@@ -432,10 +879,11 @@ impl<'s> Prepared<'s> {
     }
 
     fn render(&self, q: &PatternQuery) -> String {
-        let g = self.session.graph();
         hpql::to_hpql(q, self.vars.as_deref(), |l| {
-            let name = g.label_name(l);
-            (!name.is_empty()).then(|| name.to_string())
+            self.label_names
+                .binary_search_by_key(&l, |&(label, _)| label)
+                .ok()
+                .map(|i| self.label_names[i].1.clone())
         })
     }
 
@@ -456,7 +904,6 @@ impl std::fmt::Debug for Prepared<'_> {
         f.debug_struct("Prepared")
             .field("hpql", &self.to_hpql())
             .field("edges_reduced", &self.edges_reduced)
-            .field("epoch", &self.epoch)
             .finish()
     }
 }
@@ -742,7 +1189,7 @@ mod tests {
     use rig_mjoin::CountSink;
     use rig_query::EdgeKind;
 
-    fn fig2_session() -> Session {
+    fn fig2_graph() -> DataGraph {
         use rig_graph::GraphBuilder;
         let mut b = GraphBuilder::new();
         for _ in 0..3 {
@@ -765,7 +1212,11 @@ mod tests {
         b.add_edge(0, 4);
         b.add_edge(4, 7);
         b.add_edge(6, 0);
-        Session::new(b.build())
+        b.build()
+    }
+
+    fn fig2_session() -> Session {
+        Session::new(fig2_graph())
     }
 
     const FIG2_HPQL: &str = "MATCH (a:A)->(b:B)=>(c:C), (a)->(c)";
@@ -849,8 +1300,8 @@ mod tests {
             assert_eq!(session.cache_stats().hits, 1);
         }
         let epoch_before = session.epoch();
-        // same graph content — but the epoch bump must force a rebuild
-        session.replace_graph(fig2_session().graph().clone());
+        // same graph content — but the swap must force a rebuild
+        session.replace_graph(fig2_graph());
         assert_eq!(session.epoch(), epoch_before + 1);
         let p = session.prepare(FIG2_HPQL).unwrap();
         let outcome = p.run().count();
@@ -968,5 +1419,213 @@ mod tests {
         let p4 = session.prepare("MATCH (x:A)->(z:C), (x)->(y:B), (y)=>(z)").unwrap();
         p4.run().count();
         assert_eq!(session.cache_stats().misses, 2, "variable order is part of the plan");
+    }
+
+    // -- dynamic-graph tests -------------------------------------------------
+
+    #[test]
+    fn commit_updates_answers_without_replace() {
+        let session = fig2_session();
+        let p = session.prepare(FIG2_HPQL).unwrap();
+        assert_eq!(p.run().count().result.count, 2);
+        // wire a0 into the pattern: a0 -> b1 exists, b1 -> c? b1(4) -> c0(7)
+        // exists... make a0 -> c0 direct to satisfy (a)->(c)
+        let mut txn = session.begin();
+        txn.add_edge(0, 7);
+        let summary = session.commit(txn).unwrap();
+        assert!(summary.structural);
+        assert_eq!(summary.edges_added, 1);
+        assert_eq!(p.run().count().result.count, 3);
+        // and removing it brings the old answer back
+        let mut txn = session.begin();
+        txn.remove_edge(0, 7);
+        session.commit(txn).unwrap();
+        assert_eq!(p.run().count().result.count, 2);
+    }
+
+    #[test]
+    fn commit_is_atomic_and_optimistic() {
+        let session = fig2_session();
+        let mut txn = session.begin();
+        txn.add_edge(0, 7);
+        txn.add_edge(0, 99); // invalid: no such node
+        let before = session.store_stats();
+        assert!(session.commit(txn).is_err());
+        let after = session.store_stats();
+        assert_eq!(before.version, after.version, "failed commit must not publish");
+        assert!(!session.graph().has_edge(0, 7), "all-or-nothing");
+        // optimistic concurrency: a commit in between invalidates the txn
+        let stale = session.begin();
+        let mut fresh = session.begin();
+        fresh.add_edge(0, 7);
+        session.commit(fresh).unwrap();
+        assert!(matches!(session.commit(stale), Err(Error::Validation(_))), "write conflict");
+    }
+
+    #[test]
+    fn added_nodes_and_labels_are_queryable() {
+        let session = fig2_session();
+        let mut txn = session.begin();
+        let d = txn.add_named_node("D");
+        txn.add_edge(0, d);
+        session.commit(txn).unwrap();
+        let p = session.prepare("MATCH (a:A)->(d:D)").unwrap();
+        let (tuples, _) = p.run().collect_all();
+        assert_eq!(tuples, vec![vec![0, 10]]);
+        // snapshot label dictionary grew
+        assert_eq!(session.graph().label_id("D"), Some(3));
+    }
+
+    #[test]
+    fn snapshots_pin_a_consistent_view() {
+        let session = fig2_session();
+        let before = session.graph();
+        let mut txn = session.begin();
+        txn.remove_node(3); // b0
+        session.commit(txn).unwrap();
+        let after = session.graph();
+        assert!(before.is_live(3), "old snapshot unaffected");
+        assert!(!after.is_live(3));
+        assert_eq!(before.num_edges(), 11);
+        assert!(after.num_edges() < 11);
+    }
+
+    #[test]
+    fn label_disjoint_plans_survive_commits() {
+        let session = fig2_session();
+        let ab = session.prepare("MATCH (a:A)->(b:B)").unwrap();
+        let bc = session.prepare("MATCH (b:B)->(c:C)").unwrap();
+        ab.run().count();
+        bc.run().count();
+        assert_eq!(session.cache_stats().entries, 2);
+        // a commit touching only label C (c1 -> c2 edge) must invalidate
+        // the B,C plan and keep the A,B plan cached
+        let mut txn = session.begin();
+        txn.add_edge(8, 9);
+        let summary = session.commit(txn).unwrap();
+        assert_eq!(summary.plans_invalidated, 1);
+        assert_eq!(summary.plans_retained, 1);
+        assert!(summary.touched_labels == vec![2]);
+        let o = ab.run().count();
+        assert!(o.metrics.rig_from_cache, "disjoint plan stayed hot");
+        let o = bc.run().count();
+        assert!(!o.metrics.rig_from_cache, "touched plan was rebuilt");
+        assert_eq!(session.cache_stats().invalidated, 1);
+    }
+
+    #[test]
+    fn reach_plans_invalidate_on_any_structural_commit() {
+        let session = fig2_session();
+        let reach = session.prepare("MATCH (a:A)=>(c:C)").unwrap();
+        let direct = session.prepare("MATCH (a:A)->(b:B)").unwrap();
+        reach.run().count();
+        direct.run().count();
+        // an edge between two C nodes shares no label with (a:A)->(b:B),
+        // but can lengthen paths: the reachability plan must go
+        let mut txn = session.begin();
+        txn.add_edge(9, 8);
+        let summary = session.commit(txn).unwrap();
+        assert_eq!(summary.plans_invalidated, 1);
+        assert!(!reach.run().count().metrics.rig_from_cache);
+        assert!(direct.run().count().metrics.rig_from_cache);
+        // a pure node addition is not structural: the reach plan (now
+        // re-cached) survives a commit adding an isolated D node
+        let mut txn = session.begin();
+        txn.add_named_node("D");
+        let summary = session.commit(txn).unwrap();
+        assert!(!summary.structural);
+        assert_eq!(summary.plans_invalidated, 0);
+        assert!(reach.run().count().metrics.rig_from_cache);
+    }
+
+    #[test]
+    fn dirty_snapshot_answers_match_materialized_rebuild() {
+        let session = fig2_session();
+        let mut txn = session.begin();
+        let a3 = txn.add_named_node("A");
+        let b4 = txn.add_named_node("B");
+        txn.add_edge(a3, b4);
+        txn.add_edge(b4, 9); // b4 -> c2
+        txn.remove_node(5); // b2: kills the a2,b2,c2 occurrence
+        session.commit(txn).unwrap();
+        let p = session.prepare(FIG2_HPQL).unwrap();
+        let (mut overlay_tuples, _) = p.run().collect_all();
+        overlay_tuples.sort();
+        // oracle: full rebuild from the materialized snapshot
+        let rebuilt = Session::new(session.graph().materialize());
+        let p2 = rebuilt.prepare(FIG2_HPQL).unwrap();
+        let (mut rebuilt_tuples, _) = p2.run().collect_all();
+        rebuilt_tuples.sort();
+        assert_eq!(overlay_tuples, rebuilt_tuples);
+        // parallel enumeration on the dirty snapshot agrees too
+        let (mut par_tuples, _) = p.run().threads(4).morsel(1).collect_all();
+        par_tuples.sort();
+        assert_eq!(par_tuples, overlay_tuples);
+    }
+
+    #[test]
+    fn compaction_triggers_and_preserves_semantics() {
+        let session =
+            Session::new(fig2_graph()).with_compaction(CompactionPolicy { min_ops: 3, ratio: 0.0 });
+        let p = session.prepare(FIG2_HPQL).unwrap();
+        assert_eq!(p.run().count().result.count, 2);
+        let mut txn = session.begin();
+        txn.add_edge(0, 7); // a0 -> c0: third occurrence
+        let s1 = session.commit(txn).unwrap();
+        assert!(!s1.compacted, "1 op < min_ops");
+        let mut txn = session.begin();
+        let x = txn.add_named_node("A");
+        txn.add_edge(x, 3);
+        let s2 = session.commit(txn).unwrap();
+        assert!(s2.compacted, "3 ops >= min_ops");
+        let stats = session.store_stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.delta_ops, 0, "delta folded into the base");
+        assert_eq!(stats.base_nodes, 11);
+        assert!(!session.graph().is_dirty());
+        assert_eq!(p.run().count().result.count, 3, "same answers after compaction");
+        // manual compaction on a clean store is a no-op
+        assert!(!session.compact());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let session = std::sync::Arc::new(fig2_session());
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let session = std::sync::Arc::clone(&session);
+                s.spawn(move || {
+                    let p = session.prepare("MATCH (a:A)->(b:B)").unwrap();
+                    for _ in 0..200 {
+                        let n = p.run().count().result.count;
+                        assert!(n >= 3, "fig2 has 3 A->B pairs; commits only add");
+                    }
+                });
+            }
+            let writer = std::sync::Arc::clone(&session);
+            s.spawn(move || {
+                for i in 0..50 {
+                    let mut txn = writer.begin();
+                    let a = txn.add_node(0);
+                    let b = txn.add_node(1);
+                    txn.add_edge(a, b);
+                    assert!(txn.len() == 3 && !txn.is_empty());
+                    writer.commit(txn).unwrap_or_else(|e| panic!("commit {i}: {e}"));
+                }
+            });
+        });
+        let p = session.prepare("MATCH (a:A)->(b:B)").unwrap();
+        assert_eq!(p.run().count().result.count, 3 + 50);
+    }
+
+    #[test]
+    fn apply_runs_parsed_mutation_ops() {
+        let session = fig2_session();
+        let script = rig_graph::parse_mutations("a v A\na e 10 3\n").unwrap();
+        assert_eq!(script.len(), 1);
+        let summary = session.apply(&script[0]).unwrap();
+        assert_eq!(summary.nodes_added, 1);
+        assert_eq!(summary.edges_added, 1);
+        assert!(session.graph().has_edge(10, 3));
     }
 }

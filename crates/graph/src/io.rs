@@ -8,6 +8,9 @@
 //! v <id> <label> [degree]      # node line; ids must be 0..n densely
 //! e <src> <dst>                # edge line
 //! l <label-id> <name>          # optional label-name dictionary entry
+//! x <id>                       # tombstone: the node slot exists (id
+//!                              # stability) but is dead — no edges, not
+//!                              # in any inverted list
 //! # comment
 //! ```
 //!
@@ -16,6 +19,7 @@
 //! against.
 
 use crate::{DataGraph, GraphBuilder, Label, NodeId};
+use rig_bitset::Bitset;
 
 /// Error produced by [`parse_text`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +45,7 @@ pub fn parse_text(input: &str) -> Result<DataGraph, ParseError> {
     let mut labels: Vec<(NodeId, Label)> = Vec::new();
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
     let mut names: Vec<(Label, String)> = Vec::new();
+    let mut dead: Vec<NodeId> = Vec::new();
     for (ln, raw) in input.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') || line.starts_with('t') {
@@ -78,6 +83,13 @@ pub fn parse_text(input: &str) -> Result<DataGraph, ParseError> {
                 let name = parts.next().ok_or_else(|| err(ln + 1, "missing label name"))?;
                 names.push((id, name.to_string()));
             }
+            Some("x") => {
+                let id: NodeId = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(ln + 1, "bad tombstone id"))?;
+                dead.push(id);
+            }
             Some(tok) => return Err(err(ln + 1, format!("unknown record '{tok}'"))),
             None => {}
         }
@@ -96,13 +108,23 @@ pub fn parse_text(input: &str) -> Result<DataGraph, ParseError> {
         b.set_label_name(l, &name);
     }
     let n = labels.len() as NodeId;
+    let dead_set = Bitset::from_slice(&dead);
+    for &d in &dead {
+        if d >= n {
+            return Err(err(0, format!("tombstone x {d} references unknown node")));
+        }
+    }
     for (u, v) in edges {
         if u >= n || v >= n {
             return Err(err(0, format!("edge ({u},{v}) references unknown node")));
         }
+        if dead_set.contains(u) || dead_set.contains(v) {
+            return Err(err(0, format!("edge ({u},{v}) touches a tombstoned node")));
+        }
         b.add_edge(u, v);
     }
-    Ok(b.build())
+    let g = b.build();
+    Ok(if dead_set.is_empty() { g } else { g.with_tombstones(dead_set) })
 }
 
 /// Serializes a graph back to the text format (stable output, suitable for
@@ -117,6 +139,9 @@ pub fn to_text(g: &DataGraph) -> String {
     }
     for v in 0..g.num_nodes() as NodeId {
         out.push_str(&format!("v {} {}\n", v, g.label(v)));
+    }
+    for v in g.tombstones().iter() {
+        out.push_str(&format!("x {v}\n"));
     }
     for (u, v) in g.edges() {
         out.push_str(&format!("e {u} {v}\n"));
@@ -167,6 +192,21 @@ mod tests {
         assert_eq!(g.num_labels(), 3);
         assert_eq!(g.label_id("Retracted"), Some(2));
         assert_eq!(to_text(&g), text);
+    }
+
+    #[test]
+    fn tombstone_roundtrip() {
+        let text = "t 3 1\nv 0 0\nv 1 1\nv 2 1\nx 1\ne 0 2\n";
+        let g = parse_text(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_live_nodes(), 2);
+        assert!(!g.is_live(1));
+        assert_eq!(g.nodes_with_label(1), &[2]);
+        assert_eq!(g.label_bitset(1).to_vec(), vec![2]);
+        assert_eq!(to_text(&g), text);
+        // tombstones must be edge-free and in range
+        assert!(parse_text("v 0 0\nv 1 0\nx 0\ne 0 1\n").is_err());
+        assert!(parse_text("v 0 0\nx 3\n").is_err());
     }
 
     #[test]

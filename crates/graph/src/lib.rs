@@ -8,14 +8,18 @@
 //! the pipeline (match sets, simulation, RIG construction) starts from them.
 
 mod builder;
+pub mod delta;
 mod hash;
 mod io;
 mod stats;
+mod view;
 
 pub use builder::GraphBuilder;
+pub use delta::{parse_mutations, CommitImpact, DeltaOverlay, LabelSpec, MutationOp, Snapshot};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use io::{parse_text, to_text, ParseError};
 pub use stats::GraphStats;
+pub use view::GraphView;
 
 use rig_bitset::Bitset;
 
@@ -59,6 +63,11 @@ pub struct DataGraph {
     label_names: Vec<String>,
     /// Reverse dictionary: label name -> id (only named labels appear).
     name_to_label: FxHashMap<String, Label>,
+    /// Tombstoned node ids: slots that keep their label but are excluded
+    /// from every inverted list and carry no edges. Produced by delta
+    /// compaction ([`delta::DeltaOverlay::materialize`]) so node ids stay
+    /// stable across node removals; empty for ordinary graphs.
+    dead: Bitset,
 }
 
 impl DataGraph {
@@ -78,6 +87,23 @@ impl DataGraph {
     #[inline]
     pub fn num_labels(&self) -> usize {
         self.inverted.len()
+    }
+
+    /// True iff `v` is not tombstoned. Ordinary (builder/parser-produced)
+    /// graphs have no tombstones, so this is `true` for every node.
+    #[inline]
+    pub fn is_live(&self, v: NodeId) -> bool {
+        self.dead.is_empty() || !self.dead.contains(v)
+    }
+
+    /// Number of live nodes (`num_nodes` minus tombstones).
+    pub fn num_live_nodes(&self) -> usize {
+        self.num_nodes() - self.dead.len() as usize
+    }
+
+    /// The tombstoned node ids.
+    pub fn tombstones(&self) -> &Bitset {
+        &self.dead
     }
 
     /// Average out-degree.
@@ -205,12 +231,13 @@ impl DataGraph {
     pub fn induced_subgraph(&self, keep: &Bitset) -> DataGraph {
         let mut remap: FxHashMap<NodeId, NodeId> = FxHashMap::default();
         let mut b = GraphBuilder::new();
-        for (new_id, old_id) in keep.iter().enumerate() {
+        for (new_id, old_id) in keep.iter().filter(|&v| self.is_live(v)).enumerate() {
             remap.insert(old_id, new_id as NodeId);
             b.add_node_with_name(self.label(old_id), self.label_name(self.label(old_id)));
         }
         for old_u in keep.iter() {
-            let nu = remap[&old_u];
+            // tombstoned ids in `keep` have no remap entry (filtered above)
+            let Some(&nu) = remap.get(&old_u) else { continue };
             for &old_v in self.out_neighbors(old_u) {
                 if let Some(&nv) = remap.get(&old_v) {
                     b.add_edge(nu, nv);
@@ -230,7 +257,7 @@ impl DataGraph {
         for (u, v) in self.edges() {
             b.add_edge(u, v);
         }
-        b.build()
+        b.build().with_tombstones(self.dead.clone())
     }
 
     /// Summary statistics.
@@ -243,7 +270,23 @@ impl DataGraph {
         fwd: Vec<Vec<NodeId>>,
         label_names: Vec<String>,
     ) -> Self {
+        Self::from_parts_dead(labels, fwd, label_names, Bitset::new())
+    }
+
+    /// Like `from_parts`, with an explicit tombstone set: dead slots keep
+    /// their label (so the label space is stable) but are excluded from
+    /// the inverted lists, and must carry no edges.
+    pub(crate) fn from_parts_dead(
+        labels: Vec<Label>,
+        fwd: Vec<Vec<NodeId>>,
+        label_names: Vec<String>,
+        dead: Bitset,
+    ) -> Self {
         let n = labels.len();
+        debug_assert!(
+            dead.iter().all(|v| (v as usize) < n && fwd[v as usize].is_empty()),
+            "tombstones must be in range and edge-free"
+        );
         let mut fwd_offsets = Vec::with_capacity(n + 1);
         let mut fwd_targets = Vec::new();
         fwd_offsets.push(0);
@@ -280,7 +323,9 @@ impl DataGraph {
             labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0).max(label_names.len());
         let mut inverted: Vec<Vec<NodeId>> = vec![Vec::new(); num_labels];
         for (v, &l) in labels.iter().enumerate() {
-            inverted[l as usize].push(v as NodeId);
+            if dead.is_empty() || !dead.contains(v as NodeId) {
+                inverted[l as usize].push(v as NodeId);
+            }
         }
         let inverted_bits = inverted.iter().map(|list| Bitset::from_sorted_dedup(list)).collect();
         let mut names = label_names;
@@ -301,19 +346,46 @@ impl DataGraph {
             inverted_bits,
             label_names: names,
             name_to_label,
+            dead,
         }
+    }
+
+    /// Returns this graph with `dead` tombstoned: the slots keep their
+    /// labels but leave every inverted list. All tombstones must be
+    /// edge-free — [`parse_text`] enforces this for `x` lines.
+    pub(crate) fn with_tombstones(mut self, dead: Bitset) -> DataGraph {
+        for v in dead.iter() {
+            let l = self.labels[v as usize] as usize;
+            if let Ok(i) = self.inverted[l].binary_search(&v) {
+                self.inverted[l].remove(i);
+            }
+            self.inverted_bits[l].remove(v);
+        }
+        self.dead = dead;
+        self
     }
 }
 
 impl std::fmt::Debug for DataGraph {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "DataGraph(|V|={}, |E|={}, |L|={})",
-            self.num_nodes(),
-            self.num_edges(),
-            self.num_labels()
-        )
+        if self.dead.is_empty() {
+            write!(
+                f,
+                "DataGraph(|V|={}, |E|={}, |L|={})",
+                self.num_nodes(),
+                self.num_edges(),
+                self.num_labels()
+            )
+        } else {
+            write!(
+                f,
+                "DataGraph(|V|={} ({} live), |E|={}, |L|={})",
+                self.num_nodes(),
+                self.num_live_nodes(),
+                self.num_edges(),
+                self.num_labels()
+            )
+        }
     }
 }
 
@@ -453,6 +525,21 @@ mod tests {
         assert_eq!(s.label(2), 2);
         assert!(s.has_edge(0, 1));
         assert!(s.has_edge(0, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_skips_tombstones() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0);
+        let _dead = b.add_node(1); // edge-free, tombstoned below
+        let y = b.add_node(2);
+        b.add_edge(x, y);
+        let g = b.build().with_tombstones(Bitset::from_slice(&[1]));
+        // keep includes the dead node 1: it must simply be dropped
+        let s = g.induced_subgraph(&Bitset::from_slice(&[0, 1, 2]));
+        assert_eq!(s.num_nodes(), 2);
+        assert_eq!(s.num_edges(), 1);
+        assert!(s.has_edge(0, 1));
     }
 
     #[test]

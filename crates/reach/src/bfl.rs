@@ -16,7 +16,6 @@
 //! tiny even on large graphs — the property Fig. 18(a) contrasts against
 //! transitive-closure and catalog construction.
 
-use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::interval::IntervalLabels;
@@ -51,23 +50,17 @@ fn filter_or(dst: &mut Filter, src: &Filter) {
     }
 }
 
-struct VisitBuf {
-    stamp: Vec<u32>,
-    epoch: u32,
-    stack: Vec<u32>,
-}
-
 /// The BFL reachability index.
+///
+/// Plain data end to end: the guided-DFS fallback keeps its scratch on
+/// the caller's stack, so the index is trivially `Sync` and parallel
+/// RIG-construction workers probe it with zero coordination (no shared
+/// scratch lock to convoy on).
 pub struct BflIndex {
     cond: Condensation,
     intervals: IntervalLabels,
     lout: Vec<Filter>,
     lin: Vec<Filter>,
-    /// DFS-fallback scratch. A `Mutex` (not `RefCell`) so the index is
-    /// `Sync` and can be probed from parallel RIG-construction workers;
-    /// the lock is only ever taken on the rare guided-DFS fallback path —
-    /// interval and Bloom cuts resolve most probes without touching it.
-    visit: Mutex<VisitBuf>,
     build_secs: f64,
 }
 
@@ -101,14 +94,7 @@ impl BflIndex {
             lin[c as usize] = f;
         }
         let build_secs = start.elapsed().as_secs_f64();
-        BflIndex {
-            cond,
-            intervals,
-            lout,
-            lin,
-            visit: Mutex::new(VisitBuf { stamp: vec![0; n], epoch: 0, stack: Vec::new() }),
-            build_secs,
-        }
+        BflIndex { cond, intervals, lout, lin, build_secs }
     }
 
     /// The underlying condensation (shared with RIG construction).
@@ -138,50 +124,30 @@ impl BflIndex {
         {
             return false;
         }
-        // Guided DFS with interval/Bloom pruning. The shared scratch is
-        // taken opportunistically: under contention (parallel RIG-build
-        // workers hitting the fallback at once) each loser pays one local
-        // allocation instead of convoying on the lock.
-        let mut local_buf;
-        let mut guard;
-        let buf: &mut VisitBuf = match self.visit.try_lock() {
-            Ok(g) => {
-                guard = g;
-                &mut guard
-            }
-            Err(_) => {
-                local_buf =
-                    VisitBuf { stamp: vec![0; self.cond.count], epoch: 0, stack: Vec::new() };
-                &mut local_buf
-            }
-        };
-        buf.epoch = buf.epoch.wrapping_add(1);
-        if buf.epoch == 0 {
-            buf.stamp.fill(0);
-            buf.epoch = 1;
-        }
-        let epoch = buf.epoch;
-        buf.stack.clear();
-        buf.stack.push(cu);
-        buf.stamp[cu as usize] = epoch;
-        while let Some(c) = buf.stack.pop() {
-            for &d in &self.cond.dag_fwd[c as usize] {
-                if d == cv || self.intervals.tree_descendant(d, cv) {
-                    return true;
+        // Guided DFS with interval/Bloom pruning. The visited set is a
+        // per-thread epoch-stamped buffer: O(1) amortized reset, no
+        // per-probe allocation, and no shared state — concurrent probes
+        // never serialize.
+        crate::scratch::with_bfl_scratch(self.cond.count, |visited, epoch| {
+            let mut stack: Vec<u32> = vec![cu];
+            visited.visit(cu as usize, epoch);
+            while let Some(c) = stack.pop() {
+                for &d in &self.cond.dag_fwd[c as usize] {
+                    if d == cv || self.intervals.tree_descendant(d, cv) {
+                        return true;
+                    }
+                    if self.intervals.cannot_reach(d, cv)
+                        || !filter_contains(&self.lout[d as usize], cv)
+                    {
+                        continue;
+                    }
+                    if visited.visit(d as usize, epoch) {
+                        stack.push(d);
+                    }
                 }
-                if buf.stamp[d as usize] == epoch {
-                    continue;
-                }
-                if self.intervals.cannot_reach(d, cv)
-                    || !filter_contains(&self.lout[d as usize], cv)
-                {
-                    continue;
-                }
-                buf.stamp[d as usize] = epoch;
-                buf.stack.push(d);
             }
-        }
-        false
+            false
+        })
     }
 }
 
@@ -264,12 +230,37 @@ mod tests {
     }
 
     #[test]
-    fn dense_epoch_wraparound_safe() {
-        // Exercise many queries to cycle the epoch counter path.
+    fn repeated_fallback_probes_stay_correct() {
+        // Hammer the guided-DFS fallback path; per-call scratch means no
+        // cross-call state to corrupt.
         let g = random_graph(40, 120, 3);
         let idx = BflIndex::new(&g);
+        let expect = idx.reaches(0, 39);
         for _ in 0..1000 {
-            idx.reaches(0, 39);
+            assert_eq!(idx.reaches(0, 39), expect);
         }
+    }
+
+    /// The index is probed from many threads at once (the parallel
+    /// RIG-build pattern); answers must match the single-threaded ones.
+    #[test]
+    fn concurrent_probes_agree() {
+        let g = random_graph(60, 150, 11);
+        let idx = BflIndex::new(&g);
+        let expect: Vec<bool> = (0..60u32)
+            .flat_map(|u| (0..60u32).map(move |v| (u, v)))
+            .map(|(u, v)| idx.reaches(u, v))
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let got: Vec<bool> = (0..60u32)
+                        .flat_map(|u| (0..60u32).map(move |v| (u, v)))
+                        .map(|(u, v)| idx.reaches(u, v))
+                        .collect();
+                    assert_eq!(got, expect);
+                });
+            }
+        });
     }
 }

@@ -22,12 +22,15 @@
 
 pub mod bfl;
 pub mod interval;
+pub mod overlay;
 pub mod scc;
+mod scratch;
 pub mod setreach;
 pub mod tc;
 
 pub use bfl::BflIndex;
 pub use interval::IntervalLabels;
+pub use overlay::SnapshotReach;
 pub use scc::Condensation;
 pub use setreach::{ancestors_of_set, descendants_of_set};
 pub use tc::TransitiveClosure;

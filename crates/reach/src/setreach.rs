@@ -8,18 +8,18 @@
 //! than per-pair probes when candidate sets are large.
 
 use rig_bitset::Bitset;
-use rig_graph::{DataGraph, NodeId};
+use rig_graph::{GraphView, NodeId};
 
 /// All nodes `v` such that some `s ∈ sources` has a non-empty path `s ⇝ v`.
 /// (A source is included only if it is reachable *from* a source, e.g. on a
 /// cycle or downstream of another source.)
-pub fn descendants_of_set(g: &DataGraph, sources: &Bitset) -> Bitset {
-    sweep(g, sources, Direction::Forward)
+pub fn descendants_of_set<'a>(g: impl Into<GraphView<'a>>, sources: &Bitset) -> Bitset {
+    sweep(g.into(), sources, Direction::Forward)
 }
 
 /// All nodes `v` such that `v` has a non-empty path to some `s ∈ sources`.
-pub fn ancestors_of_set(g: &DataGraph, sources: &Bitset) -> Bitset {
-    sweep(g, sources, Direction::Backward)
+pub fn ancestors_of_set<'a>(g: impl Into<GraphView<'a>>, sources: &Bitset) -> Bitset {
+    sweep(g.into(), sources, Direction::Backward)
 }
 
 enum Direction {
@@ -27,7 +27,7 @@ enum Direction {
     Backward,
 }
 
-fn sweep(g: &DataGraph, sources: &Bitset, dir: Direction) -> Bitset {
+fn sweep(g: GraphView<'_>, sources: &Bitset, dir: Direction) -> Bitset {
     let n = g.num_nodes();
     let mut seen = vec![false; n];
     let mut frontier: Vec<NodeId> = Vec::new();

@@ -620,6 +620,13 @@ fn expand_all(
 }
 
 /// Expands one query edge into forward CSR runs (local target ids).
+///
+/// On a **dirty snapshot** (uncompacted delta) reachability edges always
+/// take the overlay-DFS path: the BFL condensation, interval labels and
+/// per-SCC memoization all describe the base segment only, so both the
+/// early-termination cut and the memo would be unsound — the pruned DFS
+/// reads adjacency through the overlay and needs none of them. Compaction
+/// rebuilds BFL and restores the indexed path.
 fn expand_edge(
     ctx: &SimContext<'_>,
     bfl: &BflIndex,
@@ -631,6 +638,7 @@ fn expand_edge(
 ) -> (Vec<u32>, Vec<u32>) {
     match ctx.query.edge(eid).kind {
         EdgeKind::Direct => expand_direct(ctx, ids, p, q),
+        EdgeKind::Reachability if ctx.graph.is_dirty() => expand_reach_dfs(ctx, ids, p, q),
         EdgeKind::Reachability => match opts.reach_expand {
             ReachExpandMode::PairwiseBfl => expand_reach_pairwise(ctx, bfl, opts, ids, p, q),
             ReachExpandMode::PrunedDfs => expand_reach_dfs(ctx, ids, p, q),

@@ -34,26 +34,32 @@ pub use checks::{backward_prune_edge, forward_prune_edge};
 pub use prefilter::prefilter;
 
 use rig_bitset::Bitset;
-use rig_graph::DataGraph;
+use rig_graph::GraphView;
 use rig_query::PatternQuery;
 use rig_reach::Reachability;
 
 /// Everything a simulation pass needs to look at.
+///
+/// The graph is a [`GraphView`] — the immutable base CSR or a delta
+/// [`rig_graph::Snapshot`] — so the same simulation code prunes over a
+/// frozen graph and over an uncompacted overlay. When the view is a dirty
+/// snapshot, `reach` must be a delta-aware oracle (e.g.
+/// [`rig_reach::SnapshotReach`]), never the base-only BFL index.
 pub struct SimContext<'a> {
-    pub graph: &'a DataGraph,
+    pub graph: GraphView<'a>,
     pub query: &'a PatternQuery,
     /// `Sync` so one context can be shared by parallel RIG-construction
-    /// workers (every in-tree oracle is plain data or internally locked).
+    /// workers (every in-tree oracle is plain data).
     pub reach: &'a (dyn Reachability + Sync),
 }
 
 impl<'a> SimContext<'a> {
     pub fn new(
-        graph: &'a DataGraph,
+        graph: impl Into<GraphView<'a>>,
         query: &'a PatternQuery,
         reach: &'a (dyn Reachability + Sync),
     ) -> Self {
-        SimContext { graph, query, reach }
+        SimContext { graph: graph.into(), query, reach }
     }
 
     /// The match sets `ms(q)` — label inverted lists — for every query node.

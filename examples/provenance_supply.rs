@@ -81,7 +81,7 @@ fn main() {
         max_intermediate: Some(5_000_000),
         match_limit: Some(100_000),
     };
-    let gm = GmEngine::new(&g);
+    let gm = GmEngine::new(Arc::clone(&g));
     let jm = Jm::new(&g);
     let tm = Tm::new(&g);
     for engine in [&gm as &dyn Engine, &jm, &tm] {

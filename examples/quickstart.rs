@@ -17,9 +17,10 @@ fn main() {
     println!("data graph: {:?}", g);
 
     // The Fig. 2 query as HPQL: A -> B (direct), B => C (path), A -> C
-    // (direct). One session owns the graph, its reachability index and
-    // the plan cache.
-    let session = Session::new(g);
+    // (direct). One session owns the graph (a clone here, so the example
+    // can keep peeking at `g` below), its reachability index and the
+    // plan cache.
+    let session = Session::new(g.clone());
     let prepared = session.prepare("MATCH (x:a)->(y:b)=>(z:c), (x)->(z)").expect("valid HPQL");
     println!("query: {}", prepared.to_hpql());
 
@@ -32,10 +33,9 @@ fn main() {
     assert_eq!(outcome.result.count, 2);
 
     // --- under the hood, phase 1a: double simulation (§4.2) ---
-    let g = session.graph();
     let q = prepared.reduced();
-    let bfl = BflIndex::new(g);
-    let ctx = SimContext::new(g, q, &bfl);
+    let bfl = BflIndex::new(&g);
+    let ctx = SimContext::new(&g, q, &bfl);
     let sim = double_simulation(&ctx, &SimOptions::exact());
     for (i, fb) in sim.fb.iter().enumerate() {
         println!("FB({}) = {:?}", ["A", "B", "C"][i], fb);
@@ -47,7 +47,7 @@ fn main() {
         "RIG: {} candidate nodes, {} candidate edges ({}% of |G|)",
         rig.stats.node_count,
         rig.stats.edge_count,
-        (100.0 * rig.size_ratio(g)).round()
+        (100.0 * rig.size_ratio(&g)).round()
     );
 
     // --- the plan cache: the second run skips the RIG build entirely ---

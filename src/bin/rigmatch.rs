@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! rigmatch [explain] <graph-file> (<query-file> | --query 'HPQL') [options]
+//! rigmatch update <graph-file> <mutations-file> [--output <path>] [--stats]
 //!
 //! options:
 //!   --query 'MATCH ...'      inline HPQL query (instead of a query file)
@@ -12,6 +13,7 @@
 //!   --count                  print only the count
 //!   --order jo|ri|bj         search order, gm only     (default jo)
 //!   --no-reduction           skip query transitive reduction
+//!   --mutations <file>       apply a mutation script before querying
 //!   --stats                  print phase timings and RIG statistics
 //!   --strict                 fail (exit 6) if limit/timeout truncated the run
 //! ```
@@ -19,6 +21,14 @@
 //! `explain` (first argument) prints the plan instead of running it: the
 //! query as given, its transitive reduction, the RIG statistics and the
 //! search order MJoin would use.
+//!
+//! `update` applies a mutation script (`a v <label>` / `a e <u> <v>` /
+//! `d v <id>` / `d e <u> <v>` lines, `commit` boundaries — see
+//! `docs/updates.md`) and writes the resulting graph in the text format
+//! (tombstoned nodes appear as `x <id>` lines, keeping node ids stable).
+//! With `--mutations <file>` the query path does the same in memory first:
+//! GM runs on the delta overlay directly; baseline engines get the
+//! materialized graph.
 //!
 //! Query sources: a file in either format — **HPQL**
 //! (`MATCH (a:Author)->(p:Paper)=>(q:Paper)`, detected by its leading
@@ -51,10 +61,17 @@ use rigmatch::query::{looks_like_hpql, parse_query, PatternQuery};
 
 struct Cli {
     explain: bool,
+    /// `update` subcommand: apply mutations, write the graph back out.
+    update: bool,
     graph_path: String,
     /// A query file path, unless `--query` supplied inline text.
     query_path: Option<String>,
     query_text: Option<String>,
+    /// Mutation script applied before querying (`--mutations`), or the
+    /// positional script of the `update` subcommand.
+    mutations_path: Option<String>,
+    /// `update` output path (stdout when absent).
+    output_path: Option<String>,
     engine: String,
     limit: Option<u64>,
     timeout: Option<Duration>,
@@ -70,7 +87,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: rigmatch [explain] <graph-file> (<query-file> | --query 'HPQL') \
          [--engine gm|jm|tm|neo] [--limit N] [--timeout SECS] [--threads N] \
-         [--count] [--order jo|ri|bj] [--no-reduction] [--stats] [--strict]"
+         [--count] [--order jo|ri|bj] [--no-reduction] [--mutations FILE] \
+         [--stats] [--strict]\n\
+         \x20      rigmatch update <graph-file> <mutations-file> [--output PATH] [--stats]"
     );
     std::process::exit(2);
 }
@@ -78,14 +97,18 @@ fn usage() -> ! {
 fn parse_cli() -> Cli {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let explain = argv.first().map(|s| s.as_str()) == Some("explain");
-    if explain {
+    let update = argv.first().map(|s| s.as_str()) == Some("update");
+    if explain || update {
         argv.remove(0);
     }
     let mut cli = Cli {
         explain,
+        update,
         graph_path: String::new(),
         query_path: None,
         query_text: None,
+        mutations_path: None,
+        output_path: None,
         engine: "gm".into(),
         limit: None,
         timeout: None,
@@ -133,12 +156,28 @@ fn parse_cli() -> Cli {
                 };
             }
             "--no-reduction" => cli.reduction = false,
+            "--mutations" => {
+                i += 1;
+                cli.mutations_path = Some(argv.get(i).unwrap_or_else(|| usage()).clone());
+            }
+            "--output" => {
+                i += 1;
+                cli.output_path = Some(argv.get(i).unwrap_or_else(|| usage()).clone());
+            }
             "--stats" => cli.stats = true,
             "--strict" => cli.strict = true,
             flag if flag.starts_with("--") => usage(),
             _ => positional.push(argv[i].clone()),
         }
         i += 1;
+    }
+    if cli.update {
+        if positional.len() != 2 || cli.query_text.is_some() {
+            usage();
+        }
+        cli.graph_path = positional.remove(0);
+        cli.mutations_path = Some(positional.remove(0));
+        return cli;
     }
     match (positional.len(), cli.query_text.is_some()) {
         (2, false) => {
@@ -188,9 +227,56 @@ fn main() -> ExitCode {
     }
 }
 
+/// Parses the mutation script at `path` and commits it segment by segment
+/// (each `commit` line is one transaction; EOF commits the tail).
+fn apply_mutations(session: &Session, path: &str, stats: bool) -> Result<(), Error> {
+    let text = read_file(path)?;
+    let script = rigmatch::graph::parse_mutations(&text)?;
+    for ops in &script {
+        let summary = session.apply(ops)?;
+        if stats {
+            eprintln!(
+                "commit v{}: +{}n -{}n +{}e -{}e, touched labels {:?}, \
+                 {} plan(s) invalidated / {} retained{}",
+                summary.version,
+                summary.nodes_added,
+                summary.nodes_removed,
+                summary.edges_added,
+                summary.edges_removed,
+                summary.touched_labels,
+                summary.plans_invalidated,
+                summary.plans_retained,
+                if summary.compacted { " [compacted]" } else { "" },
+            );
+        }
+    }
+    Ok(())
+}
+
+fn run_update(cli: &Cli, g: rigmatch::graph::DataGraph) -> Result<ExitCode, Error> {
+    let before = format!("{g:?}");
+    let session = Session::new(g);
+    let path = cli.mutations_path.as_deref().expect("parse_cli guarantees a script");
+    apply_mutations(&session, path, cli.stats)?;
+    let snap = session.graph();
+    eprintln!("{} -> {:?}", before, snap);
+    let out = rigmatch::graph::to_text(&snap.materialize());
+    match &cli.output_path {
+        Some(p) => {
+            std::fs::write(p, &out).map_err(|e| Error::io(p.clone(), e))?;
+            eprintln!("wrote {p}");
+        }
+        None => print!("{out}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run(cli: &Cli) -> Result<ExitCode, Error> {
     let graph_text = read_file(&cli.graph_path)?;
     let g = parse_text(&graph_text)?;
+    if cli.update {
+        return run_update(cli, g);
+    }
     let source = load_query(cli)?;
 
     let cfg = GmConfig {
@@ -206,7 +292,20 @@ fn run(cli: &Cli) -> Result<ExitCode, Error> {
 
     match cli.engine.as_str() {
         "gm" => run_gm(cli, g, source, cfg),
-        name @ ("jm" | "tm" | "neo") => run_baseline(cli, &g, &source, name),
+        name @ ("jm" | "tm" | "neo") => {
+            // Baseline engines evaluate static CSR graphs: a mutation
+            // script is applied through a throwaway session and handed
+            // over materialized (same answers as GM's overlay path).
+            let g = match &cli.mutations_path {
+                Some(path) => {
+                    let session = Session::new(g);
+                    apply_mutations(&session, path, cli.stats)?;
+                    session.graph().materialize()
+                }
+                None => g,
+            };
+            run_baseline(cli, &g, &source, name)
+        }
         other => {
             eprintln!("error: unknown engine '{other}'");
             Ok(ExitCode::FAILURE)
@@ -224,6 +323,10 @@ fn run_gm(
         cfg.rig = cfg.rig.with_build_threads(cli.threads);
     }
     let session = Session::with_config(g, cfg);
+    if let Some(path) = &cli.mutations_path {
+        // GM queries straight through the delta overlay — no rebuild.
+        apply_mutations(&session, path, cli.stats)?;
+    }
     let prepared = match source {
         QuerySource::Hpql(text) => session.prepare(text.as_str())?,
         QuerySource::Legacy(q) => session.prepare(q)?,
@@ -318,9 +421,10 @@ fn run_baseline(
     // same path Session::prepare uses, so a bad query classifies (and
     // exits) identically whichever engine was asked to run it.
     use rigmatch::core::{validate_pattern, IntoPattern};
+    use rigmatch::graph::GraphView;
     let (q, vars) = match source {
-        QuerySource::Legacy(q) => q.into_pattern(g)?,
-        QuerySource::Hpql(text) => text.as_str().into_pattern(g)?,
+        QuerySource::Legacy(q) => q.into_pattern(GraphView::from(g))?,
+        QuerySource::Hpql(text) => text.as_str().into_pattern(GraphView::from(g))?,
     };
     validate_pattern(g, &q, vars.as_deref())?;
     let budget =

@@ -84,12 +84,14 @@ pub use rig_core::{Error, ErrorKind, Session};
 
 /// The types most applications need.
 pub mod prelude {
-    pub use rig_core::Matcher;
     pub use rig_core::{
-        CacheStats, Error, ErrorKind, Explain, GmConfig, GmMetrics, Prepared, QueryOutcome, Run,
-        RunReport, RunStatus, Session,
+        CacheStats, CommitSummary, CompactionPolicy, Error, ErrorKind, Explain, GmConfig,
+        GmMetrics, GraphTxn, Prepared, QueryOutcome, Run, RunReport, RunStatus, Session,
+        StoreStats,
     };
-    pub use rig_graph::{DataGraph, GraphBuilder, Label, NodeId};
+    pub use rig_graph::{
+        parse_mutations, DataGraph, GraphBuilder, GraphView, Label, MutationOp, NodeId, Snapshot,
+    };
     pub use rig_mjoin::{
         BatchSink, CollectSink, CountSink, FirstKSink, FnSink, ParOptions, ResultSink, SearchOrder,
     };

@@ -18,7 +18,7 @@ fn all_homomorphism_engines_agree_on_h_queries() {
     let budget = Budget::unlimited();
     for name in ["em", "ep"] {
         let g = small_graph(name, 5);
-        let gm = GmEngine::new(&g);
+        let gm = GmEngine::new(g.clone());
         let jm = Jm::new(&g);
         let tm = Tm::new(&g);
         let neo = NeoLike::new(&g);
@@ -36,7 +36,7 @@ fn all_homomorphism_engines_agree_on_h_queries() {
 fn direct_engines_agree_on_c_queries() {
     let budget = Budget::unlimited();
     let g = small_graph("ep", 9);
-    let gm = GmEngine::new(&g);
+    let gm = GmEngine::new(g.clone());
     let gf = GfLike::new(&g);
     let eh = EhLike::new(&g);
     let rm = RmLike::new(&g);
@@ -56,7 +56,7 @@ fn direct_engines_agree_on_c_queries() {
 fn flavor_counts_are_monotone() {
     let budget = Budget::unlimited();
     let g = small_graph("em", 13);
-    let gm = GmEngine::new(&g);
+    let gm = GmEngine::new(g.clone());
     for id in [0usize, 1, 2, 6, 7] {
         let nl = g.num_labels();
         let c = gm.evaluate(&template(id).instantiate_modulo(Flavor::C, nl), &budget);
@@ -74,9 +74,9 @@ fn iso_bounded_by_homomorphism() {
     use rigmatch::mjoin::EnumOptions;
     let budget = Budget::unlimited();
     let g = small_graph("ep", 21);
-    let gm = GmEngine::new(&g);
+    let gm = GmEngine::new(g.clone());
     let iso = GmEngine::with_config(
-        &g,
+        g.clone(),
         GmConfig {
             enumeration: EnumOptions { injective: true, ..Default::default() },
             ..Default::default()
@@ -97,7 +97,7 @@ fn iso_bounded_by_homomorphism() {
 fn intermediate_tuple_accounting() {
     let budget = Budget::unlimited();
     let g = small_graph("ep", 33);
-    let gm = GmEngine::new(&g);
+    let gm = GmEngine::new(g.clone());
     let jm = Jm::new(&g);
     let q = template(8).instantiate_modulo(Flavor::H, g.num_labels());
     let rg = gm.evaluate(&q, &budget);
@@ -115,10 +115,10 @@ fn tc_conversion_preserves_d_query_answers() {
     use rigmatch::reach::TransitiveClosure;
     let budget = Budget::unlimited();
     let g = small_graph("em", 41);
-    let gm = GmEngine::new(&g);
+    let gm = GmEngine::new(g.clone());
     let tc = TransitiveClosure::new(&g);
     let tcg = tc.to_graph(&g);
-    let gm_tc = GmEngine::new(&tcg);
+    let gm_tc = GmEngine::new(tcg.clone());
     for id in [0usize, 1, 2, 6] {
         let q = template(id).instantiate_modulo(Flavor::D, g.num_labels());
         let mut qc = PatternQuery::new(q.labels().to_vec());

@@ -1,8 +1,6 @@
 //! The paper's worked examples, end to end across crates.
 
-#![allow(deprecated)] // deliberately keeps the Matcher shims under test
-
-use rigmatch::core::{GmConfig, Matcher};
+use rigmatch::core::{GmConfig, Session};
 use rigmatch::datasets::examples::{fig2_graph, fig4_g2};
 use rigmatch::query::{fig2_query, transitive_reduction, EdgeKind, PatternQuery};
 use rigmatch::reach::BflIndex;
@@ -14,8 +12,9 @@ use rigmatch::sim::{double_simulation, SimAlgorithm, SimContext, SimOptions};
 fn fig2_full_pipeline() {
     let g = fig2_graph();
     let q = fig2_query();
-    let matcher = Matcher::new(&g);
-    let (mut tuples, outcome) = matcher.collect(&q, &GmConfig::exact(), 100);
+    let session = Session::with_config(g, GmConfig::exact());
+    let prepared = session.prepare(&q).unwrap();
+    let (mut tuples, outcome) = prepared.run().collect(100);
     tuples.sort();
     assert_eq!(tuples, vec![vec![1, 3, 7], vec![2, 5, 9]]);
     assert_eq!(outcome.result.count, 2);
@@ -68,8 +67,8 @@ fn fig4_fig5_empty_answer_and_convergence() {
     assert_eq!(bas.pruned, 10);
     assert_eq!(dag.pruned, 10);
     // the matcher short-circuits to zero without enumeration
-    let matcher = Matcher::new(&g);
-    let outcome = matcher.count(&q, &GmConfig::exact());
+    let session = Session::with_config(g, GmConfig::exact());
+    let outcome = session.prepare(&q).unwrap().run().count();
     assert_eq!(outcome.result.count, 0);
     assert_eq!(outcome.metrics.rig_stats.node_count, 0);
 }
@@ -86,9 +85,9 @@ fn fig3_reduction() {
     assert_eq!(r.num_edges(), 2);
     // and the reduced query has the same answer on the Fig. 2 graph
     let g = fig2_graph();
-    let matcher = Matcher::new(&g);
-    let full = matcher.count(&q, &GmConfig { skip_reduction: true, ..GmConfig::exact() });
-    let red = matcher.count(&r, &GmConfig { skip_reduction: true, ..GmConfig::exact() });
+    let session = Session::with_config(g, GmConfig { skip_reduction: true, ..GmConfig::exact() });
+    let full = session.prepare(&q).unwrap().run().count();
+    let red = session.prepare(&r).unwrap().run().count();
     assert_eq!(full.result.count, red.result.count);
 }
 

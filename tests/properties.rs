@@ -7,10 +7,8 @@
 //!   covers;
 //! * transitive reduction preserves answers (§3, query equivalence).
 
-#![allow(deprecated)] // deliberately keeps the Matcher shims under test
-
 use proptest::prelude::*;
-use rigmatch::core::{GmConfig, Matcher};
+use rigmatch::core::{GmConfig, Session};
 use rigmatch::graph::{DataGraph, GraphBuilder, NodeId};
 use rigmatch::query::{transitive_reduction, EdgeKind, PatternQuery};
 use rigmatch::reach::{BflIndex, Reachability};
@@ -117,14 +115,20 @@ proptest! {
     #[test]
     fn gm_equals_brute_force(g in graph_strategy(), q in query_strategy()) {
         let truth = brute_force(&g, &q);
-        let matcher = Matcher::new(&g);
-        let (mut tuples, outcome) =
-            matcher.collect(&q, &GmConfig::exact(), usize::MAX);
-        prop_assert_eq!(outcome.result.count as usize, truth.len());
-        let mut expect = truth.clone();
-        expect.sort();
-        tuples.sort();
-        prop_assert_eq!(tuples, expect);
+        let session = Session::with_config(g.clone(), GmConfig::exact());
+        match session.prepare(&q) {
+            // random labels can fall outside the random graph's label
+            // space; prepare rejects those, whose answer is empty
+            Err(_) => prop_assert!(truth.is_empty(), "rejected query had answers"),
+            Ok(prepared) => {
+                let (mut tuples, outcome) = prepared.run().collect_all();
+                prop_assert_eq!(outcome.result.count as usize, truth.len());
+                let mut expect = truth.clone();
+                expect.sort();
+                tuples.sort();
+                prop_assert_eq!(tuples, expect);
+            }
+        }
     }
 
     /// The simulation sandwich: every occurrence column is inside FB, and
@@ -178,8 +182,13 @@ proptest! {
         let bfl = BflIndex::new(&g);
         let ctx = SimContext::new(&g, &q, &bfl);
         let rig = build_rig(&ctx, &bfl, &RigOptions::exact());
-        let matcher = Matcher::new(&g);
-        let count = matcher.count(&q, &GmConfig::exact()).result.count;
+        let session = Session::with_config(g.clone(), GmConfig::exact());
+        // out-of-label-space queries are rejected by prepare; their answer
+        // is empty and trivially satisfies every bound
+        let count = match session.prepare(&q) {
+            Ok(p) => p.run().count().result.count,
+            Err(_) => 0,
+        };
         let m = q.num_edges();
         // enumerate all edge subsets (m ≤ ~7 here); those covering all
         // nodes give valid integral covers

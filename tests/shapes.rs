@@ -2,10 +2,8 @@
 //! structural metrics (intermediate tuples, RIG sizes, pass counts), not
 //! wall-clock times, so they are stable under CI noise.
 
-#![allow(deprecated)] // deliberately keeps the Matcher shims under test
-
 use rigmatch::baselines::{Budget, Engine, GmEngine, Jm, Tm};
-use rigmatch::core::{GmConfig, Matcher};
+use rigmatch::core::{GmConfig, Session};
 use rigmatch::datasets::spec;
 use rigmatch::query::{template, transitive_reduction, Flavor};
 use rigmatch::rig::SelectMode;
@@ -21,7 +19,7 @@ fn em_fragment(seed: u64) -> rigmatch::graph::DataGraph {
 fn intermediate_result_hierarchy() {
     let g = em_fragment(3);
     let budget = Budget::unlimited();
-    let gm = GmEngine::new(&g);
+    let gm = GmEngine::new(g.clone());
     let jm = Jm::new(&g);
     let tm = Tm::new(&g);
     let mut checked = 0;
@@ -45,15 +43,13 @@ fn intermediate_result_hierarchy() {
 #[test]
 fn rig_size_ordering() {
     let g = em_fragment(5);
-    let matcher = Matcher::new(&g);
+    let bfl = rigmatch::reach::BflIndex::new(&g);
     for id in [2usize, 6, 10, 11] {
         let q = template(id).instantiate_modulo(Flavor::H, g.num_labels());
         let size = |select| {
-            let cfg = GmConfig {
-                rig: rigmatch::rig::RigOptions { select, ..rigmatch::rig::RigOptions::exact() },
-                ..GmConfig::exact()
-            };
-            matcher.build_rig_only(&q, &cfg).stats.size()
+            let opts = rigmatch::rig::RigOptions { select, ..rigmatch::rig::RigOptions::exact() };
+            let ctx = rigmatch::sim::SimContext::new(&g, &q, &bfl);
+            rigmatch::rig::build_rig(&ctx, &bfl, &opts).stats.size()
         };
         let refined = size(SelectMode::PrefilterThenSim);
         let sim_only = size(SelectMode::SimOnly);
@@ -70,18 +66,16 @@ fn rig_size_ordering() {
 #[test]
 fn reduction_effect_on_d_templates() {
     let g = em_fragment(7);
-    let matcher = Matcher::new(&g);
+    let strict = Session::with_config(g.clone(), GmConfig::exact());
+    let lax =
+        Session::with_config(g.clone(), GmConfig { skip_reduction: true, ..GmConfig::exact() });
     let mut total_removed = 0;
     for id in [12usize, 15, 18] {
         let q = template(id).instantiate_modulo(Flavor::D, g.num_labels());
         let r = transitive_reduction(&q);
         total_removed += q.num_edges() - r.num_edges();
-        let cfg = GmConfig {
-            enumeration: rigmatch::mjoin::EnumOptions { limit: Some(50_000), ..Default::default() },
-            ..GmConfig::exact()
-        };
-        let with = matcher.count(&q, &cfg);
-        let without = matcher.count(&q, &GmConfig { skip_reduction: true, ..cfg });
+        let with = strict.prepare(&q).unwrap().run().limit(50_000).count();
+        let without = lax.prepare(&q).unwrap().run().limit(50_000).count();
         assert_eq!(with.result.count, without.result.count, "DQ{id}");
     }
     assert!(total_removed >= 3, "cliques in D flavor must shed transitive edges");
@@ -112,12 +106,13 @@ fn tree_queries_converge_fast() {
 #[test]
 fn par_count_matches_sequential() {
     let g = em_fragment(13);
-    let matcher = Matcher::new(&g);
+    let session = Session::with_config(g.clone(), GmConfig::exact());
     for id in [3usize, 6, 8] {
         let q = template(id).instantiate_modulo(Flavor::H, g.num_labels());
-        let seq = matcher.count(&q, &GmConfig::exact());
+        let p = session.prepare(&q).unwrap();
+        let seq = p.run().count();
         for threads in [2usize, 4] {
-            let par = matcher.par_count(&q, &GmConfig::exact(), threads);
+            let par = p.run().threads(threads).count();
             assert_eq!(par.result.count, seq.result.count, "HQ{id} threads={threads}");
         }
     }
@@ -130,7 +125,7 @@ fn om_model_only_hits_materializing_engines() {
     use rigmatch::core::RunStatus;
     let g = em_fragment(17);
     let tight = Budget { max_intermediate: Some(1), ..Budget::unlimited() };
-    let gm = GmEngine::new(&g);
+    let gm = GmEngine::new(g.clone());
     let jm = Jm::new(&g);
     let q = template(3).instantiate_modulo(Flavor::H, g.num_labels());
     let rg = gm.evaluate(&q, &tight);
