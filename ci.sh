@@ -41,6 +41,13 @@ if [[ "${1:-}" != "quick" ]]; then
     explain_out="$(run_cli explain "${cli_tmp}/g.txt" \
         --query 'MATCH (a:Author)->(p:Paper)=>(q:Paper), (a)=>(q)')"
     grep -q 'reduced:.*1 edge(s) removed' <<< "${explain_out}"
+    grep -q 'count:.*factorized DP' <<< "${explain_out}"
+    # --factorized prints the answer-graph summary (exact DP count, no
+    # tuple materialization) instead of enumerating
+    fact_out="$(run_cli "${cli_tmp}/g.txt" --factorized \
+        --query 'MATCH (a:Author)->(p:Paper)=>(q:Paper)')"
+    grep -q 'count:       1' <<< "${fact_out}"
+    grep -q 'shape:       tree' <<< "${fact_out}"
     # parse errors exit 3, I/O errors exit 4
     rc=0; run_cli "${cli_tmp}/g.txt" --query 'MATCH (broken' 2> /dev/null || rc=$?
     [[ "${rc}" == "3" ]]
@@ -109,6 +116,19 @@ if [[ "${1:-}" != "quick" ]]; then
         --json "${json_tmp}/BENCH_updates.json" > /dev/null
     cargo run -q --release -p rig_bench --bin benchcheck -- \
         "${json_tmp}/BENCH_updates.json"
+
+    step "factorized-counting artifact (bench_factorized) + benchcheck gates"
+    # every count in the harness is verified against the brute-force
+    # oracle in-process; benchcheck hard-fails on any unverified query
+    cargo run -q --release -p rig_bench --bin bench_factorized -- \
+        --scale 0.005 --json "${json_tmp}/BENCH_factorized.json" > /dev/null
+    cargo run -q --release -p rig_bench --bin benchcheck -- \
+        "${json_tmp}/BENCH_factorized.json"
+    # the committed full-scale artifact must hold the >= 100x DP-speedup
+    # claim (regenerate with:
+    #   bench_factorized --scale 0.02 --seed 42 --json BENCH_factorized.json)
+    cargo run -q --release -p rig_bench --bin benchcheck -- \
+        --min-factorized-speedup 100 BENCH_factorized.json
 fi
 
 step "OK"

@@ -21,11 +21,16 @@
 //!   WCOJ-style enumeration with a topology-driven order.
 //! * [`GmEngine`] — adapter putting GM behind the same [`Engine`] trait so
 //!   harnesses can iterate engines uniformly.
+//! * [`brute_force_count`] — the ground-truth oracle: naive backtracking
+//!   over the raw graph with on-line DFS reachability, sharing no code
+//!   with the engine; every counting test and the `bench_factorized`
+//!   harness verify against it.
 //!
 //! See DESIGN.md ("Substitutions") for the fidelity argument: these
 //! analogues reproduce the *architectural* properties the paper attributes
 //! to each system, on identical inputs.
 
+pub mod brute;
 mod gf;
 mod jm;
 mod neo;
@@ -33,6 +38,7 @@ mod rm;
 mod tm;
 mod wcoj;
 
+pub use brute::brute_force_count;
 pub use gf::{Catalog, EhLike, GfLike};
 pub use jm::Jm;
 pub use neo::NeoLike;

@@ -1,0 +1,176 @@
+//! `bench_factorized` — factorized counting figure: DP-count vs
+//! enumerated-count latency on the fig9 dense C-query templates.
+//!
+//! For each template instance (datasets ep/bs/hu, probed non-empty label
+//! assignments), the harness:
+//!
+//! 1. prepares the query once and warms the plan cache (so both timed runs
+//!    fetch the same cached RIG);
+//! 2. probes feasibility with a capped forced enumeration — a query whose
+//!    count exceeds the cap is skipped (the exact-count verification below
+//!    would be unbounded) and recorded as such;
+//! 3. times `count()` (which auto-routes to the factorized DP, or back to
+//!    enumeration when the cyclic conditioning cost guard trips — the
+//!    `counted_via_factorization` witness is recorded per query) and
+//!    `force_enumerate().count()` on the tuple-enumeration path;
+//! 4. **verifies every emitted count** against the RIG-free brute-force
+//!    oracle ([`rig_baselines::brute_force_count`]) — a mismatch aborts
+//!    the run.
+//!
+//! `--json <path>` writes the `BENCH_factorized.json` artifact (flagged
+//! `"factorized": true` for `benchcheck`, whose
+//! `--min-factorized-speedup` gate reads `totals.speedup`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rig_baselines::brute_force_count;
+use rig_bench::json::JsonValue;
+use rig_bench::{load, template_query_probed, Args, Table};
+use rig_core::factorized::FactorizationShape;
+use rig_core::Session;
+use rig_query::Flavor;
+
+/// Exact-count feasibility cap: queries with more matches than this are
+/// skipped (their oracle verification would be unbounded).
+const MATCH_CAP: u64 = 1_000_000_000;
+
+struct Point {
+    name: String,
+    matches: u64,
+    tree: bool,
+    via_dp: bool,
+    dp_s: f64,
+    enum_s: f64,
+    verified: bool,
+}
+
+fn main() {
+    let args = Args::parse();
+    let ids = [0usize, 1, 2, 3, 4, 5, 6, 8, 17, 11, 12, 19, 10, 13, 14];
+    let mut points: Vec<Point> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
+    let mut table =
+        Table::new(&["query", "matches", "path", "count() [s]", "enum [s]", "speedup", "verified"]);
+
+    for ds in ["ep", "bs", "hu"] {
+        let g = Arc::new(load(ds, &args));
+        println!("# dataset {ds}: {:?}", g.stats());
+        let session = Session::new(Arc::clone(&g));
+        for id in ids {
+            let name = format!("{ds}/CQ{id}");
+            let q = template_query_probed(&g, &session, id, Flavor::C, args.seed);
+            let p = session.prepare(&q).expect("template query validates");
+
+            // warm: builds + caches the RIG both timed runs will fetch
+            p.run().count();
+
+            // feasibility probe: exact counting (and the oracle) must
+            // terminate, so cap the enumerated count first
+            let probe = p.run().force_enumerate().limit(MATCH_CAP).count();
+            if probe.result.limit_hit {
+                println!("# {name}: > {MATCH_CAP} matches, skipped (oracle infeasible)");
+                skipped.push(name);
+                continue;
+            }
+
+            let start = Instant::now();
+            let dp = p.run().count();
+            let dp_s = start.elapsed().as_secs_f64();
+            // `via_dp` is false when the planner's conditioning cost guard
+            // routed this (cyclic) query back to enumeration
+            let via_dp = dp.metrics.counted_via_factorization;
+
+            let start = Instant::now();
+            let en = p.run().force_enumerate().count();
+            let enum_s = start.elapsed().as_secs_f64();
+            assert!(!en.metrics.counted_via_factorization);
+            assert_eq!(dp.result.count, en.result.count, "{name}: DP and enumeration disagree");
+
+            // in-harness ground truth: RIG-free backtracking oracle
+            let brute = brute_force_count(&g, &q, false);
+            let verified = dp.result.count == brute;
+            assert!(verified, "{name}: engine count {} != oracle {brute}", dp.result.count);
+
+            let tree = FactorizationShape::analyze(&q).is_tree();
+            table.row(vec![
+                name.clone(),
+                dp.result.count.to_string(),
+                if via_dp { "dp" } else { "enum" }.to_string(),
+                format!("{dp_s:.6}"),
+                format!("{enum_s:.6}"),
+                format!("{:.0}x", if dp_s > 0.0 { enum_s / dp_s } else { 0.0 }),
+                verified.to_string(),
+            ]);
+            points.push(Point {
+                name,
+                matches: dp.result.count,
+                tree,
+                via_dp,
+                dp_s,
+                enum_s,
+                verified,
+            });
+        }
+    }
+    table.print("Factorized counting: DP vs enumeration [s]");
+    assert!(!points.is_empty(), "every query skipped — lower MATCH_CAP or scale");
+
+    let dp_s: f64 = points.iter().map(|p| p.dp_s).sum();
+    let enum_s: f64 = points.iter().map(|p| p.enum_s).sum();
+    let speedup = if dp_s > 0.0 { enum_s / dp_s } else { 0.0 };
+    let verified = points.iter().filter(|p| p.verified).count();
+    println!(
+        "\ntotal: {} queries ({} skipped), enum {enum_s:.4}s / DP {dp_s:.4}s = {speedup:.0}x",
+        points.len(),
+        skipped.len()
+    );
+
+    if let Some(path) = &args.json {
+        let records: Vec<JsonValue> = points
+            .iter()
+            .map(|p| {
+                JsonValue::obj(vec![
+                    ("query", p.name.as_str().into()),
+                    ("matches", p.matches.into()),
+                    ("tree", JsonValue::Bool(p.tree)),
+                    ("via_dp", JsonValue::Bool(p.via_dp)),
+                    ("dp_s", p.dp_s.into()),
+                    ("enum_s", p.enum_s.into()),
+                    ("speedup", (if p.dp_s > 0.0 { p.enum_s / p.dp_s } else { 0.0 }).into()),
+                    ("verified", JsonValue::Bool(p.verified)),
+                ])
+            })
+            .collect();
+        let doc = JsonValue::obj(vec![
+            ("harness", "bench_factorized".into()),
+            ("factorized", JsonValue::Bool(true)),
+            ("scale", args.scale.into()),
+            ("seed", args.seed.into()),
+            ("timeout_s", args.timeout.as_secs_f64().into()),
+            ("limit", args.limit.into()),
+            ("baseline", "forced tuple enumeration over the same cached RIG".into()),
+            (
+                "oracle",
+                "RIG-free brute-force backtracking (rig_baselines::brute_force_count)".into(),
+            ),
+            ("queries", JsonValue::Arr(records)),
+            ("skipped", JsonValue::Arr(skipped.iter().map(|s| s.as_str().into()).collect())),
+            (
+                "totals",
+                JsonValue::obj(vec![
+                    ("queries", points.len().into()),
+                    ("skipped_queries", skipped.len().into()),
+                    ("verified_queries", verified.into()),
+                    ("unverified_queries", (points.len() - verified).into()),
+                    ("matches", points.iter().map(|p| p.matches).sum::<u64>().into()),
+                    ("dp_s", dp_s.into()),
+                    ("enum_s", enum_s.into()),
+                    ("speedup", speedup.into()),
+                ]),
+            ),
+        ]);
+        std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -16,8 +16,15 @@
 //! hard gate — **zero unverified queries** (every overlay count must have
 //! matched its from-scratch-rebuild oracle in the harness).
 //!
-//! Usage: `benchcheck [--min-par-speedup X] <file.json>...` — exits
-//! non-zero on the first invalid file.
+//! Factorized-counting artifacts (`"factorized": true`, emitted by
+//! `bench_factorized --json`) are validated against the factorized schema:
+//! per-query DP vs enumeration latency and — hard gate — **zero
+//! unverified queries** (every count must have matched the RIG-free
+//! brute-force oracle in the harness). With `--min-factorized-speedup <x>`
+//! the aggregate DP-over-enumeration speedup must reach `x`.
+//!
+//! Usage: `benchcheck [--min-par-speedup X] [--min-factorized-speedup X]
+//! <file.json>...` — exits non-zero on the first invalid file.
 
 use rig_bench::json::{parse, JsonValue};
 
@@ -174,7 +181,61 @@ fn check_updates(path: &str, doc: &JsonValue) {
     );
 }
 
-fn check(path: &str, min_par_speedup: Option<f64>) {
+/// Validates a `bench_factorized` artifact; returns its aggregate speedup.
+fn check_factorized(path: &str, doc: &JsonValue) -> f64 {
+    for key in ["harness", "baseline", "oracle"] {
+        if doc.get(key).and_then(|v| v.as_str()).is_none() {
+            fail(path, &format!("missing string field {key:?}"));
+        }
+    }
+    for key in ["scale", "seed", "timeout_s", "limit"] {
+        if !doc.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+            fail(path, &format!("missing numeric field {key:?}"));
+        }
+    }
+    let queries = match doc.get("queries").and_then(|q| q.as_arr()) {
+        Some(q) if !q.is_empty() => q,
+        _ => fail(path, "queries must be a non-empty array"),
+    };
+    for (i, q) in queries.iter().enumerate() {
+        if q.get("query").and_then(|v| v.as_str()).is_none() {
+            fail(path, &format!("queries[{i}].query missing"));
+        }
+        for key in ["matches", "dp_s", "enum_s", "speedup"] {
+            if !q.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+                fail(path, &format!("queries[{i}].{key} missing"));
+            }
+        }
+        for key in ["tree", "via_dp", "verified"] {
+            if !matches!(q.get(key), Some(JsonValue::Bool(_))) {
+                fail(path, &format!("queries[{i}].{key} missing or not a bool"));
+            }
+        }
+    }
+    if doc.get("skipped").and_then(|s| s.as_arr()).is_none() {
+        fail(path, "skipped must be an array");
+    }
+    let totals = match doc.get("totals") {
+        Some(t) => t,
+        None => fail(path, "missing totals object"),
+    };
+    for key in ["queries", "skipped_queries", "verified_queries", "matches", "dp_s", "enum_s"] {
+        require_num(path, totals, key);
+    }
+    let unverified = require_num(path, totals, "unverified_queries");
+    if unverified != 0.0 {
+        fail(path, &format!("{unverified} count(s) failed brute-force-oracle verification"));
+    }
+    let speedup = require_num(path, totals, "speedup");
+    println!(
+        "benchcheck: {path}: OK (factorized, {} queries all oracle-verified, \
+         DP speedup {speedup:.0}x over enumeration)",
+        queries.len()
+    );
+    speedup
+}
+
+fn check(path: &str, min_par_speedup: Option<f64>, min_factorized_speedup: Option<f64>) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => fail(path, &format!("read error: {e}")),
@@ -185,6 +246,15 @@ fn check(path: &str, min_par_speedup: Option<f64>) {
     };
     if matches!(doc.get("updates"), Some(JsonValue::Bool(true))) {
         check_updates(path, &doc);
+        return;
+    }
+    if matches!(doc.get("factorized"), Some(JsonValue::Bool(true))) {
+        let speedup = check_factorized(path, &doc);
+        if let Some(min) = min_factorized_speedup {
+            if speedup < min {
+                fail(path, &format!("factorized speedup {speedup:.1}x is below the {min}x gate"));
+            }
+        }
         return;
     }
     if matches!(doc.get("parallel"), Some(JsonValue::Bool(true))) {
@@ -271,26 +341,34 @@ fn check(path: &str, min_par_speedup: Option<f64>) {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut min_par_speedup: Option<f64> = None;
+    let mut min_factorized_speedup: Option<f64> = None;
     let mut paths: Vec<String> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
+        let numeric_flag = |argv: &[String], i: usize, flag: &str| {
+            argv.get(i).and_then(|s| s.parse::<f64>().ok()).unwrap_or_else(|| {
+                eprintln!("benchcheck: {flag} needs a number");
+                std::process::exit(2);
+            })
+        };
         if argv[i] == "--min-par-speedup" {
             i += 1;
-            let v = argv.get(i).and_then(|s| s.parse::<f64>().ok());
-            min_par_speedup = Some(v.unwrap_or_else(|| {
-                eprintln!("benchcheck: --min-par-speedup needs a number");
-                std::process::exit(2);
-            }));
+            min_par_speedup = Some(numeric_flag(&argv, i, "--min-par-speedup"));
+        } else if argv[i] == "--min-factorized-speedup" {
+            i += 1;
+            min_factorized_speedup = Some(numeric_flag(&argv, i, "--min-factorized-speedup"));
         } else {
             paths.push(argv[i].clone());
         }
         i += 1;
     }
     if paths.is_empty() {
-        eprintln!("usage: benchcheck [--min-par-speedup X] <file.json>...");
+        eprintln!(
+            "usage: benchcheck [--min-par-speedup X] [--min-factorized-speedup X] <file.json>..."
+        );
         std::process::exit(2);
     }
     for path in &paths {
-        check(path, min_par_speedup);
+        check(path, min_par_speedup, min_factorized_speedup);
     }
 }

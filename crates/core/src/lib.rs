@@ -21,6 +21,7 @@
 //! [`GraphTxn`] / [`Session::commit`] with label-aware plan invalidation.
 
 mod error;
+pub mod factorized;
 mod report;
 pub mod session;
 
@@ -76,6 +77,9 @@ pub struct GmMetrics {
     /// selection + expansion phases were skipped and `rig_stats` carries
     /// the timings recorded when the plan was originally built.
     pub rig_from_cache: bool,
+    /// True when a [`Run::count`](session::Run::count) was answered by the
+    /// factorized DP (see [`factorized`]) instead of tuple enumeration.
+    pub counted_via_factorization: bool,
 }
 
 impl GmMetrics {

@@ -895,6 +895,7 @@ impl<'s> Prepared<'s> {
             threads: 1,
             morsel: None,
             use_cache: true,
+            force_enumerate: false,
         }
     }
 }
@@ -926,6 +927,7 @@ pub struct Run<'a, 's> {
     threads: usize,
     morsel: Option<usize>,
     use_cache: bool,
+    force_enumerate: bool,
 }
 
 impl<'a, 's> Run<'a, 's> {
@@ -975,6 +977,14 @@ impl<'a, 's> Run<'a, 's> {
         self
     }
 
+    /// Escape hatch: never answer [`Run::count`] with the factorized DP,
+    /// always enumerate tuples (differential testing, benchmarking the
+    /// enumeration path).
+    pub fn force_enumerate(mut self) -> Self {
+        self.force_enumerate = true;
+        self
+    }
+
     fn par_options(&self) -> ParOptions {
         let mut par = ParOptions::with_threads(self.threads);
         if let Some(m) = self.morsel {
@@ -1003,21 +1013,39 @@ impl<'a, 's> Run<'a, 's> {
             total_time: total_start.elapsed(),
             edges_reduced: self.prepared.edges_reduced,
             rig_from_cache: from_cache,
+            counted_via_factorization: false,
         };
         QueryOutcome { result, metrics }
     }
 
     /// Counts the occurrences.
+    ///
+    /// Eligible plans (no injectivity, no limit/timeout budget — see
+    /// [`crate::factorized::dp_eligible`]) are answered by the factorized
+    /// counting DP over the pruned RIG without enumerating a single tuple,
+    /// witnessed by [`GmMetrics::counted_via_factorization`]. The
+    /// [`Run::force_enumerate`] escape hatch and any budget knob fall back
+    /// to the (possibly parallel) MJoin enumeration engine.
     pub fn count(self) -> QueryOutcome {
         let threads = self.threads;
         let par = self.par_options();
-        self.execute(|q, rig, opts| {
+        let force_enumerate = self.force_enumerate;
+        let mut via_dp = false;
+        let mut outcome = self.execute(|q, rig, opts| {
+            if !force_enumerate && crate::factorized::dp_eligible(opts) {
+                if let Some(r) = crate::factorized::dp_count_result(q, rig) {
+                    via_dp = true;
+                    return r;
+                }
+            }
             if threads > 1 {
                 rig_mjoin::par_count_with(q, rig, opts, &par)
             } else {
                 rig_mjoin::count(q, rig, opts)
             }
-        })
+        });
+        outcome.metrics.counted_via_factorization = via_dp;
+        outcome
     }
 
     /// Like [`Run::count`] but errs with [`Error::Budget`] when the limit
@@ -1114,6 +1142,8 @@ impl<'a, 's> Run<'a, 's> {
         } else {
             compute_order(&prepared.exec, &rig, self.opts.order)
         };
+        let count_strategy =
+            crate::factorized::strategy(&prepared.exec, &self.opts, self.force_enumerate);
         Explain {
             hpql: prepared.original_hpql(),
             reduced_hpql: prepared.to_hpql(),
@@ -1124,6 +1154,56 @@ impl<'a, 's> Run<'a, 's> {
             order_kind: self.opts.order,
             order,
             vars: prepared.vars.clone(),
+            count_strategy,
+        }
+    }
+
+    /// Builds the factorized answer-graph summary (the CLI's
+    /// `--factorized` output mode): shape, exact DP count and
+    /// per-variable distinct-binding cardinalities, computed without
+    /// materializing any tuple. Ignores [`Run::threads`] and the budget
+    /// knobs — this terminal always runs the DP.
+    pub fn factorized_summary(self) -> crate::factorized::FactorizedSummary {
+        use crate::factorized::{FactorizedSummary, VarSummary};
+        let prepared = self.prepared;
+        let (rig, from_cache) = prepared.session.rig_for(prepared, self.use_cache);
+        let q = &prepared.exec;
+        let name_of = |i: usize| match prepared.vars.as_deref() {
+            Some(v) => v[i].clone(),
+            None => format!("v{i}"),
+        };
+        if rig.is_empty() {
+            return FactorizedSummary {
+                hpql: prepared.to_hpql(),
+                tree: crate::factorized::FactorizationShape::analyze(q).is_tree(),
+                extra_edges: crate::factorized::FactorizationShape::analyze(q).extra_edges.len(),
+                conditioned: Vec::new(),
+                assignments: 0,
+                count: Some(0),
+                vars: (0..q.num_nodes())
+                    .map(|i| VarSummary { name: name_of(i), candidates: 0, distinct: 0 })
+                    .collect(),
+                rig_from_cache: from_cache,
+            };
+        }
+        let mut f = crate::factorized::Factorization::new(q, &rig);
+        let dp = f.count();
+        let cards = f.var_cardinalities();
+        FactorizedSummary {
+            hpql: prepared.to_hpql(),
+            tree: f.is_tree(),
+            extra_edges: f.shape().extra_edges.len(),
+            conditioned: f.shape().conditioned.iter().map(|&c| name_of(c as usize)).collect(),
+            assignments: dp.assignments,
+            count: dp.total,
+            vars: (0..q.num_nodes())
+                .map(|i| VarSummary {
+                    name: name_of(i),
+                    candidates: rig.cos_len(i as QNode),
+                    distinct: cards[i],
+                })
+                .collect(),
+            rig_from_cache: from_cache,
         }
     }
 }
@@ -1151,6 +1231,9 @@ pub struct Explain {
     pub order: Vec<QNode>,
     /// Variable names, when the query came from HPQL.
     pub vars: Option<Vec<String>>,
+    /// How [`Run::count`] would answer under this run's options:
+    /// factorized DP eligibility and the human-readable choice.
+    pub count_strategy: crate::factorized::CountStrategy,
 }
 
 impl std::fmt::Display for Explain {
@@ -1179,6 +1262,7 @@ impl std::fmt::Display for Explain {
                 .collect();
             writeln!(f, "order:    {:?} [{}]", self.order_kind, names.join(" → "))?;
         }
+        writeln!(f, "count:    {}", self.count_strategy.describe)?;
         Ok(())
     }
 }

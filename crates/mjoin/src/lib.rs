@@ -35,11 +35,13 @@
 //! `limit`/timeout budget through atomics, so parallel runs honor both
 //! without falling back to the sequential engine.
 
+pub mod factorized;
 pub(crate) mod order;
 pub mod parallel;
 pub mod reference;
 pub mod sink;
 
+pub use factorized::{DpCount, Factorization, FactorizationShape, FactorizedTuples};
 pub use order::{compute_order, edge_cardinality, is_connected_order, SearchOrder};
 pub use parallel::{par_collect_sorted, par_count, par_count_with, par_enumerate, ParOptions};
 pub use sink::{BatchSink, CollectSink, CountSink, FirstKSink, FnSink, ResultSink};

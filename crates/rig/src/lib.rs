@@ -412,6 +412,16 @@ impl Rig {
         self.ids.iter().any(|c| c.is_empty())
     }
 
+    /// Number of query nodes this RIG indexes (one candidate array each).
+    pub fn num_query_nodes(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of query edges this RIG indexes (one CSR pair each).
+    pub fn num_query_edges(&self) -> usize {
+        self.fwd.len()
+    }
+
     /// Candidate set cardinality of query node `q` (the statistic the JO
     /// search order greedily minimizes, §5.2).
     pub fn cos_len(&self, q: rig_query::QNode) -> u64 {

@@ -14,13 +14,20 @@
 //!   --order jo|ri|bj         search order, gm only     (default jo)
 //!   --no-reduction           skip query transitive reduction
 //!   --mutations <file>       apply a mutation script before querying
+//!   --factorized             print the factorized answer summary, gm only
 //!   --stats                  print phase timings and RIG statistics
 //!   --strict                 fail (exit 6) if limit/timeout truncated the run
 //! ```
 //!
 //! `explain` (first argument) prints the plan instead of running it: the
-//! query as given, its transitive reduction, the RIG statistics and the
-//! search order MJoin would use.
+//! query as given, its transitive reduction, the RIG statistics, the
+//! search order MJoin would use, and the `count()` routing decision
+//! (factorized DP vs. tuple enumeration — see `docs/factorized.md`).
+//!
+//! `--factorized` prints the factorized answer-graph summary instead of
+//! enumerating: query shape (tree vs. cyclic with conditioning), the
+//! exact DP occurrence count, and per-variable candidate / distinct
+//! cardinalities — all computed without materializing a single tuple.
 //!
 //! `update` applies a mutation script (`a v <label>` / `a e <u> <v>` /
 //! `d v <id>` / `d e <u> <v>` lines, `commit` boundaries — see
@@ -77,6 +84,8 @@ struct Cli {
     timeout: Option<Duration>,
     threads: usize,
     count_only: bool,
+    /// Print the factorized answer summary instead of enumerating.
+    factorized: bool,
     order: SearchOrder,
     reduction: bool,
     stats: bool,
@@ -87,8 +96,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: rigmatch [explain] <graph-file> (<query-file> | --query 'HPQL') \
          [--engine gm|jm|tm|neo] [--limit N] [--timeout SECS] [--threads N] \
-         [--count] [--order jo|ri|bj] [--no-reduction] [--mutations FILE] \
-         [--stats] [--strict]\n\
+         [--count] [--factorized] [--order jo|ri|bj] [--no-reduction] \
+         [--mutations FILE] [--stats] [--strict]\n\
          \x20      rigmatch update <graph-file> <mutations-file> [--output PATH] [--stats]"
     );
     std::process::exit(2);
@@ -114,6 +123,7 @@ fn parse_cli() -> Cli {
         timeout: None,
         threads: 1,
         count_only: false,
+        factorized: false,
         order: SearchOrder::Jo,
         reduction: true,
         stats: false,
@@ -146,6 +156,7 @@ fn parse_cli() -> Cli {
                 cli.threads = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
             }
             "--count" => cli.count_only = true,
+            "--factorized" => cli.factorized = true,
             "--order" => {
                 i += 1;
                 cli.order = match argv.get(i).map(|s| s.as_str()) {
@@ -344,6 +355,10 @@ fn run_gm(
         print!("{}", prepared.run().order(cli.order).explain());
         return Ok(ExitCode::SUCCESS);
     }
+    if cli.factorized {
+        print!("{}", prepared.run().factorized_summary());
+        return Ok(ExitCode::SUCCESS);
+    }
 
     let outcome = if cli.count_only {
         prepared.run().threads(cli.threads).count()
@@ -416,6 +431,9 @@ fn run_baseline(
 ) -> Result<ExitCode, Error> {
     if cli.explain {
         return Err(Error::validation("explain is only available for the gm engine"));
+    }
+    if cli.factorized {
+        return Err(Error::validation("--factorized is only available for the gm engine"));
     }
     // Baselines take a ready pattern; resolve and validate through the
     // same path Session::prepare uses, so a bad query classifies (and

@@ -4,6 +4,11 @@
 //! (fresh CSR base + fresh BFL on the materialized snapshot), across every
 //! `SelectMode`, both `EdgeKind`s, and thread counts {1, 2, 8}.
 //!
+//! On top of match-set equality, every checked snapshot also exercises the
+//! `count()` terminal — which auto-routes to the factorized counting DP on
+//! dirty snapshots — asserting it agrees with the match-set size and with
+//! the RIG-free brute-force oracle over the materialized snapshot.
+//!
 //! Mutations are generated *at runtime* against the live snapshot (ids and
 //! edges depend on earlier commits) by the shared
 //! `DeltaOverlay::random_mutation` workload generator (also used by the
@@ -104,7 +109,8 @@ fn drive_and_check(select: SelectMode, seed: u64, commits: usize, ops_per_commit
             session.compact();
             assert_eq!(session.graph().delta().ops(), 0);
         }
-        let rebuilt = Session::with_config(session.graph().materialize(), cfg);
+        let materialized = session.graph().materialize();
+        let rebuilt = Session::with_config(materialized.clone(), cfg);
         for (qi, q) in queries.iter().enumerate() {
             let expect = matches(&rebuilt, q, 1);
             for &t in &THREADS {
@@ -115,6 +121,18 @@ fn drive_and_check(select: SelectMode, seed: u64, commits: usize, ops_per_commit
                     summary.version
                 );
             }
+            // the count() terminal rides the factorized DP on the dirty
+            // snapshot — it must agree with the match set and the oracle
+            let brute = rigmatch::baselines::brute_force_count(&materialized, q, false);
+            assert_eq!(brute, expect.len() as u64, "oracle vs rebuild, query {qi}");
+            let p = session.prepare(q).expect("workload validates");
+            let o = p.run().count();
+            assert_eq!(
+                o.result.count, brute,
+                "select={select:?} seed={seed} step={step} query={qi}: DP count on dirty snapshot"
+            );
+            let empty = p.run().explain().empty_answer;
+            assert_eq!(o.metrics.counted_via_factorization, !empty, "witness flag, query {qi}");
         }
     }
 }
