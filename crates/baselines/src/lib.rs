@@ -146,10 +146,13 @@ impl Engine for GmEngine {
     }
 
     fn evaluate(&self, query: &PatternQuery, budget: &Budget) -> RunReport {
-        let prepared = self
-            .session
-            .prepare(query)
-            .unwrap_or_else(|e| panic!("harness query must prepare: {e}"));
+        // An unpreparable query (validation failure) is the paper's "FA"
+        // outcome for this engine, not a harness crash: report it and let
+        // the sweep continue with the other engines.
+        let prepared = match self.session.prepare(query) {
+            Ok(p) => p,
+            Err(_) => return failure_report(self.name, RunStatus::Failed, Duration::ZERO, 0),
+        };
         let mut run = prepared.run().threads(self.threads);
         if let Some(l) = budget.match_limit {
             run = run.limit(l);
@@ -201,6 +204,18 @@ mod tests {
         // repeated harness evaluations hit the session plan cache
         e.evaluate(&fig2_query(), &Budget::default());
         assert_eq!(e.session().cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn unpreparable_query_reports_fa_instead_of_panicking() {
+        let e = GmEngine::new(fig2_graph());
+        // label 99 is outside fig2's label space: prepare fails validation
+        let mut q = PatternQuery::new(vec![0, 99]);
+        q.add_edge(0, 1, rig_query::EdgeKind::Direct);
+        let r = e.evaluate(&q, &Budget::default());
+        assert_eq!(r.status, RunStatus::Failed);
+        assert_eq!(r.status.code(), "FA");
+        assert_eq!(r.occurrences, 0);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! `bench_storage` — durability figures for the WAL + snapshot layer:
+//!
+//! 1. **commit throughput per durability policy**: the same deterministic
+//!    [`MutationStream`] transaction sequence committed through a durable
+//!    [`Session`] under `strict` (fsync every commit), `batched` and
+//!    `none`, reported as commits/s and mutation ops/s;
+//! 2. **cold start**: opening the compacted store (binary snapshot
+//!    segment + BFL rebuild) vs loading the equivalent text file
+//!    (parse + BFL rebuild).
+//!
+//! Every policy run ends with a **verified recovery**: the store is
+//! reopened with [`Session::open`] and its recovered version and graph
+//! must match the stream's mirror exactly; the cold-start comparison
+//! verifies both sessions serve identical probe answers. `benchcheck`
+//! hard-fails the artifact if any verification flag is false.
+//!
+//! `--json <path>` writes the `BENCH_storage.json` artifact (flagged
+//! `"storage": true` for `benchcheck`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rig_bench::json::JsonValue;
+use rig_bench::{load, Args, Table};
+use rig_core::{Durability, FsBackend, Session, StoreOptions};
+use rig_graph::{encode_segment, parse_text, to_text, MutationStream};
+use rig_query::{EdgeKind, PatternQuery};
+
+const TXN_OPS: usize = 8;
+
+struct PolicyPoint {
+    durability: Durability,
+    commits: u64,
+    ops: u64,
+    commit_s: f64,
+    recovered_version: u64,
+    wal_records_replayed: u64,
+    recovery_verified: bool,
+}
+
+struct ColdStart {
+    snapshot_open_s: f64,
+    text_load_s: f64,
+    snapshot_bytes: u64,
+    text_bytes: u64,
+    verified: bool,
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rig_bench_storage_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn probe_counts(session: &Session) -> Vec<u64> {
+    [EdgeKind::Direct, EdgeKind::Reachability]
+        .into_iter()
+        .map(|kind| {
+            let mut q = PatternQuery::new(vec![0, 1]);
+            q.add_edge(0, 1, kind);
+            session.prepare(&q).expect("probe validates").run().count().result.count
+        })
+        .collect()
+}
+
+/// Commits the same stream prefix under `durability`, then reopens and
+/// differentially verifies the recovered store against the stream mirror.
+fn run_policy(
+    g: &Arc<rig_graph::DataGraph>,
+    seed: u64,
+    commits: u64,
+    durability: Durability,
+) -> PolicyPoint {
+    let dir = scratch(durability.as_str());
+    let session = Session::create_at_with(
+        &dir,
+        Arc::clone(g),
+        Default::default(),
+        Arc::new(FsBackend),
+        StoreOptions::with_durability(durability),
+    )
+    .expect("create store");
+
+    let mut stream = MutationStream::new(Arc::clone(g), seed);
+    let mut ops = 0u64;
+    let start = Instant::now();
+    for _ in 0..commits {
+        let txn = stream.next_txn(TXN_OPS);
+        ops += txn.len() as u64;
+        session.apply(&txn).expect("commit");
+    }
+    // flushing inside the timed window keeps the batched/none numbers
+    // honest: the loss window is closed before the clock stops
+    session.flush_wal().expect("flush");
+    let commit_s = start.elapsed().as_secs_f64();
+    drop(session);
+
+    let recovered = Session::open(&dir).expect("recover");
+    let report = recovered.recovery_report().expect("report").clone();
+    let recovery_verified = report.recovered_version == commits
+        && encode_segment(&recovered.graph().materialize(), 0)
+            == encode_segment(&stream.mirror().materialize(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    PolicyPoint {
+        durability,
+        commits,
+        ops,
+        commit_s,
+        recovered_version: report.recovered_version,
+        wal_records_replayed: report.wal_records_replayed,
+        recovery_verified,
+    }
+}
+
+/// Times `Session::open` of a compacted store against the text loader on
+/// the same graph; both sides must serve identical probe answers.
+fn run_cold_start(g: &Arc<rig_graph::DataGraph>, seed: u64, commits: u64) -> ColdStart {
+    let dir = scratch("coldstart");
+    let session = Session::create_at(&dir, Arc::clone(g)).expect("create store");
+    let mut stream = MutationStream::new(Arc::clone(g), seed);
+    for _ in 0..commits {
+        session.apply(&stream.next_txn(TXN_OPS)).expect("commit");
+    }
+    assert!(session.compact(), "a mutated store compacts");
+    let materialized = session.graph().materialize();
+    drop(session);
+
+    let text_path = dir.join("graph.txt");
+    std::fs::write(&text_path, to_text(&materialized)).expect("write text");
+    let text_bytes = std::fs::metadata(&text_path).expect("stat text").len();
+    let snapshot_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("list store")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+
+    let start = Instant::now();
+    let from_snapshot = Session::open(&dir).expect("cold open");
+    let snapshot_open_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let text = std::fs::read_to_string(&text_path).expect("read text");
+    let from_text = Session::new(parse_text(&text).expect("parse text"));
+    let text_load_s = start.elapsed().as_secs_f64();
+
+    let verified = probe_counts(&from_snapshot) == probe_counts(&from_text);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ColdStart { snapshot_open_s, text_load_s, snapshot_bytes, text_bytes, verified }
+}
+
+fn main() {
+    let args = Args::parse();
+    let g = Arc::new(load("yt", &args));
+    println!("# dataset yt: {:?}", g.stats());
+    let commits = ((args.scale * 40_000.0) as u64).max(50);
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+
+    let policies: Vec<PolicyPoint> = [Durability::Strict, Durability::Batched, Durability::None]
+        .into_iter()
+        .map(|d| run_policy(&g, args.seed, commits, d))
+        .collect();
+
+    let mut table =
+        Table::new(&["durability", "commits", "commit/s", "ops/s", "recovered", "verified"]);
+    for p in &policies {
+        table.row(vec![
+            p.durability.as_str().to_string(),
+            p.commits.to_string(),
+            format!("{:.0}", ratio(p.commits as f64, p.commit_s)),
+            format!("{:.0}", ratio(p.ops as f64, p.commit_s)),
+            format!("v{}", p.recovered_version),
+            p.recovery_verified.to_string(),
+        ]);
+    }
+    table.print("Durable commit throughput by fsync policy (recovery verified)");
+
+    let cold = run_cold_start(&g, args.seed, commits);
+    let mut table = Table::new(&["cold start", "time [s]", "bytes"]);
+    table.row(vec![
+        "snapshot (segment + BFL)".into(),
+        format!("{:.5}", cold.snapshot_open_s),
+        cold.snapshot_bytes.to_string(),
+    ]);
+    table.row(vec![
+        "text loader (parse + BFL)".into(),
+        format!("{:.5}", cold.text_load_s),
+        cold.text_bytes.to_string(),
+    ]);
+    table.print("Cold start: snapshot open vs text load (answers verified identical)");
+
+    for p in &policies {
+        assert!(
+            p.recovery_verified,
+            "{}: recovery mismatch (recovered v{}, expected v{})",
+            p.durability.as_str(),
+            p.recovered_version,
+            p.commits
+        );
+    }
+    assert!(cold.verified, "cold-start probe answers diverge");
+
+    if let Some(path) = &args.json {
+        let verified = policies.iter().filter(|p| p.recovery_verified).count();
+        let policy_records: Vec<JsonValue> = policies
+            .iter()
+            .map(|p| {
+                JsonValue::obj(vec![
+                    ("durability", p.durability.as_str().into()),
+                    ("commits", p.commits.into()),
+                    ("ops", p.ops.into()),
+                    ("commit_s", p.commit_s.into()),
+                    ("commits_per_s", ratio(p.commits as f64, p.commit_s).into()),
+                    ("ops_per_s", ratio(p.ops as f64, p.commit_s).into()),
+                    ("recovered_version", p.recovered_version.into()),
+                    ("wal_records_replayed", p.wal_records_replayed.into()),
+                    ("recovery_verified", JsonValue::Bool(p.recovery_verified)),
+                ])
+            })
+            .collect();
+        let doc = JsonValue::obj(vec![
+            ("harness", "bench_storage".into()),
+            ("storage", JsonValue::Bool(true)),
+            ("scale", args.scale.into()),
+            ("seed", args.seed.into()),
+            ("commits", commits.into()),
+            ("txn_ops", TXN_OPS.into()),
+            (
+                "base",
+                JsonValue::obj(vec![
+                    ("nodes", g.num_nodes().into()),
+                    ("edges", g.num_edges().into()),
+                    ("labels", g.num_labels().into()),
+                ]),
+            ),
+            ("baseline", "text loader (parse + BFL rebuild)".into()),
+            ("policies", JsonValue::Arr(policy_records)),
+            (
+                "cold_start",
+                JsonValue::obj(vec![
+                    ("snapshot_open_s", cold.snapshot_open_s.into()),
+                    ("text_load_s", cold.text_load_s.into()),
+                    ("speedup", ratio(cold.text_load_s, cold.snapshot_open_s).into()),
+                    ("snapshot_bytes", cold.snapshot_bytes.into()),
+                    ("text_bytes", cold.text_bytes.into()),
+                    ("verified", JsonValue::Bool(cold.verified)),
+                ]),
+            ),
+            (
+                "totals",
+                JsonValue::obj(vec![
+                    ("policies", policies.len().into()),
+                    ("verified_recoveries", verified.into()),
+                    ("unverified_recoveries", (policies.len() - verified).into()),
+                ]),
+            ),
+        ]);
+        std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}

@@ -16,6 +16,12 @@
 //! hard gate — **zero unverified queries** (every overlay count must have
 //! matched its from-scratch-rebuild oracle in the harness).
 //!
+//! Durability artifacts (`"storage": true`, emitted by
+//! `bench_storage --json`) are validated against the storage schema:
+//! per-policy commit throughput, cold-start timings, and — hard gate —
+//! **every recovery differentially verified** (recovered version and graph
+//! matched the mutation-stream mirror; cold-start answers identical).
+//!
 //! Factorized-counting artifacts (`"factorized": true`, emitted by
 //! `bench_factorized --json`) are validated against the factorized schema:
 //! per-query DP vs enumeration latency and — hard gate — **zero
@@ -181,6 +187,93 @@ fn check_updates(path: &str, doc: &JsonValue) {
     );
 }
 
+/// Validates a `bench_storage` artifact. Hard gate: every durability
+/// policy's recovery must have been differentially verified against the
+/// mutation-stream mirror, and the cold-start comparison must have served
+/// identical probe answers — an unverified recovery count is a durability
+/// bug, not a performance data point.
+fn check_storage(path: &str, doc: &JsonValue) {
+    for key in ["harness", "baseline"] {
+        if doc.get(key).and_then(|v| v.as_str()).is_none() {
+            fail(path, &format!("missing string field {key:?}"));
+        }
+    }
+    for key in ["scale", "seed", "commits", "txn_ops"] {
+        if !doc.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+            fail(path, &format!("missing numeric field {key:?}"));
+        }
+    }
+    let base = match doc.get("base") {
+        Some(b) => b,
+        None => fail(path, "missing base object"),
+    };
+    for key in ["nodes", "edges", "labels"] {
+        require_num(path, base, key);
+    }
+    let policies = match doc.get("policies").and_then(|p| p.as_arr()) {
+        Some(p) if !p.is_empty() => p,
+        _ => fail(path, "policies must be a non-empty array"),
+    };
+    for (i, p) in policies.iter().enumerate() {
+        let durability = match p.get("durability").and_then(|v| v.as_str()) {
+            Some(d) if ["strict", "batched", "none"].contains(&d) => d,
+            _ => fail(path, &format!("policies[{i}].durability missing or unknown")),
+        };
+        for key in [
+            "commits",
+            "ops",
+            "commit_s",
+            "commits_per_s",
+            "ops_per_s",
+            "recovered_version",
+            "wal_records_replayed",
+        ] {
+            if !p.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+                fail(path, &format!("policies[{i}].{key} missing"));
+            }
+        }
+        match p.get("recovery_verified") {
+            Some(JsonValue::Bool(true)) => {}
+            Some(JsonValue::Bool(false)) => fail(
+                path,
+                &format!("policy {durability:?}: recovery count was NOT verified — durability bug"),
+            ),
+            _ => fail(path, &format!("policies[{i}].recovery_verified missing or not a bool")),
+        }
+    }
+    let cold = match doc.get("cold_start") {
+        Some(c) => c,
+        None => fail(path, "missing cold_start object"),
+    };
+    for key in ["snapshot_open_s", "text_load_s", "speedup", "snapshot_bytes", "text_bytes"] {
+        require_num(path, cold, key);
+    }
+    match cold.get("verified") {
+        Some(JsonValue::Bool(true)) => {}
+        Some(JsonValue::Bool(false)) => {
+            fail(path, "cold_start: snapshot and text loader served different answers")
+        }
+        _ => fail(path, "cold_start.verified missing or not a bool"),
+    }
+    let totals = match doc.get("totals") {
+        Some(t) => t,
+        None => fail(path, "missing totals object"),
+    };
+    for key in ["policies", "verified_recoveries"] {
+        require_num(path, totals, key);
+    }
+    let unverified = require_num(path, totals, "unverified_recoveries");
+    if unverified != 0.0 {
+        fail(path, &format!("{unverified} recovery count(s) unverified — durability bug"));
+    }
+    let speedup = cold.get("speedup").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    println!(
+        "benchcheck: {path}: OK (storage, {} policies all recovery-verified, \
+         cold start {speedup:.1}x faster from snapshot)",
+        policies.len()
+    );
+}
+
 /// Validates a `bench_factorized` artifact; returns its aggregate speedup.
 fn check_factorized(path: &str, doc: &JsonValue) -> f64 {
     for key in ["harness", "baseline", "oracle"] {
@@ -246,6 +339,10 @@ fn check(path: &str, min_par_speedup: Option<f64>, min_factorized_speedup: Optio
     };
     if matches!(doc.get("updates"), Some(JsonValue::Bool(true))) {
         check_updates(path, &doc);
+        return;
+    }
+    if matches!(doc.get("storage"), Some(JsonValue::Bool(true))) {
+        check_storage(path, &doc);
         return;
     }
     if matches!(doc.get("factorized"), Some(JsonValue::Bool(true))) {

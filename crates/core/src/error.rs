@@ -33,6 +33,9 @@ pub enum Error {
     /// The run was truncated by its budget and the caller required a
     /// complete answer (see `QueryOutcome::require_complete`).
     Budget { timed_out: bool, limit_hit: bool },
+    /// The durability layer failed (WAL append/fsync, segment write, or
+    /// on-disk corruption found during recovery).
+    Storage(rig_storage::StorageError),
 }
 
 /// Coarse classification of an [`Error`], stable across variants.
@@ -42,6 +45,7 @@ pub enum ErrorKind {
     Validation,
     Io,
     Budget,
+    Storage,
 }
 
 impl ErrorKind {
@@ -53,6 +57,7 @@ impl ErrorKind {
             ErrorKind::Io => 4,
             ErrorKind::Validation => 5,
             ErrorKind::Budget => 6,
+            ErrorKind::Storage => 7,
         }
     }
 }
@@ -65,6 +70,7 @@ impl Error {
             Error::Pattern(_) | Error::Validation(_) => ErrorKind::Validation,
             Error::Io { .. } => ErrorKind::Io,
             Error::Budget { .. } => ErrorKind::Budget,
+            Error::Storage(_) => ErrorKind::Storage,
         }
     }
 
@@ -97,6 +103,7 @@ impl std::fmt::Display for Error {
                     _ => "match limit",
                 }
             ),
+            Error::Storage(e) => write!(f, "{e}"),
         }
     }
 }
@@ -109,8 +116,15 @@ impl std::error::Error for Error {
             Error::Hpql(e) => Some(e),
             Error::Pattern(e) => Some(e),
             Error::Io { source, .. } => Some(source),
+            Error::Storage(e) => Some(e),
             Error::Validation(_) | Error::Budget { .. } => None,
         }
+    }
+}
+
+impl From<rig_storage::StorageError> for Error {
+    fn from(e: rig_storage::StorageError) -> Error {
+        Error::Storage(e)
     }
 }
 
@@ -149,6 +163,9 @@ mod tests {
             Error::validation("bad"),
             Error::io("/tmp/x", std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
             Error::Budget { timed_out: true, limit_hit: false },
+            Error::Storage(rig_storage::StorageError::NotInitialized {
+                dir: std::path::PathBuf::from("/tmp/store"),
+            }),
         ];
         let codes: Vec<u8> = errs.iter().map(|e| e.kind().exit_code()).collect();
         let mut dedup = codes.clone();

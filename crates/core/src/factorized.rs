@@ -131,13 +131,18 @@ pub struct FactorizedSummary {
     pub conditioned: Vec<String>,
     /// Conditioning bindings the DP expanded over.
     pub assignments: u64,
-    /// Exact occurrence count (`None` = overflowed u128 — effectively
-    /// astronomically large).
+    /// Exact occurrence count. `None` when the count overflowed u128
+    /// (effectively astronomically large) or the deadline truncated the
+    /// DP (`timed_out` distinguishes the two).
     pub count: Option<u128>,
     /// Per-variable candidate/distinct cardinalities.
     pub vars: Vec<VarSummary>,
     /// True when the RIG came from the session plan cache.
     pub rig_from_cache: bool,
+    /// True when the run's timeout expired during the RIG build or the
+    /// DP's conditioning loop: `count` is `None` and the cardinalities
+    /// are unreliable.
+    pub timed_out: bool,
 }
 
 impl std::fmt::Display for FactorizedSummary {
@@ -156,6 +161,7 @@ impl std::fmt::Display for FactorizedSummary {
         }
         match self.count {
             Some(c) => writeln!(f, "count:       {c}")?,
+            None if self.timed_out => writeln!(f, "count:       (timed out)")?,
             None => writeln!(f, "count:       > u128 (overflow)")?,
         }
         writeln!(f, "rig:         {}", if self.rig_from_cache { "cached" } else { "built" })?;

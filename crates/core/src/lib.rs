@@ -148,6 +148,9 @@ pub use rig_mjoin::{
     ParOptions, ResultSink, SearchOrder,
 };
 pub use rig_sim::{DirectCheckMode, ReachCheckMode, SimAlgorithm, SimOptions};
+pub use rig_storage::{
+    Durability, FsBackend, MemBackend, RecoveryReport, StorageBackend, StorageError, StoreOptions,
+};
 
 #[cfg(test)]
 mod tests {

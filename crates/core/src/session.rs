@@ -64,6 +64,7 @@
 //! the store compacts LSM-style: the overlay is merged into a fresh
 //! id-stable base segment and the BFL index is rebuilt.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -75,7 +76,10 @@ use rig_index::{build_rig, Rig, RigOptions, RigStats};
 use rig_mjoin::{compute_order, EnumOptions, EnumResult, ParOptions, ResultSink, SearchOrder};
 use rig_query::{hpql, parse_hpql, transitive_reduction, EdgeKind, PatternQuery, QNode};
 use rig_reach::{BflIndex, Reachability, SnapshotReach};
-use rig_sim::SimContext;
+use rig_sim::{SimContext, SimOptions};
+use rig_storage::{
+    DurableStore, FsBackend, RecoveryReport, StorageBackend, StorageError, StoreOptions,
+};
 
 use crate::{Error, GmConfig, GmMetrics, QueryOutcome};
 
@@ -97,8 +101,15 @@ impl CacheKey {
     fn new(query: &PatternQuery, rig_opts: &RigOptions) -> CacheKey {
         // build_threads is normalized out: the expansion phase is
         // bit-identical at every thread count (see docs/parallel.md), so
-        // plans are shared across it.
-        let opts = RigOptions { build_threads: 0, ..*rig_opts };
+        // plans are shared across it. Deadlines are normalized out too:
+        // only fully-built plans are ever cached, and a cached plan
+        // serves runs with any budget.
+        let opts = RigOptions {
+            build_threads: 0,
+            deadline: None,
+            sim: SimOptions { deadline: None, ..rig_opts.sim },
+            ..*rig_opts
+        };
         CacheKey { labels: query.labels().to_vec(), edges: query.edges().to_vec(), opts }
     }
 }
@@ -338,6 +349,12 @@ pub struct Session {
     state: Mutex<State>,
     config: GmConfig,
     compaction: CompactionPolicy,
+    /// Durable companion (WAL + snapshot segments) when the session was
+    /// opened on a store directory; `None` for in-memory sessions. Lock
+    /// order is state → store (the store lock never takes the state lock).
+    store: Option<Mutex<DurableStore>>,
+    /// What recovery did, when this session came from [`Session::open`].
+    recovery: Option<RecoveryReport>,
     epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -373,10 +390,116 @@ impl Session {
             }),
             config,
             compaction: CompactionPolicy::default(),
+            store: None,
+            recovery: None,
             epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+        }
+    }
+
+    // -- durable sessions ---------------------------------------------------
+
+    /// Creates a **durable** session: initializes a fresh store at `dir`
+    /// (binary snapshot segment + empty WAL) holding `graph`, then every
+    /// [`Session::commit`] is written ahead to the log before it
+    /// publishes. Fails if `dir` already holds a store — reopen those
+    /// with [`Session::open`].
+    pub fn create_at(
+        dir: impl AsRef<Path>,
+        graph: impl Into<Arc<DataGraph>>,
+    ) -> Result<Session, Error> {
+        Session::create_at_with(
+            dir,
+            graph,
+            GmConfig::default(),
+            Arc::new(FsBackend),
+            StoreOptions::default(),
+        )
+    }
+
+    /// [`Session::create_at`] with explicit pipeline config, storage
+    /// backend (fault injection in tests) and durability options.
+    pub fn create_at_with(
+        dir: impl AsRef<Path>,
+        graph: impl Into<Arc<DataGraph>>,
+        config: GmConfig,
+        backend: Arc<dyn StorageBackend>,
+        opts: StoreOptions,
+    ) -> Result<Session, Error> {
+        let base = graph.into();
+        let store = DurableStore::create(backend, dir.as_ref(), &base, 0, opts)?;
+        let mut session = Session::with_config(base, config);
+        session.store = Some(Mutex::new(store));
+        Ok(session)
+    }
+
+    /// Recovers a durable session from the store at `dir`: loads the last
+    /// durable snapshot segment, replays the WAL (tolerating a torn tail),
+    /// and resumes at the recovered version. [`Session::recovery_report`]
+    /// tells what happened.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Session, Error> {
+        Session::open_with(dir, GmConfig::default(), Arc::new(FsBackend), StoreOptions::default())
+    }
+
+    /// [`Session::open`] with explicit pipeline config, storage backend
+    /// and durability options.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        config: GmConfig,
+        backend: Arc<dyn StorageBackend>,
+        opts: StoreOptions,
+    ) -> Result<Session, Error> {
+        let dir = dir.as_ref();
+        let (store, recovered) = DurableStore::open(backend, dir, opts)?;
+        let base = Arc::new(recovered.base);
+        let bfl = Arc::new(BflIndex::new(&base));
+        let mut overlay = DeltaOverlay::new(Arc::clone(&base));
+        let mut version = recovered.base_version;
+        for rec in &recovered.txns {
+            let mut impact = CommitImpact::default();
+            for op in &rec.ops {
+                // a durable record that no longer applies means the log and
+                // segment disagree — that is corruption, not a user error
+                overlay.apply(op, &mut impact).map_err(|e| StorageError::Corrupt {
+                    path: dir.join("wal.log"),
+                    detail: format!("replaying committed version {}: {e}", rec.version),
+                })?;
+            }
+            version = rec.version;
+        }
+        let snapshot = Arc::new(Snapshot::new(Arc::new(overlay), version));
+        let mut session = Session::with_config(Arc::clone(&base), config);
+        {
+            let mut st = session.state.lock().unwrap();
+            st.snapshot = snapshot;
+            st.bfl = bfl;
+            st.version = version;
+        }
+        session.store = Some(Mutex::new(store));
+        session.recovery = Some(recovered.report);
+        Ok(session)
+    }
+
+    /// True when commits are written ahead to a durable store.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The recovery report, when this session came from [`Session::open`].
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// fsyncs any WAL records batched but not yet synced (a no-op under
+    /// `Durability::Strict`). Call before a planned shutdown under
+    /// `Durability::Batched` to close the loss window; dropping the
+    /// session does this best-effort.
+    pub fn flush_wal(&self) -> Result<(), Error> {
+        match &self.store {
+            Some(store) => Ok(store.lock().unwrap().flush()?),
+            None => Ok(()),
         }
     }
 
@@ -440,15 +563,29 @@ impl Session {
     /// names against the *old* graph, so the borrow checker must prevent
     /// any from outliving the swap (commits only grow the label space, so
     /// they are safe under `&self`; a wholesale replacement is not).
-    pub fn replace_graph(&mut self, graph: impl Into<Arc<DataGraph>>) {
+    ///
+    /// On a durable session the new graph is checkpointed to a fresh
+    /// segment *before* the in-memory swap; a storage failure leaves both
+    /// the session and the store on the old graph. In-memory sessions
+    /// never fail.
+    pub fn replace_graph(&mut self, graph: impl Into<Arc<DataGraph>>) -> Result<(), Error> {
         let base = graph.into();
         let bfl = Arc::new(BflIndex::new(&base));
         let mut st = self.state.lock().unwrap();
-        st.version += 1;
-        st.snapshot = Arc::new(Snapshot::new(Arc::new(DeltaOverlay::new(base)), st.version));
+        let version = st.version + 1;
+        if let Some(store) = &self.store {
+            let mut s = store.lock().unwrap();
+            s.checkpoint(&base, version)?;
+            // best-effort: leftover WAL records are all <= the old version
+            // and replay skips them against the new segment
+            let _ = s.truncate_wal(version);
+        }
+        st.version = version;
+        st.snapshot = Arc::new(Snapshot::new(Arc::new(DeltaOverlay::new(base)), version));
         st.bfl = bfl;
         st.cache.entries.clear();
         self.epoch.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     // -- mutation API -------------------------------------------------------
@@ -481,6 +618,12 @@ impl Session {
         let mut impact = CommitImpact::default();
         for op in &txn.ops {
             overlay.apply(op, &mut impact).map_err(Error::validation)?;
+        }
+        // write-ahead: the record must be durable (to the policy's
+        // standard) before the commit publishes. On error nothing was
+        // published and the store rolled back, so the commit simply fails.
+        if let Some(store) = &self.store {
+            store.lock().unwrap().log_commit(st.version + 1, &txn.ops)?;
         }
         st.version += 1;
         st.commits += 1;
@@ -568,9 +711,25 @@ impl Session {
         };
         let merged = Arc::new(snapshot.materialize());
         let bfl = Arc::new(BflIndex::new(&merged));
+        // durable checkpoint happens *before* the swap and outside the
+        // state lock: write-new, fsync, atomic rename. If a commit races
+        // us the leftover segment is harmless (replay skips the records it
+        // absorbed); if the checkpoint fails, compaction is skipped and
+        // the previous segment + full WAL stay authoritative.
+        if let Some(store) = &self.store {
+            if store.lock().unwrap().checkpoint(&merged, version).is_err() {
+                return false;
+            }
+        }
         let mut st = self.state.lock().unwrap();
         if st.version != version {
             return false;
+        }
+        if let Some(store) = &self.store {
+            // safe under the state lock: no commit newer than `version`
+            // can be logged concurrently. Best-effort — a failed truncate
+            // leaves records the next replay skips.
+            let _ = store.lock().unwrap().truncate_wal(version);
         }
         st.snapshot = Arc::new(Snapshot::new(Arc::new(DeltaOverlay::new(merged)), version));
         st.bfl = bfl;
@@ -658,7 +817,17 @@ impl Session {
     /// so concurrent misses on the same key build twice and the second
     /// insert wins — wasted work, never a wrong answer; a build raced by
     /// a commit is simply not cached (its snapshot is already stale).
-    fn rig_for(&self, prepared: &Prepared<'_>, use_cache: bool) -> (Arc<Rig>, bool) {
+    ///
+    /// `deadline` caps the build itself (selection stops at the next
+    /// simulation pass boundary, expansion aborts): a timed-out build
+    /// comes back as an empty-shaped RIG with `stats.timed_out` set and is
+    /// never cached.
+    fn rig_for(
+        &self,
+        prepared: &Prepared<'_>,
+        use_cache: bool,
+        deadline: Option<Instant>,
+    ) -> (Arc<Rig>, bool) {
         let key = CacheKey::new(&prepared.exec, &self.config.rig);
         let (snapshot, bfl, version) = {
             let mut st = self.state.lock().unwrap();
@@ -673,8 +842,9 @@ impl Session {
             }
             (Arc::clone(&st.snapshot), Arc::clone(&st.bfl), st.version)
         };
-        let rig = Arc::new(build_plan(&snapshot, &bfl, &prepared.exec, &self.config.rig));
-        if use_cache {
+        let opts = self.config.rig.with_deadline(deadline);
+        let rig = Arc::new(build_plan(&snapshot, &bfl, &prepared.exec, &opts));
+        if use_cache && !rig.stats.timed_out {
             let mut st = self.state.lock().unwrap();
             // a commit may have landed while we built: then this RIG
             // describes a superseded snapshot and must not be cached
@@ -720,6 +890,19 @@ impl std::fmt::Debug for Session {
             .field("store", &self.store_stats())
             .field("cache", &self.cache_stats())
             .finish()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // close the Batched loss window on a planned shutdown; failures
+        // here are indistinguishable from a crash an instant later, which
+        // the recovery path already handles
+        if let Some(store) = &self.store {
+            if let Ok(mut s) = store.lock() {
+                let _ = s.flush();
+            }
+        }
     }
 }
 
@@ -998,12 +1181,23 @@ impl<'a, 's> Run<'a, 's> {
         engine: impl FnOnce(&PatternQuery, &Rig, &EnumOptions) -> EnumResult,
     ) -> QueryOutcome {
         let total_start = Instant::now();
-        let (rig, from_cache) = self.prepared.session.rig_for(self.prepared, self.use_cache);
+        // One wall-clock budget for the whole run: the RIG build consumes
+        // it first, enumeration gets what remains.
+        let deadline = self.opts.timeout.and_then(|d| total_start.checked_add(d));
+        let (rig, from_cache) =
+            self.prepared.session.rig_for(self.prepared, self.use_cache, deadline);
         let enum_start = Instant::now();
-        let result = if rig.is_empty() {
+        let result = if rig.stats.timed_out {
+            // the build deadline expired: a timeout, never an empty answer
+            EnumResult { timed_out: true, ..EnumResult::empty(Vec::new()) }
+        } else if rig.is_empty() {
             EnumResult::empty(Vec::new())
         } else {
-            engine(&self.prepared.exec, &rig, &self.opts)
+            let mut opts = self.opts;
+            if let Some(d) = deadline {
+                opts.timeout = Some(d.saturating_duration_since(Instant::now()));
+            }
+            engine(&self.prepared.exec, &rig, &opts)
         };
         let enumeration_time = enum_start.elapsed();
         let metrics = GmMetrics {
@@ -1136,7 +1330,7 @@ impl<'a, 's> Run<'a, 's> {
     /// order MJoin would use.
     pub fn explain(self) -> Explain {
         let prepared = self.prepared;
-        let (rig, from_cache) = prepared.session.rig_for(prepared, self.use_cache);
+        let (rig, from_cache) = prepared.session.rig_for(prepared, self.use_cache, None);
         let order = if rig.is_empty() {
             Vec::new()
         } else {
@@ -1161,34 +1355,42 @@ impl<'a, 's> Run<'a, 's> {
     /// Builds the factorized answer-graph summary (the CLI's
     /// `--factorized` output mode): shape, exact DP count and
     /// per-variable distinct-binding cardinalities, computed without
-    /// materializing any tuple. Ignores [`Run::threads`] and the budget
-    /// knobs — this terminal always runs the DP.
+    /// materializing any tuple. Ignores [`Run::threads`] and the limit
+    /// knob — this terminal always runs the DP. A [`Run::timeout`] *is*
+    /// honored: it caps the RIG build and the DP's conditioning loop, and
+    /// a truncated summary reports `timed_out` with `count: None`.
     pub fn factorized_summary(self) -> crate::factorized::FactorizedSummary {
         use crate::factorized::{FactorizedSummary, VarSummary};
         let prepared = self.prepared;
-        let (rig, from_cache) = prepared.session.rig_for(prepared, self.use_cache);
+        let deadline = self.opts.timeout.and_then(|d| Instant::now().checked_add(d));
+        let (rig, from_cache) = prepared.session.rig_for(prepared, self.use_cache, deadline);
         let q = &prepared.exec;
         let name_of = |i: usize| match prepared.vars.as_deref() {
             Some(v) => v[i].clone(),
             None => format!("v{i}"),
         };
         if rig.is_empty() {
+            let timed_out = rig.stats.timed_out;
             return FactorizedSummary {
                 hpql: prepared.to_hpql(),
                 tree: crate::factorized::FactorizationShape::analyze(q).is_tree(),
                 extra_edges: crate::factorized::FactorizationShape::analyze(q).extra_edges.len(),
                 conditioned: Vec::new(),
                 assignments: 0,
-                count: Some(0),
+                count: if timed_out { None } else { Some(0) },
                 vars: (0..q.num_nodes())
                     .map(|i| VarSummary { name: name_of(i), candidates: 0, distinct: 0 })
                     .collect(),
                 rig_from_cache: from_cache,
+                timed_out,
             };
         }
         let mut f = crate::factorized::Factorization::new(q, &rig);
+        f.set_deadline(deadline);
         let dp = f.count();
-        let cards = f.var_cardinalities();
+        // cardinalities re-run the conditioning loop: skip them once the
+        // budget is gone rather than doubling the overrun
+        let cards = if dp.timed_out { vec![0; q.num_nodes()] } else { f.var_cardinalities() };
         FactorizedSummary {
             hpql: prepared.to_hpql(),
             tree: f.is_tree(),
@@ -1204,6 +1406,7 @@ impl<'a, 's> Run<'a, 's> {
                 })
                 .collect(),
             rig_from_cache: from_cache,
+            timed_out: dp.timed_out,
         }
     }
 }
@@ -1385,7 +1588,7 @@ mod tests {
         }
         let epoch_before = session.epoch();
         // same graph content — but the swap must force a rebuild
-        session.replace_graph(fig2_graph());
+        session.replace_graph(fig2_graph()).unwrap();
         assert_eq!(session.epoch(), epoch_before + 1);
         let p = session.prepare(FIG2_HPQL).unwrap();
         let outcome = p.run().count();
@@ -1711,5 +1914,71 @@ mod tests {
         assert_eq!(summary.nodes_added, 1);
         assert_eq!(summary.edges_added, 1);
         assert!(session.graph().has_edge(10, 3));
+    }
+
+    /// A dense single-label graph (every pair connected both ways) and a
+    /// cyclic triangle query — worst case for both RIG expansion and the
+    /// factorized DP's conditioning loop.
+    fn dense_session(n: u32) -> Session {
+        use rig_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_node_with_name(0, "A");
+        }
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        Session::new(b.build())
+    }
+
+    const TRIANGLE: &str = "MATCH (a:A)->(b:A)->(c:A), (c)->(a)";
+
+    /// Satellite regression: an already-expired deadline must surface as
+    /// a timeout (budget exit path), never as an empty answer, and the
+    /// aborted build must not be cached.
+    #[test]
+    fn expired_deadline_is_a_timeout_not_an_empty_answer() {
+        let session = dense_session(24);
+        let p = session.prepare(TRIANGLE).unwrap();
+
+        let o = p.run().timeout(Duration::ZERO).count();
+        assert!(o.result.timed_out, "zero budget must time out");
+        assert!(o.metrics.rig_stats.timed_out, "the RIG build aborted");
+        assert_eq!(o.result.count, 0);
+        let err = p.run().timeout(Duration::ZERO).try_count().unwrap_err();
+        assert!(matches!(err, Error::Budget { timed_out: true, .. }), "{err}");
+        assert_eq!(session.cache_stats().entries, 0, "timed-out plans are never cached");
+
+        // the same query with no budget completes and is cached
+        let full = p.run().try_count().unwrap();
+        assert!(!full.result.timed_out);
+        assert_eq!(full.result.count, 24 * 23 * 22);
+        assert_eq!(session.cache_stats().entries, 1);
+
+        // a cached plan serves budgeted runs: enumeration gets the whole
+        // budget and finishes this tiny instance comfortably
+        let warm = p.run().timeout(Duration::from_secs(3600)).count();
+        assert!(warm.metrics.rig_from_cache);
+        assert_eq!(warm.result.count, 24 * 23 * 22);
+    }
+
+    /// The factorized terminal honors the deadline too: the DP's
+    /// conditioning loop aborts and the summary says so instead of
+    /// reporting a partial count.
+    #[test]
+    fn factorized_summary_times_out_cleanly() {
+        let session = dense_session(24);
+        let p = session.prepare(TRIANGLE).unwrap();
+        let s = p.run().timeout(Duration::ZERO).factorized_summary();
+        assert!(s.timed_out);
+        assert_eq!(s.count, None, "a partial DP sum must not masquerade as the count");
+        let full = p.run().factorized_summary();
+        assert!(!full.timed_out);
+        assert_eq!(full.count, Some(24 * 23 * 22));
+        assert!(format!("{s}").contains("timed out"));
     }
 }

@@ -575,6 +575,65 @@ fn xorshift(state: &mut u64) -> u64 {
     x.wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
 
+/// A deterministic, self-validating transaction stream over an evolving
+/// graph: seeded xorshift64\* drives [`DeltaOverlay::random_mutation`]
+/// against an internal mirror overlay, so every generated op is valid at
+/// the point it is produced and the whole sequence is a pure function of
+/// `(base graph, seed)`.
+///
+/// This is the shared workload of the durability layer's kill-and-recover
+/// differential suite, the crash-recovery proptests, and `bench_storage`:
+/// the writer under test and the verifying reference both replay *the
+/// same* commit sequence from the same seed, so "the store holding exactly
+/// the first `k` transactions" is reproducible anywhere.
+pub struct MutationStream {
+    mirror: DeltaOverlay,
+    state: u64,
+    num_labels: Label,
+}
+
+impl MutationStream {
+    /// A stream over `base` driven by `seed`.
+    pub fn new(base: Arc<DataGraph>, seed: u64) -> MutationStream {
+        let num_labels = (base.num_labels() as Label).max(1);
+        MutationStream { mirror: DeltaOverlay::new(base), state: seed, num_labels }
+    }
+
+    /// Generates the next transaction: between 1 and `max_ops` mutations,
+    /// each validated against (and applied to) the internal mirror so
+    /// later transactions stay valid on the evolving graph.
+    pub fn next_txn(&mut self, max_ops: usize) -> Vec<MutationOp> {
+        let want = 1 + (xorshift(&mut self.state) % max_ops.max(1) as u64) as usize;
+        let mut ops = Vec::with_capacity(want);
+        let mut attempts = 0;
+        while ops.len() < want && attempts < want * 64 {
+            attempts += 1;
+            let Some(op) = self.mirror.random_mutation(&mut self.state, self.num_labels) else {
+                continue;
+            };
+            let mut impact = CommitImpact::default();
+            if self.mirror.apply(&op, &mut impact).is_ok() && impact.ops() > 0 {
+                ops.push(op);
+            }
+        }
+        if ops.is_empty() {
+            // degenerate graphs can starve the sampler; an AddNode is
+            // always valid and keeps every transaction non-empty
+            let op = MutationOp::AddNode(LabelSpec::Id(0));
+            let mut impact = CommitImpact::default();
+            self.mirror.apply(&op, &mut impact).expect("AddNode is always valid");
+            ops.push(op);
+        }
+        ops
+    }
+
+    /// The mirror overlay: the graph state after every transaction
+    /// generated so far (the reference a recovered store is compared to).
+    pub fn mirror(&self) -> &DeltaOverlay {
+        &self.mirror
+    }
+}
+
 fn base_label_bits(base: &DataGraph, label: Label) -> Bitset {
     if (label as usize) < base.num_labels() {
         base.label_bitset(label).clone()

@@ -11,13 +11,17 @@ mod builder;
 pub mod delta;
 mod hash;
 mod io;
+mod segment;
 mod stats;
 mod view;
 
 pub use builder::GraphBuilder;
-pub use delta::{parse_mutations, CommitImpact, DeltaOverlay, LabelSpec, MutationOp, Snapshot};
+pub use delta::{
+    parse_mutations, CommitImpact, DeltaOverlay, LabelSpec, MutationOp, MutationStream, Snapshot,
+};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use io::{parse_text, to_text, ParseError};
+pub use segment::{crc32, decode_segment, encode_segment, SegmentError, SEGMENT_MAGIC};
 pub use stats::GraphStats;
 pub use view::GraphView;
 

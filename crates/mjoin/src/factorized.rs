@@ -149,12 +149,15 @@ struct Check {
 
 /// Exact DP count. `total` is `None` when u128 arithmetic saturated —
 /// callers should fall back to plain enumeration (which could never reach
-/// such a count anyway). `assignments` is the number of conditioning-set
-/// bindings the DP re-expanded over (1 for tree-shaped queries).
+/// such a count anyway) — or when the deadline expired (`timed_out` set;
+/// a partial sum must never be mistaken for the answer). `assignments` is
+/// the number of conditioning-set bindings the DP re-expanded over (1 for
+/// tree-shaped queries).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DpCount {
     pub total: Option<u128>,
     pub assignments: u64,
+    pub timed_out: bool,
 }
 
 #[inline]
@@ -239,6 +242,9 @@ pub struct Factorization<'q, 'r> {
     tuple: Vec<NodeId>,
     started: bool,
     done: bool,
+    /// Wall-clock cutoff for the aggregate conditioning loops (see
+    /// [`Self::set_deadline`]).
+    deadline: Option<std::time::Instant>,
 }
 
 impl<'q, 'r> Factorization<'q, 'r> {
@@ -396,6 +402,7 @@ impl<'q, 'r> Factorization<'q, 'r> {
             tuple: vec![0; n],
             started: false,
             done: false,
+            deadline: None,
         }
     }
 
@@ -821,12 +828,31 @@ impl<'q, 'r> Factorization<'q, 'r> {
         }
     }
 
+    /// Sets a wall-clock cutoff for [`Self::count`]'s conditioning loop.
+    /// Past the deadline the count aborts with `timed_out` set and
+    /// `total: None` — a partial sum is never reported as the answer.
+    /// Enumeration entry points are unaffected (they take their own budget
+    /// through `EnumOptions`).
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// True when the configured deadline has passed; probed every few
+    /// conditioning assignments, so one clock read amortizes over many
+    /// sparse passes.
+    #[inline]
+    fn past_deadline(&self, assignments: u64) -> bool {
+        self.deadline
+            .is_some_and(|d| assignments.is_multiple_of(16) && std::time::Instant::now() >= d)
+    }
+
     /// Exact occurrence count by DP — no tuple is ever materialized.
     pub fn count(&mut self) -> DpCount {
         let mut of = false;
         if self.rig.is_empty() || self.order.is_empty() {
-            return DpCount { total: Some(0), assignments: 0 };
+            return DpCount { total: Some(0), assignments: 0, timed_out: false };
         }
+        let mut timed_out = false;
         let (grand, assignments) = if self.s_len == 0 {
             (self.forest_dp(&mut of), 1)
         } else {
@@ -840,6 +866,10 @@ impl<'q, 'r> Factorization<'q, 'r> {
                 }
                 self.reset();
                 while self.next_s_assignment() {
+                    if self.past_deadline(assignments) {
+                        timed_out = true;
+                        break;
+                    }
                     assignments += 1;
                     let t = self.sparse_pass(base, &mut of);
                     grand = sat_add(grand, t, &mut of);
@@ -847,7 +877,7 @@ impl<'q, 'r> Factorization<'q, 'r> {
             }
             (grand, assignments)
         };
-        DpCount { total: if of { None } else { Some(grand) }, assignments }
+        DpCount { total: if of || timed_out { None } else { Some(grand) }, assignments, timed_out }
     }
 
     /// Pushed-down existence check: stops at the first conditioning

@@ -76,6 +76,12 @@ pub struct RigOptions {
     /// claim edges off an atomic cursor. `0`/`1` = sequential. The
     /// resulting RIG is bit-identical for every thread count.
     pub build_threads: usize,
+    /// Hard wall-clock deadline for construction. Selection stops at the
+    /// next simulation pass boundary (sound — a superset survives);
+    /// expansion *aborts*: past the deadline the build returns an
+    /// empty-shaped RIG with [`RigStats::timed_out`] set, which callers
+    /// must report as a timeout, never as an empty answer.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for RigOptions {
@@ -86,6 +92,7 @@ impl Default for RigOptions {
             reach_expand: ReachExpandMode::PairwiseBfl,
             early_termination: true,
             build_threads: 1,
+            deadline: None,
         }
     }
 }
@@ -99,6 +106,12 @@ impl RigOptions {
     /// Same options with `build_threads` workers expanding query edges.
     pub fn with_build_threads(self, build_threads: usize) -> Self {
         RigOptions { build_threads, ..self }
+    }
+
+    /// Same options with a construction deadline (propagated to the
+    /// simulation pass cap as well).
+    pub fn with_deadline(self, deadline: Option<Instant>) -> Self {
+        RigOptions { deadline, sim: SimOptions { deadline, ..self.sim }, ..self }
     }
 }
 
@@ -116,6 +129,9 @@ pub struct RigStats {
     /// Data nodes pruned out of the match sets during selection (pre-filter
     /// prunes plus simulation prunes).
     pub pruned: u64,
+    /// The construction deadline expired during expansion: the RIG is an
+    /// empty shell and must be reported as a timeout, not an empty answer.
+    pub timed_out: bool,
 }
 
 impl RigStats {
@@ -542,19 +558,7 @@ fn finish_rig(
 
     // Empty candidate set => empty answer; skip expansion (§4.3).
     if cos.iter().any(|c| c.is_empty()) {
-        let mut rig = Rig {
-            ids: vec![Vec::new(); nq],
-            fwd: Vec::with_capacity(ne),
-            bwd: Vec::with_capacity(ne),
-            edge_nodes,
-            stats,
-        };
-        for _ in 0..ne {
-            rig.fwd.push(CsrDir::new(vec![0], Vec::new(), 0));
-            rig.bwd.push(CsrDir::new(vec![0], Vec::new(), 0));
-        }
-        rig.stats.node_count = 0;
-        return rig;
+        return empty_shaped(nq, ne, edge_nodes, stats);
     }
 
     // The selection bitsets are decoded into the sorted candidate arrays
@@ -567,9 +571,22 @@ fn finish_rig(
 
     // ---- node expansion phase ----
     let expand_start = Instant::now();
-    for (fwd, bwd) in expand_all(ctx, bfl, opts, &rig.ids, &rig.edge_nodes) {
-        rig.fwd.push(fwd);
-        rig.bwd.push(bwd);
+    match expand_all(ctx, bfl, opts, &rig.ids, &rig.edge_nodes) {
+        Some(blocks) => {
+            for (fwd, bwd) in blocks {
+                rig.fwd.push(fwd);
+                rig.bwd.push(bwd);
+            }
+        }
+        None => {
+            // Deadline expired mid-expansion. A partial RIG is unusable
+            // (enumeration needs every edge block), so hand back the empty
+            // shell flagged as timed out.
+            let mut stats = rig.stats;
+            stats.expand_time = expand_start.elapsed();
+            stats.timed_out = true;
+            return empty_shaped(nq, ne, rig.edge_nodes, stats);
+        }
     }
     rig.stats.expand_time = expand_start.elapsed();
     rig.stats.node_count = rig.ids.iter().map(|c| c.len() as u64).sum();
@@ -577,56 +594,116 @@ fn finish_rig(
     rig
 }
 
+/// A RIG with the right per-node/per-edge shape but no candidates: what
+/// both the empty-answer short-circuit and the deadline abort return.
+fn empty_shaped(nq: usize, ne: usize, edge_nodes: Vec<(usize, usize)>, stats: RigStats) -> Rig {
+    let mut rig = Rig {
+        ids: vec![Vec::new(); nq],
+        fwd: Vec::with_capacity(ne),
+        bwd: Vec::with_capacity(ne),
+        edge_nodes,
+        stats,
+    };
+    for _ in 0..ne {
+        rig.fwd.push(CsrDir::new(vec![0], Vec::new(), 0));
+        rig.bwd.push(CsrDir::new(vec![0], Vec::new(), 0));
+    }
+    rig.stats.node_count = 0;
+    rig.stats.edge_count = 0;
+    rig
+}
+
+/// Periodic deadline probe for the per-source expansion loops: reads the
+/// clock once every 256 probes (and on the very first, so an
+/// already-expired deadline aborts immediately).
+struct DeadlineProbe {
+    at: Option<Instant>,
+    tick: u32,
+    expired: bool,
+}
+
+impl DeadlineProbe {
+    fn new(at: Option<Instant>) -> Self {
+        DeadlineProbe { at, tick: 0, expired: false }
+    }
+
+    #[inline]
+    fn expired(&mut self) -> bool {
+        if self.expired {
+            return true;
+        }
+        let Some(at) = self.at else { return false };
+        self.tick = self.tick.wrapping_add(1);
+        if self.tick % 256 == 1 && Instant::now() >= at {
+            self.expired = true;
+        }
+        self.expired
+    }
+}
+
 /// Expands every query edge into its (forward, backward) CSR block pair,
 /// in edge-id order. With `opts.build_threads > 1`, scoped worker threads
 /// claim edges off an atomic cursor and build the blocks concurrently —
 /// each block only reads the shared context (graph, BFL, candidate
 /// arrays), so the output is identical to the sequential build for every
-/// thread count.
+/// thread count. Returns `None` when `opts.deadline` expired mid-build.
 fn expand_all(
     ctx: &SimContext<'_>,
     bfl: &BflIndex,
     opts: &RigOptions,
     ids: &[Vec<NodeId>],
     edge_nodes: &[(usize, usize)],
-) -> Vec<(CsrDir, CsrDir)> {
+) -> Option<Vec<(CsrDir, CsrDir)>> {
     let ne = edge_nodes.len();
     let build_one = |eid: usize| {
         let (p, q) = edge_nodes[eid];
-        let (offsets, targets) = expand_edge(ctx, bfl, opts, ids, eid as EdgeId, p, q);
+        let (offsets, targets) = expand_edge(ctx, bfl, opts, ids, eid as EdgeId, p, q)?;
         let fwd = CsrDir::new(offsets, targets, ids[q].len());
         let (boff, btgt) = fwd.transpose(ids[q].len());
         let bwd = CsrDir::new(boff, btgt, ids[p].len());
-        (fwd, bwd)
+        Some((fwd, bwd))
     };
     let threads = opts.build_threads.clamp(1, ne.max(1));
     if threads <= 1 || ne <= 1 {
         return (0..ne).map(build_one).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let timed_out = std::sync::atomic::AtomicBool::new(false);
     let per_worker: Vec<Vec<(usize, (CsrDir, CsrDir))>> = std::thread::scope(|scope| {
-        let (next, build_one) = (&next, &build_one);
+        let (next, build_one, timed_out) = (&next, &build_one, &timed_out);
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
                     let mut built = Vec::new();
                     loop {
+                        if timed_out.load(std::sync::atomic::Ordering::Relaxed) {
+                            return built;
+                        }
                         let eid = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         if eid >= ne {
                             return built;
                         }
-                        built.push((eid, build_one(eid)));
+                        match build_one(eid) {
+                            Some(block) => built.push((eid, block)),
+                            None => {
+                                timed_out.store(true, std::sync::atomic::Ordering::Relaxed);
+                                return built;
+                            }
+                        }
                     }
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("rig expansion worker panicked")).collect()
     });
+    if timed_out.load(std::sync::atomic::Ordering::Relaxed) {
+        return None;
+    }
     let mut slots: Vec<Option<(CsrDir, CsrDir)>> = (0..ne).map(|_| None).collect();
     for (eid, block) in per_worker.into_iter().flatten() {
         slots[eid] = Some(block);
     }
-    slots.into_iter().map(|s| s.expect("every query edge expanded")).collect()
+    Some(slots.into_iter().map(|s| s.expect("every query edge expanded")).collect())
 }
 
 /// Expands one query edge into forward CSR runs (local target ids).
@@ -645,13 +722,14 @@ fn expand_edge(
     eid: EdgeId,
     p: usize,
     q: usize,
-) -> (Vec<u32>, Vec<u32>) {
+) -> Option<(Vec<u32>, Vec<u32>)> {
+    let dl = opts.deadline;
     match ctx.query.edge(eid).kind {
-        EdgeKind::Direct => expand_direct(ctx, ids, p, q),
-        EdgeKind::Reachability if ctx.graph.is_dirty() => expand_reach_dfs(ctx, ids, p, q),
+        EdgeKind::Direct => expand_direct(ctx, ids, p, q, dl),
+        EdgeKind::Reachability if ctx.graph.is_dirty() => expand_reach_dfs(ctx, ids, p, q, dl),
         EdgeKind::Reachability => match opts.reach_expand {
             ReachExpandMode::PairwiseBfl => expand_reach_pairwise(ctx, bfl, opts, ids, p, q),
-            ReachExpandMode::PrunedDfs => expand_reach_dfs(ctx, ids, p, q),
+            ReachExpandMode::PrunedDfs => expand_reach_dfs(ctx, ids, p, q, dl),
         },
     }
 }
@@ -677,16 +755,21 @@ fn expand_direct(
     ids: &[Vec<NodeId>],
     p: usize,
     q: usize,
-) -> (Vec<u32>, Vec<u32>) {
+    deadline: Option<Instant>,
+) -> Option<(Vec<u32>, Vec<u32>)> {
     let (src, tgt) = (&ids[p], &ids[q]);
+    let mut probe = DeadlineProbe::new(deadline);
     let mut offsets = Vec::with_capacity(src.len() + 1);
     offsets.push(0u32);
     let mut targets = Vec::new();
     for &u in src {
+        if probe.expired() {
+            return None;
+        }
         intersect_to_locals(ctx.graph.out_neighbors(u), tgt, &mut targets);
         push_offset(&mut offsets, targets.len());
     }
-    (offsets, targets)
+    Some((offsets, targets))
 }
 
 /// Intersects two sorted id lists, emitting the *positions in `tgt`* (local
@@ -739,10 +822,11 @@ fn expand_reach_pairwise(
     ids: &[Vec<NodeId>],
     p: usize,
     q: usize,
-) -> (Vec<u32>, Vec<u32>) {
+) -> Option<(Vec<u32>, Vec<u32>)> {
     let cond = bfl.condensation();
     let intervals = bfl.intervals();
     let (src, tgt) = (&ids[p], &ids[q]);
+    let mut probe = DeadlineProbe::new(opts.deadline);
     // (begin, target node, local id), cached once per edge; sorted by
     // interval begin only when the early-termination cut needs that order.
     let mut tinfo: Vec<(u32, NodeId, u32)> = tgt
@@ -759,6 +843,9 @@ fn expand_reach_pairwise(
     let mut memo: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
     let mut run: Vec<u32> = Vec::new();
     for &u in src {
+        if probe.expired() {
+            return None;
+        }
         let cu = cond.component(u);
         let nontrivial = cond.nontrivial[cu as usize];
         // Only nontrivial SCCs can host more than one source, so only they
@@ -790,7 +877,7 @@ fn expand_reach_pairwise(
             memo.insert(cu, run.clone());
         }
     }
-    (offsets, targets)
+    Some((offsets, targets))
 }
 
 /// Reachability expansion by one pruned DFS per source node.
@@ -799,9 +886,13 @@ fn expand_reach_dfs(
     ids: &[Vec<NodeId>],
     p: usize,
     q: usize,
-) -> (Vec<u32>, Vec<u32>) {
+    deadline: Option<Instant>,
+) -> Option<(Vec<u32>, Vec<u32>)> {
     let g = ctx.graph;
     let (src, tgt) = (&ids[p], &ids[q]);
+    // One DFS can walk the whole graph, so the probe ticks per pop, not
+    // per source.
+    let mut probe = DeadlineProbe::new(deadline);
     let mut stamp = vec![u32::MAX; g.num_nodes()];
     let mut offsets = Vec::with_capacity(src.len() + 1);
     offsets.push(0u32);
@@ -812,6 +903,9 @@ fn expand_reach_dfs(
         run.clear();
         let mut stack: Vec<NodeId> = g.out_neighbors(u).to_vec();
         while let Some(x) = stack.pop() {
+            if probe.expired() {
+                return None;
+            }
             if stamp[x as usize] == epoch {
                 continue;
             }
@@ -825,7 +919,7 @@ fn expand_reach_dfs(
         targets.extend_from_slice(&run);
         push_offset(&mut offsets, targets.len());
     }
-    (offsets, targets)
+    Some((offsets, targets))
 }
 
 #[cfg(test)]

@@ -110,6 +110,7 @@ impl<'c, 'a> Runner<'c, 'a> {
 
     fn cap_reached(&self) -> bool {
         self.opts.max_passes.is_some_and(|cap| self.passes >= cap)
+            || self.opts.deadline.is_some_and(|d| std::time::Instant::now() >= d)
     }
 
     /// Sum of change counters of the nodes adjacent to `q` through the
@@ -365,7 +366,7 @@ mod tests {
                                 reach_mode,
                                 max_passes: None,
                                 change_flags,
-                                trace: false,
+                                ..Default::default()
                             };
                             let r = double_simulation(&ctx, &opts);
                             for i in 0..q.num_nodes() {

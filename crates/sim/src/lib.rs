@@ -128,6 +128,10 @@ pub struct SimOptions {
     pub change_flags: bool,
     /// Record per-step prune events (used to reproduce Figs. 4 and 5).
     pub trace: bool,
+    /// Stop at the next pass boundary once this instant has passed. Like
+    /// `max_passes`, stopping early leaves a superset of `FB`, so the
+    /// result is still sound — expansion just prunes less.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for SimOptions {
@@ -139,6 +143,7 @@ impl Default for SimOptions {
             max_passes: None,
             change_flags: true,
             trace: false,
+            deadline: None,
         }
     }
 }
@@ -241,7 +246,7 @@ mod tests {
                             reach_mode,
                             max_passes: None,
                             change_flags,
-                            trace: false,
+                            ..Default::default()
                         });
                     }
                 }

@@ -1,0 +1,95 @@
+//! `crashwriter` — deterministic durable-commit driver for the
+//! kill-and-recover differential suite (`tests/kill_recover.rs`).
+//!
+//! ```text
+//! crashwriter <data-dir> <seed> <strict|batched|none> <commits>
+//! ```
+//!
+//! Creates a durable session at `<data-dir>` seeded with the
+//! deterministic base graph ([`base_graph`] — the test reconstructs the
+//! same one from the same seed), then commits `<commits>` transactions
+//! drawn from `MutationStream::new(base, seed)`, printing `ack <version>`
+//! to stdout (flushed and, under `strict`, durable by the time the line
+//! appears) after each acknowledged commit. The parent test SIGKILLs this
+//! process at an arbitrary point in that stream and checks that recovery
+//! yields exactly the acked prefix — byte-identical graph and query
+//! answers against an in-memory reference.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use rigmatch::core::{Durability, FsBackend, Session, StoreOptions};
+use rigmatch::graph::{DataGraph, MutationStream};
+
+/// The base graph the writer starts from — deterministic in `seed`, shared
+/// by value (not by code path) with `tests/kill_recover.rs`.
+pub fn base_graph(seed: u64) -> DataGraph {
+    let g = rigmatch::datasets::erdos_renyi(120, 360, seed);
+    rigmatch::datasets::zipf_labels(&g, 4, 1.0, seed)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (dir, seed, durability, commits) = match args.as_slice() {
+        [dir, seed, durability, commits] => {
+            let Ok(seed) = seed.parse::<u64>() else {
+                eprintln!("bad seed");
+                return ExitCode::from(2);
+            };
+            let Some(d) = Durability::parse(durability) else {
+                eprintln!("bad durability");
+                return ExitCode::from(2);
+            };
+            let Ok(commits) = commits.parse::<u64>() else {
+                eprintln!("bad commit count");
+                return ExitCode::from(2);
+            };
+            (dir.clone(), seed, d, commits)
+        }
+        _ => {
+            eprintln!("usage: crashwriter <data-dir> <seed> <strict|batched|none> <commits>");
+            return ExitCode::from(2);
+        }
+    };
+
+    let base = Arc::new(base_graph(seed));
+    let session = match Session::create_at_with(
+        &dir,
+        Arc::clone(&base),
+        Default::default(),
+        Arc::new(FsBackend),
+        StoreOptions::with_durability(durability),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("create: {e}");
+            return ExitCode::from(e.kind().exit_code());
+        }
+    };
+
+    let mut stream = MutationStream::new(base, seed);
+    let stdout = std::io::stdout();
+    for _ in 0..commits {
+        let ops = stream.next_txn(6);
+        match session.apply(&ops) {
+            Ok(summary) => {
+                // the ack line leaves this process only after the commit
+                // was acknowledged by the store
+                let mut out = stdout.lock();
+                writeln!(out, "ack {}", summary.version).expect("stdout");
+                out.flush().expect("stdout flush");
+            }
+            Err(e) => {
+                eprintln!("commit: {e}");
+                return ExitCode::from(e.kind().exit_code());
+            }
+        }
+    }
+    if let Err(e) = session.flush_wal() {
+        eprintln!("flush: {e}");
+        return ExitCode::from(e.kind().exit_code());
+    }
+    println!("done");
+    ExitCode::SUCCESS
+}

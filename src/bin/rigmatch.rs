@@ -3,6 +3,7 @@
 //! ```text
 //! rigmatch [explain] <graph-file> (<query-file> | --query 'HPQL') [options]
 //! rigmatch update <graph-file> <mutations-file> [--output <path>] [--stats]
+//! rigmatch recover <data-dir>
 //!
 //! options:
 //!   --query 'MATCH ...'      inline HPQL query (instead of a query file)
@@ -17,6 +18,8 @@
 //!   --factorized             print the factorized answer summary, gm only
 //!   --stats                  print phase timings and RIG statistics
 //!   --strict                 fail (exit 6) if limit/timeout truncated the run
+//!   --data-dir <dir>         durable store: WAL + snapshots (gm only)
+//!   --durability strict|batched|none   fsync policy (default strict)
 //! ```
 //!
 //! `explain` (first argument) prints the plan instead of running it: the
@@ -53,23 +56,35 @@
 //! scheduling-dependent; RIG construction is parallelized too). `--limit`
 //! and `--timeout` are honored in both modes.
 //!
+//! With `--data-dir <dir>` the GM session is **durable**: an empty or
+//! uninitialized directory is seeded from the graph file (binary snapshot
+//! segment + write-ahead log), and every mutation commit is logged before
+//! it is acknowledged. An already-initialized directory is *opened*
+//! instead — the graph file argument is then ignored (recovery replays
+//! the WAL over the last snapshot). `recover <data-dir>` opens a store,
+//! prints its recovery report and integrity findings, and exits — see
+//! `docs/durability.md`.
+//!
 //! Exit codes: `0` success, `1` internal error, `2` usage, `3` parse
 //! error, `4` I/O error, `5` validation error, `6` budget exceeded (with
-//! `--strict`).
+//! `--strict`), `7` storage error (corruption, fsync failure, …).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use rigmatch::baselines::{Budget, Engine, Jm, NeoLike, Tm};
-use rigmatch::core::{Error, GmConfig, Session};
+use rigmatch::core::{Durability, Error, FsBackend, GmConfig, Session, StoreOptions};
 use rigmatch::graph::parse_text;
 use rigmatch::mjoin::{BatchSink, EnumOptions, SearchOrder};
 use rigmatch::query::{looks_like_hpql, parse_query, PatternQuery};
+use rigmatch::storage::DurableStore;
 
 struct Cli {
     explain: bool,
     /// `update` subcommand: apply mutations, write the graph back out.
     update: bool,
+    /// `recover` subcommand: open a durable store, report, exit.
+    recover: bool,
     graph_path: String,
     /// A query file path, unless `--query` supplied inline text.
     query_path: Option<String>,
@@ -90,6 +105,9 @@ struct Cli {
     reduction: bool,
     stats: bool,
     strict: bool,
+    /// Durable store directory (`--data-dir`), gm only.
+    data_dir: Option<String>,
+    durability: Durability,
 }
 
 fn usage() -> ! {
@@ -97,8 +115,11 @@ fn usage() -> ! {
         "usage: rigmatch [explain] <graph-file> (<query-file> | --query 'HPQL') \
          [--engine gm|jm|tm|neo] [--limit N] [--timeout SECS] [--threads N] \
          [--count] [--factorized] [--order jo|ri|bj] [--no-reduction] \
-         [--mutations FILE] [--stats] [--strict]\n\
-         \x20      rigmatch update <graph-file> <mutations-file> [--output PATH] [--stats]"
+         [--mutations FILE] [--stats] [--strict] [--data-dir DIR] \
+         [--durability strict|batched|none]\n\
+         \x20      rigmatch update <graph-file> <mutations-file> [--output PATH] [--stats] \
+         [--data-dir DIR] [--durability strict|batched|none]\n\
+         \x20      rigmatch recover <data-dir>"
     );
     std::process::exit(2);
 }
@@ -107,12 +128,14 @@ fn parse_cli() -> Cli {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let explain = argv.first().map(|s| s.as_str()) == Some("explain");
     let update = argv.first().map(|s| s.as_str()) == Some("update");
-    if explain || update {
+    let recover = argv.first().map(|s| s.as_str()) == Some("recover");
+    if explain || update || recover {
         argv.remove(0);
     }
     let mut cli = Cli {
         explain,
         update,
+        recover,
         graph_path: String::new(),
         query_path: None,
         query_text: None,
@@ -128,6 +151,8 @@ fn parse_cli() -> Cli {
         reduction: true,
         stats: false,
         strict: false,
+        data_dir: None,
+        durability: Durability::Strict,
     };
     let mut positional: Vec<String> = Vec::new();
     let mut i = 0;
@@ -177,10 +202,26 @@ fn parse_cli() -> Cli {
             }
             "--stats" => cli.stats = true,
             "--strict" => cli.strict = true,
+            "--data-dir" => {
+                i += 1;
+                cli.data_dir = Some(argv.get(i).unwrap_or_else(|| usage()).clone());
+            }
+            "--durability" => {
+                i += 1;
+                cli.durability =
+                    argv.get(i).and_then(|s| Durability::parse(s)).unwrap_or_else(|| usage());
+            }
             flag if flag.starts_with("--") => usage(),
             _ => positional.push(argv[i].clone()),
         }
         i += 1;
+    }
+    if cli.recover {
+        if positional.len() != 1 || cli.query_text.is_some() {
+            usage();
+        }
+        cli.data_dir = Some(positional.remove(0));
+        return cli;
     }
     if cli.update {
         if positional.len() != 2 || cli.query_text.is_some() {
@@ -264,11 +305,56 @@ fn apply_mutations(session: &Session, path: &str, stats: bool) -> Result<(), Err
     Ok(())
 }
 
-fn run_update(cli: &Cli, g: rigmatch::graph::DataGraph) -> Result<ExitCode, Error> {
-    let before = format!("{g:?}");
-    let session = Session::new(g);
+/// Builds the GM session, durable when `--data-dir` was given: an
+/// initialized store directory is opened (recovery; the graph file is
+/// ignored), anything else is seeded from `load_graph()`. The graph file
+/// is only read when actually needed.
+fn make_session(
+    cli: &Cli,
+    cfg: GmConfig,
+    load_graph: impl FnOnce() -> Result<rigmatch::graph::DataGraph, Error>,
+) -> Result<Session, Error> {
+    let Some(dir) = &cli.data_dir else {
+        return Ok(Session::with_config(load_graph()?, cfg));
+    };
+    let opts = StoreOptions::with_durability(cli.durability);
+    if DurableStore::is_initialized(&FsBackend, std::path::Path::new(dir)) {
+        let session = Session::open_with(dir, cfg, std::sync::Arc::new(FsBackend), opts)?;
+        if !cli.graph_path.is_empty() {
+            eprintln!("note: '{dir}' already holds a store; graph file ignored, recovered instead");
+        }
+        if let Some(r) = session.recovery_report() {
+            eprintln!(
+                "recovered v{} ({} wal record(s) replayed)",
+                r.recovered_version, r.wal_records_replayed
+            );
+        }
+        Ok(session)
+    } else {
+        Session::create_at_with(dir, load_graph()?, cfg, std::sync::Arc::new(FsBackend), opts)
+    }
+}
+
+/// The `recover` subcommand: open the store, print what recovery found,
+/// and exit. Corruption or I/O trouble surfaces as exit code 7.
+fn run_recover(cli: &Cli) -> Result<ExitCode, Error> {
+    let dir = cli.data_dir.as_deref().expect("parse_cli guarantees a data dir");
+    let session = Session::open(dir)?;
+    let report = session.recovery_report().expect("opened sessions carry a report");
+    print!("{report}");
+    eprintln!("graph: {:?}", session.graph());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_update(cli: &Cli, g: Option<rigmatch::graph::DataGraph>) -> Result<ExitCode, Error> {
+    let session = make_session(cli, GmConfig::default(), || {
+        Ok(g.expect("graph parsed unless the store was opened"))
+    })?;
+    let before = format!("{:?}", session.graph());
     let path = cli.mutations_path.as_deref().expect("parse_cli guarantees a script");
     apply_mutations(&session, path, cli.stats)?;
+    // surface batched-WAL sync trouble here instead of losing it in Drop
+    session.flush_wal()?;
     let snap = session.graph();
     eprintln!("{} -> {:?}", before, snap);
     let out = rigmatch::graph::to_text(&snap.materialize());
@@ -283,8 +369,21 @@ fn run_update(cli: &Cli, g: rigmatch::graph::DataGraph) -> Result<ExitCode, Erro
 }
 
 fn run(cli: &Cli) -> Result<ExitCode, Error> {
-    let graph_text = read_file(&cli.graph_path)?;
-    let g = parse_text(&graph_text)?;
+    if cli.recover {
+        return run_recover(cli);
+    }
+    // With an already-initialized --data-dir the store is authoritative
+    // and the graph file is never read.
+    let store_open = cli
+        .data_dir
+        .as_deref()
+        .is_some_and(|d| DurableStore::is_initialized(&FsBackend, std::path::Path::new(d)));
+    let g = if store_open {
+        None
+    } else {
+        let graph_text = read_file(&cli.graph_path)?;
+        Some(parse_text(&graph_text)?)
+    };
     if cli.update {
         return run_update(cli, g);
     }
@@ -304,6 +403,10 @@ fn run(cli: &Cli) -> Result<ExitCode, Error> {
     match cli.engine.as_str() {
         "gm" => run_gm(cli, g, source, cfg),
         name @ ("jm" | "tm" | "neo") => {
+            if cli.data_dir.is_some() {
+                return Err(Error::validation("--data-dir is only available for the gm engine"));
+            }
+            let g = g.expect("baselines always parse the graph file");
             // Baseline engines evaluate static CSR graphs: a mutation
             // script is applied through a throwaway session and handed
             // over materialized (same answers as GM's overlay path).
@@ -326,17 +429,19 @@ fn run(cli: &Cli) -> Result<ExitCode, Error> {
 
 fn run_gm(
     cli: &Cli,
-    g: rigmatch::graph::DataGraph,
+    g: Option<rigmatch::graph::DataGraph>,
     source: QuerySource,
     mut cfg: GmConfig,
 ) -> Result<ExitCode, Error> {
     if cli.threads > 1 {
         cfg.rig = cfg.rig.with_build_threads(cli.threads);
     }
-    let session = Session::with_config(g, cfg);
+    let session =
+        make_session(cli, cfg, || Ok(g.expect("graph parsed unless the store was opened")))?;
     if let Some(path) = &cli.mutations_path {
         // GM queries straight through the delta overlay — no rebuild.
         apply_mutations(&session, path, cli.stats)?;
+        session.flush_wal()?;
     }
     let prepared = match source {
         QuerySource::Hpql(text) => session.prepare(text.as_str())?,

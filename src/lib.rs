@@ -66,6 +66,7 @@
 //! | [`rig`] | runtime index graphs and `BuildRIG` |
 //! | [`mjoin`] | MJoin enumeration and search orders |
 //! | [`core`] | the [`Session`] API, unified [`Error`], the GM pipeline |
+//! | [`storage`] | durability: WAL, binary snapshots, crash recovery |
 //! | [`baselines`] | JM / TM and engine analogues used in the experiments |
 //! | [`datasets`] | synthetic Table 2 dataset generators |
 
@@ -79,15 +80,16 @@ pub use rig_mjoin as mjoin;
 pub use rig_query as query;
 pub use rig_reach as reach;
 pub use rig_sim as sim;
+pub use rig_storage as storage;
 
 pub use rig_core::{Error, ErrorKind, Session};
 
 /// The types most applications need.
 pub mod prelude {
     pub use rig_core::{
-        CacheStats, CommitSummary, CompactionPolicy, Error, ErrorKind, Explain, GmConfig,
-        GmMetrics, GraphTxn, Prepared, QueryOutcome, Run, RunReport, RunStatus, Session,
-        StoreStats,
+        CacheStats, CommitSummary, CompactionPolicy, Durability, Error, ErrorKind, Explain,
+        GmConfig, GmMetrics, GraphTxn, Prepared, QueryOutcome, RecoveryReport, Run, RunReport,
+        RunStatus, Session, StoreOptions, StoreStats,
     };
     pub use rig_graph::{
         parse_mutations, DataGraph, GraphBuilder, GraphView, Label, MutationOp, NodeId, Snapshot,

@@ -111,7 +111,7 @@ fn epoch_bump_invalidates_the_cache() {
     assert_eq!(session.cache_stats().hits, 1);
 
     // identical graph content, new epoch: must rebuild, same answer
-    session.replace_graph(g.clone());
+    session.replace_graph(g.clone()).unwrap();
     assert_eq!(session.epoch(), 1);
     assert_eq!(session.cache_stats().entries, 0);
     {
@@ -122,7 +122,7 @@ fn epoch_bump_invalidates_the_cache() {
     }
 
     // genuinely different graph: the fresh plan serves the new answer
-    session.replace_graph(random_graph(60, 150, 14));
+    session.replace_graph(random_graph(60, 150, 14)).unwrap();
     let p = session.prepare(shaped_query(Flavor::H)).unwrap();
     let o = p.run().count();
     assert!(!o.metrics.rig_from_cache);
