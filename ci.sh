@@ -155,6 +155,38 @@ if [[ "${1:-}" != "quick" ]]; then
     # (regenerate with: bench_storage --json BENCH_storage.json)
     cargo run -q --release -p rig_bench --bin benchcheck -- BENCH_storage.json
 
+    step "serving smoke: rigmatch serve + bench_serving --smoke"
+    serve_tmp="$(mktemp -d)"
+    printf 'l 0 Author\nl 1 Paper\nv 0 0\nv 1 1\nv 2 1\ne 0 1\ne 1 2\n' \
+        > "${serve_tmp}/g.txt"
+    cargo run -q --release --bin rigmatch -- serve "${serve_tmp}/g.txt" \
+        --addr 127.0.0.1:0 > "${serve_tmp}/serve.log" &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q '^listening on ' "${serve_tmp}/serve.log" 2> /dev/null && break
+        sleep 0.1
+    done
+    serve_addr="$(sed -n 's|^listening on http://||p' "${serve_tmp}/serve.log")"
+    [[ -n "${serve_addr}" ]]
+    cargo run -q --release -p rig_bench --bin bench_serving -- \
+        --smoke --addr "${serve_addr}" --query 'MATCH (a:Author)->(p:Paper)'
+    # the smoke ends with POST /shutdown; serve must exit 0 on its own
+    wait "${serve_pid}"
+    rm -rf "${serve_tmp}"
+
+    step "serving artifact (bench_serving) + HTTP-vs-direct differential gate"
+    # open-loop load against an in-process server; quiesced, every
+    # workload count served over HTTP must match the direct in-process
+    # count — benchcheck hard-fails the artifact on any disagreement
+    cargo run -q --release -p rig_bench --bin bench_serving -- \
+        --scale 0.005 --requests 120 --qps 120 \
+        --json "${json_tmp}/BENCH_serving.json" > /dev/null
+    cargo run -q --release -p rig_bench --bin benchcheck -- \
+        "${json_tmp}/BENCH_serving.json"
+    # the committed full-scale artifact must pass the same hard gate
+    # (regenerate with: bench_serving --json BENCH_serving.json)
+    cargo run -q --release -p rig_bench --bin benchcheck -- BENCH_serving.json
+
     step "kill-and-recover differential + crash-recovery proptests"
     cargo test -q --test kill_recover --test storage_recovery
 fi

@@ -1,0 +1,450 @@
+//! `bench_serving` — load generator for the concurrent query server
+//! (ROADMAP item 2, ISSUE 8).
+//!
+//! Default mode spawns an in-process [`rig_server::Server`] over a
+//! generated dataset and drives it **open-loop**: request arrival times
+//! are fixed up front from the target rate (deterministic, seeded
+//! jitter) and each request gets its own client thread, so a slow server
+//! backs up instead of silently slowing the offered load. Traffic is
+//! mixed — ~80% queries (alternating NDJSON streams and factorized
+//! counts) and ~20% mutation commits — and every request's end-to-end
+//! latency and status are recorded.
+//!
+//! After the load phase the harness **quiesces and differentially
+//! verifies** the serving path: every distinct workload query is counted
+//! once over HTTP (`mode=count`) and once directly through the shared
+//! [`Session`]; a mismatch is a protocol bug and fails the run (and the
+//! `benchcheck` gate: `totals.unverified_queries` must be 0).
+//!
+//! `--json <path>` writes the `BENCH_serving.json` artifact (flagged
+//! `"serving": true`). `--smoke --addr HOST:PORT` instead runs a short
+//! round-trip against an *external* server (healthz → query → update →
+//! metrics → shutdown) and exits 0 — `ci.sh` uses it against a real
+//! `rigmatch serve` process.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rig_bench::json::JsonValue;
+use rig_bench::{load, template_query_probed, Args, Table};
+use rig_core::Session;
+use rig_query::{to_hpql, Flavor};
+use rig_server::{Server, ServerConfig};
+
+// ---------------------------------------------------------------------
+// arguments (hand-parsed: `rig_bench::Args::parse` rejects unknown flags)
+// ---------------------------------------------------------------------
+
+struct ServingArgs {
+    scale: f64,
+    seed: u64,
+    json: Option<String>,
+    requests: usize,
+    qps: f64,
+    workers: usize,
+    queue_depth: usize,
+    smoke: bool,
+    addr: String,
+    query: String,
+}
+
+impl Default for ServingArgs {
+    fn default() -> Self {
+        ServingArgs {
+            scale: 0.02,
+            seed: 42,
+            json: None,
+            requests: 300,
+            qps: 150.0,
+            workers: 4,
+            queue_depth: 16,
+            smoke: false,
+            addr: String::new(),
+            query: "MATCH (a:0)->(b:0)".to_string(),
+        }
+    }
+}
+
+fn parse_args() -> ServingArgs {
+    let mut out = ServingArgs::default();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let take = |name: &str| -> String {
+            argv.get(i + 1).unwrap_or_else(|| panic!("{name} needs a value")).clone()
+        };
+        match argv[i].as_str() {
+            "--smoke" => {
+                out.smoke = true;
+                i += 1;
+                continue;
+            }
+            "--scale" => out.scale = take("--scale").parse().expect("bad --scale"),
+            "--seed" => out.seed = take("--seed").parse().expect("bad --seed"),
+            "--json" => out.json = Some(take("--json")),
+            "--requests" => out.requests = take("--requests").parse().expect("bad --requests"),
+            "--qps" => out.qps = take("--qps").parse().expect("bad --qps"),
+            "--workers" => out.workers = take("--workers").parse().expect("bad --workers"),
+            "--queue-depth" => {
+                out.queue_depth = take("--queue-depth").parse().expect("bad --queue-depth")
+            }
+            "--addr" => out.addr = take("--addr"),
+            "--query" => out.query = take("--query"),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    assert!(out.qps > 0.0, "--qps must be positive");
+    out
+}
+
+// ---------------------------------------------------------------------
+// minimal raw-socket HTTP client
+// ---------------------------------------------------------------------
+
+/// One request over its own connection (the server is
+/// `Connection: close`). The request goes out as a single `write_all`
+/// and the response is accumulated manually so a reset at the tail
+/// still yields everything received before it.
+fn send_raw(addr: &str, method: &str, target: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut s = TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let request = format!(
+        "{method} {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(request.as_bytes())?;
+    let mut response = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => response.extend_from_slice(&buf[..n]),
+        }
+    }
+    let text = String::from_utf8(response)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let status: u16 =
+        text.split_whitespace().nth(1).and_then(|v| v.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
+    let body = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Pulls `"name":value` out of a flat JSON object (the wire format never
+/// nests).
+fn json_field(obj: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\":");
+    let start = obj.find(&key)? + key.len();
+    let rest = &obj[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim_matches('"').to_string())
+}
+
+/// Reads `name value` off a Prometheus text page.
+fn metric_value(page: &str, name: &str) -> u64 {
+    page.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{name} missing from metrics page"))
+}
+
+// ---------------------------------------------------------------------
+// smoke mode (external server; used by ci.sh against `rigmatch serve`)
+// ---------------------------------------------------------------------
+
+fn run_smoke(args: &ServingArgs) {
+    assert!(!args.addr.is_empty(), "--smoke needs --addr HOST:PORT");
+    let addr = &args.addr;
+    let check = |step: &str, r: std::io::Result<(u16, String)>| -> String {
+        match r {
+            Ok((200, body)) => body,
+            Ok((status, body)) => panic!("smoke {step}: status {status}, body {body:?}"),
+            Err(e) => panic!("smoke {step}: {e}"),
+        }
+    };
+    check("healthz", send_raw(addr, "GET", "/healthz", ""));
+    let summary = check("query", send_raw(addr, "POST", "/query?mode=count", &args.query));
+    let count = json_field(&summary, "count").expect("count in query response");
+    check("update", send_raw(addr, "POST", "/update", "a e 0 1\ncommit"));
+    let page = check("metrics", send_raw(addr, "GET", "/metrics", ""));
+    assert!(metric_value(&page, "rigmatch_queries_total") >= 1);
+    assert!(metric_value(&page, "rigmatch_commits_applied_total") >= 1);
+    check("shutdown", send_raw(addr, "POST", "/shutdown", ""));
+    println!("serving smoke against {addr}: OK ({:?} counted {count} occurrences)", args.query);
+}
+
+// ---------------------------------------------------------------------
+// load generation
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    StreamQuery,
+    CountQuery,
+    Update,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::StreamQuery => "query_stream",
+            Kind::CountQuery => "query_count",
+            Kind::Update => "update",
+        }
+    }
+}
+
+struct Sample {
+    kind: Kind,
+    status: u16,
+    ms: f64,
+}
+
+/// A request in the precomputed open-loop schedule.
+struct Slot {
+    at: Duration,
+    kind: Kind,
+    /// Workload query index for queries, edge serial for updates.
+    pick: usize,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn latency_summary(samples: &[Sample], kind: Kind) -> JsonValue {
+    let mut ms: Vec<f64> = samples.iter().filter(|s| s.kind == kind).map(|s| s.ms).collect();
+    ms.sort_by(f64::total_cmp);
+    let ok = samples.iter().filter(|s| s.kind == kind && s.status == 200).count();
+    JsonValue::obj(vec![
+        ("sent", ms.len().into()),
+        ("ok", ok.into()),
+        ("p50_ms", percentile(&ms, 0.50).into()),
+        ("p99_ms", percentile(&ms, 0.99).into()),
+        ("mean_ms", (ms.iter().sum::<f64>() / ms.len().max(1) as f64).into()),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    if args.smoke {
+        run_smoke(&args);
+        return;
+    }
+
+    let bench_args = Args { scale: args.scale, seed: args.seed, ..Args::default() };
+    let g = Arc::new(load("yt", &bench_args));
+    println!("# dataset yt: {:?}", g.stats());
+    let num_nodes = g.num_nodes() as u32;
+    let session = Arc::new(Session::new(Arc::clone(&g)));
+
+    // Workload: probed template instances (non-empty answers preferred),
+    // half chain/cycle direct patterns, half hybrid with reachability
+    // edges — printed back to HPQL, which is what goes over the wire.
+    let specs = [(0usize, Flavor::C), (6, Flavor::H), (11, Flavor::C), (17, Flavor::H)];
+    let queries: Vec<String> = specs
+        .iter()
+        .map(|&(id, flavor)| {
+            let q = template_query_probed(&g, &session, id, flavor, args.seed);
+            to_hpql(&q, None, |_| None)
+        })
+        .collect();
+    for (i, q) in queries.iter().enumerate() {
+        println!("# Q{i}: {q}");
+    }
+
+    let config = ServerConfig {
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        ..ServerConfig::default()
+    };
+    let (addr, server_thread) =
+        Server::spawn(Arc::clone(&session), "127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = addr.to_string();
+    println!("# serving on {addr}: {} workers, queue depth {}", args.workers, args.queue_depth);
+
+    // Open-loop schedule: arrivals at the target rate with seeded jitter,
+    // fixed before the first request goes out.
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5E41);
+    let mut edge_serial = 0usize;
+    let schedule: Vec<Slot> = (0..args.requests)
+        .map(|i| {
+            let jitter = rng.gen_range(0.0..0.6 / args.qps);
+            let at = Duration::from_secs_f64(i as f64 / args.qps + jitter);
+            let kind = match rng.gen_range(0..10) {
+                0 | 1 => Kind::Update,
+                n if n % 2 == 0 => Kind::CountQuery,
+                _ => Kind::StreamQuery,
+            };
+            let pick = if kind == Kind::Update {
+                edge_serial += 1;
+                edge_serial
+            } else {
+                rng.gen_range(0..queries.len())
+            };
+            Slot { at, kind, pick }
+        })
+        .collect();
+
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+    let load_start = Instant::now();
+    let clients: Vec<_> = schedule
+        .iter()
+        .map(|slot| {
+            if let Some(wait) = slot.at.checked_sub(load_start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            let (kind, pick) = (slot.kind, slot.pick);
+            let addr = addr.clone();
+            let samples = Arc::clone(&samples);
+            let body = match kind {
+                Kind::Update => {
+                    // distinct serials so concurrent adds rarely collide;
+                    // re-adding an existing edge is an idempotent commit
+                    let u = (pick as u32).wrapping_mul(7919) % num_nodes;
+                    let mut v = (pick as u32).wrapping_mul(104_729).wrapping_add(1) % num_nodes;
+                    if v == u {
+                        v = (v + 1) % num_nodes;
+                    }
+                    format!("a e {u} {v}\ncommit")
+                }
+                _ => queries[pick].clone(),
+            };
+            std::thread::spawn(move || {
+                let target = match kind {
+                    Kind::StreamQuery => "/query?mode=stream&limit=200&timeout_ms=5000",
+                    // no budget: lets DP-eligible plans take the
+                    // factorized counting route (a budget disables it)
+                    Kind::CountQuery => "/query?mode=count",
+                    Kind::Update => "/update",
+                };
+                let start = Instant::now();
+                let status = match send_raw(&addr, "POST", target, &body) {
+                    Ok((status, _)) => status,
+                    Err(_) => 0, // connect/transport failure
+                };
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                samples.lock().unwrap().push(Sample { kind, status, ms });
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let wall_s = load_start.elapsed().as_secs_f64();
+    let samples = Arc::try_unwrap(samples).ok().expect("clients joined").into_inner().unwrap();
+
+    // ---- quiesced differential verification ----
+    // The store now contains the load phase's commits; HTTP counts and
+    // direct in-process counts must agree exactly on it.
+    let mut records = Vec::new();
+    let mut unverified = 0u64;
+    for q in &queries {
+        // unbudgeted HTTP count (factorized DP when eligible) against a
+        // direct enumeration count: the differential spans both engines
+        let (status, summary) =
+            send_raw(&addr, "POST", "/query?mode=count", q).expect("verify query");
+        assert_eq!(status, 200, "verification count failed: {summary}");
+        let http_count: u64 =
+            json_field(&summary, "count").expect("count field").parse().expect("numeric count");
+        let direct = session
+            .prepare(q.as_str())
+            .expect("workload re-parses")
+            .run()
+            .timeout(Duration::from_secs(30))
+            .count();
+        let verified = !direct.result.timed_out && http_count == direct.result.count;
+        if !verified {
+            unverified += 1;
+            eprintln!("MISMATCH {q}: http {http_count} vs direct {}", direct.result.count);
+        }
+        records.push(JsonValue::obj(vec![
+            ("query", q.as_str().into()),
+            ("http_count", http_count.into()),
+            ("direct_count", direct.result.count.into()),
+            ("verified", JsonValue::Bool(verified)),
+        ]));
+    }
+
+    let (_, page) = send_raw(&addr, "GET", "/metrics", "").expect("metrics");
+    let commits = metric_value(&page, "rigmatch_commits_applied_total");
+    let tuples = metric_value(&page, "rigmatch_tuples_streamed_total");
+    let via_dp = metric_value(&page, "rigmatch_queries_via_dp_total");
+    let (status, _) = send_raw(&addr, "POST", "/shutdown", "").expect("shutdown");
+    assert_eq!(status, 200);
+    server_thread.join().expect("server thread").expect("clean serve exit");
+
+    let ok = samples.iter().filter(|s| s.status == 200).count();
+    let rejected = samples.iter().filter(|s| s.status == 503).count();
+    let errors = samples.len() - ok - rejected;
+    let sustained_qps = samples.len() as f64 / wall_s;
+
+    let mut table = Table::new(&["kind", "sent", "ok", "p50 [ms]", "p99 [ms]"]);
+    for kind in [Kind::StreamQuery, Kind::CountQuery, Kind::Update] {
+        let s = latency_summary(&samples, kind);
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{}", s.get("sent").and_then(|v| v.as_f64()).unwrap_or(0.0)),
+            format!("{}", s.get("ok").and_then(|v| v.as_f64()).unwrap_or(0.0)),
+            format!("{:.2}", s.get("p50_ms").and_then(|v| v.as_f64()).unwrap_or(0.0)),
+            format!("{:.2}", s.get("p99_ms").and_then(|v| v.as_f64()).unwrap_or(0.0)),
+        ]);
+    }
+    table.print("serving latency");
+    println!(
+        "sustained {sustained_qps:.0} req/s over {wall_s:.2}s: {ok} ok, {rejected} rejected \
+         (503), {errors} errors; {commits} commits, {tuples} tuples streamed, {via_dp} DP counts"
+    );
+    assert_eq!(unverified, 0, "{unverified} workload queries disagreed over HTTP");
+
+    if let Some(path) = &args.json {
+        let doc = JsonValue::obj(vec![
+            ("harness", "bench_serving".into()),
+            ("serving", JsonValue::Bool(true)),
+            ("scale", args.scale.into()),
+            ("seed", args.seed.into()),
+            ("workers", args.workers.into()),
+            ("queue_depth", args.queue_depth.into()),
+            ("target_qps", args.qps.into()),
+            ("baseline", "direct in-process Session evaluation of the same workload".into()),
+            (
+                "latency",
+                JsonValue::obj(
+                    [Kind::StreamQuery, Kind::CountQuery, Kind::Update]
+                        .map(|k| (k.name(), latency_summary(&samples, k)))
+                        .to_vec(),
+                ),
+            ),
+            ("queries", JsonValue::Arr(records)),
+            (
+                "totals",
+                JsonValue::obj(vec![
+                    ("requests", samples.len().into()),
+                    ("ok", ok.into()),
+                    ("rejected_503", rejected.into()),
+                    ("errors", errors.into()),
+                    ("wall_s", wall_s.into()),
+                    ("sustained_qps", sustained_qps.into()),
+                    ("commits_applied", commits.into()),
+                    ("tuples_streamed", tuples.into()),
+                    ("counts_via_dp", via_dp.into()),
+                    ("distinct_queries", queries.len().into()),
+                    ("verified_queries", (queries.len() as u64 - unverified).into()),
+                    ("unverified_queries", unverified.into()),
+                ]),
+            ),
+        ]);
+        std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}

@@ -22,6 +22,13 @@
 //! **every recovery differentially verified** (recovered version and graph
 //! matched the mutation-stream mirror; cold-start answers identical).
 //!
+//! Serving artifacts (`"serving": true`, emitted by
+//! `bench_serving --json`) are validated against the serving schema:
+//! per-kind latency percentiles, sustained throughput, and — hard gates —
+//! **zero unverified queries** (every workload count served over HTTP
+//! must have matched the direct in-process count), at least one request
+//! served, and at least one `/update` commit applied.
+//!
 //! Factorized-counting artifacts (`"factorized": true`, emitted by
 //! `bench_factorized --json`) are validated against the factorized schema:
 //! per-query DP vs enumeration latency and — hard gate — **zero
@@ -187,6 +194,96 @@ fn check_updates(path: &str, doc: &JsonValue) {
     );
 }
 
+/// Validates a `bench_serving` artifact. Hard gates: every workload
+/// query's HTTP count must have matched the direct in-process count
+/// (`unverified_queries == 0` — a mismatch is a wire-protocol or
+/// snapshot-consistency bug), at least one request must have succeeded,
+/// and at least one mutation commit must have landed through `/update`.
+fn check_serving(path: &str, doc: &JsonValue) {
+    for key in ["harness", "baseline"] {
+        if doc.get(key).and_then(|v| v.as_str()).is_none() {
+            fail(path, &format!("missing string field {key:?}"));
+        }
+    }
+    for key in ["scale", "seed", "workers", "queue_depth", "target_qps"] {
+        if !doc.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+            fail(path, &format!("missing numeric field {key:?}"));
+        }
+    }
+    let latency = match doc.get("latency") {
+        Some(l) => l,
+        None => fail(path, "missing latency object"),
+    };
+    for kind in ["query_stream", "query_count", "update"] {
+        let k = match latency.get(kind) {
+            Some(k) => k,
+            None => fail(path, &format!("latency.{kind} missing")),
+        };
+        for key in ["sent", "ok", "p50_ms", "p99_ms", "mean_ms"] {
+            if !k.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+                fail(path, &format!("latency.{kind}.{key} missing"));
+            }
+        }
+    }
+    let queries = match doc.get("queries").and_then(|q| q.as_arr()) {
+        Some(q) if !q.is_empty() => q,
+        _ => fail(path, "queries must be a non-empty array"),
+    };
+    for (i, q) in queries.iter().enumerate() {
+        if q.get("query").and_then(|v| v.as_str()).is_none() {
+            fail(path, &format!("queries[{i}].query missing"));
+        }
+        for key in ["http_count", "direct_count"] {
+            if !q.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+                fail(path, &format!("queries[{i}].{key} missing"));
+            }
+        }
+        match q.get("verified") {
+            Some(JsonValue::Bool(true)) => {}
+            Some(JsonValue::Bool(false)) => fail(
+                path,
+                &format!("queries[{i}]: HTTP count disagreed with the direct count — wire bug"),
+            ),
+            _ => fail(path, &format!("queries[{i}].verified missing or not a bool")),
+        }
+    }
+    let totals = match doc.get("totals") {
+        Some(t) => t,
+        None => fail(path, "missing totals object"),
+    };
+    for key in [
+        "requests",
+        "rejected_503",
+        "errors",
+        "wall_s",
+        "sustained_qps",
+        "tuples_streamed",
+        "counts_via_dp",
+        "distinct_queries",
+        "verified_queries",
+    ] {
+        require_num(path, totals, key);
+    }
+    let unverified = require_num(path, totals, "unverified_queries");
+    if unverified != 0.0 {
+        fail(path, &format!("{unverified} workload count(s) disagreed over HTTP — serving bug"));
+    }
+    let ok = require_num(path, totals, "ok");
+    if ok == 0.0 {
+        fail(path, "no request succeeded — the server never served");
+    }
+    let commits = require_num(path, totals, "commits_applied");
+    if commits == 0.0 {
+        fail(path, "no mutation commit landed — the /update path went unexercised");
+    }
+    let qps = require_num(path, totals, "sustained_qps");
+    println!(
+        "benchcheck: {path}: OK (serving, {ok} requests ok at {qps:.0} req/s, \
+         {commits} commits, {} queries HTTP-vs-direct verified)",
+        queries.len()
+    );
+}
+
 /// Validates a `bench_storage` artifact. Hard gate: every durability
 /// policy's recovery must have been differentially verified against the
 /// mutation-stream mirror, and the cold-start comparison must have served
@@ -343,6 +440,10 @@ fn check(path: &str, min_par_speedup: Option<f64>, min_factorized_speedup: Optio
     }
     if matches!(doc.get("storage"), Some(JsonValue::Bool(true))) {
         check_storage(path, &doc);
+        return;
+    }
+    if matches!(doc.get("serving"), Some(JsonValue::Bool(true))) {
+        check_serving(path, &doc);
         return;
     }
     if matches!(doc.get("factorized"), Some(JsonValue::Bool(true))) {

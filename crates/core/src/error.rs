@@ -28,6 +28,12 @@ pub enum Error {
     /// The query is semantically invalid for the target graph (e.g.
     /// disconnected, or it uses a label id the graph does not have).
     Validation(String),
+    /// An optimistic-concurrency commit lost its race: the transaction
+    /// began at `started_at` but another commit moved the store to
+    /// `current` first. Retryable — re-stage against a fresh
+    /// `Session::begin` (the HTTP server's `/update` endpoint does this
+    /// automatically).
+    Conflict { started_at: u64, current: u64 },
     /// An I/O operation failed.
     Io { path: String, source: std::io::Error },
     /// The run was truncated by its budget and the caller required a
@@ -67,7 +73,9 @@ impl Error {
     pub fn kind(&self) -> ErrorKind {
         match self {
             Error::GraphParse(_) | Error::QueryParse(_) | Error::Hpql(_) => ErrorKind::Parse,
-            Error::Pattern(_) | Error::Validation(_) => ErrorKind::Validation,
+            Error::Pattern(_) | Error::Validation(_) | Error::Conflict { .. } => {
+                ErrorKind::Validation
+            }
             Error::Io { .. } => ErrorKind::Io,
             Error::Budget { .. } => ErrorKind::Budget,
             Error::Storage(_) => ErrorKind::Storage,
@@ -93,6 +101,11 @@ impl std::fmt::Display for Error {
             Error::Hpql(e) => write!(f, "HPQL error: {e}"),
             Error::Pattern(e) => write!(f, "pattern error: {e}"),
             Error::Validation(msg) => write!(f, "validation error: {msg}"),
+            Error::Conflict { started_at, current } => write!(
+                f,
+                "write conflict: transaction began at store version {started_at} \
+                 but the store is at {current}"
+            ),
             Error::Io { path, source } => write!(f, "io error on {path}: {source}"),
             Error::Budget { timed_out, limit_hit } => write!(
                 f,
@@ -117,7 +130,7 @@ impl std::error::Error for Error {
             Error::Pattern(e) => Some(e),
             Error::Io { source, .. } => Some(source),
             Error::Storage(e) => Some(e),
-            Error::Validation(_) | Error::Budget { .. } => None,
+            Error::Validation(_) | Error::Conflict { .. } | Error::Budget { .. } => None,
         }
     }
 }

@@ -66,7 +66,7 @@
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use rig_graph::{
@@ -234,6 +234,11 @@ pub struct StoreStats {
     pub live_nodes: usize,
     /// Edges under the current snapshot.
     pub edges: usize,
+    /// WAL flushes that failed (or found the store mutex poisoned) —
+    /// including the best-effort final flush in `Drop`, so a server's
+    /// /metrics surface can witness a failed shutdown flush instead of it
+    /// vanishing into a swallowed error. Always 0 for in-memory sessions.
+    pub wal_flush_failures: u64,
 }
 
 /// What one [`Session::commit`] did.
@@ -359,6 +364,19 @@ pub struct Session {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidated: AtomicU64,
+    wal_flush_failures: AtomicU64,
+}
+
+/// Locks the durable store, mapping a poisoned mutex (a writer panicked
+/// mid-operation) to a typed [`StorageError::Poisoned`] instead of
+/// propagating the panic — a server must degrade a poisoned store into an
+/// error response, never abort a worker.
+fn lock_store(store: &Mutex<DurableStore>) -> Result<MutexGuard<'_, DurableStore>, Error> {
+    store.lock().map_err(|_| {
+        Error::Storage(StorageError::Poisoned {
+            detail: "store mutex poisoned by a panicked writer".to_string(),
+        })
+    })
 }
 
 impl Session {
@@ -396,6 +414,7 @@ impl Session {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+            wal_flush_failures: AtomicU64::new(0),
         }
     }
 
@@ -496,11 +515,20 @@ impl Session {
     /// `Durability::Strict`). Call before a planned shutdown under
     /// `Durability::Batched` to close the loss window; dropping the
     /// session does this best-effort.
+    ///
+    /// Failures — including a store mutex poisoned by a panicked writer —
+    /// come back as typed [`Error::Storage`] values (never a panic) and
+    /// are counted in [`StoreStats::wal_flush_failures`].
     pub fn flush_wal(&self) -> Result<(), Error> {
-        match &self.store {
-            Some(store) => Ok(store.lock().unwrap().flush()?),
-            None => Ok(()),
+        let Some(store) = &self.store else { return Ok(()) };
+        let result = match lock_store(store) {
+            Ok(mut s) => s.flush().map_err(Error::from),
+            Err(e) => Err(e),
+        };
+        if result.is_err() {
+            self.wal_flush_failures.fetch_add(1, Ordering::Relaxed);
         }
+        result
     }
 
     /// Sets the plan-cache capacity (0 disables caching). Builder-style;
@@ -574,7 +602,7 @@ impl Session {
         let mut st = self.state.lock().unwrap();
         let version = st.version + 1;
         if let Some(store) = &self.store {
-            let mut s = store.lock().unwrap();
+            let mut s = lock_store(store)?;
             s.checkpoint(&base, version)?;
             // best-effort: leftover WAL records are all <= the old version
             // and replay skips them against the new segment
@@ -609,10 +637,7 @@ impl Session {
     pub fn commit(&self, txn: GraphTxn) -> Result<CommitSummary, Error> {
         let mut st = self.state.lock().unwrap();
         if st.version != txn.start_version {
-            return Err(Error::validation(format!(
-                "write conflict: transaction began at store version {} but the store is at {}",
-                txn.start_version, st.version
-            )));
+            return Err(Error::Conflict { started_at: txn.start_version, current: st.version });
         }
         let mut overlay: DeltaOverlay = (**st.snapshot.delta()).clone();
         let mut impact = CommitImpact::default();
@@ -623,7 +648,7 @@ impl Session {
         // standard) before the commit publishes. On error nothing was
         // published and the store rolled back, so the commit simply fails.
         if let Some(store) = &self.store {
-            store.lock().unwrap().log_commit(st.version + 1, &txn.ops)?;
+            lock_store(store)?.log_commit(st.version + 1, &txn.ops)?;
         }
         st.version += 1;
         st.commits += 1;
@@ -717,7 +742,8 @@ impl Session {
         // absorbed); if the checkpoint fails, compaction is skipped and
         // the previous segment + full WAL stay authoritative.
         if let Some(store) = &self.store {
-            if store.lock().unwrap().checkpoint(&merged, version).is_err() {
+            let Ok(mut s) = lock_store(store) else { return false };
+            if s.checkpoint(&merged, version).is_err() {
                 return false;
             }
         }
@@ -729,7 +755,9 @@ impl Session {
             // safe under the state lock: no commit newer than `version`
             // can be logged concurrently. Best-effort — a failed truncate
             // leaves records the next replay skips.
-            let _ = store.lock().unwrap().truncate_wal(version);
+            if let Ok(mut s) = lock_store(store) {
+                let _ = s.truncate_wal(version);
+            }
         }
         st.snapshot = Arc::new(Snapshot::new(Arc::new(DeltaOverlay::new(merged)), version));
         st.bfl = bfl;
@@ -768,6 +796,7 @@ impl Session {
             base_edges: base.num_edges(),
             live_nodes: st.snapshot.num_live_nodes(),
             edges: st.snapshot.num_edges(),
+            wal_flush_failures: self.wal_flush_failures.load(Ordering::Relaxed),
         }
     }
 
@@ -895,12 +924,19 @@ impl std::fmt::Debug for Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
-        // close the Batched loss window on a planned shutdown; failures
-        // here are indistinguishable from a crash an instant later, which
-        // the recovery path already handles
+        // close the Batched loss window on a planned shutdown; a failure
+        // here is indistinguishable from a crash an instant later (which
+        // the recovery path already handles), but it is *recorded* in
+        // `wal_flush_failures` rather than swallowed, so anything still
+        // holding a stats snapshot path (a server's /metrics scrape racing
+        // the drop) can witness it
         if let Some(store) = &self.store {
-            if let Ok(mut s) = store.lock() {
-                let _ = s.flush();
+            let failed = match store.lock() {
+                Ok(mut s) => s.flush().is_err(),
+                Err(_) => true, // poisoned by a panicked writer
+            };
+            if failed {
+                self.wal_flush_failures.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -1746,7 +1782,7 @@ mod tests {
         let mut fresh = session.begin();
         fresh.add_edge(0, 7);
         session.commit(fresh).unwrap();
-        assert!(matches!(session.commit(stale), Err(Error::Validation(_))), "write conflict");
+        assert!(matches!(session.commit(stale), Err(Error::Conflict { .. })), "write conflict");
     }
 
     #[test]
@@ -1964,6 +2000,39 @@ mod tests {
         let warm = p.run().timeout(Duration::from_secs(3600)).count();
         assert!(warm.metrics.rig_from_cache);
         assert_eq!(warm.result.count, 24 * 23 * 22);
+    }
+
+    /// Satellite regression: a store mutex poisoned by a panicked writer
+    /// must surface as a typed `Error::Storage` (and be counted in
+    /// `StoreStats::wal_flush_failures`), never as a second panic — a
+    /// server worker hitting this would otherwise abort the process.
+    #[test]
+    fn flush_wal_reports_poisoned_store_instead_of_panicking() {
+        let dir = std::env::temp_dir().join(format!("rig_session_poison_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = Session::create_at(&dir, fig2_graph()).unwrap();
+        assert!(session.is_durable());
+        session.flush_wal().unwrap();
+        assert_eq!(session.store_stats().wal_flush_failures, 0);
+        // poison the store mutex: a thread panics while holding it
+        let store = session.store.as_ref().unwrap();
+        let poisoner = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = store.lock().unwrap();
+                panic!("poison the store lock");
+            })
+            .join()
+        });
+        assert!(poisoner.is_err(), "the poisoner must have panicked");
+        let err = session.flush_wal().unwrap_err();
+        assert!(matches!(err, Error::Storage(StorageError::Poisoned { .. })), "{err}");
+        assert_eq!(session.store_stats().wal_flush_failures, 1);
+        // commits degrade to typed errors too, never a worker-killing panic
+        let mut txn = session.begin();
+        txn.add_edge(0, 7);
+        assert!(matches!(session.commit(txn), Err(Error::Storage(_))));
+        drop(session); // Drop records (not swallows) the failed final flush
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// The factorized terminal honors the deadline too: the DP's

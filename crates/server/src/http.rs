@@ -1,0 +1,240 @@
+//! A deliberately small HTTP/1.1 subset — just enough wire protocol for
+//! the rigmatch serving endpoints, with zero dependencies beyond `std`.
+//!
+//! Every connection carries exactly one request and is closed after the
+//! response (`Connection: close`): streamed NDJSON bodies are delimited
+//! by the close, so no chunked framing is needed. Requests larger than
+//! the configured body cap are rejected before the body is read.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// One parsed request: method, decoded path, query parameters and body.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string (e.g. `/query`).
+    pub path: String,
+    /// Query parameters in order of appearance, percent-decoded.
+    pub query: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Request {
+    /// First value of query parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps to the HTTP status
+/// the server should answer with (when the socket is still writable).
+#[derive(Debug)]
+pub enum RequestError {
+    /// Malformed request line / headers / body → 400.
+    Bad(String),
+    /// Declared body exceeds the configured cap → 413.
+    TooLarge { declared: usize, cap: usize },
+    /// The socket failed mid-read (timeout, reset) — nothing to answer.
+    Io(std::io::Error),
+}
+
+impl RequestError {
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::Bad(_) => 400,
+            RequestError::TooLarge { .. } => 413,
+            RequestError::Io(_) => 408,
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Bad(msg) => write!(f, "bad request: {msg}"),
+            RequestError::TooLarge { declared, cap } => {
+                write!(f, "body of {declared} bytes exceeds the {cap} byte cap")
+            }
+            RequestError::Io(e) => write!(f, "read failed: {e}"),
+        }
+    }
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 3 <= bytes.len()
+                && bytes[i + 1].is_ascii_hexdigit()
+                && bytes[i + 2].is_ascii_hexdigit() =>
+            {
+                let hex = &s[i + 1..i + 3];
+                out.push(u8::from_str_radix(hex, 16).expect("checked hex digits"));
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query_string(qs: &str) -> Vec<(String, String)> {
+    qs.split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Reads one request off `stream`. `max_body` caps the accepted
+/// Content-Length; a request with no body is fine (empty string).
+pub fn read_request(
+    stream: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, RequestError> {
+    let mut line = String::new();
+    stream.read_line(&mut line).map_err(RequestError::Io)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| RequestError::Bad("empty request line".into()))?;
+    let target = parts.next().ok_or_else(|| RequestError::Bad("missing request target".into()))?;
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Bad(format!("unsupported protocol {version}")));
+    }
+    let (path, qs) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let request = Request {
+        method: method.to_string(),
+        path: percent_decode(path),
+        query: parse_query_string(qs),
+        body: String::new(),
+    };
+
+    // headers: only Content-Length matters to this server
+    let mut content_length: usize = 0;
+    loop {
+        let mut header = String::new();
+        stream.read_line(&mut header).map_err(RequestError::Io)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| RequestError::Bad(format!("bad content-length {value:?}")))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(RequestError::TooLarge { declared: content_length, cap: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).map_err(RequestError::Io)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| RequestError::Bad("request body is not valid UTF-8".into()))?;
+    Ok(Request { body, ..request })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+/// Writes response headers; the caller streams the body afterwards and
+/// the connection close delimits it (no Content-Length).
+pub fn write_stream_head(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n",
+        reason(status)
+    )
+}
+
+/// Writes a complete response with a known body.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len()
+    )?;
+    w.flush()
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_strings_decode() {
+        let q = parse_query_string("limit=10&mode=count&q=a%20b+c&flag");
+        assert_eq!(
+            q,
+            vec![
+                ("limit".into(), "10".into()),
+                ("mode".into(), "count".into()),
+                ("q".into(), "a b c".into()),
+                ("flag".into(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escaping_covers_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

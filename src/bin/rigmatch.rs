@@ -4,6 +4,8 @@
 //! rigmatch [explain] <graph-file> (<query-file> | --query 'HPQL') [options]
 //! rigmatch update <graph-file> <mutations-file> [--output <path>] [--stats]
 //! rigmatch recover <data-dir>
+//! rigmatch serve [<graph-file>] [--addr HOST:PORT] [--workers N]
+//!                [--queue-depth N] [--data-dir DIR] [--durability ...]
 //!
 //! options:
 //!   --query 'MATCH ...'      inline HPQL query (instead of a query file)
@@ -65,17 +67,28 @@
 //! prints its recovery report and integrity findings, and exits — see
 //! `docs/durability.md`.
 //!
+//! `serve` starts the concurrent HTTP/NDJSON query server (`rig_server`)
+//! over the graph (or an initialized `--data-dir` store, in which case
+//! the graph file may be omitted): `POST /query` (HPQL in, streamed
+//! NDJSON or a count out), `POST /update` (mutation scripts), `GET
+//! /metrics` (Prometheus text), `GET /healthz`, `POST /shutdown`. It
+//! prints `listening on http://ADDR` on stdout (with the resolved port —
+//! use `--addr 127.0.0.1:0` for an ephemeral one) and exits 0 after a
+//! clean shutdown. See `docs/serving.md`.
+//!
 //! Exit codes: `0` success, `1` internal error, `2` usage, `3` parse
 //! error, `4` I/O error, `5` validation error, `6` budget exceeded (with
 //! `--strict`), `7` storage error (corruption, fsync failure, …).
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 use rigmatch::baselines::{Budget, Engine, Jm, NeoLike, Tm};
 use rigmatch::core::{Durability, Error, FsBackend, GmConfig, Session, StoreOptions};
 use rigmatch::graph::parse_text;
-use rigmatch::mjoin::{BatchSink, EnumOptions, SearchOrder};
+use rigmatch::mjoin::{BatchSink, EnumOptions, ResultSink, SearchOrder};
 use rigmatch::query::{looks_like_hpql, parse_query, PatternQuery};
 use rigmatch::storage::DurableStore;
 
@@ -85,6 +98,14 @@ struct Cli {
     update: bool,
     /// `recover` subcommand: open a durable store, report, exit.
     recover: bool,
+    /// `serve` subcommand: run the HTTP query server until shutdown.
+    serve: bool,
+    /// Listen address for `serve` (port 0 picks an ephemeral port).
+    addr: String,
+    /// Worker pool size for `serve`.
+    workers: usize,
+    /// Admission-queue depth for `serve` (beyond it: 503).
+    queue_depth: usize,
     graph_path: String,
     /// A query file path, unless `--query` supplied inline text.
     query_path: Option<String>,
@@ -119,7 +140,9 @@ fn usage() -> ! {
          [--durability strict|batched|none]\n\
          \x20      rigmatch update <graph-file> <mutations-file> [--output PATH] [--stats] \
          [--data-dir DIR] [--durability strict|batched|none]\n\
-         \x20      rigmatch recover <data-dir>"
+         \x20      rigmatch recover <data-dir>\n\
+         \x20      rigmatch serve [<graph-file>] [--addr HOST:PORT] [--workers N] \
+         [--queue-depth N] [--data-dir DIR] [--durability strict|batched|none]"
     );
     std::process::exit(2);
 }
@@ -129,13 +152,18 @@ fn parse_cli() -> Cli {
     let explain = argv.first().map(|s| s.as_str()) == Some("explain");
     let update = argv.first().map(|s| s.as_str()) == Some("update");
     let recover = argv.first().map(|s| s.as_str()) == Some("recover");
-    if explain || update || recover {
+    let serve = argv.first().map(|s| s.as_str()) == Some("serve");
+    if explain || update || recover || serve {
         argv.remove(0);
     }
     let mut cli = Cli {
         explain,
         update,
         recover,
+        serve,
+        addr: "127.0.0.1:7474".into(),
+        workers: 4,
+        queue_depth: 16,
         graph_path: String::new(),
         query_path: None,
         query_text: None,
@@ -200,6 +228,19 @@ fn parse_cli() -> Cli {
                 i += 1;
                 cli.output_path = Some(argv.get(i).unwrap_or_else(|| usage()).clone());
             }
+            "--addr" => {
+                i += 1;
+                cli.addr = argv.get(i).unwrap_or_else(|| usage()).clone();
+            }
+            "--workers" => {
+                i += 1;
+                cli.workers = argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--queue-depth" => {
+                i += 1;
+                cli.queue_depth =
+                    argv.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--stats" => cli.stats = true,
             "--strict" => cli.strict = true,
             "--data-dir" => {
@@ -221,6 +262,18 @@ fn parse_cli() -> Cli {
             usage();
         }
         cli.data_dir = Some(positional.remove(0));
+        return cli;
+    }
+    if cli.serve {
+        // graph file optional: an initialized --data-dir store suffices
+        match positional.len() {
+            0 => {}
+            1 => cli.graph_path = positional.remove(0),
+            _ => usage(),
+        }
+        if cli.query_text.is_some() {
+            usage();
+        }
         return cli;
     }
     if cli.update {
@@ -245,6 +298,65 @@ fn parse_cli() -> Cli {
 fn exit_for(e: &Error) -> ExitCode {
     eprintln!("error: {e}");
     ExitCode::from(e.kind().exit_code())
+}
+
+/// Writes `text` to stdout. A closed pipe (`rigmatch ... | head`) is a
+/// clean no-op — the reader chose to stop — while any other write error
+/// surfaces as `Error::Io` (exit code 4).
+fn write_stdout(text: &str) -> Result<(), Error> {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    match out.write_all(text.as_bytes()).and_then(|()| out.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(Error::io("stdout", e)),
+    }
+}
+
+/// Shared record of stdout trouble seen by streaming sinks. A closed pipe
+/// asks the enumeration to stop cleanly (exit 0 — `head` got the lines it
+/// wanted); any other write error is kept so the caller can surface it as
+/// `Error::Io` once the workers have drained.
+#[derive(Default)]
+struct StdoutTrouble {
+    closed: AtomicBool,
+    error: Mutex<Option<std::io::Error>>,
+}
+
+impl StdoutTrouble {
+    fn record(&self, e: std::io::Error) {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            let mut slot = self.error.lock().unwrap_or_else(|p| p.into_inner());
+            slot.get_or_insert(e);
+        }
+        self.closed.store(true, Ordering::Relaxed);
+    }
+
+    fn check(&self) -> Result<(), Error> {
+        match self.error.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            Some(e) => Err(Error::io("stdout", e)),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Wraps a sink so enumeration stops (push returns `false`) once stdout
+/// has gone away — `BatchSink::push` itself always says "keep going", so
+/// without this an EPIPE mid-stream would keep every worker enumerating
+/// into a dead pipe.
+struct StopOnTrouble<'a, S> {
+    inner: S,
+    trouble: &'a StdoutTrouble,
+}
+
+impl<S: ResultSink> ResultSink for StopOnTrouble<'_, S> {
+    fn push(&mut self, tuple: &[u32]) -> bool {
+        self.inner.push(tuple) && !self.trouble.closed.load(Ordering::Relaxed)
+    }
+
+    fn finish(&mut self) {
+        self.inner.finish();
+    }
 }
 
 fn read_file(path: &str) -> Result<String, Error> {
@@ -341,7 +453,7 @@ fn run_recover(cli: &Cli) -> Result<ExitCode, Error> {
     let dir = cli.data_dir.as_deref().expect("parse_cli guarantees a data dir");
     let session = Session::open(dir)?;
     let report = session.recovery_report().expect("opened sessions carry a report");
-    print!("{report}");
+    write_stdout(&format!("{report}"))?;
     eprintln!("graph: {:?}", session.graph());
     Ok(ExitCode::SUCCESS)
 }
@@ -363,14 +475,54 @@ fn run_update(cli: &Cli, g: Option<rigmatch::graph::DataGraph>) -> Result<ExitCo
             std::fs::write(p, &out).map_err(|e| Error::io(p.clone(), e))?;
             eprintln!("wrote {p}");
         }
-        None => print!("{out}"),
+        None => write_stdout(&out)?,
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The `serve` subcommand: bind the HTTP server over the session and run
+/// until `POST /shutdown`. Prints the resolved listen address on stdout
+/// so scripts (ci.sh, the load generator) can discover an ephemeral port.
+fn run_serve(cli: &Cli) -> Result<ExitCode, Error> {
+    let store_open = cli
+        .data_dir
+        .as_deref()
+        .is_some_and(|d| DurableStore::is_initialized(&FsBackend, std::path::Path::new(d)));
+    let g = if store_open {
+        None
+    } else {
+        if cli.graph_path.is_empty() {
+            return Err(Error::validation(
+                "serve needs a graph file or an initialized --data-dir store",
+            ));
+        }
+        Some(parse_text(&read_file(&cli.graph_path)?)?)
+    };
+    let session = make_session(cli, GmConfig::default(), || {
+        Ok(g.expect("graph parsed unless the store was opened"))
+    })?;
+    eprintln!("graph: {:?}", session.graph());
+    let config = rigmatch::server::ServerConfig {
+        workers: cli.workers.max(1),
+        queue_depth: cli.queue_depth.max(1),
+        ..Default::default()
+    };
+    let server = rigmatch::server::Server::bind(std::sync::Arc::new(session), &cli.addr, config)
+        .map_err(|e| Error::io(cli.addr.clone(), e))?;
+    let addr = server.local_addr();
+    write_stdout(&format!("listening on http://{addr}\n"))?;
+    eprintln!("{} worker(s), queue depth {}; POST /shutdown stops", cli.workers, cli.queue_depth);
+    server.serve().map_err(|e| Error::io(addr.to_string(), e))?;
+    eprintln!("server stopped");
     Ok(ExitCode::SUCCESS)
 }
 
 fn run(cli: &Cli) -> Result<ExitCode, Error> {
     if cli.recover {
         return run_recover(cli);
+    }
+    if cli.serve {
+        return run_serve(cli);
     }
     // With an already-initialized --data-dir the store is authoritative
     // and the graph file is never read.
@@ -457,14 +609,15 @@ fn run_gm(
     );
 
     if cli.explain {
-        print!("{}", prepared.run().order(cli.order).explain());
+        write_stdout(&format!("{}", prepared.run().order(cli.order).explain()))?;
         return Ok(ExitCode::SUCCESS);
     }
     if cli.factorized {
-        print!("{}", prepared.run().factorized_summary());
+        write_stdout(&format!("{}", prepared.run().factorized_summary()))?;
         return Ok(ExitCode::SUCCESS);
     }
 
+    let trouble = StdoutTrouble::default();
     let outcome = if cli.count_only {
         prepared.run().threads(cli.threads).count()
     } else if cli.threads > 1 {
@@ -475,23 +628,40 @@ fn run_gm(
         let arity = q.num_nodes();
         let (_, outcome) = prepared.run().threads(cli.threads).par_stream(|_worker| {
             let stdout = &stdout;
-            BatchSink::new(arity, 256, move |flat: &[u32], arity| {
+            let trouble = &trouble;
+            let inner = BatchSink::new(arity, 256, move |flat: &[u32], arity| {
                 use std::io::Write;
                 let mut out = stdout.lock();
                 for t in flat.chunks(arity.max(1)) {
                     let line = t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
-                    writeln!(out, "{line}").expect("stdout write");
+                    if let Err(e) = writeln!(out, "{line}") {
+                        // reader gone: drop the rest of the batch
+                        trouble.record(e);
+                        return;
+                    }
                 }
-            })
+            });
+            StopOnTrouble { inner, trouble }
         });
         outcome
     } else {
+        let stdout = std::io::stdout();
         let mut sink = rigmatch::mjoin::FnSink(|t: &[u32]| {
-            println!("{}", t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" "));
-            true
+            use std::io::Write;
+            let line = t.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
+            let mut out = stdout.lock();
+            match writeln!(out, "{line}") {
+                Ok(()) => true,
+                Err(e) => {
+                    trouble.record(e);
+                    false
+                }
+            }
         });
         prepared.run().stream(&mut sink)
     };
+    // a non-EPIPE stdout failure is a real I/O error; EPIPE is a clean stop
+    trouble.check()?;
 
     eprintln!(
         "{} occurrence(s){}",
@@ -499,7 +669,7 @@ fn run_gm(
         if outcome.result.timed_out { " [timeout]" } else { "" }
     );
     if cli.count_only {
-        println!("{}", outcome.result.count);
+        write_stdout(&format!("{}\n", outcome.result.count))?;
     }
     if cli.stats {
         let m = &outcome.metrics;
@@ -578,6 +748,6 @@ fn run_baseline(
         r.status.code(),
         r.intermediate_tuples
     );
-    println!("{}", r.occurrences);
+    write_stdout(&format!("{}\n", r.occurrences))?;
     Ok(ExitCode::SUCCESS)
 }

@@ -67,6 +67,7 @@
 //! | [`mjoin`] | MJoin enumeration and search orders |
 //! | [`core`] | the [`Session`] API, unified [`Error`], the GM pipeline |
 //! | [`storage`] | durability: WAL, binary snapshots, crash recovery |
+//! | [`server`] | concurrent HTTP/NDJSON query server (`rigmatch serve`) |
 //! | [`baselines`] | JM / TM and engine analogues used in the experiments |
 //! | [`datasets`] | synthetic Table 2 dataset generators |
 
@@ -79,6 +80,7 @@ pub use rig_index as rig;
 pub use rig_mjoin as mjoin;
 pub use rig_query as query;
 pub use rig_reach as reach;
+pub use rig_server as server;
 pub use rig_sim as sim;
 pub use rig_storage as storage;
 
