@@ -25,6 +25,19 @@ if [[ "${1:-}" != "quick" ]]; then
     step "cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
 
+    step "panic-lint gate: no unwrap/expect/panic in core, server, analyze"
+    # the clippy run above enforces the denies through the [lints] tables;
+    # this gate asserts that wiring is intact so a manifest regression
+    # (e.g. a dropped [lints] table) cannot silently downgrade the three
+    # lints back to allow
+    for lint in unwrap_used expect_used panic; do
+        grep -A8 '^\[workspace\.lints\.clippy\]' Cargo.toml \
+            | grep -q "^${lint} = \"deny\""
+    done
+    for c in core server analyze; do
+        grep -A1 '^\[lints\]' "crates/${c}/Cargo.toml" | grep -q '^workspace = true'
+    done
+
     step "cargo doc --no-deps (broken intra-doc links fail)"
     # vendor/ stand-ins are excluded: their docs mirror external crates
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet \
@@ -53,6 +66,23 @@ if [[ "${1:-}" != "quick" ]]; then
     [[ "${rc}" == "3" ]]
     rc=0; run_cli "${cli_tmp}/missing.txt" --query 'MATCH (a:Author)' 2> /dev/null || rc=$?
     [[ "${rc}" == "4" ]]
+    # static analysis: `check` lints without executing — satisfiable
+    # queries exit 0, provably-empty ones exit 8 with an emptiness proof,
+    # and the JSON report validates through benchcheck's analysis schema
+    check_out="$(run_cli check "${cli_tmp}/g.txt" --query 'MATCH (a:Author)->(p:Paper)')"
+    grep -q '0 error(s)' <<< "${check_out}"
+    rc=0; run_cli check "${cli_tmp}/g.txt" \
+        --query 'MATCH (p:Paper)->(a:Author)' > "${cli_tmp}/check.txt" || rc=$?
+    [[ "${rc}" == "8" ]]
+    grep -q 'error\[E102\]' "${cli_tmp}/check.txt"
+    rc=0; run_cli check "${cli_tmp}/g.txt" --format json \
+        --query 'MATCH (p:Paper)->(a:Author)' > "${cli_tmp}/check.json" || rc=$?
+    [[ "${rc}" == "8" ]]
+    cargo run -q --release -p rig_bench --bin benchcheck -- "${cli_tmp}/check.json"
+    # strict lint mode wires the same proofs into query execution: exit 8
+    rc=0; run_cli "${cli_tmp}/g.txt" --lint strict --count \
+        --query 'MATCH (p:Paper)->(a:Author)' 2> /dev/null || rc=$?
+    [[ "${rc}" == "8" ]]
     # dynamic updates: --mutations applies a script before the query runs
     # (the overlay path), and `update` rewrites the materialized graph
     printf 'a v Author\na e 3 1\ncommit\nd e 1 2\n' > "${cli_tmp}/m.txt"

@@ -36,6 +36,12 @@
 //! brute-force oracle in the harness). With `--min-factorized-speedup <x>`
 //! the aggregate DP-over-enumeration speedup must reach `x`.
 //!
+//! Static-analysis reports (`"analysis": true`, emitted by
+//! `rigmatch check --format json`) are validated against the analysis
+//! schema: severity counts that match the diagnostics array, a
+//! `proven_empty` flag consistent with the emptiness-proof codes, and
+//! well-formed per-diagnostic code/severity/span fields.
+//!
 //! Usage: `benchcheck [--min-par-speedup X] [--min-factorized-speedup X]
 //! <file.json>...` — exits non-zero on the first invalid file.
 
@@ -51,6 +57,86 @@ fn require_num(path: &str, obj: &JsonValue, key: &str) -> f64 {
         Some(v) if v.is_finite() => v,
         _ => fail(path, &format!("totals.{key} missing or not a finite number")),
     }
+}
+
+/// Validates a `rigmatch check --format json` report. The counts are
+/// cross-checked against the diagnostics array and `proven_empty` must
+/// agree with the emptiness-proof codes, so a drifting emitter (or a
+/// report truncated in flight) fails the gate rather than slipping
+/// through as "clean".
+fn check_analysis(path: &str, doc: &JsonValue) {
+    match doc.get("query") {
+        Some(JsonValue::Str(_) | JsonValue::Null) => {}
+        _ => fail(path, "query must be a string or null"),
+    }
+    let proven_empty = match doc.get("proven_empty") {
+        Some(JsonValue::Bool(b)) => *b,
+        _ => fail(path, "proven_empty missing or not a bool"),
+    };
+    for key in ["errors", "warnings", "notes"] {
+        require_num(path, doc, key);
+    }
+    let diagnostics = match doc.get("diagnostics").and_then(|d| d.as_arr()) {
+        Some(d) => d,
+        None => fail(path, "diagnostics must be an array"),
+    };
+    const CODES: [&str; 12] = [
+        "P001", "A001", "A002", "E101", "E102", "E103", "R201", "R202", "R203", "C301", "C302",
+        "C303",
+    ];
+    const PROOF_CODES: [&str; 3] = ["E101", "E102", "E103"];
+    let (mut errors, mut warnings, mut notes) = (0.0, 0.0, 0.0);
+    let mut any_proof = false;
+    for (i, d) in diagnostics.iter().enumerate() {
+        let code = match d.get("code").and_then(|v| v.as_str()) {
+            Some(c) if CODES.contains(&c) => c,
+            Some(c) => fail(path, &format!("diagnostics[{i}].code {c:?} is not a known lint code")),
+            None => fail(path, &format!("diagnostics[{i}].code missing")),
+        };
+        any_proof |= PROOF_CODES.contains(&code);
+        match d.get("severity").and_then(|v| v.as_str()) {
+            Some("error") => errors += 1.0,
+            Some("warning") => warnings += 1.0,
+            Some("note") => notes += 1.0,
+            _ => fail(path, &format!("diagnostics[{i}].severity must be error|warning|note")),
+        }
+        if d.get("message").and_then(|v| v.as_str()).is_none() {
+            fail(path, &format!("diagnostics[{i}].message missing"));
+        }
+        // span fields are optional but must be all-or-nothing numerics
+        let span_fields = ["line", "col", "len"].iter().filter(|k| d.get(k).is_some()).count();
+        if span_fields != 0 && span_fields != 3 {
+            fail(path, &format!("diagnostics[{i}] has a partial span (need line+col+len)"));
+        }
+        if span_fields == 3 {
+            for key in ["line", "col", "len"] {
+                if !d.get(key).and_then(|v| v.as_f64()).is_some_and(f64::is_finite) {
+                    fail(path, &format!("diagnostics[{i}].{key} not a finite number"));
+                }
+            }
+        }
+    }
+    for (key, counted) in [("errors", errors), ("warnings", warnings), ("notes", notes)] {
+        let declared = require_num(path, doc, key);
+        if declared != counted {
+            fail(path, &format!("{key} says {declared} but the diagnostics array holds {counted}"));
+        }
+    }
+    if proven_empty != any_proof {
+        fail(
+            path,
+            &format!(
+                "proven_empty is {proven_empty} but the diagnostics {} an emptiness-proof code",
+                if any_proof { "contain" } else { "lack" }
+            ),
+        );
+    }
+    println!(
+        "benchcheck: {path}: OK (analysis, {} diagnostic(s): {errors:.0} error(s), \
+         {warnings:.0} warning(s), {notes:.0} note(s){})",
+        diagnostics.len(),
+        if proven_empty { ", proven empty" } else { "" }
+    );
 }
 
 /// Validates a parallel-sweep artifact; returns its best speedup.
@@ -434,6 +520,10 @@ fn check(path: &str, min_par_speedup: Option<f64>, min_factorized_speedup: Optio
         Ok(d) => d,
         Err(e) => fail(path, &format!("parse error: {e}")),
     };
+    if matches!(doc.get("analysis"), Some(JsonValue::Bool(true))) {
+        check_analysis(path, &doc);
+        return;
+    }
     if matches!(doc.get("updates"), Some(JsonValue::Bool(true))) {
         check_updates(path, &doc);
         return;

@@ -42,6 +42,14 @@ pub enum Error {
     /// The durability layer failed (WAL append/fsync, segment write, or
     /// on-disk corruption found during recovery).
     Storage(rig_storage::StorageError),
+    /// Strict lint mode refused the query: static analysis found at
+    /// least one error-severity diagnostic (unknown label, provable
+    /// emptiness, disconnected variable, ...). The full [`Report`] is
+    /// carried so front ends can render every finding, not just the
+    /// first.
+    ///
+    /// [`Report`]: rig_analyze::Report
+    Analysis(rig_analyze::Report),
 }
 
 /// Coarse classification of an [`Error`], stable across variants.
@@ -52,6 +60,7 @@ pub enum ErrorKind {
     Io,
     Budget,
     Storage,
+    Analysis,
 }
 
 impl ErrorKind {
@@ -64,6 +73,7 @@ impl ErrorKind {
             ErrorKind::Validation => 5,
             ErrorKind::Budget => 6,
             ErrorKind::Storage => 7,
+            ErrorKind::Analysis => 8,
         }
     }
 }
@@ -79,6 +89,7 @@ impl Error {
             Error::Io { .. } => ErrorKind::Io,
             Error::Budget { .. } => ErrorKind::Budget,
             Error::Storage(_) => ErrorKind::Storage,
+            Error::Analysis(_) => ErrorKind::Analysis,
         }
     }
 
@@ -117,6 +128,20 @@ impl std::fmt::Display for Error {
                 }
             ),
             Error::Storage(e) => write!(f, "{e}"),
+            Error::Analysis(report) => {
+                let (errors, warnings, _) = report.counts();
+                write!(
+                    f,
+                    "query rejected by static analysis: {errors} error(s), \
+                     {warnings} warning(s)"
+                )?;
+                for d in
+                    report.diagnostics.iter().filter(|d| d.severity == rig_analyze::Severity::Error)
+                {
+                    write!(f, "\n  [{}] {}", d.code.as_str(), d.message)?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -131,6 +156,7 @@ impl std::error::Error for Error {
             Error::Io { source, .. } => Some(source),
             Error::Storage(e) => Some(e),
             Error::Validation(_) | Error::Conflict { .. } | Error::Budget { .. } => None,
+            Error::Analysis(_) => None,
         }
     }
 }
@@ -179,6 +205,14 @@ mod tests {
             Error::Storage(rig_storage::StorageError::NotInitialized {
                 dir: std::path::PathBuf::from("/tmp/store"),
             }),
+            Error::Analysis(rig_analyze::Report {
+                source: None,
+                diagnostics: vec![rig_analyze::Diagnostic::new(
+                    rig_analyze::Code::EmptyLabel,
+                    rig_analyze::Severity::Error,
+                    "empty",
+                )],
+            }),
         ];
         let codes: Vec<u8> = errs.iter().map(|e| e.kind().exit_code()).collect();
         let mut dedup = codes.clone();
@@ -197,7 +231,7 @@ mod tests {
         assert_eq!(e.kind(), ErrorKind::Parse);
         let e: Error = rig_query::PatternError::SelfLoop { node: 0 }.into();
         assert_eq!(e.kind(), ErrorKind::Validation);
-        let e: Error = rig_query::HpqlError { line: 1, col: 2, message: "x".into() }.into();
+        let e: Error = rig_query::HpqlError { line: 1, col: 2, len: 1, message: "x".into() }.into();
         assert_eq!(e.kind(), ErrorKind::Parse);
         assert!(std::error::Error::source(&e).is_some());
     }

@@ -29,8 +29,12 @@ pub use error::{Error, ErrorKind};
 pub use report::{RunReport, RunStatus};
 pub use session::{
     validate_pattern, CacheStats, CommitSummary, CompactionPolicy, Explain, GraphTxn, IntoPattern,
-    Prepared, Run, Session, StoreStats,
+    LintMode, Prepared, Run, Session, StoreStats,
 };
+
+// the static-analysis surface (see `rig_analyze`): front ends render
+// `Report`s returned by `Session::analyze` / carried by `Error::Analysis`
+pub use rig_analyze::{Analyzer, AnalyzerConfig, Code, Diagnostic, Report, Severity};
 
 use std::time::Duration;
 

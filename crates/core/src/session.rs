@@ -66,15 +66,19 @@
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use rig_analyze::{Analyzer, AnalyzerConfig, Report};
 use rig_graph::{
-    CommitImpact, DataGraph, DeltaOverlay, GraphView, Label, MutationOp, NodeId, Snapshot,
+    CommitImpact, DataGraph, DeltaOverlay, GraphView, Label, LabelPairCounts, MutationOp, NodeId,
+    Snapshot,
 };
 use rig_index::{build_rig, Rig, RigOptions, RigStats};
 use rig_mjoin::{compute_order, EnumOptions, EnumResult, ParOptions, ResultSink, SearchOrder};
-use rig_query::{hpql, parse_hpql, transitive_reduction, EdgeKind, PatternQuery, QNode};
+use rig_query::{
+    closest_label, hpql, parse_hpql, transitive_reduction, EdgeKind, PatternQuery, QNode,
+};
 use rig_reach::{BflIndex, Reachability, SnapshotReach};
 use rig_sim::{SimContext, SimOptions};
 use rig_storage::{
@@ -344,6 +348,11 @@ struct State {
     commits: u64,
     compactions: u64,
     cache: PlanCache,
+    /// Label-pair edge-count matrix for the snapshot at `.0` (a store
+    /// version), built lazily on the first lint/analysis run and reused
+    /// until a commit changes the graph. Compaction keeps it: it changes
+    /// representation, never counts.
+    pairs: Option<(u64, Arc<LabelPairCounts>)>,
 }
 
 /// A query session over one data graph: owns the versioned graph store,
@@ -380,6 +389,17 @@ fn lock_store(store: &Mutex<DurableStore>) -> Result<MutexGuard<'_, DurableStore
 }
 
 impl Session {
+    /// Locks the session state, recovering from a poisoned mutex. Every
+    /// critical section over [`State`] is short, allocation-light and —
+    /// under this crate's unwrap/expect/panic lints — panic-free, so a
+    /// poison can only come from an allocator abort mid-update; the
+    /// published `snapshot`/`bfl` Arcs are swapped atomically and stay
+    /// coherent, and turning one panicked writer into a permanent outage
+    /// for every later query would be strictly worse.
+    fn state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Opens a session on `graph` with the paper-default [`GmConfig`].
     /// Builds the BFL reachability index once (the per-graph setup cost of
     /// Fig. 18a); every prepared query reuses it.
@@ -405,6 +425,7 @@ impl Session {
                     entries: Vec::new(),
                     evictions: 0,
                 },
+                pairs: None,
             }),
             config,
             compaction: CompactionPolicy::default(),
@@ -491,7 +512,7 @@ impl Session {
         let snapshot = Arc::new(Snapshot::new(Arc::new(overlay), version));
         let mut session = Session::with_config(Arc::clone(&base), config);
         {
-            let mut st = session.state.lock().unwrap();
+            let mut st = session.state();
             st.snapshot = snapshot;
             st.bfl = bfl;
             st.version = version;
@@ -535,7 +556,7 @@ impl Session {
     /// call right after construction.
     pub fn cache_capacity(self, capacity: usize) -> Session {
         {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.state();
             st.cache.capacity = capacity;
             while st.cache.entries.len() > capacity {
                 st.cache.entries.pop();
@@ -555,7 +576,7 @@ impl Session {
     /// The current graph snapshot: an O(1) immutable view. Holding it
     /// pins nothing — later commits simply publish newer snapshots.
     pub fn graph(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.state.lock().unwrap().snapshot)
+        Arc::clone(&self.state().snapshot)
     }
 
     /// The session's pipeline configuration.
@@ -579,7 +600,7 @@ impl Session {
     /// harnesses that drive RIG construction outside the session. On a
     /// dirty snapshot pair it with [`rig_reach::SnapshotReach`].
     pub fn bfl(&self) -> Arc<BflIndex> {
-        Arc::clone(&self.state.lock().unwrap().bfl)
+        Arc::clone(&self.state().bfl)
     }
 
     /// Swaps in a whole new graph: rebuilds the reachability index, bumps
@@ -599,7 +620,7 @@ impl Session {
     pub fn replace_graph(&mut self, graph: impl Into<Arc<DataGraph>>) -> Result<(), Error> {
         let base = graph.into();
         let bfl = Arc::new(BflIndex::new(&base));
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         let version = st.version + 1;
         if let Some(store) = &self.store {
             let mut s = lock_store(store)?;
@@ -612,6 +633,7 @@ impl Session {
         st.snapshot = Arc::new(Snapshot::new(Arc::new(DeltaOverlay::new(base)), version));
         st.bfl = bfl;
         st.cache.entries.clear();
+        st.pairs = None;
         self.epoch.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -620,7 +642,7 @@ impl Session {
 
     /// Starts a mutation transaction against the current store version.
     pub fn begin(&self) -> GraphTxn {
-        let st = self.state.lock().unwrap();
+        let st = self.state();
         GraphTxn {
             ops: Vec::new(),
             next_node: st.snapshot.num_nodes() as NodeId,
@@ -635,7 +657,7 @@ impl Session {
     /// effects on the first invalid op, or if another commit landed since
     /// [`Session::begin`] (optimistic concurrency).
     pub fn commit(&self, txn: GraphTxn) -> Result<CommitSummary, Error> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         if st.version != txn.start_version {
             return Err(Error::Conflict { started_at: txn.start_version, current: st.version });
         }
@@ -652,6 +674,7 @@ impl Session {
         }
         st.version += 1;
         st.commits += 1;
+        st.pairs = None;
         let delta_ops = overlay.ops();
         let base = overlay.base();
         let base_size = (base.num_nodes() + base.num_edges()) as u64;
@@ -711,7 +734,7 @@ impl Session {
     /// its own compaction if the delta is still over threshold).
     pub fn compact(&self) -> bool {
         let version = {
-            let st = self.state.lock().unwrap();
+            let st = self.state();
             if !st.snapshot.is_dirty() {
                 return false;
             }
@@ -728,7 +751,7 @@ impl Session {
     /// compaction changes representation, never the graph.
     fn compact_at(&self, version: u64) -> bool {
         let snapshot = {
-            let st = self.state.lock().unwrap();
+            let st = self.state();
             if st.version != version {
                 return false;
             }
@@ -747,7 +770,7 @@ impl Session {
                 return false;
             }
         }
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state();
         if st.version != version {
             return false;
         }
@@ -767,12 +790,12 @@ impl Session {
 
     /// Drops every cached plan (counters are kept).
     pub fn clear_cache(&self) {
-        self.state.lock().unwrap().cache.entries.clear();
+        self.state().cache.entries.clear();
     }
 
     /// Plan-cache counters.
     pub fn cache_stats(&self) -> CacheStats {
-        let st = self.state.lock().unwrap();
+        let st = self.state();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -785,7 +808,7 @@ impl Session {
 
     /// Graph-store counters.
     pub fn store_stats(&self) -> StoreStats {
-        let st = self.state.lock().unwrap();
+        let st = self.state();
         let base = st.snapshot.base();
         StoreStats {
             version: st.version,
@@ -798,6 +821,105 @@ impl Session {
             edges: st.snapshot.num_edges(),
             wal_flush_failures: self.wal_flush_failures.load(Ordering::Relaxed),
         }
+    }
+
+    // -- static analysis ----------------------------------------------------
+
+    /// Runs the static analyzer (`rig_analyze`) over HPQL text against
+    /// the current snapshot: name resolution with did-you-mean hints,
+    /// emptiness proofs (empty labels, zero label-pair edge counts,
+    /// refuted reachability), redundancy lints and cost warnings. Never
+    /// executes the query. Parse failures come back as `P001`
+    /// diagnostics inside the report, not as `Err`.
+    ///
+    /// The label-pair count matrix is built lazily and cached per store
+    /// version; reachability refutation probes BFL directly on clean
+    /// snapshots and the delta-aware [`SnapshotReach`] oracle on dirty
+    /// ones, so proofs stay sound across uncompacted commits.
+    pub fn analyze(&self, text: &str) -> Report {
+        self.with_analyzer(|a| a.analyze_text(text))
+    }
+
+    /// [`Session::analyze`] over a pre-parsed AST. `source` is the
+    /// original query text, for caret rendering in diagnostics.
+    pub fn analyze_ast(&self, ast: &rig_query::HpqlQuery, source: Option<&str>) -> Report {
+        self.with_analyzer(|a| a.analyze_ast(ast, source))
+    }
+
+    /// [`Session::analyze`] over a hand-built pattern (legacy query
+    /// files): same passes, span-less diagnostics.
+    pub fn analyze_pattern(&self, q: &PatternQuery) -> Report {
+        self.with_analyzer(|a| a.analyze_pattern(q, None))
+    }
+
+    fn with_analyzer<R>(&self, f: impl FnOnce(&Analyzer<'_>) -> R) -> R {
+        let (snapshot, bfl, version) = {
+            let st = self.state();
+            (Arc::clone(&st.snapshot), Arc::clone(&st.bfl), st.version)
+        };
+        let pairs = self.pair_counts(version, &snapshot);
+        let config = AnalyzerConfig {
+            dp_conditioning_limit: crate::factorized::DP_CONDITIONING_LIMIT,
+            ..AnalyzerConfig::default()
+        };
+        let view = GraphView::from(&*snapshot);
+        if snapshot.is_dirty() {
+            let reach = SnapshotReach::new(&snapshot, &bfl);
+            f(&Analyzer::new(view).with_pair_counts(&pairs).with_reach(&reach).with_config(config))
+        } else {
+            f(&Analyzer::new(view)
+                .with_pair_counts(&pairs)
+                .with_reach(bfl.as_ref())
+                .with_config(config))
+        }
+    }
+
+    /// The label-pair count matrix for the snapshot at `version`, built
+    /// (O(V + E)) on the first analysis after each commit and cached
+    /// until the next one.
+    fn pair_counts(&self, version: u64, snapshot: &Snapshot) -> Arc<LabelPairCounts> {
+        {
+            let st = self.state();
+            if let Some((v, pairs)) = &st.pairs {
+                if *v == version {
+                    return Arc::clone(pairs);
+                }
+            }
+        }
+        // built outside the lock; a racing commit just refuses the insert
+        let pairs = Arc::new(LabelPairCounts::of(GraphView::from(snapshot)));
+        let mut st = self.state();
+        if st.version == version {
+            st.pairs = Some((version, Arc::clone(&pairs)));
+        }
+        pairs
+    }
+
+    /// [`Session::prepare`] with a lint gate in front. [`LintMode::Off`]
+    /// skips analysis entirely; [`LintMode::Warn`] runs it and returns
+    /// the report next to the prepared query (the CLI and `explain`
+    /// render it); [`LintMode::Strict`] refuses to prepare when any
+    /// error-severity diagnostic fires — the full report comes back as
+    /// [`Error::Analysis`] (CLI exit code 8, HTTP 422 with a structured
+    /// diagnostics body).
+    ///
+    /// Parse errors keep their ordinary classification
+    /// ([`Error::Hpql`], exit code 3) in every mode.
+    pub fn prepare_with_lint<'s>(
+        &'s self,
+        text: &str,
+        mode: LintMode,
+    ) -> Result<(Prepared<'s>, Report), Error> {
+        if matches!(mode, LintMode::Off) {
+            return Ok((self.prepare(text)?, Report::default()));
+        }
+        let ast = parse_hpql(text)?;
+        let report = self.analyze_ast(&ast, Some(text));
+        if matches!(mode, LintMode::Strict) && report.has_errors() {
+            return Err(Error::Analysis(report));
+        }
+        let prepared = self.prepare(ast)?;
+        Ok((prepared, report))
     }
 
     /// Parses (HPQL text) or adopts (a [`PatternQuery`]) the query,
@@ -859,7 +981,7 @@ impl Session {
     ) -> (Arc<Rig>, bool) {
         let key = CacheKey::new(&prepared.exec, &self.config.rig);
         let (snapshot, bfl, version) = {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.state();
             if use_cache {
                 if let Some(rig) = st.cache.get(&key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -874,7 +996,7 @@ impl Session {
         let opts = self.config.rig.with_deadline(deadline);
         let rig = Arc::new(build_plan(&snapshot, &bfl, &prepared.exec, &opts));
         if use_cache && !rig.stats.timed_out {
-            let mut st = self.state.lock().unwrap();
+            let mut st = self.state();
             // a commit may have landed while we built: then this RIG
             // describes a superseded snapshot and must not be cached
             if st.version == version {
@@ -891,6 +1013,33 @@ impl Session {
             }
         }
         (rig, false)
+    }
+}
+
+/// How much static analysis gates [`Session::prepare_with_lint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintMode {
+    /// No analysis: identical to [`Session::prepare`].
+    #[default]
+    Off,
+    /// Analyze and report, but prepare regardless (even provable
+    /// emptiness doesn't block — the engine returns 0 for it anyway).
+    Warn,
+    /// Refuse queries with error-severity diagnostics via
+    /// [`Error::Analysis`].
+    Strict,
+}
+
+impl LintMode {
+    /// Parses the CLI / query-string spelling (`off` / `warn` /
+    /// `strict`).
+    pub fn parse(s: &str) -> Option<LintMode> {
+        match s {
+            "off" => Some(LintMode::Off),
+            "warn" => Some(LintMode::Warn),
+            "strict" => Some(LintMode::Strict),
+            _ => None,
+        }
     }
 }
 
@@ -1012,7 +1161,15 @@ impl IntoPattern for rig_query::HpqlQuery {
         self,
         graph: GraphView<'_>,
     ) -> Result<(PatternQuery, Option<Vec<String>>), Error> {
-        let resolved = self.resolve(|name| graph.label_id(name))?;
+        // unknown label names get a "did you mean" hint computed over
+        // the graph's label dictionary (same helper the analyzer uses)
+        let resolved = self.resolve_with(
+            |name| graph.label_id(name),
+            |name| {
+                closest_label(name, (0..graph.num_labels()).map(|l| graph.label_name(l as Label)))
+                    .map(str::to_string)
+            },
+        )?;
         Ok((resolved.query, Some(resolved.vars)))
     }
 }
@@ -1509,6 +1666,7 @@ impl std::fmt::Display for Explain {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ErrorKind;
     use rig_mjoin::CountSink;
     use rig_query::EdgeKind;
 
@@ -2049,5 +2207,86 @@ mod tests {
         assert!(!full.timed_out);
         assert_eq!(full.count, Some(24 * 23 * 22));
         assert!(format!("{s}").contains("timed out"));
+    }
+
+    fn library_graph() -> DataGraph {
+        use rig_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        let a = b.add_node_with_name(0, "Author");
+        let p = b.add_node_with_name(1, "Paper");
+        let q = b.add_node_with_name(1, "Paper");
+        b.add_edge(a, p);
+        b.add_edge(p, q);
+        b.build()
+    }
+
+    #[test]
+    fn unknown_labels_get_a_did_you_mean_hint() {
+        let session = Session::new(library_graph());
+        let err = session.prepare("MATCH (a:Athor)->(p:Paper)").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Parse, "unknown names stay parse errors");
+        let msg = err.to_string();
+        assert!(msg.contains("did you mean 'Author'?"), "{msg}");
+        // a name nowhere near the dictionary gets no hint
+        let err = session.prepare("MATCH (x:Zebra)->(p:Paper)").unwrap_err();
+        assert!(!err.to_string().contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn strict_lint_refuses_provably_empty_queries() {
+        let session = Session::new(library_graph());
+        // satisfiable: passes strict lint and prepares
+        let (p, report) =
+            session.prepare_with_lint("MATCH (a:Author)->(p:Paper)", LintMode::Strict).unwrap();
+        assert!(!report.has_errors());
+        assert_eq!(p.run().count().result.count, 1);
+        // Paper -> Author never occurs: proven empty, refused with exit code 8
+        let err =
+            session.prepare_with_lint("MATCH (p:Paper)->(a:Author)", LintMode::Strict).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Analysis);
+        assert_eq!(err.kind().exit_code(), 8);
+        let Error::Analysis(report) = err else { panic!("expected Error::Analysis") };
+        assert!(report.proven_empty());
+        // warn mode lets the same query through (the engine counts 0)
+        let (p, report) =
+            session.prepare_with_lint("MATCH (p:Paper)->(a:Author)", LintMode::Warn).unwrap();
+        assert!(report.proven_empty());
+        assert_eq!(p.run().count().result.count, 0, "soundness: proven empty must count 0");
+    }
+
+    #[test]
+    fn analysis_pair_counts_follow_commits() {
+        let session = Session::new(library_graph());
+        assert!(session.analyze("MATCH (p:Paper)->(a:Author)").proven_empty());
+        // add a Paper -> Author edge: the proof must dissolve on the
+        // dirty snapshot (cache invalidated, counts read the overlay)
+        let mut txn = session.begin();
+        txn.add_edge(1, 0);
+        session.commit(txn).unwrap();
+        let report = session.analyze("MATCH (p:Paper)->(a:Author)");
+        assert!(!report.proven_empty(), "{}", report.render_compact());
+        assert_eq!(
+            session.prepare("MATCH (p:Paper)->(a:Author)").unwrap().run().count().result.count,
+            1
+        );
+    }
+
+    #[test]
+    fn analysis_refutes_reachability_on_dirty_snapshots() {
+        let session = Session::new(library_graph());
+        // Author =*=> Paper holds on the base graph
+        assert!(!session.analyze("MATCH (a:Author)=>(q:Paper)").proven_empty());
+        // remove both edges: no Author can reach any Paper any more, and
+        // the dirty-snapshot oracle (SnapshotReach) must see that
+        let mut txn = session.begin();
+        txn.remove_edge(0, 1);
+        txn.remove_edge(1, 2);
+        session.commit(txn).unwrap();
+        let report = session.analyze("MATCH (a:Author)=>(q:Paper)");
+        assert!(report.proven_empty(), "{}", report.render_compact());
+        assert_eq!(
+            session.prepare("MATCH (a:Author)=>(q:Paper)").unwrap().run().count().result.count,
+            0
+        );
     }
 }

@@ -1,6 +1,10 @@
-//! Summary statistics for data graphs (the columns of Table 2).
+//! Summary statistics for data graphs (the columns of Table 2), plus the
+//! label-pair edge-count matrix used by static query analysis.
 
-use crate::{DataGraph, NodeId};
+use std::collections::HashMap;
+
+use crate::view::GraphView;
+use crate::{DataGraph, Label, NodeId};
 
 /// The key statistics the paper reports per dataset (Table 2), plus degree
 /// extremes that the workload generators use for calibration.
@@ -54,9 +58,78 @@ impl std::fmt::Display for GraphStats {
     }
 }
 
+/// Above this many cells the matrix stores only non-zero pairs in a hash
+/// map; below it, a dense `|L|²` array (cheaper lookups, predictable
+/// memory for the label counts real datasets have).
+const DENSE_CELL_LIMIT: usize = 1 << 22;
+
+enum PairStore {
+    Dense(Vec<u64>),
+    Sparse(HashMap<(Label, Label), u64>),
+}
+
+/// Edge counts per `(source label, target label)` pair, built from a
+/// [`GraphView`] so it reads through a delta overlay: counts on a dirty
+/// snapshot reflect the uncompacted mutations, not just the base CSR.
+///
+/// `count(lf, lt) == 0` is a *proof* that no `Direct` pattern edge from
+/// an `lf`-labeled variable to an `lt`-labeled variable can ever match —
+/// the statistic the `rig_analyze` emptiness pass keys on (the role-free
+/// co-occurrence idea from Fletcher & Beck).
+pub struct LabelPairCounts {
+    labels: usize,
+    store: PairStore,
+}
+
+impl LabelPairCounts {
+    /// Scans every live node's out-neighbors once: `O(|V| + |E|)`.
+    pub fn of(view: GraphView<'_>) -> Self {
+        let labels = view.num_labels();
+        let mut store = if labels.saturating_mul(labels) <= DENSE_CELL_LIMIT {
+            PairStore::Dense(vec![0; labels * labels])
+        } else {
+            PairStore::Sparse(HashMap::new())
+        };
+        for v in 0..view.num_nodes() as NodeId {
+            if !view.is_live(v) {
+                continue;
+            }
+            let lf = view.label(v);
+            for &w in view.out_neighbors(v) {
+                let lt = view.label(w);
+                match &mut store {
+                    PairStore::Dense(cells) => cells[lf as usize * labels + lt as usize] += 1,
+                    PairStore::Sparse(map) => *map.entry((lf, lt)).or_insert(0) += 1,
+                }
+            }
+        }
+        LabelPairCounts { labels, store }
+    }
+
+    /// Number of labels the matrix covers.
+    pub fn num_labels(&self) -> usize {
+        self.labels
+    }
+
+    /// Number of edges from an `lf`-labeled node to an `lt`-labeled node.
+    /// Labels outside the graph's label space count zero.
+    pub fn count(&self, lf: Label, lt: Label) -> u64 {
+        if lf as usize >= self.labels || lt as usize >= self.labels {
+            return 0;
+        }
+        match &self.store {
+            PairStore::Dense(cells) => cells[lf as usize * self.labels + lt as usize],
+            PairStore::Sparse(map) => map.get(&(lf, lt)).copied().unwrap_or(0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+    use crate::delta::{CommitImpact, DeltaOverlay, MutationOp, Snapshot};
     use crate::GraphBuilder;
+    use std::sync::Arc;
 
     #[test]
     fn stats_small() {
@@ -76,5 +149,41 @@ mod tests {
         assert_eq!(s.max_in_degree, 2);
         assert_eq!(s.max_inverted_list, 2);
         assert!(format!("{s}").contains("|V|=3"));
+    }
+
+    #[test]
+    fn label_pair_counts_on_base() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0);
+        let y = b.add_node(0);
+        let z = b.add_node(1);
+        b.add_edge(x, y); // 0 -> 0
+        b.add_edge(x, z); // 0 -> 1
+        b.add_edge(y, z); // 0 -> 1
+        let g = b.build();
+        let m = LabelPairCounts::of(GraphView::from(&g));
+        assert_eq!(m.num_labels(), 2);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(0, 1), 2);
+        assert_eq!(m.count(1, 0), 0);
+        assert_eq!(m.count(7, 0), 0); // out of label space
+    }
+
+    #[test]
+    fn label_pair_counts_read_through_the_overlay() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0);
+        let y = b.add_node(1);
+        b.add_edge(x, y);
+        let g = Arc::new(b.build());
+        let mut d = DeltaOverlay::new(Arc::clone(&g));
+        let mut im = CommitImpact::default();
+        d.apply(&MutationOp::RemoveEdge(0, 1), &mut im).unwrap();
+        d.apply(&MutationOp::AddNode(crate::delta::LabelSpec::Id(0)), &mut im).unwrap();
+        d.apply(&MutationOp::AddEdge(1, 2), &mut im).unwrap();
+        let snap = Snapshot::new(Arc::new(d), 1);
+        let m = LabelPairCounts::of(GraphView::from(&snap));
+        assert_eq!(m.count(0, 1), 0, "removed edge must not count");
+        assert_eq!(m.count(1, 0), 1, "overlay edge must count");
     }
 }

@@ -39,13 +39,44 @@
 use crate::{EdgeKind, PatternError, PatternQuery, QNode};
 use rig_graph::Label;
 
-/// Error from HPQL parsing or label resolution, with 1-based source
-/// position.
+/// A 1-based source position plus the length (in characters) of the
+/// token or lexeme it covers. `len` is at least 1, so a span can always
+/// be rendered as a caret underline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: usize,
+    pub col: usize,
+    pub len: usize,
+}
+
+impl Span {
+    pub fn new(line: usize, col: usize, len: usize) -> Span {
+        Span { line, col, len: len.max(1) }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Error from HPQL parsing or label resolution, with a 1-based source
+/// span covering the offending token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HpqlError {
     pub line: usize,
     pub col: usize,
+    /// Character length of the offending token (>= 1), so callers can
+    /// underline the whole token, not a single character.
+    pub len: usize,
     pub message: String,
+}
+
+impl HpqlError {
+    pub fn span(&self) -> Span {
+        Span::new(self.line, self.col, self.len)
+    }
 }
 
 impl std::fmt::Display for HpqlError {
@@ -57,7 +88,11 @@ impl std::fmt::Display for HpqlError {
 impl std::error::Error for HpqlError {}
 
 fn err(line: usize, col: usize, message: impl Into<String>) -> HpqlError {
-    HpqlError { line, col, message: message.into() }
+    HpqlError { line, col, len: 1, message: message.into() }
+}
+
+fn err_span(span: Span, message: impl Into<String>) -> HpqlError {
+    HpqlError { line: span.line, col: span.col, len: span.len, message: message.into() }
 }
 
 /// A node label as written: a name to be resolved, or a raw label id.
@@ -77,6 +112,14 @@ pub struct HpqlQuery {
     labels: Vec<LabelSpec>,
     /// Pattern edges over node indexes.
     edges: Vec<(QNode, QNode, EdgeKind)>,
+    /// Span of each node's first mention (the variable token, or the
+    /// `(` of an anonymous node), parallel to `vars`.
+    node_spans: Vec<Span>,
+    /// Span of the label token that fixed each node's label, parallel
+    /// to `labels`.
+    label_spans: Vec<Span>,
+    /// Span of the arrow token of each edge, parallel to `edges`.
+    edge_spans: Vec<Span>,
 }
 
 /// A resolved HPQL query: the pattern plus its variable names (parallel to
@@ -103,11 +146,44 @@ impl HpqlQuery {
         &self.labels
     }
 
+    /// Pattern edges over node indexes, in source order.
+    pub fn edges(&self) -> &[(QNode, QNode, EdgeKind)] {
+        &self.edges
+    }
+
+    /// Span of node `i`'s first mention (its variable token, or the `(`
+    /// of an anonymous node).
+    pub fn node_span(&self, i: usize) -> Span {
+        self.node_spans[i]
+    }
+
+    /// Span of the label token that fixed node `i`'s label.
+    pub fn label_span(&self, i: usize) -> Span {
+        self.label_spans[i]
+    }
+
+    /// Span of the arrow token of edge `e` (in `edges()` order).
+    pub fn edge_span(&self, e: usize) -> Span {
+        self.edge_spans[e]
+    }
+
     /// Resolves label names through `resolve_name` (raw `Id` labels pass
     /// through) and builds the [`PatternQuery`].
     pub fn resolve(
         &self,
+        resolve_name: impl FnMut(&str) -> Option<Label>,
+    ) -> Result<HpqlResolved, HpqlError> {
+        self.resolve_with(resolve_name, |_| None)
+    }
+
+    /// Like [`HpqlQuery::resolve`], but when a label name is unknown the
+    /// `suggest` callback may supply a near-miss candidate (see
+    /// [`closest_label`]) that is appended to the error as a
+    /// "did you mean" hint. The error's span covers the label token.
+    pub fn resolve_with(
+        &self,
         mut resolve_name: impl FnMut(&str) -> Option<Label>,
+        mut suggest: impl FnMut(&str) -> Option<String>,
     ) -> Result<HpqlResolved, HpqlError> {
         let labels: Vec<Label> = self
             .labels
@@ -116,12 +192,15 @@ impl HpqlQuery {
             .map(|(i, spec)| match spec {
                 LabelSpec::Id(id) => Ok(*id),
                 LabelSpec::Name(name) => resolve_name(name).ok_or_else(|| {
-                    err(
-                        0,
-                        0,
+                    let hint = match suggest(name) {
+                        Some(s) => format!("; did you mean '{s}'?"),
+                        None => String::new(),
+                    };
+                    err_span(
+                        self.label_spans[i],
                         format!(
                             "unknown label name '{name}' (variable '{}'): \
-                             not in the graph's label dictionary",
+                             not in the graph's label dictionary{hint}",
                             self.vars[i]
                         ),
                     )
@@ -189,6 +268,52 @@ pub fn looks_like_hpql(text: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// did-you-mean suggestions
+// ---------------------------------------------------------------------------
+
+/// Levenshtein distance over characters, case-insensitive (a wrong-case
+/// label is the most common near-miss).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(|c| c.to_lowercase()).collect();
+    let b: Vec<char> = b.chars().flat_map(|c| c.to_lowercase()).collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate to `name` by edit distance, if any is close
+/// enough to plausibly be a typo: distance at most `max(1, len/3)` and
+/// strictly smaller than the name's own length. Ties keep the first
+/// candidate in iteration order (label-id order when iterating a graph
+/// dictionary), so suggestions are deterministic. Shared by the HPQL
+/// resolution error path and the `rig_analyze` name-resolution pass.
+pub fn closest_label<'a>(
+    name: &str,
+    candidates: impl IntoIterator<Item = &'a str>,
+) -> Option<&'a str> {
+    let budget = (name.chars().count() / 3).max(1);
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        if cand.is_empty() {
+            continue;
+        }
+        let d = edit_distance(name, cand);
+        if d <= budget && d < name.chars().count() && best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, cand));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+// ---------------------------------------------------------------------------
 // lexer
 // ---------------------------------------------------------------------------
 
@@ -230,6 +355,13 @@ struct Lexed {
     tok: Tok,
     line: usize,
     col: usize,
+    len: usize,
+}
+
+impl Lexed {
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col, self.len)
+    }
 }
 
 fn lex(input: &str) -> Result<Vec<Lexed>, HpqlError> {
@@ -271,29 +403,29 @@ fn lex(input: &str) -> Result<Vec<Lexed>, HpqlError> {
             }
             '(' => {
                 bump!();
-                out.push(Lexed { tok: Tok::LParen, line: tl, col: tc });
+                out.push(Lexed { tok: Tok::LParen, line: tl, col: tc, len: 1 });
             }
             ')' => {
                 bump!();
-                out.push(Lexed { tok: Tok::RParen, line: tl, col: tc });
+                out.push(Lexed { tok: Tok::RParen, line: tl, col: tc, len: 1 });
             }
             ':' => {
                 bump!();
-                out.push(Lexed { tok: Tok::Colon, line: tl, col: tc });
+                out.push(Lexed { tok: Tok::Colon, line: tl, col: tc, len: 1 });
             }
             ',' => {
                 bump!();
-                out.push(Lexed { tok: Tok::Comma, line: tl, col: tc });
+                out.push(Lexed { tok: Tok::Comma, line: tl, col: tc, len: 1 });
             }
             ';' => {
                 bump!();
-                out.push(Lexed { tok: Tok::Semi, line: tl, col: tc });
+                out.push(Lexed { tok: Tok::Semi, line: tl, col: tc, len: 1 });
             }
             '-' => {
                 bump!();
                 if chars.peek() == Some(&'>') {
                     bump!();
-                    out.push(Lexed { tok: Tok::Direct, line: tl, col: tc });
+                    out.push(Lexed { tok: Tok::Direct, line: tl, col: tc, len: 2 });
                 } else {
                     return Err(err(tl, tc, "unexpected '-' (direct edges are written '->')"));
                 }
@@ -302,7 +434,7 @@ fn lex(input: &str) -> Result<Vec<Lexed>, HpqlError> {
                 bump!();
                 if chars.peek() == Some(&'>') {
                     bump!();
-                    out.push(Lexed { tok: Tok::Reach, line: tl, col: tc });
+                    out.push(Lexed { tok: Tok::Reach, line: tl, col: tc, len: 2 });
                 } else {
                     return Err(err(
                         tl,
@@ -316,22 +448,24 @@ fn lex(input: &str) -> Result<Vec<Lexed>, HpqlError> {
                 while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
                     s.push(bump!().unwrap());
                 }
-                let n: u32 =
-                    s.parse().map_err(|_| err(tl, tc, format!("label id '{s}' out of range")))?;
-                out.push(Lexed { tok: Tok::Int(n), line: tl, col: tc });
+                let n: u32 = s.parse().map_err(|_| {
+                    err_span(Span::new(tl, tc, s.len()), format!("label id '{s}' out of range"))
+                })?;
+                out.push(Lexed { tok: Tok::Int(n), line: tl, col: tc, len: s.len() });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut s = String::new();
                 while chars.peek().is_some_and(|&c| c.is_ascii_alphanumeric() || c == '_') {
                     s.push(bump!().unwrap());
                 }
+                let len = s.len();
                 let tok = if s.eq_ignore_ascii_case("match") { Tok::Match } else { Tok::Ident(s) };
-                out.push(Lexed { tok, line: tl, col: tc });
+                out.push(Lexed { tok, line: tl, col: tc, len });
             }
             other => return Err(err(tl, tc, format!("unexpected character '{other}'"))),
         }
     }
-    out.push(Lexed { tok: Tok::Eof, line, col });
+    out.push(Lexed { tok: Tok::Eof, line, col, len: 1 });
     Ok(out)
 }
 
@@ -344,9 +478,14 @@ struct Parser {
     pos: usize,
     vars: Vec<String>,
     labels: Vec<Option<LabelSpec>>,
-    /// (line, col) of each node's first mention, for "never labeled" errors.
-    first_mention: Vec<(usize, usize)>,
+    /// Span of each node's first mention, for "never labeled" errors and
+    /// the AST's `node_spans`.
+    first_mention: Vec<Span>,
+    /// Span of the label token that fixed each node's label.
+    label_spans: Vec<Option<Span>>,
     edges: Vec<(QNode, QNode, EdgeKind)>,
+    /// Span of each edge's arrow token, parallel to `edges`.
+    edge_spans: Vec<Span>,
     anon: usize,
 }
 
@@ -358,7 +497,9 @@ impl Parser {
             vars: Vec::new(),
             labels: Vec::new(),
             first_mention: Vec::new(),
+            label_spans: Vec::new(),
             edges: Vec::new(),
+            edge_spans: Vec::new(),
             anon: 0,
         })
     }
@@ -380,9 +521,8 @@ impl Parser {
         if got.tok == want {
             Ok(got)
         } else {
-            Err(err(
-                got.line,
-                got.col,
+            Err(err_span(
+                got.span(),
                 format!("expected {}, found {}", want.describe(), got.tok.describe()),
             ))
         }
@@ -403,9 +543,8 @@ impl Parser {
                 Tok::Eof => break,
                 _ => {
                     let got = self.next();
-                    return Err(err(
-                        got.line,
-                        got.col,
+                    return Err(err_span(
+                        got.span(),
                         format!(
                             "expected ',', ';', '->', '=>' or end of query, found {}",
                             got.tok.describe()
@@ -416,22 +555,24 @@ impl Parser {
         }
         let trailing = self.next();
         if trailing.tok != Tok::Eof {
-            return Err(err(
-                trailing.line,
-                trailing.col,
+            return Err(err_span(
+                trailing.span(),
                 format!("trailing input after query: {}", trailing.tok.describe()),
             ));
         }
         // every node must have a label by the end of the query
         let mut labels = Vec::with_capacity(self.labels.len());
+        let mut label_spans = Vec::with_capacity(self.labels.len());
         for (i, l) in self.labels.iter().enumerate() {
             match l {
-                Some(spec) => labels.push(spec.clone()),
+                Some(spec) => {
+                    labels.push(spec.clone());
+                    // a labeled node always has a recorded label span
+                    label_spans.push(self.label_spans[i].unwrap_or(self.first_mention[i]));
+                }
                 None => {
-                    let (line, col) = self.first_mention[i];
-                    return Err(err(
-                        line,
-                        col,
+                    return Err(err_span(
+                        self.first_mention[i],
                         format!(
                             "variable '{}' is never labeled; write ({}:Label) at one mention",
                             self.vars[i], self.vars[i]
@@ -440,7 +581,14 @@ impl Parser {
                 }
             }
         }
-        Ok(HpqlQuery { vars: self.vars, labels, edges: self.edges })
+        Ok(HpqlQuery {
+            vars: self.vars,
+            labels,
+            edges: self.edges,
+            node_spans: self.first_mention,
+            label_spans,
+            edge_spans: self.edge_spans,
+        })
     }
 
     fn chain(&mut self) -> Result<(), HpqlError> {
@@ -454,9 +602,8 @@ impl Parser {
             let arrow = self.next();
             let next = self.node()?;
             if prev == next {
-                return Err(err(
-                    arrow.line,
-                    arrow.col,
+                return Err(err_span(
+                    arrow.span(),
                     format!(
                         "self-loop on variable '{}' is not expressible",
                         self.vars[prev as usize]
@@ -464,9 +611,8 @@ impl Parser {
                 ));
             }
             if self.edges.iter().any(|&(f, t, k)| f == prev && t == next && k == kind) {
-                return Err(err(
-                    arrow.line,
-                    arrow.col,
+                return Err(err_span(
+                    arrow.span(),
                     format!(
                         "duplicate {} edge ({})->({})",
                         match kind {
@@ -479,6 +625,7 @@ impl Parser {
                 ));
             }
             self.edges.push((prev, next, kind));
+            self.edge_spans.push(arrow.span());
             prev = next;
         }
     }
@@ -486,24 +633,26 @@ impl Parser {
     /// Parses one `(var[:label])` node reference; returns its node index.
     fn node(&mut self) -> Result<QNode, HpqlError> {
         let open = self.expect(Tok::LParen)?;
-        let (loc_line, loc_col) = (open.line, open.col);
+        let open_span = open.span();
         let var = match self.peek().tok {
             Tok::Ident(_) => {
-                let Lexed { tok: Tok::Ident(name), .. } = self.next() else { unreachable!() };
-                Some(name)
+                let lexed = self.next();
+                let span = lexed.span();
+                let Tok::Ident(name) = lexed.tok else { unreachable!() };
+                Some((name, span))
             }
             _ => None,
         };
         let label = if self.peek().tok == Tok::Colon {
             self.next();
             let got = self.next();
+            let span = got.span();
             match got.tok {
-                Tok::Ident(name) => Some(LabelSpec::Name(name)),
-                Tok::Int(id) => Some(LabelSpec::Id(id)),
+                Tok::Ident(name) => Some((LabelSpec::Name(name), span)),
+                Tok::Int(id) => Some((LabelSpec::Id(id), span)),
                 other => {
-                    return Err(err(
-                        got.line,
-                        got.col,
+                    return Err(err_span(
+                        span,
                         format!(
                             "expected a label name or id after ':', found {}",
                             other.describe()
@@ -517,15 +666,14 @@ impl Parser {
         self.expect(Tok::RParen)?;
 
         let idx = match var {
-            Some(name) => match self.vars.iter().position(|v| v == &name) {
+            Some((name, span)) => match self.vars.iter().position(|v| v == &name) {
                 Some(i) => i as QNode,
-                None => self.declare(name, loc_line, loc_col),
+                None => self.declare(name, span),
             },
             None => {
                 if label.is_none() {
-                    return Err(err(
-                        loc_line,
-                        loc_col,
+                    return Err(err_span(
+                        open_span,
                         "empty node '()': write a variable, a label, or both",
                     ));
                 }
@@ -534,19 +682,21 @@ impl Parser {
                     let name = format!("_a{}", self.anon);
                     self.anon += 1;
                     if !self.vars.iter().any(|v| v == &name) {
-                        break self.declare(name, loc_line, loc_col);
+                        break self.declare(name, open_span);
                     }
                 }
             }
         };
-        if let Some(spec) = label {
+        if let Some((spec, span)) = label {
             match &self.labels[idx as usize] {
-                None => self.labels[idx as usize] = Some(spec),
+                None => {
+                    self.labels[idx as usize] = Some(spec);
+                    self.label_spans[idx as usize] = Some(span);
+                }
                 Some(existing) if *existing == spec => {}
                 Some(existing) => {
-                    return Err(err(
-                        loc_line,
-                        loc_col,
+                    return Err(err_span(
+                        span,
                         format!(
                             "variable '{}' relabeled: already {}, now {}",
                             self.vars[idx as usize],
@@ -560,11 +710,12 @@ impl Parser {
         Ok(idx)
     }
 
-    fn declare(&mut self, name: String, line: usize, col: usize) -> QNode {
+    fn declare(&mut self, name: String, mention: Span) -> QNode {
         let idx = self.vars.len() as QNode;
         self.vars.push(name);
         self.labels.push(None);
-        self.first_mention.push((line, col));
+        self.label_spans.push(None);
+        self.first_mention.push(mention);
         idx
     }
 }
@@ -742,10 +893,59 @@ mod tests {
     fn lex_errors_carry_position() {
         for bad in ["MATCH (a:L) -> (b:M) !", "MATCH (a:L) - (b:M)", "MATCH (a:L) = (b:M)"] {
             let e = parse_hpql(bad).unwrap_err();
-            assert!(e.line >= 1 && e.col >= 1, "{bad}: {e}");
+            assert!(e.line >= 1 && e.col >= 1 && e.len >= 1, "{bad}: {e}");
         }
         assert!(parse_hpql("(a:L)->(b:M)").unwrap_err().message.contains("MATCH"));
         assert!(parse_hpql("MATCH ()").is_err());
+    }
+
+    #[test]
+    fn errors_span_the_whole_offending_token() {
+        // the trailing identifier after the query is 5 chars long
+        let e = parse_hpql("MATCH (a:L)->(b:M) junks").unwrap_err();
+        assert_eq!((e.line, e.col, e.len), (1, 20, 5), "{e}");
+        // a relabel error covers the second label token
+        let e = parse_hpql("MATCH (a:Long)->(b:M), (a:Other)->(b)").unwrap_err();
+        assert_eq!((e.col, e.len), (27, 5), "{e}");
+        // duplicate-edge errors cover the arrow
+        let e = parse_hpql("MATCH (a:L)->(b:M), (a)->(b)").unwrap_err();
+        assert_eq!(e.len, 2, "{e}");
+    }
+
+    #[test]
+    fn ast_carries_node_label_and_edge_spans() {
+        let q = parse_hpql("MATCH (alpha:Author)->(p:Paper)").unwrap();
+        assert_eq!(q.node_span(0), Span::new(1, 8, 5)); // 'alpha'
+        assert_eq!(q.label_span(0), Span::new(1, 14, 6)); // 'Author'
+        assert_eq!(q.label_span(1), Span::new(1, 26, 5)); // 'Paper'
+        assert_eq!(q.edge_span(0), Span::new(1, 21, 2)); // '->'
+                                                         // anonymous nodes anchor on their '('
+        let q = parse_hpql("MATCH (x:0)=>(:7)").unwrap();
+        assert_eq!(q.node_span(1), Span::new(1, 14, 1));
+    }
+
+    #[test]
+    fn unknown_name_errors_carry_label_span_and_suggestion() {
+        let ast = parse_hpql("MATCH (a:Autor)->(b:Paper)").unwrap();
+        let dict = ["Author", "Paper"];
+        let e = ast
+            .resolve_with(
+                |n| dict.iter().position(|d| *d == n).map(|i| i as Label),
+                |n| closest_label(n, dict.iter().copied()).map(str::to_string),
+            )
+            .unwrap_err();
+        assert!(e.message.contains("did you mean 'Author'?"), "{e}");
+        assert_eq!((e.line, e.col, e.len), (1, 10, 5), "{e}");
+    }
+
+    #[test]
+    fn closest_label_accepts_near_misses_only() {
+        let dict = ["Author", "Paper", "Cited"];
+        assert_eq!(closest_label("Autor", dict), Some("Author"));
+        assert_eq!(closest_label("author", dict), Some("Author")); // case-insensitive
+        assert_eq!(closest_label("Papers", dict), Some("Paper"));
+        assert_eq!(closest_label("Zebra", dict), None); // nothing close
+        assert_eq!(closest_label("X", dict), None); // shorter than any distance
     }
 
     #[test]

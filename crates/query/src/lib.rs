@@ -23,7 +23,9 @@ pub mod reduction;
 pub mod templates;
 
 pub use generator::{random_query, GeneratorConfig};
-pub use hpql::{looks_like_hpql, parse_hpql, to_hpql, HpqlError, HpqlQuery, HpqlResolved};
+pub use hpql::{
+    closest_label, looks_like_hpql, parse_hpql, to_hpql, HpqlError, HpqlQuery, HpqlResolved, Span,
+};
 pub use parser::{parse_query, query_to_text, QueryParseError};
 pub use reduction::{transitive_closure, transitive_reduction};
 pub use templates::{template, template_count, Flavor, TemplateId};

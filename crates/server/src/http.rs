@@ -71,9 +71,18 @@ fn percent_decode(s: &str) -> String {
                 && bytes[i + 1].is_ascii_hexdigit()
                 && bytes[i + 2].is_ascii_hexdigit() =>
             {
-                let hex = &s[i + 1..i + 3];
-                out.push(u8::from_str_radix(hex, 16).expect("checked hex digits"));
-                i += 3;
+                // the guard makes this parse infallible, but degrade to
+                // a literal '%' rather than panic all the same
+                match u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
             }
             b'+' => {
                 out.push(b' ');

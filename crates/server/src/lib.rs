@@ -16,6 +16,11 @@
 //!   `?limit=N` and `?timeout_ms=N` map onto the engine's budget
 //!   machinery — a truncated answer reports `"status":"budget"` with
 //!   `timed_out`/`limit_hit` set, mirroring the library API.
+//!   `?lint=strict` runs the static analyzer (`rig_analyze`) first and
+//!   refuses queries with error-severity findings: 422 with
+//!   `"kind":"analysis"` and the full diagnostics report in the body
+//!   (counted by `rigmatch_lint_rejections_total`); see
+//!   `docs/analysis.md`.
 //! - **`POST /update`** — body is a mutation script (`docs/updates.md`);
 //!   each `commit` segment becomes one optimistic transaction, retried a
 //!   bounded number of times on write conflicts before answering 409.
@@ -243,6 +248,7 @@ fn kind_str(e: &Error) -> &'static str {
         ErrorKind::Io => "io",
         ErrorKind::Budget => "budget",
         ErrorKind::Storage => "storage",
+        ErrorKind::Analysis => "analysis",
     }
 }
 
@@ -258,6 +264,9 @@ fn status_for(e: &Error) -> u16 {
         // budget trips are normally reported in-band; as an Error they
         // mean the caller demanded completeness it didn't get
         ErrorKind::Budget => 422,
+        // strict lint rejections: semantically sound HPQL the analyzer
+        // refused — unprocessable, like validation failures
+        ErrorKind::Analysis => 422,
         ErrorKind::Io | ErrorKind::Storage => 500,
     }
 }
@@ -376,12 +385,44 @@ fn handle_query(
     if !matches!(mode, "stream" | "count") {
         return write_error(stream, 400, "bad_request", &format!("bad mode {mode:?}"), metrics);
     }
+    let lint = req.param("lint").unwrap_or("off");
+    if !matches!(lint, "off" | "strict") {
+        return write_error(
+            stream,
+            400,
+            "bad_request",
+            &format!("bad lint value {lint:?}"),
+            metrics,
+        );
+    }
     if req.body.trim().is_empty() {
         return write_error(stream, 400, "bad_request", "empty query body", metrics);
     }
-    let prepared = match session.prepare(req.body.as_str()) {
-        Ok(p) => p,
-        Err(e) => return write_api_error(stream, &e, metrics),
+    let prepared = if lint == "strict" {
+        // static analysis gates the query: any error-severity finding
+        // (unknown label, provable emptiness, disconnected variable)
+        // refuses with 422 and the full diagnostics report as the body
+        match session.prepare_with_lint(req.body.as_str(), rig_core::LintMode::Strict) {
+            Ok((p, _)) => p,
+            Err(Error::Analysis(report)) => {
+                ServerMetrics::bump(&metrics.lint_rejections);
+                ServerMetrics::bump(&metrics.error_responses);
+                let body = format!(
+                    "{{\"error\":\"query rejected by static analysis\",\"kind\":\"analysis\",\
+                     \"report\":{}}}\n",
+                    report.to_json().trim_end()
+                );
+                let mut w = stream;
+                let _ = http::write_response(&mut w, 422, "application/json", &body);
+                return;
+            }
+            Err(e) => return write_api_error(stream, &e, metrics),
+        }
+    } else {
+        match session.prepare(req.body.as_str()) {
+            Ok(p) => p,
+            Err(e) => return write_api_error(stream, &e, metrics),
+        }
     };
     let start = Instant::now();
     let mut run = prepared.run();

@@ -38,6 +38,8 @@ pub struct ServerMetrics {
     pub queries_via_dp: AtomicU64,
     /// Query runs whose RIG came from the session plan cache.
     pub rig_cache_hits: AtomicU64,
+    /// Queries refused 422 by `?lint=strict` static analysis.
+    pub lint_rejections: AtomicU64,
     /// Optimistic-commit conflicts retried by `/update` (each retry
     /// counts once; the request still succeeds unless retries exhaust).
     pub conflict_retries: AtomicU64,
@@ -123,6 +125,12 @@ pub fn render(metrics: &ServerMetrics, session: &Session) -> String {
         "rigmatch_rig_cache_hits_total",
         "query runs whose RIG came from the plan cache",
         load(&m.rig_cache_hits),
+    );
+    counter(
+        &mut out,
+        "rigmatch_lint_rejections_total",
+        "queries refused 422 by ?lint=strict static analysis",
+        load(&m.lint_rejections),
     );
     counter(
         &mut out,

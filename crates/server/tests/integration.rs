@@ -18,6 +18,11 @@
 //! this crate): assertions use plain string matching on the small,
 //! stable wire format.
 
+// test code asserts with unwrap/expect/panic freely; the workspace
+// panic lints target the production crate (clippy.toml exempts
+// #[test] fns, but not these shared helpers)
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::Ordering;
@@ -464,6 +469,46 @@ fn shutdown_joins_cleanly() {
     let addr_s = addr.to_string();
     let rebound = Server::bind(session, &addr_s, ServerConfig::default());
     assert!(rebound.is_ok(), "{:?}", rebound.err());
+}
+
+/// `?lint=strict` refuses provably-empty queries with 422 and a
+/// structured diagnostics body, counts the rejection in `/metrics`, and
+/// lets satisfiable queries through untouched.
+#[test]
+fn strict_lint_rejects_with_structured_diagnostics() {
+    let session = Arc::new(Session::new(ab_graph()));
+    let server =
+        Server::bind(Arc::clone(&session), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.serve());
+
+    // satisfiable: passes the gate, streams normally
+    let (status, tuples, _) = query_stream(addr, AB_QUERY, "?lint=strict");
+    assert_eq!(status, 200);
+    assert_eq!(tuples.len(), 10);
+
+    // no label-1 -> label-0 edge exists: proven empty, refused
+    let (status, body) = send_raw(addr, "POST", "/query?lint=strict", "MATCH (b:1)->(a:0)");
+    assert_eq!(status, 422, "{body}");
+    assert!(body.contains("\"kind\":\"analysis\""), "{body}");
+    assert!(body.contains("\"proven_empty\": true"), "{body}");
+    assert!(body.contains("\"code\": \"E102\""), "{body}");
+
+    // without the gate the same query runs and counts 0
+    let (status, _, summary) = query_stream(addr, "MATCH (b:1)->(a:0)", "");
+    assert_eq!(status, 200);
+    assert_eq!(json_field(&summary, "count"), "0");
+
+    // bad lint values are a 400, not a silent default
+    let (status, body) = send_raw(addr, "POST", "/query?lint=sometimes", AB_QUERY);
+    assert_eq!(status, 400, "{body}");
+
+    let (status, page) = send_raw(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(page.contains("rigmatch_lint_rejections_total 1\n"), "{page}");
+
+    send_raw(addr, "POST", "/shutdown", "");
+    handle.join().unwrap().unwrap();
 }
 
 /// The metrics page reflects traffic (counter monotonicity smoke).

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! rigmatch [explain] <graph-file> (<query-file> | --query 'HPQL') [options]
+//! rigmatch check <graph-file> (<query-file> | --query 'HPQL')
+//!                [--format text|json] [--mutations <file>]
 //! rigmatch update <graph-file> <mutations-file> [--output <path>] [--stats]
 //! rigmatch recover <data-dir>
 //! rigmatch serve [<graph-file>] [--addr HOST:PORT] [--workers N]
@@ -20,9 +22,22 @@
 //!   --factorized             print the factorized answer summary, gm only
 //!   --stats                  print phase timings and RIG statistics
 //!   --strict                 fail (exit 6) if limit/timeout truncated the run
+//!   --lint off|warn|strict   static analysis before running, gm only
+//!                            (warn prints findings; strict exits 8 on errors)
 //!   --data-dir <dir>         durable store: WAL + snapshots (gm only)
 //!   --durability strict|batched|none   fsync policy (default strict)
 //! ```
+//!
+//! `check` runs the static analyzer (`rig_analyze`) **without executing
+//! the query**: name resolution with did-you-mean hints, emptiness proofs
+//! (empty labels, impossible direct edges, refuted reachability),
+//! redundancy lints and cost warnings — see `docs/analysis.md` for the
+//! lint-code table. Text output renders rustc-style caret underlines over
+//! the query source; `--format json` emits the machine schema benchcheck
+//! validates. Exit code: `0` clean (or warnings/notes only), `8` any
+//! error-severity finding, `3` if the query text failed to parse. With
+//! `--mutations <file>` the script is applied first, so proofs read
+//! through the delta overlay.
 //!
 //! `explain` (first argument) prints the plan instead of running it: the
 //! query as given, its transitive reduction, the RIG statistics, the
@@ -78,7 +93,8 @@
 //!
 //! Exit codes: `0` success, `1` internal error, `2` usage, `3` parse
 //! error, `4` I/O error, `5` validation error, `6` budget exceeded (with
-//! `--strict`), `7` storage error (corruption, fsync failure, …).
+//! `--strict`), `7` storage error (corruption, fsync failure, …), `8`
+//! static analysis rejected the query (`check`, `--lint strict`).
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -86,7 +102,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use rigmatch::baselines::{Budget, Engine, Jm, NeoLike, Tm};
-use rigmatch::core::{Durability, Error, FsBackend, GmConfig, Session, StoreOptions};
+use rigmatch::core::{Durability, Error, FsBackend, GmConfig, LintMode, Session, StoreOptions};
 use rigmatch::graph::parse_text;
 use rigmatch::mjoin::{BatchSink, EnumOptions, ResultSink, SearchOrder};
 use rigmatch::query::{looks_like_hpql, parse_query, PatternQuery};
@@ -94,6 +110,12 @@ use rigmatch::storage::DurableStore;
 
 struct Cli {
     explain: bool,
+    /// `check` subcommand: static analysis only, never executes.
+    check: bool,
+    /// `--format json` for `check` (text with carets otherwise).
+    format_json: bool,
+    /// Lint gate in front of the gm query path (`--lint`).
+    lint: LintMode,
     /// `update` subcommand: apply mutations, write the graph back out.
     update: bool,
     /// `recover` subcommand: open a durable store, report, exit.
@@ -136,8 +158,10 @@ fn usage() -> ! {
         "usage: rigmatch [explain] <graph-file> (<query-file> | --query 'HPQL') \
          [--engine gm|jm|tm|neo] [--limit N] [--timeout SECS] [--threads N] \
          [--count] [--factorized] [--order jo|ri|bj] [--no-reduction] \
-         [--mutations FILE] [--stats] [--strict] [--data-dir DIR] \
-         [--durability strict|batched|none]\n\
+         [--mutations FILE] [--stats] [--strict] [--lint off|warn|strict] \
+         [--data-dir DIR] [--durability strict|batched|none]\n\
+         \x20      rigmatch check <graph-file> (<query-file> | --query 'HPQL') \
+         [--format text|json] [--mutations FILE]\n\
          \x20      rigmatch update <graph-file> <mutations-file> [--output PATH] [--stats] \
          [--data-dir DIR] [--durability strict|batched|none]\n\
          \x20      rigmatch recover <data-dir>\n\
@@ -150,14 +174,18 @@ fn usage() -> ! {
 fn parse_cli() -> Cli {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let explain = argv.first().map(|s| s.as_str()) == Some("explain");
+    let check = argv.first().map(|s| s.as_str()) == Some("check");
     let update = argv.first().map(|s| s.as_str()) == Some("update");
     let recover = argv.first().map(|s| s.as_str()) == Some("recover");
     let serve = argv.first().map(|s| s.as_str()) == Some("serve");
-    if explain || update || recover || serve {
+    if explain || check || update || recover || serve {
         argv.remove(0);
     }
     let mut cli = Cli {
         explain,
+        check,
+        format_json: false,
+        lint: LintMode::Off,
         update,
         recover,
         serve,
@@ -243,6 +271,18 @@ fn parse_cli() -> Cli {
             }
             "--stats" => cli.stats = true,
             "--strict" => cli.strict = true,
+            "--format" => {
+                i += 1;
+                cli.format_json = match argv.get(i).map(|s| s.as_str()) {
+                    Some("json") => true,
+                    Some("text") => false,
+                    _ => usage(),
+                };
+            }
+            "--lint" => {
+                i += 1;
+                cli.lint = argv.get(i).and_then(|s| LintMode::parse(s)).unwrap_or_else(|| usage());
+            }
             "--data-dir" => {
                 i += 1;
                 cli.data_dir = Some(argv.get(i).unwrap_or_else(|| usage()).clone());
@@ -540,6 +580,9 @@ fn run(cli: &Cli) -> Result<ExitCode, Error> {
         return run_update(cli, g);
     }
     let source = load_query(cli)?;
+    if cli.check {
+        return run_check(cli, g, source);
+    }
 
     let cfg = GmConfig {
         skip_reduction: !cli.reduction,
@@ -579,6 +622,39 @@ fn run(cli: &Cli) -> Result<ExitCode, Error> {
     }
 }
 
+/// The `check` subcommand: run the static analyzer and render its
+/// report, never executing the query. Exit 0 when no error-severity
+/// finding fired, 8 otherwise (3 when the query text failed to parse).
+fn run_check(
+    cli: &Cli,
+    g: Option<rigmatch::graph::DataGraph>,
+    source: QuerySource,
+) -> Result<ExitCode, Error> {
+    let session = make_session(cli, GmConfig::default(), || {
+        Ok(g.expect("graph parsed unless the store was opened"))
+    })?;
+    if let Some(path) = &cli.mutations_path {
+        // emptiness proofs then read through the delta overlay
+        apply_mutations(&session, path, cli.stats)?;
+    }
+    let report = match &source {
+        QuerySource::Hpql(text) => session.analyze(text),
+        QuerySource::Legacy(q) => session.analyze_pattern(q),
+    };
+    if cli.format_json {
+        write_stdout(&report.to_json())?;
+    } else if report.diagnostics.is_empty() {
+        write_stdout("clean: no findings\n")?;
+    } else {
+        let (e, w, n) = report.counts();
+        write_stdout(&format!("{}{e} error(s), {w} warning(s), {n} note(s)\n", report.render()))?;
+    }
+    if report.is_parse_failure() {
+        return Ok(ExitCode::from(3));
+    }
+    Ok(if report.has_errors() { ExitCode::from(8) } else { ExitCode::SUCCESS })
+}
+
 fn run_gm(
     cli: &Cli,
     g: Option<rigmatch::graph::DataGraph>,
@@ -595,8 +671,24 @@ fn run_gm(
         apply_mutations(&session, path, cli.stats)?;
         session.flush_wal()?;
     }
+    let source_text = match &source {
+        QuerySource::Hpql(text) => Some(text.clone()),
+        QuerySource::Legacy(_) => None,
+    };
     let prepared = match source {
-        QuerySource::Hpql(text) => session.prepare(text.as_str())?,
+        QuerySource::Hpql(text) => match cli.lint {
+            LintMode::Off => session.prepare(text.as_str())?,
+            mode => {
+                // warn: print findings and run anyway; strict: an
+                // error-severity finding surfaces as Error::Analysis
+                // through exit_for (exit code 8)
+                let (prepared, report) = session.prepare_with_lint(&text, mode)?;
+                if !report.diagnostics.is_empty() {
+                    eprint!("{}", report.render_compact());
+                }
+                prepared
+            }
+        },
         QuerySource::Legacy(q) => session.prepare(q)?,
     };
     let q = prepared.query();
@@ -609,7 +701,18 @@ fn run_gm(
     );
 
     if cli.explain {
-        write_stdout(&format!("{}", prepared.run().order(cli.order).explain()))?;
+        let mut out = format!("{}", prepared.run().order(cli.order).explain());
+        // append the analyzer's findings (lints, proofs, cost notes) so
+        // a plan read and a health check are one command
+        let report = match &source_text {
+            Some(text) => session.analyze(text),
+            None => session.analyze_pattern(prepared.query()),
+        };
+        if !report.diagnostics.is_empty() {
+            out.push_str("diagnostics:\n");
+            out.push_str(&report.render_compact());
+        }
+        write_stdout(&out)?;
         return Ok(ExitCode::SUCCESS);
     }
     if cli.factorized {

@@ -1,0 +1,241 @@
+//! Static-analysis soundness suite: whenever the analyzer *proves* a
+//! query empty (codes E101/E102/E103), the engine must report count 0 —
+//! through both the factorized-DP count path and forced tuple
+//! enumeration — across the `SelectMode` matrix, all three template
+//! flavors (Direct / hybrid / Reachability edges), and on both clean
+//! base graphs and dirty delta-overlay snapshots.
+//!
+//! The contrapositive is covered by the same assertion: a satisfiable
+//! query (the engine finds a match) can never carry an emptiness proof.
+//! The deterministic tests pin both directions down so the property
+//! tests cannot pass vacuously.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rigmatch::core::{GmConfig, Session};
+use rigmatch::graph::{CommitImpact, DeltaOverlay, GraphBuilder, NodeId};
+use rigmatch::query::{template, template_count, EdgeKind, Flavor, PatternQuery};
+use rigmatch::rig::{RigOptions, SelectMode};
+
+const NUM_LABELS: u32 = 3;
+
+fn random_base(nodes: usize, edges: usize, seed: u64) -> rigmatch::graph::DataGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    for l in 0..NUM_LABELS {
+        b.add_node(l); // one guaranteed node per label
+    }
+    for _ in NUM_LABELS as usize..nodes {
+        b.add_node(rng.gen_range(0..NUM_LABELS));
+    }
+    for _ in 0..edges {
+        let u = rng.gen_range(0..nodes) as NodeId;
+        let v = rng.gen_range(0..nodes) as NodeId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Every Fig. 7 template in every flavor, labels drawn at random from
+/// the graph's label space — some instances are satisfiable, others are
+/// provably empty, and the check needs both sides of the line.
+fn workload(seed: u64) -> Vec<PatternQuery> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for id in 0..template_count() {
+        let t = template(id);
+        for flavor in [Flavor::C, Flavor::H, Flavor::D] {
+            let labels: Vec<u32> = (0..t.num_nodes).map(|_| rng.gen_range(0..NUM_LABELS)).collect();
+            out.push(t.instantiate(flavor, &labels));
+        }
+    }
+    out
+}
+
+/// The soundness invariant for one session snapshot: each proven-empty
+/// query must count 0 through the DP path and through forced
+/// enumeration. Returns how many proofs were exercised so callers can
+/// assert non-vacuity.
+fn check_soundness(session: &Session, ctx: &str, seed: u64) -> usize {
+    let mut proven = 0;
+    for (qi, q) in workload(seed).iter().enumerate() {
+        let report = session.analyze_pattern(q);
+        if !report.proven_empty() {
+            continue;
+        }
+        proven += 1;
+        let p = session.prepare(q).expect("workload labels are in range");
+        let dp = p.run().count();
+        assert_eq!(
+            dp.result.count,
+            0,
+            "{ctx}: query {qi} proven empty but the DP counted {}\n{}",
+            dp.result.count,
+            report.render_compact()
+        );
+        let en = p.run().force_enumerate().count();
+        assert_eq!(
+            en.result.count,
+            0,
+            "{ctx}: query {qi} proven empty but enumeration found {}\n{}",
+            en.result.count,
+            report.render_compact()
+        );
+    }
+    proven
+}
+
+fn check_clean(select: SelectMode, seed: u64) {
+    let cfg = GmConfig { rig: RigOptions { select, ..RigOptions::exact() }, ..GmConfig::default() };
+    let session = Session::with_config(random_base(20, 50, seed), cfg);
+    check_soundness(&session, &format!("clean select={select:?} seed={seed}"), seed);
+}
+
+/// Random committed mutation batches, then the soundness check against
+/// the dirty overlay snapshot (the analyzer's pair counts and
+/// reachability oracle both read through the delta).
+fn check_dirty(select: SelectMode, seed: u64, commits: usize, ops_per_commit: usize) {
+    let cfg = GmConfig { rig: RigOptions { select, ..RigOptions::exact() }, ..GmConfig::default() };
+    let mut gen_state = seed ^ 0xA11A;
+    let session = Session::with_config(random_base(20, 45, seed), cfg);
+    for step in 0..commits {
+        let mut scratch: DeltaOverlay = (**session.graph().delta()).clone();
+        let mut txn = session.begin();
+        for _ in 0..ops_per_commit {
+            if let Some(op) = scratch.random_mutation(&mut gen_state, NUM_LABELS) {
+                let mut impact = CommitImpact::default();
+                if scratch.apply(&op, &mut impact).is_ok() {
+                    txn.push(op);
+                }
+            }
+        }
+        session.commit(txn).expect("scratch-validated ops commit cleanly");
+        check_soundness(
+            &session,
+            &format!("dirty select={select:?} seed={seed} step={step}"),
+            seed,
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Refined (prefilter + simulation) RIGs on clean bases.
+    #[test]
+    fn refined_clean_is_sound(seed in 0u64..1_000_000) {
+        check_clean(SelectMode::PrefilterThenSim, seed);
+    }
+
+    /// Simulation-only ablation.
+    #[test]
+    fn sim_only_clean_is_sound(seed in 0u64..1_000_000) {
+        check_clean(SelectMode::SimOnly, seed);
+    }
+
+    /// Prefilter-only ablation.
+    #[test]
+    fn prefilter_only_clean_is_sound(seed in 0u64..1_000_000) {
+        check_clean(SelectMode::PrefilterOnly, seed);
+    }
+
+    /// Raw match-set RIGs.
+    #[test]
+    fn match_sets_clean_is_sound(seed in 0u64..1_000_000) {
+        check_clean(SelectMode::MatchSets, seed);
+    }
+
+    /// Dirty overlay snapshots under the refined mode.
+    #[test]
+    fn refined_dirty_is_sound(seed in 0u64..1_000_000) {
+        check_dirty(SelectMode::PrefilterThenSim, seed, 2, 6);
+    }
+
+    /// Dirty overlay snapshots under match-set RIGs.
+    #[test]
+    fn match_sets_dirty_is_sound(seed in 0u64..1_000_000) {
+        check_dirty(SelectMode::MatchSets, seed, 2, 6);
+    }
+}
+
+/// Non-vacuity anchor: on a graph whose only edges run Author → Paper →
+/// Paper, the reversed direct edge (E102) and reversed reachability
+/// edge (E103) are both provably empty, and the engine agrees in every
+/// select mode. Deleting the Author's edge then shifts the proofs under
+/// a dirty snapshot.
+#[test]
+fn emptiness_proofs_fire_and_the_engine_agrees() {
+    let mut b = GraphBuilder::new();
+    b.add_node(0); // Author
+    b.add_node(1); // Paper
+    b.add_node(1); // Paper
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    let g = b.build();
+
+    let mut reversed_direct = PatternQuery::new(vec![1, 0]);
+    reversed_direct.add_edge(0, 1, EdgeKind::Direct);
+    let mut reversed_reach = PatternQuery::new(vec![1, 0]);
+    reversed_reach.add_edge(0, 1, EdgeKind::Reachability);
+    let mut forward = PatternQuery::new(vec![0, 1]);
+    forward.add_edge(0, 1, EdgeKind::Direct);
+
+    for select in [
+        SelectMode::PrefilterThenSim,
+        SelectMode::SimOnly,
+        SelectMode::PrefilterOnly,
+        SelectMode::MatchSets,
+    ] {
+        let cfg =
+            GmConfig { rig: RigOptions { select, ..RigOptions::exact() }, ..GmConfig::default() };
+        let session = Session::with_config(g.clone(), cfg);
+        for q in [&reversed_direct, &reversed_reach] {
+            let report = session.analyze_pattern(q);
+            assert!(report.proven_empty(), "select={select:?}:\n{}", report.render_compact());
+            let p = session.prepare(q).expect("labels are in range");
+            assert_eq!(p.run().count().result.count, 0, "select={select:?}");
+            assert_eq!(p.run().force_enumerate().count().result.count, 0, "select={select:?}");
+        }
+        // the satisfiable direction carries no proof
+        assert!(!session.analyze_pattern(&forward).proven_empty());
+
+        // dirty snapshot: delete 0->1, the forward edge becomes provable
+        let mut txn = session.begin();
+        txn.push(rigmatch::graph::MutationOp::RemoveEdge(0, 1));
+        session.commit(txn).expect("edge exists");
+        let report = session.analyze_pattern(&forward);
+        assert!(report.proven_empty(), "select={select:?}:\n{}", report.render_compact());
+        let p = session.prepare(&forward).expect("labels are in range");
+        assert_eq!(p.run().count().result.count, 0, "select={select:?} dirty");
+    }
+}
+
+/// Completeness anchor on the paper's workload: every Fig. 9 template
+/// instance the engine can satisfy (a match exists on a generated
+/// citation-style base) must come back *without* an emptiness proof.
+#[test]
+fn satisfiable_fig9_templates_are_never_flagged() {
+    let g = random_base(60, 240, 11);
+    let session = Session::new(g);
+    let mut satisfiable = 0;
+    for id in 0..template_count() {
+        for flavor in [Flavor::C, Flavor::H, Flavor::D] {
+            let q = template(id).instantiate_modulo(flavor, NUM_LABELS as usize);
+            let p = session.prepare(&q).expect("modulo labels are in range");
+            if p.run().limit(1).count().result.count == 0 {
+                continue;
+            }
+            satisfiable += 1;
+            let report = session.analyze_pattern(&q);
+            assert!(
+                !report.proven_empty(),
+                "template {id} flavor {flavor:?} has matches but was proven empty:\n{}",
+                report.render_compact()
+            );
+        }
+    }
+    assert!(satisfiable >= 20, "only {satisfiable} satisfiable instances — base too sparse");
+}

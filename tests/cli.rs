@@ -158,6 +158,134 @@ fn distinct_exit_codes() {
     assert_eq!(code(&out), 6, "{out:?}");
 }
 
+/// `rigmatch check` lints without executing: one test per pass family
+/// (A resolution, E emptiness, R redundancy, C cost), plus the exit-code
+/// contract — 0 clean/advisory, 8 on analysis errors, 3 on parse errors.
+#[test]
+fn check_subcommand_covers_every_pass_family() {
+    let g = write_tmp("g12.txt", GRAPH);
+    let code = |out: &std::process::Output| out.status.code().unwrap();
+    // A001: unknown label with a did-you-mean suggestion (exit 8)
+    let out = bin()
+        .arg("check")
+        .arg(&g)
+        .args(["--query", "MATCH (a:Athor)->(p:Paper)"])
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 8, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("error[A001]"), "{stdout}");
+    assert!(stdout.contains("did you mean 'Author'?"), "{stdout}");
+    // E102: provably empty direct edge, caret-underlined span (exit 8)
+    let out = bin()
+        .arg("check")
+        .arg(&g)
+        .args(["--query", "MATCH (p:Paper)->(a:Author)"])
+        .output()
+        .unwrap();
+    assert_eq!(code(&out), 8, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("error[E102]"), "{stdout}");
+    assert!(stdout.contains("--> query:1:"), "{stdout}");
+    assert!(stdout.contains("^^"), "{stdout}");
+    // R201: a reach edge the transitive reduction removes — advisory only
+    let redundant = "MATCH (a:Author)->(p:Paper)=>(c:Cited), (a)=>(c)";
+    let out = bin().arg("check").arg(&g).args(["--query", redundant]).output().unwrap();
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("warning[R201]"), "{stdout}");
+    // C301: cost estimates ride along on a clean query, still exit 0
+    let out = bin().arg("check").arg(&g).args(["--query", HPQL]).output().unwrap();
+    assert_eq!(code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("note[C301]"), "{stdout}");
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+    // parse failures keep the ordinary parse exit code
+    let out = bin().arg("check").arg(&g).args(["--query", "MATCH (broken"]).output().unwrap();
+    assert_eq!(code(&out), 3, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("error[P001]"), "{stdout}");
+}
+
+#[test]
+fn check_emits_the_analysis_json_schema() {
+    let g = write_tmp("g13.txt", GRAPH);
+    let out = bin()
+        .arg("check")
+        .arg(&g)
+        .args(["--query", "MATCH (p:Paper)->(a:Author)", "--format", "json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code().unwrap(), 8, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"analysis\": true"), "{stdout}");
+    assert!(stdout.contains("\"proven_empty\": true"), "{stdout}");
+    assert!(stdout.contains("\"code\": \"E102\""), "{stdout}");
+    assert!(stdout.contains("\"errors\": 1"), "{stdout}");
+    // legacy query files analyze too; with no HPQL text the query is null
+    let q = write_tmp("q13.txt", QUERY);
+    let out = bin().arg("check").arg(&g).arg(&q).args(["--format", "json"]).output().unwrap();
+    assert_eq!(out.status.code().unwrap(), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"query\": null"), "{stdout}");
+}
+
+/// `check --mutations` analyzes through the delta overlay: deleting both
+/// Author→Paper edges flips the forward query from clean to provably
+/// empty without touching the base file.
+#[test]
+fn check_reads_through_the_delta_overlay() {
+    let g = write_tmp("g14.txt", GRAPH);
+    let fwd = ["--query", "MATCH (a:Author)->(p:Paper)"];
+    let out = bin().arg("check").arg(&g).args(fwd).output().unwrap();
+    assert_eq!(out.status.code().unwrap(), 0, "{out:?}");
+    let m = write_tmp("m14.txt", "d e 0 1\nd e 0 2\n");
+    let out = bin()
+        .arg("check")
+        .arg(&g)
+        .args(fwd)
+        .args(["--mutations", m.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code().unwrap(), 8, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("error[E102]"), "{stdout}");
+}
+
+/// `--lint` gates ordinary query runs: strict refuses proven-empty
+/// queries with exit 8, warn reports on stderr but still executes.
+#[test]
+fn lint_modes_gate_query_execution() {
+    let g = write_tmp("g15.txt", GRAPH);
+    let empty = ["--query", "MATCH (p:Paper)->(a:Author)", "--count"];
+    let out = bin().arg(&g).args(empty).args(["--lint", "strict"]).output().unwrap();
+    assert_eq!(out.status.code().unwrap(), 8, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("rejected by static analysis"), "{stderr}");
+    // warn mode: diagnostics on stderr, the (empty) count still runs
+    let out = bin().arg(&g).args(empty).args(["--lint", "warn"]).output().unwrap();
+    assert_eq!(out.status.code().unwrap(), 0, "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "0");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("[E102]"), "{stderr}");
+    // a clean query passes strict untouched
+    let out =
+        bin().arg(&g).args(["--query", HPQL, "--count", "--lint", "strict"]).output().unwrap();
+    assert_eq!(out.status.code().unwrap(), 0, "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap().trim(), "1");
+}
+
+#[test]
+fn explain_appends_diagnostics() {
+    let g = write_tmp("g16.txt", GRAPH);
+    let redundant = "MATCH (a:Author)->(p:Paper)=>(c:Cited), (a)=>(c)";
+    let out = bin().arg("explain").arg(&g).args(["--query", redundant]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("diagnostics:"), "{stdout}");
+    assert!(stdout.contains("warning[R201]"), "{stdout}");
+}
+
 #[test]
 fn limit_and_order_flags() {
     let g = write_tmp("g5.txt", GRAPH);
