@@ -1,0 +1,255 @@
+//! `bench_shard` — sharded-execution scaling curve: scatter-gather
+//! enumeration at shard counts {1, 2, 4, 8} (hash and range partitioning)
+//! vs the single-graph morsel engine on the fig9 C-query workload.
+//!
+//! For each template instance (datasets ep/bs, probed non-empty label
+//! assignments), the harness:
+//!
+//! 1. probes feasibility with a capped forced enumeration on the
+//!    single-graph engine — a query with more matches than `--limit` is
+//!    skipped and recorded as such (its exhaustive verification below
+//!    would be unbounded);
+//! 2. times the single-graph enumeration baseline
+//!    (`force_enumerate().count()` — the sharded engine always
+//!    enumerates, so the curve compares enumeration to enumeration);
+//! 3. for every (shard count, partitioner) configuration, runs the query
+//!    through a session with that sharding installed (one warm run to
+//!    build the sharded store and plan, then the timed run) and
+//!    **verifies the sharded count equals the single-graph count** — a
+//!    mismatch aborts the run;
+//! 4. records per-configuration cut-edge totals from the session's
+//!    sharding stats.
+//!
+//! `--json <path>` writes the `BENCH_shard.json` artifact (flagged
+//! `"shard": true` for `benchcheck`, which hard-fails any unverified
+//! count).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rig_bench::json::JsonValue;
+use rig_bench::{load, template_query_probed, Args, Table};
+use rig_core::{Partitioner, Session, ShardOptions};
+use rig_query::Flavor;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const PARTITIONERS: [Partitioner; 2] = [Partitioner::Hash, Partitioner::Range];
+
+struct RunRec {
+    shards: usize,
+    partitioner: Partitioner,
+    enum_s: f64,
+    verified: bool,
+}
+
+struct QueryRec {
+    name: String,
+    matches: u64,
+    base_s: f64,
+    runs: Vec<RunRec>,
+}
+
+/// Cut-edge totals of one (dataset, shards, partitioner) store.
+struct CutRec {
+    dataset: String,
+    shards: usize,
+    partitioner: Partitioner,
+    cut_edges: u64,
+}
+
+fn shard_configs() -> Vec<ShardOptions> {
+    SHARD_COUNTS
+        .iter()
+        .flat_map(|&n| PARTITIONERS.map(|p| ShardOptions { shards: n, partitioner: p }))
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let ids = [0usize, 3, 5, 6, 8, 17, 11, 12, 19, 10, 13, 14];
+    let mut queries: Vec<QueryRec> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
+    let mut cuts: Vec<CutRec> = Vec::new();
+    let cap = args.limit;
+
+    for ds in ["ep", "bs"] {
+        let g = Arc::new(load(ds, &args));
+        println!("# dataset {ds}: {:?}", g.stats());
+        let baseline = Session::new(Arc::clone(&g));
+
+        // instantiate the workload once, with its feasibility probes and
+        // single-graph timings, so every sharded configuration then sees
+        // the identical query list
+        let mut work: Vec<(String, rig_query::PatternQuery)> = Vec::new();
+        for id in ids {
+            let name = format!("{ds}/CQ{id}");
+            let q = template_query_probed(&g, &baseline, id, Flavor::C, args.seed);
+            let p = baseline.prepare(&q).expect("template query validates");
+            p.run().count(); // warm the plan cache
+            let probe = p.run().force_enumerate().limit(cap).count();
+            if probe.result.limit_hit {
+                println!("# {name}: > {cap} matches, skipped (verification infeasible)");
+                skipped.push(name);
+                continue;
+            }
+            let start = Instant::now();
+            let base = p.run().force_enumerate().count();
+            let base_s = start.elapsed().as_secs_f64();
+            queries.push(QueryRec {
+                name: name.clone(),
+                matches: base.result.count,
+                base_s,
+                runs: Vec::new(),
+            });
+            work.push((name, q));
+        }
+
+        // one session per sharding configuration, reused across the
+        // whole query list so the sharded store builds once per config
+        for opts in shard_configs() {
+            let session = Session::new(Arc::clone(&g));
+            session.set_sharding(opts);
+            for (name, q) in &work {
+                let rec = queries
+                    .iter_mut()
+                    .find(|r| &r.name == name)
+                    .expect("probed query was recorded");
+                let p = session.prepare(q).expect("template query validates");
+                p.run().count(); // warm: builds the sharded store + plan
+                let start = Instant::now();
+                let got = p.run().count();
+                let enum_s = start.elapsed().as_secs_f64();
+                let verified = got.result.count == rec.matches;
+                assert!(
+                    verified,
+                    "{name} {opts:?}: sharded count {} != single-graph count {}",
+                    got.result.count, rec.matches
+                );
+                rec.runs.push(RunRec {
+                    shards: opts.effective_shards(),
+                    partitioner: opts.partitioner,
+                    enum_s,
+                    verified,
+                });
+            }
+            let stats = session.sharding_stats().expect("sharding installed");
+            cuts.push(CutRec {
+                dataset: ds.to_string(),
+                shards: opts.effective_shards(),
+                partitioner: opts.partitioner,
+                cut_edges: stats.cut_edges,
+            });
+        }
+    }
+    assert!(!queries.is_empty(), "every query skipped — raise --limit or lower --scale");
+
+    // per-configuration aggregates over the whole workload
+    let base_s: f64 = queries.iter().map(|r| r.base_s).sum();
+    let mut table = Table::new(&["shards", "partitioner", "enum [s]", "vs single-graph"]);
+    let mut sweeps: Vec<JsonValue> = Vec::new();
+    for opts in shard_configs() {
+        let cfg_s: f64 = queries
+            .iter()
+            .flat_map(|r| &r.runs)
+            .filter(|r| r.shards == opts.effective_shards() && r.partitioner == opts.partitioner)
+            .map(|r| r.enum_s)
+            .sum();
+        let speedup = if cfg_s > 0.0 { base_s / cfg_s } else { 0.0 };
+        table.row(vec![
+            opts.effective_shards().to_string(),
+            opts.partitioner.name().to_string(),
+            format!("{cfg_s:.4}"),
+            format!("{speedup:.2}x"),
+        ]);
+        sweeps.push(JsonValue::obj(vec![
+            ("shards", opts.effective_shards().into()),
+            ("partitioner", opts.partitioner.name().into()),
+            ("enum_s", cfg_s.into()),
+            ("speedup_vs_single", speedup.into()),
+        ]));
+    }
+    table.print(&format!(
+        "Sharded scatter-gather vs single-graph enumeration [s] \
+         ({} queries, base {base_s:.4}s)",
+        queries.len()
+    ));
+
+    let verified =
+        queries.iter().map(|r| r.runs.iter().filter(|x| x.verified).count()).sum::<usize>();
+    let total_runs = queries.iter().map(|r| r.runs.len()).sum::<usize>();
+    println!(
+        "total: {} queries x {} configurations, {verified}/{total_runs} runs verified, \
+         {} skipped",
+        queries.len(),
+        shard_configs().len(),
+        skipped.len()
+    );
+
+    if let Some(path) = &args.json {
+        let records: Vec<JsonValue> = queries
+            .iter()
+            .map(|r| {
+                JsonValue::obj(vec![
+                    ("query", r.name.as_str().into()),
+                    ("matches", r.matches.into()),
+                    ("base_s", r.base_s.into()),
+                    (
+                        "runs",
+                        JsonValue::Arr(
+                            r.runs
+                                .iter()
+                                .map(|x| {
+                                    JsonValue::obj(vec![
+                                        ("shards", x.shards.into()),
+                                        ("partitioner", x.partitioner.name().into()),
+                                        ("enum_s", x.enum_s.into()),
+                                        ("verified", JsonValue::Bool(x.verified)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let cut_records: Vec<JsonValue> = cuts
+            .iter()
+            .map(|c| {
+                JsonValue::obj(vec![
+                    ("dataset", c.dataset.as_str().into()),
+                    ("shards", c.shards.into()),
+                    ("partitioner", c.partitioner.name().into()),
+                    ("cut_edges", c.cut_edges.into()),
+                ])
+            })
+            .collect();
+        let doc = JsonValue::obj(vec![
+            ("harness", "bench_shard".into()),
+            ("shard", JsonValue::Bool(true)),
+            ("scale", args.scale.into()),
+            ("seed", args.seed.into()),
+            ("timeout_s", args.timeout.as_secs_f64().into()),
+            ("limit", args.limit.into()),
+            ("shard_counts", JsonValue::Arr(SHARD_COUNTS.iter().map(|&n| n.into()).collect())),
+            ("baseline", "single-graph forced tuple enumeration (morsel engine, 1 thread)".into()),
+            ("queries", JsonValue::Arr(records)),
+            ("skipped", JsonValue::Arr(skipped.iter().map(|s| s.as_str().into()).collect())),
+            ("cut_edges", JsonValue::Arr(cut_records)),
+            (
+                "totals",
+                JsonValue::obj(vec![
+                    ("queries", queries.len().into()),
+                    ("skipped_queries", skipped.len().into()),
+                    ("runs", total_runs.into()),
+                    ("verified_runs", verified.into()),
+                    ("unverified_runs", (total_runs - verified).into()),
+                    ("matches", queries.iter().map(|r| r.matches).sum::<u64>().into()),
+                    ("base_s", base_s.into()),
+                    ("sweeps", JsonValue::Arr(sweeps)),
+                ]),
+            ),
+        ]);
+        std::fs::write(path, doc.to_pretty()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,115 @@
+//! The boundary-binding exchange: how scatter-gather workers hand partial
+//! bindings to the shards that own the next extension's candidates.
+//!
+//! [`Exchange`] is deliberately tiny — a `send` / `recv` pair over opaque
+//! [`Envelope`]s — because it is the seam a networked backend would plug
+//! into: replace the in-process [`ChannelExchange`] with one that
+//! serializes envelopes onto sockets and the enumeration engine does not
+//! change. Termination (the distributed in-flight count) and budget
+//! enforcement live *above* the exchange in [`crate::run_sharded`], so an
+//! implementation only has to deliver every sent envelope to its
+//! destination shard, in any order.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A message between shard workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Envelope {
+    /// A partial binding: locals of the first `binding.len()` search-order
+    /// nodes (candidate-local ids are globally consistent, because every
+    /// shard's RIG shares the same candidate arrays). The receiving shard
+    /// extends it at search position `binding.len()`.
+    Task { binding: Vec<u32> },
+    /// The run is over; the receiving worker exits its loop.
+    Shutdown,
+}
+
+/// Transport between shard workers. Implementations must be `Sync`
+/// (every worker sends through one shared instance) and must not drop
+/// envelopes; delivery order is unconstrained.
+pub trait Exchange: Sync {
+    /// Enqueues `env` for shard `to`. Must not block indefinitely.
+    fn send(&self, to: usize, env: Envelope);
+
+    /// Blocks until the next envelope for shard `shard` arrives.
+    fn recv(&self, shard: usize) -> Envelope;
+}
+
+/// One shard's inbox: an unbounded queue with a condvar for blocking
+/// receivers.
+#[derive(Default)]
+struct Inbox {
+    queue: Mutex<VecDeque<Envelope>>,
+    ready: Condvar,
+}
+
+/// The in-process [`Exchange`]: one `Inbox` per shard.
+pub struct ChannelExchange {
+    inboxes: Vec<Inbox>,
+}
+
+impl ChannelExchange {
+    pub fn new(shards: usize) -> ChannelExchange {
+        ChannelExchange { inboxes: (0..shards).map(|_| Inbox::default()).collect() }
+    }
+}
+
+impl Exchange for ChannelExchange {
+    fn send(&self, to: usize, env: Envelope) {
+        let inbox = &self.inboxes[to];
+        // the queue mutex guards a plain VecDeque; a poisoning panic in a
+        // peer leaves the queue itself intact, so recover and proceed
+        let mut q = match inbox.queue.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        q.push_back(env);
+        inbox.ready.notify_one();
+    }
+
+    fn recv(&self, shard: usize) -> Envelope {
+        let inbox = &self.inboxes[shard];
+        let mut q = match inbox.queue.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        loop {
+            if let Some(env) = q.pop_front() {
+                return env;
+            }
+            q = match inbox.ready.wait(q) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_per_shard_fifo_and_unblocks_waiters() {
+        let ex = ChannelExchange::new(2);
+        ex.send(0, Envelope::Task { binding: vec![1] });
+        ex.send(1, Envelope::Shutdown);
+        ex.send(0, Envelope::Shutdown);
+        assert_eq!(ex.recv(0), Envelope::Task { binding: vec![1] });
+        assert_eq!(ex.recv(0), Envelope::Shutdown);
+        assert_eq!(ex.recv(1), Envelope::Shutdown);
+        // a blocked receiver wakes on a send from another thread
+        std::thread::scope(|scope| {
+            let h = scope.spawn(|| ex.recv(1));
+            scope.spawn(|| ex.send(1, Envelope::Task { binding: vec![9, 9] }));
+            assert_eq!(
+                match h.join() {
+                    Ok(env) => env,
+                    Err(p) => std::panic::resume_unwind(p),
+                },
+                Envelope::Task { binding: vec![9, 9] }
+            );
+        });
+    }
+}

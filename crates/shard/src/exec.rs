@@ -1,0 +1,608 @@
+//! Scatter-gather MJoin over a [`ShardedPlan`]: one worker per shard
+//! enumerates extensions *its shard owns* and hands bindings whose next
+//! extension lives elsewhere to the owning shards through an
+//! [`Exchange`].
+//!
+//! Each worker runs the ordinary MJoin backtracking search against its
+//! shard's RIG blocks — by construction (see [`crate::plan`]) the
+//! intersection of one shard's constraint runs yields exactly the
+//! extensions that shard owns, so the workers' outputs partition the
+//! answer. Before descending into search position `i + 1`, a worker ANDs
+//! the routing signatures of the bound constraint locals: the resulting
+//! bitmask is exactly the set of shards whose blocks can extend this
+//! binding. Its own bit recurses inline (no envelope, no counter
+//! traffic); every other bit becomes a [`Envelope::Task`] on the
+//! exchange.
+//!
+//! **Termination** is a distributed credit count: `in_flight` starts at
+//! one credit per root task, each remote send adds one, each fully
+//! processed task releases one, and the worker that releases the last
+//! credit broadcasts [`Envelope::Shutdown`] to every shard. **Budgets**
+//! mirror the single-graph parallel engine exactly: a shared stop flag
+//! polled once per recursion step, the limit enforced by atomic emit
+//! reservations (exactly `limit` matches emitted across all shards, and
+//! `limit_hit` / `timed_out` survive the merge), the deadline probed
+//! every 1024 steps.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use rig_graph::NodeId;
+use rig_index::{AdjRun, Rig};
+use rig_mjoin::{EnumOptions, EnumResult};
+
+use crate::exchange::{ChannelExchange, Envelope, Exchange};
+use crate::plan::ShardedPlan;
+
+/// Per-shard execution counters, surfaced by `explain` and `/metrics`.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRunStats {
+    /// Tasks this shard's worker received (its root task included).
+    pub tasks: u64,
+    /// Bindings it handed to other shards.
+    pub sent: u64,
+    /// Matches it emitted.
+    pub emitted: u64,
+    /// Recursion steps it took.
+    pub steps: u64,
+}
+
+/// Outcome of a sharded run: the merged [`EnumResult`] (counts and steps
+/// summed, budget flags OR-ed), the collected tuples when requested
+/// (sorted ascending, so output order is deterministic regardless of
+/// exchange interleaving), and per-shard counters.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    pub result: EnumResult,
+    pub tuples: Vec<Vec<NodeId>>,
+    pub per_shard: Vec<ShardRunStats>,
+}
+
+/// Budget state shared by every shard worker (the sharded analogue of the
+/// parallel engine's shared state, plus the termination credit count).
+struct ShardShared<'x, E: Exchange> {
+    exchange: &'x E,
+    num_shards: usize,
+    /// Outstanding task credits; the worker releasing the last one
+    /// broadcasts shutdown.
+    in_flight: AtomicU64,
+    stop: AtomicBool,
+    emitted: AtomicU64,
+    timed_out: AtomicBool,
+    limit_hit: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl<E: Exchange> ShardShared<'_, E> {
+    fn broadcast_shutdown(&self) {
+        for t in 0..self.num_shards {
+            self.exchange.send(t, Envelope::Shutdown);
+        }
+    }
+}
+
+/// Reusable per-depth scratch (same shape as the single-graph worker's).
+struct StepScratch<'r> {
+    q: usize,
+    ops: Vec<AdjRun<'r>>,
+    cursors: Vec<usize>,
+    buf: Vec<u32>,
+}
+
+enum Src<'r> {
+    Root,
+    Slice(&'r [u32]),
+    Buf,
+}
+
+struct ShardWorker<'a, 'x, E: Exchange> {
+    shard: usize,
+    plan: &'a ShardedPlan,
+    rig: &'a Rig,
+    opts: &'a EnumOptions,
+    shared: &'a ShardShared<'x, E>,
+    steps: Vec<StepScratch<'a>>,
+    tuple_local: Vec<u32>,
+    tuple_global: Vec<NodeId>,
+    out_tuple: Vec<NodeId>,
+    check_counter: u32,
+    want_tuples: bool,
+    tuples: Vec<Vec<NodeId>>,
+    stats: ShardRunStats,
+    result: EnumResult,
+}
+
+impl<'a, 'x, E: Exchange> ShardWorker<'a, 'x, E> {
+    fn new(
+        shard: usize,
+        plan: &'a ShardedPlan,
+        opts: &'a EnumOptions,
+        shared: &'a ShardShared<'x, E>,
+        want_tuples: bool,
+    ) -> ShardWorker<'a, 'x, E> {
+        let n = plan.order.len();
+        let rig: &'a Rig = &plan.rigs[shard];
+        let steps: Vec<StepScratch<'a>> = plan
+            .order
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| StepScratch {
+                q: q as usize,
+                ops: Vec::with_capacity(plan.constraints[i].len()),
+                cursors: Vec::with_capacity(plan.constraints[i].len()),
+                buf: Vec::with_capacity(rig.candidates(q as usize).len()),
+            })
+            .collect();
+        ShardWorker {
+            shard,
+            plan,
+            rig,
+            opts,
+            shared,
+            steps,
+            tuple_local: vec![0; n],
+            tuple_global: vec![0; n],
+            out_tuple: vec![0; n],
+            check_counter: 0,
+            want_tuples,
+            tuples: Vec::new(),
+            stats: ShardRunStats::default(),
+            result: EnumResult::empty(plan.order.clone()),
+        }
+    }
+
+    /// Message loop: process tasks until the shutdown broadcast arrives.
+    fn run(&mut self) {
+        loop {
+            match self.shared.exchange.recv(self.shard) {
+                Envelope::Shutdown => return,
+                Envelope::Task { binding } => {
+                    self.stats.tasks += 1;
+                    let depth = binding.len();
+                    for (i, &l) in binding.iter().enumerate() {
+                        self.tuple_local[i] = l;
+                        self.tuple_global[i] = self.rig.node_at(self.plan.order[i] as usize, l);
+                    }
+                    // a stopped run still drains its queue: each task is
+                    // received, does nothing, and releases its credit
+                    self.extend(depth);
+                    if self.shared.in_flight.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        self.shared.broadcast_shutdown();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Terminal-condition poll, once per recursion step (mirrors the
+    /// single-graph worker).
+    fn stopped(&mut self) -> bool {
+        if self.shared.stop.load(Ordering::Relaxed) {
+            return true;
+        }
+        self.check_counter += 1;
+        if self.check_counter >= 1024 {
+            self.check_counter = 0;
+            if let Some(deadline) = self.shared.deadline {
+                if Instant::now() > deadline {
+                    self.result.timed_out = true;
+                    self.shared.timed_out.store(true, Ordering::Relaxed);
+                    self.shared.stop.store(true, Ordering::Relaxed);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Emits the current full binding under the shared reservation
+    /// discipline: the n-th reservation is emitted iff `n <= limit`, so
+    /// all shards together emit exactly `limit` matches.
+    fn emit(&mut self) -> bool {
+        for (i, &q) in self.plan.order.iter().enumerate() {
+            self.out_tuple[q as usize] = self.tuple_global[i];
+        }
+        let sh = self.shared;
+        match self.opts.limit {
+            None => {
+                self.result.count += 1;
+                self.stats.emitted += 1;
+                if self.want_tuples {
+                    self.tuples.push(self.out_tuple.clone());
+                }
+                true
+            }
+            Some(limit) => {
+                let prev = sh.emitted.fetch_add(1, Ordering::Relaxed);
+                if prev >= limit {
+                    sh.limit_hit.store(true, Ordering::Relaxed);
+                    sh.stop.store(true, Ordering::Relaxed);
+                    return false;
+                }
+                self.result.count += 1;
+                self.stats.emitted += 1;
+                if self.want_tuples {
+                    self.tuples.push(self.out_tuple.clone());
+                }
+                if prev + 1 == limit {
+                    self.result.limit_hit = true;
+                    sh.limit_hit.store(true, Ordering::Relaxed);
+                    sh.stop.store(true, Ordering::Relaxed);
+                    return false;
+                }
+                true
+            }
+        }
+    }
+
+    /// Routing mask for search position `i`: AND of the bound constraint
+    /// locals' signatures — exactly the shards whose blocks can extend
+    /// the current binding (a shard with any empty run intersects empty).
+    fn route_mask(&self, i: usize) -> u64 {
+        let ns = self.plan.num_shards();
+        let mut mask = if ns >= 64 { u64::MAX } else { (1u64 << ns) - 1 };
+        for &(eid, bound_pos, bound_is_source) in &self.plan.constraints[i] {
+            let l = self.tuple_local[bound_pos] as usize;
+            let sig = if bound_is_source {
+                self.plan.fwd_sig[eid as usize][l]
+            } else {
+                self.plan.bwd_sig[eid as usize][l]
+            };
+            mask &= sig;
+            if mask == 0 {
+                break;
+            }
+        }
+        mask
+    }
+
+    /// Binds search position `i` to every extension this shard owns,
+    /// routing each deeper binding to the shards that can continue it.
+    /// Returns `false` when enumeration must stop entirely.
+    fn extend(&mut self, i: usize) -> bool {
+        if i == self.steps.len() {
+            return self.emit();
+        }
+        if self.stopped() {
+            return false;
+        }
+        self.result.steps += 1;
+        self.stats.steps += 1;
+
+        self.steps[i].ops.clear();
+        for &(eid, bound_pos, bound_is_source) in &self.plan.constraints[i] {
+            let bound_local = self.tuple_local[bound_pos];
+            let run = if bound_is_source {
+                self.rig.successors_local(eid, bound_local)
+            } else {
+                self.rig.predecessors_local(eid, bound_local)
+            };
+            if run.is_empty() {
+                // this shard owns no extension here; other shards in the
+                // parent's routing mask cover theirs
+                return true;
+            }
+            self.steps[i].ops.push(run);
+        }
+
+        let (src, count) = match self.steps[i].ops.len() {
+            0 => {
+                debug_assert_eq!(i, 0, "only the root step is unconstrained");
+                (Src::Root, self.plan.root_locals[self.shard].len())
+            }
+            1 => {
+                let run = self.steps[i].ops[0];
+                (Src::Slice(run.list), run.len())
+            }
+            _ => {
+                let len = self.intersect_into(i);
+                (Src::Buf, len)
+            }
+        };
+
+        let q = self.steps[i].q;
+        for k in 0..count {
+            let v_local = match src {
+                Src::Root => self.plan.root_locals[self.shard][k],
+                Src::Slice(list) => list[k],
+                Src::Buf => self.steps[i].buf[k],
+            };
+            let v_global = self.rig.node_at(q, v_local);
+            if self.opts.injective && self.tuple_global[..i].contains(&v_global) {
+                continue;
+            }
+            self.tuple_local[i] = v_local;
+            self.tuple_global[i] = v_global;
+            if i + 1 == self.steps.len() {
+                if !self.emit() {
+                    return false;
+                }
+                continue;
+            }
+            let mut mask = self.route_mask(i + 1);
+            let own_bit = 1u64 << self.shard;
+            let descend_here = mask & own_bit != 0;
+            mask &= !own_bit;
+            // scatter to remote owners first, then recurse inline
+            while mask != 0 {
+                let t = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+                self.stats.sent += 1;
+                self.shared
+                    .exchange
+                    .send(t, Envelope::Task { binding: self.tuple_local[..=i].to_vec() });
+            }
+            if descend_here && !self.extend(i + 1) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Multiway intersection into the step's scratch buffer — same
+    /// smallest-driver + galloping-probe routine as the single-graph
+    /// engine.
+    fn intersect_into(&mut self, i: usize) -> usize {
+        let step = &mut self.steps[i];
+        let mut driver_at = 0;
+        for k in 1..step.ops.len() {
+            if step.ops[k].len() < step.ops[driver_at].len() {
+                driver_at = k;
+            }
+        }
+        step.ops.swap(0, driver_at);
+        let driver = step.ops[0];
+        step.buf.clear();
+        let (mut lo, mut hi) = (0u32, u32::MAX);
+        for o in &step.ops {
+            // ops are nonempty (empty runs return early in extend)
+            lo = lo.max(o.list[0]);
+            hi = hi.min(o.list[o.list.len() - 1]);
+        }
+        if lo > hi {
+            return 0;
+        }
+        step.cursors.clear();
+        step.cursors.resize(step.ops.len(), 0);
+        'outer: for &v in driver.list {
+            for k in 1..step.ops.len() {
+                if !step.ops[k].contains_from(&mut step.cursors[k], v) {
+                    continue 'outer;
+                }
+            }
+            step.buf.push(v);
+        }
+        step.buf.len()
+    }
+}
+
+/// Runs `plan` to completion over `exchange`: one scoped worker thread
+/// per shard, each seeded with a root task. Returns the merged result,
+/// per-shard counters, and (when `want_tuples`) every emitted tuple
+/// sorted ascending.
+pub fn run_sharded_on<E: Exchange>(
+    plan: &ShardedPlan,
+    opts: &EnumOptions,
+    exchange: &E,
+    want_tuples: bool,
+) -> ShardRun {
+    let ns = plan.num_shards();
+    let mut merged = EnumResult::empty(plan.order.clone());
+    if plan.order.is_empty() || plan.is_empty() || ns == 0 {
+        return ShardRun {
+            result: merged,
+            tuples: Vec::new(),
+            per_shard: vec![ShardRunStats::default(); ns],
+        };
+    }
+    let shared = ShardShared {
+        exchange,
+        num_shards: ns,
+        in_flight: AtomicU64::new(ns as u64),
+        stop: AtomicBool::new(false),
+        emitted: AtomicU64::new(0),
+        timed_out: AtomicBool::new(false),
+        limit_hit: AtomicBool::new(false),
+        deadline: opts.timeout.map(|t| Instant::now() + t),
+    };
+    // an already-expired budget stops the run before any search happens
+    // (the root tasks still flow through so every worker shuts down)
+    if let Some(deadline) = shared.deadline {
+        if Instant::now() > deadline {
+            shared.timed_out.store(true, Ordering::Relaxed);
+            shared.stop.store(true, Ordering::Relaxed);
+        }
+    }
+    for s in 0..ns {
+        exchange.send(s, Envelope::Task { binding: Vec::new() });
+    }
+    let workers: Vec<ShardWorker<'_, '_, E>> = std::thread::scope(|scope| {
+        let shared = &shared;
+        let handles: Vec<_> = (0..ns)
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut w = ShardWorker::new(s, plan, opts, shared, want_tuples);
+                    w.run();
+                    w
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(w) => w,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    let mut tuples: Vec<Vec<NodeId>> = Vec::new();
+    let mut per_shard: Vec<ShardRunStats> = Vec::with_capacity(ns);
+    for w in workers {
+        merged.merge(&w.result);
+        tuples.extend(w.tuples);
+        per_shard.push(w.stats);
+    }
+    merged.timed_out |= shared.timed_out.load(Ordering::Relaxed);
+    merged.limit_hit |= shared.limit_hit.load(Ordering::Relaxed);
+    tuples.sort_unstable();
+    ShardRun { result: merged, tuples, per_shard }
+}
+
+/// [`run_sharded_on`] over the in-process [`ChannelExchange`] — the entry
+/// point the session terminals use.
+pub fn run_sharded(plan: &ShardedPlan, opts: &EnumOptions, want_tuples: bool) -> ShardRun {
+    let exchange = ChannelExchange::new(plan.num_shards());
+    run_sharded_on(plan, opts, &exchange, want_tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rig_graph::{DataGraph, GraphBuilder, GraphView};
+    use rig_mjoin::SearchOrder;
+    use rig_query::{EdgeKind, PatternQuery};
+
+    use crate::partition::ShardOptions;
+    use crate::store::ShardedStore;
+
+    fn fig2_graph() -> DataGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..3 {
+            b.add_node(0);
+        }
+        for _ in 0..4 {
+            b.add_node(1);
+        }
+        for _ in 0..3 {
+            b.add_node(2);
+        }
+        b.add_edge(1, 3);
+        b.add_edge(1, 7);
+        b.add_edge(3, 8);
+        b.add_edge(8, 7);
+        b.add_edge(2, 5);
+        b.add_edge(2, 9);
+        b.add_edge(5, 9);
+        b.add_edge(5, 8);
+        b.add_edge(0, 4);
+        b.add_edge(4, 7);
+        b.add_edge(6, 0);
+        b.build()
+    }
+
+    fn plan_for(g: &DataGraph, q: &PatternQuery, opts: &ShardOptions) -> ShardedPlan {
+        let store = ShardedStore::build(GraphView::from(g), opts);
+        ShardedPlan::build(GraphView::from(g), &store, q, SearchOrder::Jo)
+    }
+
+    /// The running example answer survives sharding at every shard count.
+    #[test]
+    fn fig2_answer_is_shard_count_invariant() {
+        let g = fig2_graph();
+        let q = rig_query::fig2_query();
+        for opts in [
+            ShardOptions::hash(1),
+            ShardOptions::hash(2),
+            ShardOptions::hash(4),
+            ShardOptions::range(3),
+        ] {
+            let plan = plan_for(&g, &q, &opts);
+            let run = run_sharded(&plan, &EnumOptions::default(), true);
+            assert_eq!(run.result.count, 2, "{opts:?}");
+            assert_eq!(run.tuples, vec![vec![1, 3, 7], vec![2, 5, 9]], "{opts:?}");
+            assert!(!run.result.timed_out && !run.result.limit_hit);
+            let emitted: u64 = run.per_shard.iter().map(|s| s.emitted).sum();
+            assert_eq!(emitted, 2);
+        }
+    }
+
+    /// The limit reservation is exact across shards: exactly `limit`
+    /// tuples come out and `limit_hit` survives the merge.
+    #[test]
+    fn cross_shard_limit_is_exact() {
+        let g = fig2_graph();
+        let q = rig_query::fig2_query();
+        for shards in [2usize, 4, 8] {
+            let plan = plan_for(&g, &q, &ShardOptions::hash(shards));
+            let run = run_sharded(&plan, &EnumOptions::default().with_limit(1), true);
+            assert_eq!(run.result.count, 1, "shards={shards}");
+            assert_eq!(run.tuples.len(), 1);
+            assert!(run.result.limit_hit, "limit_hit must survive the merge");
+            assert!(!run.result.timed_out);
+        }
+    }
+
+    /// A zero timeout reports `timed_out` (never a silent empty answer).
+    #[test]
+    fn zero_timeout_reports_timeout() {
+        let g = fig2_graph();
+        let q = rig_query::fig2_query();
+        let plan = plan_for(&g, &q, &ShardOptions::hash(2));
+        let run = run_sharded(
+            &plan,
+            &EnumOptions::default().with_timeout(std::time::Duration::ZERO),
+            false,
+        );
+        assert!(run.result.timed_out);
+        assert_eq!(run.result.count, 0);
+    }
+
+    /// Injective (isomorphism-style) matching excludes repeated data
+    /// nodes across shard boundaries too.
+    #[test]
+    fn injective_mode_is_shard_invariant() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(0);
+        let y = b.add_node(1);
+        b.add_edge(x, y);
+        let g = b.build();
+        let mut q = PatternQuery::new(vec![0, 0, 1]);
+        q.add_edge(0, 2, EdgeKind::Direct);
+        q.add_edge(1, 2, EdgeKind::Direct);
+        for shards in [1usize, 2, 4] {
+            let plan = plan_for(&g, &q, &ShardOptions::hash(shards));
+            let homo = run_sharded(&plan, &EnumOptions::default(), false);
+            assert_eq!(homo.result.count, 1, "shards={shards}");
+            let iso = run_sharded(&plan, &EnumOptions::default().with_injective(true), false);
+            assert_eq!(iso.result.count, 0, "shards={shards}");
+        }
+    }
+
+    /// Random graphs: sharded counts and tuples are invariant in the
+    /// shard count (shards=1 is the reference).
+    #[test]
+    fn random_graphs_are_shard_count_invariant() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 20u32;
+            let mut b = GraphBuilder::new();
+            for _ in 0..n {
+                b.add_node(rng.gen_range(0..3));
+            }
+            for _ in 0..50 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            let g = b.build();
+            let mut q = PatternQuery::new(vec![0, 1, 2]);
+            q.add_edge(0, 1, EdgeKind::Direct);
+            q.add_edge(1, 2, EdgeKind::Reachability);
+            let reference = {
+                let plan = plan_for(&g, &q, &ShardOptions::hash(1));
+                run_sharded(&plan, &EnumOptions::default(), true)
+            };
+            for opts in [ShardOptions::hash(3), ShardOptions::hash(8), ShardOptions::range(4)] {
+                let plan = plan_for(&g, &q, &opts);
+                let run = run_sharded(&plan, &EnumOptions::default(), true);
+                assert_eq!(run.result.count, reference.result.count, "seed={seed} {opts:?}");
+                assert_eq!(run.tuples, reference.tuples, "seed={seed} {opts:?}");
+            }
+        }
+    }
+}

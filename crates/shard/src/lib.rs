@@ -1,0 +1,83 @@
+//! Sharded execution: partition the graph, scatter-gather the MJoin.
+//!
+//! This crate splits a data graph into `N` edge-partitioned shards
+//! ([`ShardedStore`]), builds one RIG block pair per shard
+//! ([`ShardedPlan`]), and enumerates pattern matches with a
+//! scatter-gather MJoin ([`run_sharded`]) in which each shard worker
+//! binds only the extensions it owns and exchanges boundary bindings
+//! with the owning shards over the [`Exchange`] seam.
+//!
+//! The moving parts, bottom-up:
+//!
+//! - [`Partition`] / [`ShardOptions`] — the owner function (hash or
+//!   range over node ids) every sharded structure agrees on;
+//! - [`ShardedStore`] — per-shard incident/internal graphs, BFL
+//!   indexes and cut-edge tables, built on scoped threads and refreshed
+//!   shard-by-shard after routed commits;
+//! - [`ShardReach`] — cross-shard reachability composing per-shard BFL
+//!   answers over the memoized cut closure;
+//! - [`ShardedPlan`] — shared match-set candidate arrays plus per-shard
+//!   forward/backward RIG blocks and the routing signature tables;
+//! - [`Exchange`] / [`ChannelExchange`] — the boundary-binding
+//!   transport (in-process today; the trait is where a networked
+//!   backend plugs in);
+//! - [`run_sharded`] — the scatter-gather enumeration itself, honoring
+//!   the exact `limit` / timeout budget discipline of the single-graph
+//!   engines.
+//!
+//! `docs/sharding.md` walks through the partitioning scheme, the
+//! cut-edge closure, the Exchange contract and when sharding pays off.
+
+pub mod exchange;
+pub mod exec;
+pub mod partition;
+pub mod plan;
+pub mod reach;
+pub mod store;
+
+pub use exchange::{ChannelExchange, Envelope, Exchange};
+pub use exec::{run_sharded, run_sharded_on, ShardRun, ShardRunStats};
+pub use partition::{Partition, Partitioner, ShardOptions, MAX_SHARDS};
+pub use plan::ShardedPlan;
+pub use reach::ShardReach;
+pub use store::{ShardStats, ShardStore, ShardedStore};
+
+#[cfg(test)]
+mod tests {
+    use rig_mjoin::EnumResult;
+
+    /// Satellite regression: the merge used to combine per-shard results
+    /// is total — counts and steps add, and BOTH budget flags survive,
+    /// whichever side carried them. (Dropping `limit_hit` across a
+    /// partitioned merge was a real pre-morsel bug; the sharded gather
+    /// leans on the same totality.)
+    #[test]
+    fn shard_merge_totality() {
+        for (a_lim, a_to, b_lim, b_to) in [
+            (true, false, false, false),
+            (false, true, false, false),
+            (false, false, true, true),
+            (true, true, false, false),
+        ] {
+            let mut a = EnumResult {
+                count: 5,
+                timed_out: a_to,
+                limit_hit: a_lim,
+                order: vec![0, 1],
+                steps: 11,
+            };
+            let b = EnumResult {
+                count: 2,
+                timed_out: b_to,
+                limit_hit: b_lim,
+                order: vec![0, 1],
+                steps: 3,
+            };
+            a.merge(&b);
+            assert_eq!(a.count, 7);
+            assert_eq!(a.steps, 14);
+            assert_eq!(a.limit_hit, a_lim || b_lim, "limit_hit dropped in merge");
+            assert_eq!(a.timed_out, a_to || b_to, "timed_out dropped in merge");
+        }
+    }
+}

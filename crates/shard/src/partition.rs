@@ -1,0 +1,159 @@
+//! Node-id partitioning: the owner function every sharded structure
+//! (store, RIG blocks, task routing) agrees on.
+
+use rig_graph::NodeId;
+
+/// Routing masks are `u64` bitmasks, so a sharded store holds at most 64
+/// partitions. Requests beyond that are clamped.
+pub const MAX_SHARDS: usize = 64;
+
+/// How node ids map to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partitioner {
+    /// Fibonacci-multiply hash of the node id, modulo shard count.
+    /// Id-dense subgraphs spread evenly; stable under graph growth (the
+    /// owner of `v` never depends on the node count).
+    Hash,
+    /// Even split of the id space into contiguous ranges. Preserves the
+    /// locality of generators that allocate related ids together, but the
+    /// mapping is a function of the node count: growing the graph moves
+    /// boundaries, so range-partitioned artifacts rebuild on node commits.
+    Range,
+}
+
+impl Partitioner {
+    /// Parses the CLI / config spelling (`hash` / `range`).
+    pub fn parse(s: &str) -> Option<Partitioner> {
+        match s {
+            "hash" => Some(Partitioner::Hash),
+            "range" => Some(Partitioner::Range),
+            _ => None,
+        }
+    }
+
+    /// The CLI / metrics spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Partitioner::Hash => "hash",
+            Partitioner::Range => "range",
+        }
+    }
+}
+
+/// Sharding configuration handed to `Session::set_sharding` and the
+/// `--shards` CLI flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardOptions {
+    /// Number of partitions (clamped to `1..=`[`MAX_SHARDS`]).
+    pub shards: usize,
+    pub partitioner: Partitioner,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions { shards: 1, partitioner: Partitioner::Hash }
+    }
+}
+
+impl ShardOptions {
+    /// `n` hash partitions.
+    pub fn hash(shards: usize) -> ShardOptions {
+        ShardOptions { shards, partitioner: Partitioner::Hash }
+    }
+
+    /// `n` range partitions.
+    pub fn range(shards: usize) -> ShardOptions {
+        ShardOptions { shards, partitioner: Partitioner::Range }
+    }
+
+    /// The effective shard count after clamping.
+    pub fn effective_shards(&self) -> usize {
+        self.shards.clamp(1, MAX_SHARDS)
+    }
+}
+
+/// A frozen owner function: [`ShardOptions`] bound to a concrete node
+/// count. Copy — workers pass it by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    shards: usize,
+    partitioner: Partitioner,
+    /// Range-partition chunk width (`ceil(num_nodes / shards)`, min 1).
+    chunk: u32,
+}
+
+impl Partition {
+    pub fn new(opts: &ShardOptions, num_nodes: usize) -> Partition {
+        let shards = opts.effective_shards();
+        Partition {
+            shards,
+            partitioner: opts.partitioner,
+            chunk: (num_nodes.div_ceil(shards).max(1)) as u32,
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// The shard owning node `v`.
+    #[inline]
+    pub fn owner(&self, v: NodeId) -> usize {
+        match self.partitioner {
+            Partitioner::Hash => {
+                (((v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % self.shards as u64)
+                    as usize
+            }
+            Partitioner::Range => ((v / self.chunk) as usize).min(self.shards - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_in_range_and_total() {
+        for p in [Partitioner::Hash, Partitioner::Range] {
+            for shards in [1usize, 2, 3, 8] {
+                let part = Partition::new(&ShardOptions { shards, partitioner: p }, 1000);
+                let mut seen = vec![0u32; shards];
+                for v in 0..1000u32 {
+                    let o = part.owner(v);
+                    assert!(o < shards, "{p:?} {shards}");
+                    seen[o] += 1;
+                }
+                assert_eq!(seen.iter().sum::<u32>(), 1000);
+                if shards > 1 {
+                    assert!(seen.iter().all(|&c| c > 0), "{p:?}: some shard owns nothing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_is_contiguous_and_hash_is_growth_stable() {
+        let part = Partition::new(&ShardOptions::range(4), 100);
+        for v in 1..100u32 {
+            assert!(part.owner(v) >= part.owner(v - 1), "range owners are monotone");
+        }
+        let small = Partition::new(&ShardOptions::hash(4), 100);
+        let big = Partition::new(&ShardOptions::hash(4), 100_000);
+        for v in 0..100u32 {
+            assert_eq!(small.owner(v), big.owner(v), "hash owner is independent of node count");
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(ShardOptions::hash(0).effective_shards(), 1);
+        assert_eq!(ShardOptions::hash(1000).effective_shards(), MAX_SHARDS);
+        let part = Partition::new(&ShardOptions::hash(1000), 10);
+        assert!(part.num_shards() <= MAX_SHARDS);
+    }
+}

@@ -1,0 +1,694 @@
+//! Per-shard RIG construction and the sharded query plan.
+//!
+//! The sharded engine keeps **one candidate array per query node, shared
+//! verbatim by every shard** (match sets over live nodes — the largest
+//! valid RIG selection, which Prop. 4.1 still makes lossless), and
+//! partitions only the RIG *adjacency* by the owner of the new node a run
+//! extends to:
+//!
+//! - shard `t`'s **forward** block for query edge `(p, q)` keeps rows for
+//!   *all* sources but only targets owned by `t`;
+//! - its **backward** block keeps rows for all targets but only sources
+//!   owned by `t`.
+//!
+//! The two blocks are deliberately *not* mutual transposes — each answers
+//! "which extensions does shard `t` own?" for the direction MJoin asks in.
+//! Intersecting one shard's constraint runs therefore yields exactly the
+//! extensions owned by that shard, and the union over shards is the
+//! single-graph intersection, disjointly — the invariant
+//! [`crate::run_sharded`] relies on and `tests/shard_differential.rs`
+//! checks end to end.
+//!
+//! Candidate arrays are match sets (not simulation-refined sets) on
+//! purpose: they are invariant under edge mutations, so a routed refresh
+//! after an edge-only commit can rebuild just the owner shards' blocks
+//! ([`ShardedPlan::rebuild`]) while every other shard's local-id CSRs stay
+//! valid by construction.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rig_graph::{GraphView, NodeId};
+use rig_index::{Rig, RigEdgeParts, RigStats};
+use rig_mjoin::{compute_order, SearchOrder};
+use rig_query::{EdgeKind, PatternQuery, QNode};
+
+use crate::reach::ShardReach;
+use crate::store::ShardedStore;
+
+/// A compiled sharded query: the global search order and constraint
+/// schedule (identical on every shard), one partitioned RIG per shard,
+/// and the routing signature tables the scatter-gather workers consult
+/// to decide which shards can extend a binding.
+pub struct ShardedPlan {
+    /// Search order (a permutation of query nodes), globally valid
+    /// because every shard shares the same candidate arrays.
+    pub order: Vec<QNode>,
+    /// Per search step `i`: `(edge id, bound search position,
+    /// bound_is_source)` — the constraint schedule of MJoin's plan.
+    pub(crate) constraints: Vec<Vec<(u32, usize, bool)>>,
+    /// One partitioned RIG per shard (shared candidate arrays, per-shard
+    /// adjacency blocks).
+    pub rigs: Vec<Arc<Rig>>,
+    /// `fwd_sig[eid][src_local]`: bitmask of shards whose forward block
+    /// has a nonempty run for that source.
+    pub(crate) fwd_sig: Vec<Vec<u64>>,
+    /// `bwd_sig[eid][tgt_local]`: same for backward runs.
+    pub(crate) bwd_sig: Vec<Vec<u64>>,
+    /// Per shard: the locals of `order[0]` whose nodes it owns — the root
+    /// partition each worker seeds its search from.
+    pub(crate) root_locals: Vec<Vec<u32>>,
+    /// The query has at least one reachability edge (such plans rebuild
+    /// whole on any structural commit — cut closures are global).
+    pub has_reach: bool,
+    /// Wall-clock cost of this build (selection + expansion + assembly).
+    pub build_time: Duration,
+}
+
+/// Appends the next CSR offset, refusing to wrap (same guard as the
+/// single-graph RIG builder).
+#[inline]
+fn push_offset(offsets: &mut Vec<u32>, targets_len: usize) {
+    assert!(
+        u32::try_from(targets_len).is_ok(),
+        "query-edge adjacency exceeds u32::MAX entries ({targets_len}); CSR offsets would wrap"
+    );
+    offsets.push(targets_len as u32);
+}
+
+/// Intersects a sorted neighbor list with a sorted candidate array,
+/// emitting the candidates' *positions* (local ids) in ascending order.
+fn intersect_to_locals(nbrs: &[NodeId], tgt: &[NodeId], out: &mut Vec<u32>) {
+    if nbrs.is_empty() || tgt.is_empty() {
+        return;
+    }
+    if nbrs.len() * 16 < tgt.len() {
+        for &v in nbrs {
+            if let Ok(j) = tgt.binary_search(&v) {
+                out.push(j as u32);
+            }
+        }
+    } else if tgt.len() * 16 < nbrs.len() {
+        for (j, t) in tgt.iter().enumerate() {
+            if nbrs.binary_search(t).is_ok() {
+                out.push(j as u32);
+            }
+        }
+    } else {
+        let (mut i, mut j) = (0, 0);
+        while i < nbrs.len() && j < tgt.len() {
+            match nbrs[i].cmp(&tgt[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(j as u32);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Counting-sort transpose of a local-id CSR; every output run comes out
+/// sorted because sources are scanned in ascending order.
+fn transpose(offsets: &[u32], targets: &[u32], n_targets: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut boff = vec![0u32; n_targets + 1];
+    for &t in targets {
+        boff[t as usize + 1] += 1;
+    }
+    for i in 0..n_targets {
+        boff[i + 1] += boff[i];
+    }
+    let mut cursor: Vec<u32> = boff[..n_targets].to_vec();
+    let mut out = vec![0u32; targets.len()];
+    for s in 0..offsets.len().saturating_sub(1) {
+        for &t in &targets[offsets[s] as usize..offsets[s + 1] as usize] {
+            out[cursor[t as usize] as usize] = s as u32;
+            cursor[t as usize] += 1;
+        }
+    }
+    (boff, out)
+}
+
+/// One query edge's *unpartitioned* CSR pair, built once and then split
+/// into per-shard blocks.
+struct FullEdge {
+    fwd_off: Vec<u32>,
+    fwd_tgt: Vec<u32>,
+    bwd_off: Vec<u32>,
+    bwd_tgt: Vec<u32>,
+}
+
+/// Match-set candidates (live nodes carrying the query node's label),
+/// sorted ascending so positions are local ids.
+fn match_set_candidates(view: GraphView<'_>, query: &PatternQuery) -> Vec<Vec<NodeId>> {
+    let mut cand: Vec<Vec<NodeId>> = (0..query.num_nodes())
+        .map(|i| {
+            let l = query.label(i as QNode);
+            if (l as usize) < view.num_labels() {
+                view.nodes_with_label(l).iter().copied().filter(|&v| view.is_live(v)).collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    for c in &mut cand {
+        c.sort_unstable();
+        c.dedup();
+    }
+    // Any empty candidate set empties the whole answer: collapse to the
+    // empty-shaped plan (mirrors the single-graph builder's short-circuit).
+    if cand.iter().any(|c| c.is_empty()) {
+        for c in &mut cand {
+            c.clear();
+        }
+    }
+    cand
+}
+
+/// Per query node: the owner shard of each candidate, by local id.
+fn candidate_owners(store: &ShardedStore, cand: &[Vec<NodeId>]) -> Vec<Vec<u8>> {
+    cand.iter().map(|c| c.iter().map(|&v| store.owner(v) as u8).collect()).collect()
+}
+
+/// The MJoin constraint schedule for `order` (same derivation as the
+/// single-graph plan): each query edge constrains the search step that
+/// binds its *later* endpoint.
+fn constraint_schedule(query: &PatternQuery, order: &[QNode]) -> Vec<Vec<(u32, usize, bool)>> {
+    let n = order.len();
+    let mut pos_of = vec![usize::MAX; n];
+    for (i, &q) in order.iter().enumerate() {
+        pos_of[q as usize] = i;
+    }
+    let mut constraints: Vec<Vec<(u32, usize, bool)>> = vec![Vec::new(); n];
+    for (eid, e) in query.edges().iter().enumerate() {
+        let pf = pos_of[e.from as usize];
+        let pt = pos_of[e.to as usize];
+        if pf < pt {
+            constraints[pt].push((eid as u32, pf, true));
+        } else {
+            constraints[pf].push((eid as u32, pt, false));
+        }
+    }
+    constraints
+}
+
+/// Recomputes both signature tables from the per-shard blocks: shard `t`'s
+/// bit is set for a local iff its block has a nonempty run there.
+fn signatures(rigs: &[Arc<Rig>]) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
+    let Some(first) = rigs.first() else {
+        return (Vec::new(), Vec::new());
+    };
+    let ne = first.num_query_edges();
+    let mut fwd_sig: Vec<Vec<u64>> = Vec::with_capacity(ne);
+    let mut bwd_sig: Vec<Vec<u64>> = Vec::with_capacity(ne);
+    for eid in 0..ne {
+        let (p, q) = first.edge_endpoints(eid as u32);
+        let mut fs = vec![0u64; first.candidates(p).len()];
+        let mut bs = vec![0u64; first.candidates(q).len()];
+        for (t, rig) in rigs.iter().enumerate() {
+            let bit = 1u64 << t;
+            for (su, slot) in fs.iter_mut().enumerate() {
+                if !rig.successors_local(eid as u32, su as u32).is_empty() {
+                    *slot |= bit;
+                }
+            }
+            for (tv, slot) in bs.iter_mut().enumerate() {
+                if !rig.predecessors_local(eid as u32, tv as u32).is_empty() {
+                    *slot |= bit;
+                }
+            }
+        }
+        fwd_sig.push(fs);
+        bwd_sig.push(bs);
+    }
+    (fwd_sig, bwd_sig)
+}
+
+/// Splits one full CSR pair into shard `s`'s block pair: forward entries
+/// filtered to targets `s` owns, backward entries to sources it owns.
+fn filter_parts(full: &FullEdge, pq: (usize, usize), owners: &[Vec<u8>], s: usize) -> RigEdgeParts {
+    let (p, q) = pq;
+    let s = s as u8;
+    let mut parts = RigEdgeParts::default();
+    parts.fwd_offsets.push(0);
+    for su in 0..full.fwd_off.len().saturating_sub(1) {
+        let (lo, hi) = (full.fwd_off[su] as usize, full.fwd_off[su + 1] as usize);
+        parts
+            .fwd_targets
+            .extend(full.fwd_tgt[lo..hi].iter().filter(|&&tv| owners[q][tv as usize] == s));
+        parts.fwd_offsets.push(parts.fwd_targets.len() as u32);
+    }
+    parts.bwd_offsets.push(0);
+    for tv in 0..full.bwd_off.len().saturating_sub(1) {
+        let (lo, hi) = (full.bwd_off[tv] as usize, full.bwd_off[tv + 1] as usize);
+        parts
+            .bwd_targets
+            .extend(full.bwd_tgt[lo..hi].iter().filter(|&&su| owners[p][su as usize] == s));
+        parts.bwd_offsets.push(parts.bwd_targets.len() as u32);
+    }
+    parts
+}
+
+impl ShardedPlan {
+    /// Compiles `query` against a sharded store: expands every query edge
+    /// once (direct edges by adjacency intersection through `view`,
+    /// reachability edges by one cut-graph walk per source through
+    /// [`ShardReach::reachable_tags`]), then assembles the per-shard
+    /// blocks on scoped threads and derives the routing signatures.
+    pub fn build(
+        view: GraphView<'_>,
+        store: &ShardedStore,
+        query: &PatternQuery,
+        strategy: SearchOrder,
+    ) -> ShardedPlan {
+        let start = Instant::now();
+        let ns = store.num_shards();
+        let part = store.partition();
+        let cand = match_set_candidates(view, query);
+        let owners = candidate_owners(store, &cand);
+        let edge_nodes: Vec<(usize, usize)> =
+            query.edges().iter().map(|e| (e.from as usize, e.to as usize)).collect();
+        let reach = ShardReach::new(store);
+
+        // ---- expansion: one full CSR pair per query edge ----
+        let fulls: Vec<FullEdge> = (0..query.num_edges())
+            .map(|eid| {
+                let e = query.edge(eid as u32);
+                let (p, q) = (e.from as usize, e.to as usize);
+                let (src, tgt) = (&cand[p], &cand[q]);
+                let mut off = Vec::with_capacity(src.len() + 1);
+                off.push(0u32);
+                let mut tgts: Vec<u32> = Vec::new();
+                match e.kind {
+                    EdgeKind::Direct => {
+                        for &u in src {
+                            intersect_to_locals(view.out_neighbors(u), tgt, &mut tgts);
+                            push_offset(&mut off, tgts.len());
+                        }
+                    }
+                    EdgeKind::Reachability => {
+                        let mut by_shard: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); ns];
+                        for (j, &v) in tgt.iter().enumerate() {
+                            by_shard[part.owner(v)].push((j as u32, v));
+                        }
+                        for &u in src {
+                            tgts.extend(reach.reachable_tags(u, &by_shard));
+                            push_offset(&mut off, tgts.len());
+                        }
+                    }
+                }
+                let (bwd_off, bwd_tgt) = transpose(&off, &tgts, tgt.len());
+                FullEdge { fwd_off: off, fwd_tgt: tgts, bwd_off, bwd_tgt }
+            })
+            .collect();
+
+        // ---- per-shard block assembly (scoped threads) ----
+        let rigs: Vec<Arc<Rig>> = std::thread::scope(|scope| {
+            let (cand, owners, fulls, edge_nodes) = (&cand, &owners, &fulls, &edge_nodes);
+            let handles: Vec<_> = (0..ns)
+                .map(|s| {
+                    scope.spawn(move || {
+                        let parts: Vec<RigEdgeParts> = fulls
+                            .iter()
+                            .zip(edge_nodes.iter())
+                            .map(|(full, &pq)| filter_parts(full, pq, owners, s))
+                            .collect();
+                        Arc::new(Rig::from_parts(
+                            cand.clone(),
+                            edge_nodes.clone(),
+                            parts,
+                            RigStats::default(),
+                        ))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(rig) => rig,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        });
+
+        Self::assemble(query, strategy, rigs, &owners, start)
+    }
+
+    /// Routed refresh after an edge-only commit: rebuilds only the shards
+    /// flagged in `stale` against the new `view`, sharing every other
+    /// shard's RIG with `prior`. Sound because the candidate arrays are
+    /// match sets (edge mutations cannot change them) — node or label
+    /// commits, and any commit under a reachability plan, must go through
+    /// a full [`ShardedPlan::build`] instead.
+    pub fn rebuild(
+        view: GraphView<'_>,
+        store: &ShardedStore,
+        query: &PatternQuery,
+        prior: &ShardedPlan,
+        stale: &[bool],
+    ) -> ShardedPlan {
+        debug_assert!(!prior.has_reach, "reachability plans rebuild whole");
+        let start = Instant::now();
+        let Some(first) = prior.rigs.first() else {
+            return Self::build(view, store, query, SearchOrder::Jo);
+        };
+        let cand: Vec<Vec<NodeId>> =
+            (0..query.num_nodes()).map(|i| first.candidates(i).to_vec()).collect();
+        let owners = candidate_owners(store, &cand);
+        let edge_nodes: Vec<(usize, usize)> =
+            query.edges().iter().map(|e| (e.from as usize, e.to as usize)).collect();
+        let rigs: Vec<Arc<Rig>> = std::thread::scope(|scope| {
+            let (cand, owners, edge_nodes) = (&cand, &owners, &edge_nodes);
+            let handles: Vec<_> = (0..prior.rigs.len())
+                .map(|s| {
+                    let old = Arc::clone(&prior.rigs[s]);
+                    let rebuild = stale.get(s).copied().unwrap_or(true);
+                    scope.spawn(move || {
+                        if !rebuild {
+                            return old;
+                        }
+                        let parts: Vec<RigEdgeParts> = edge_nodes
+                            .iter()
+                            .enumerate()
+                            .map(|(eid, &(p, q))| {
+                                build_shard_direct(view, cand, owners, query, eid, p, q, s)
+                            })
+                            .collect();
+                        Arc::new(Rig::from_parts(
+                            cand.clone(),
+                            edge_nodes.clone(),
+                            parts,
+                            RigStats::default(),
+                        ))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(rig) => rig,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        });
+        Self::assemble_with_order(
+            prior.order.clone(),
+            prior.constraints.clone(),
+            rigs,
+            &owners,
+            prior.has_reach,
+            start,
+        )
+    }
+
+    fn assemble(
+        query: &PatternQuery,
+        strategy: SearchOrder,
+        rigs: Vec<Arc<Rig>>,
+        owners: &[Vec<u8>],
+        start: Instant,
+    ) -> ShardedPlan {
+        let order = match rigs.first() {
+            Some(first) => compute_order(query, first, strategy),
+            None => Vec::new(),
+        };
+        let constraints = constraint_schedule(query, &order);
+        let has_reach = query.edges().iter().any(|e| e.kind == EdgeKind::Reachability);
+        Self::assemble_with_order(order, constraints, rigs, owners, has_reach, start)
+    }
+
+    fn assemble_with_order(
+        order: Vec<QNode>,
+        constraints: Vec<Vec<(u32, usize, bool)>>,
+        rigs: Vec<Arc<Rig>>,
+        owners: &[Vec<u8>],
+        has_reach: bool,
+        start: Instant,
+    ) -> ShardedPlan {
+        let (fwd_sig, bwd_sig) = signatures(&rigs);
+        let mut root_locals: Vec<Vec<u32>> = vec![Vec::new(); rigs.len()];
+        if let Some(&rq) = order.first() {
+            for (l, &owner) in owners[rq as usize].iter().enumerate() {
+                root_locals[owner as usize].push(l as u32);
+            }
+        }
+        ShardedPlan {
+            order,
+            constraints,
+            rigs,
+            fwd_sig,
+            bwd_sig,
+            root_locals,
+            has_reach,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// Number of shards this plan is partitioned across.
+    pub fn num_shards(&self) -> usize {
+        self.rigs.len()
+    }
+
+    /// True iff some candidate set is empty (the answer is empty).
+    pub fn is_empty(&self) -> bool {
+        self.rigs.first().is_none_or(|r| r.is_empty())
+    }
+
+    /// Total RIG adjacency entries across all shards (each entry lives in
+    /// exactly one shard's forward block).
+    pub fn total_edge_entries(&self) -> u64 {
+        self.rigs.iter().map(|r| r.stats.edge_count).sum()
+    }
+}
+
+/// One-pass per-shard block build for a *direct* edge against a fresh
+/// view: each source's full intersection row is computed once, its
+/// `s`-owned targets appended to the forward block, and — when `s` owns
+/// the source — the whole row buffered for the backward transpose.
+#[allow(clippy::too_many_arguments)]
+fn build_shard_direct(
+    view: GraphView<'_>,
+    cand: &[Vec<NodeId>],
+    owners: &[Vec<u8>],
+    query: &PatternQuery,
+    eid: usize,
+    p: usize,
+    q: usize,
+    s: usize,
+) -> RigEdgeParts {
+    debug_assert_eq!(query.edge(eid as u32).kind, EdgeKind::Direct);
+    let (src, tgt) = (&cand[p], &cand[q]);
+    let s8 = s as u8;
+    let mut parts = RigEdgeParts::default();
+    parts.fwd_offsets.push(0);
+    // rows over ALL sources; only `s`-owned sources contribute entries
+    let mut own_off: Vec<u32> = Vec::with_capacity(src.len() + 1);
+    own_off.push(0);
+    let mut own_tgt: Vec<u32> = Vec::new();
+    let mut row: Vec<u32> = Vec::new();
+    for (su, &u) in src.iter().enumerate() {
+        row.clear();
+        intersect_to_locals(view.out_neighbors(u), tgt, &mut row);
+        parts.fwd_targets.extend(row.iter().filter(|&&tv| owners[q][tv as usize] == s8));
+        push_offset(&mut parts.fwd_offsets, parts.fwd_targets.len());
+        if owners[p][su] == s8 {
+            own_tgt.extend_from_slice(&row);
+        }
+        push_offset(&mut own_off, own_tgt.len());
+    }
+    let (bwd_offsets, bwd_targets) = transpose(&own_off, &own_tgt, tgt.len());
+    parts.bwd_offsets = bwd_offsets;
+    parts.bwd_targets = bwd_targets;
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rig_graph::{DataGraph, GraphBuilder};
+    use rig_reach::{BflIndex, Reachability};
+
+    use crate::partition::ShardOptions;
+
+    fn random_graph(seed: u64, n: u32, edges: usize, labels: u32) -> DataGraph {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_node(rng.gen_range(0..labels));
+        }
+        for _ in 0..edges {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    fn mixed_query() -> PatternQuery {
+        let mut q = PatternQuery::new(vec![0, 1, 2]);
+        q.add_edge(0, 1, EdgeKind::Direct);
+        q.add_edge(1, 2, EdgeKind::Reachability);
+        q.add_edge(0, 2, EdgeKind::Direct);
+        q
+    }
+
+    /// Brute-force expected full RIG row for one (edge, source candidate).
+    fn expected_row(
+        g: &DataGraph,
+        bfl: &BflIndex,
+        kind: EdgeKind,
+        u: NodeId,
+        tgt: &[NodeId],
+    ) -> Vec<u32> {
+        tgt.iter()
+            .enumerate()
+            .filter(|&(_, &v)| match kind {
+                EdgeKind::Direct => g.out_neighbors(u).binary_search(&v).is_ok(),
+                EdgeKind::Reachability => bfl.reaches(u, v),
+            })
+            .map(|(j, _)| j as u32)
+            .collect()
+    }
+
+    /// Union over shards of each forward/backward run equals the
+    /// unpartitioned RIG run; every entry lives in exactly one shard.
+    #[test]
+    fn shard_blocks_union_to_whole_graph_rig() {
+        let g = random_graph(3, 30, 70, 3);
+        let bfl = BflIndex::new(&g);
+        let q = mixed_query();
+        for opts in [ShardOptions::hash(1), ShardOptions::hash(4), ShardOptions::range(3)] {
+            let store = ShardedStore::build(GraphView::from(&g), &opts);
+            let plan = ShardedPlan::build(GraphView::from(&g), &store, &q, SearchOrder::Jo);
+            assert!(plan.has_reach);
+            let first = &plan.rigs[0];
+            for eid in 0..q.num_edges() {
+                let e = q.edge(eid as u32);
+                let (p, t) = (e.from as usize, e.to as usize);
+                for su in 0..first.candidates(p).len() {
+                    let mut union: Vec<u32> = plan
+                        .rigs
+                        .iter()
+                        .flat_map(|r| r.successors_local(eid as u32, su as u32).list.to_vec())
+                        .collect();
+                    union.sort_unstable();
+                    let expect = expected_row(
+                        &g,
+                        &bfl,
+                        e.kind,
+                        first.candidates(p)[su],
+                        first.candidates(t),
+                    );
+                    assert_eq!(union, expect, "{opts:?} e{eid} su{su}");
+                    // disjointness: union length == sum of shard lengths
+                    let total: usize = plan
+                        .rigs
+                        .iter()
+                        .map(|r| r.successors_local(eid as u32, su as u32).len())
+                        .sum();
+                    assert_eq!(total, expect.len());
+                    // signature bits match nonemptiness exactly
+                    let mask = plan.fwd_sig[eid][su];
+                    for (sh, r) in plan.rigs.iter().enumerate() {
+                        let nonempty = !r.successors_local(eid as u32, su as u32).is_empty();
+                        assert_eq!(mask & (1 << sh) != 0, nonempty, "fwd sig e{eid} su{su}");
+                    }
+                }
+                // backward blocks partition the predecessors by source owner
+                for tv in 0..first.candidates(t).len() {
+                    let mut union: Vec<u32> = plan
+                        .rigs
+                        .iter()
+                        .flat_map(|r| r.predecessors_local(eid as u32, tv as u32).list.to_vec())
+                        .collect();
+                    union.sort_unstable();
+                    let v = first.candidates(t)[tv];
+                    let expect: Vec<u32> = first
+                        .candidates(p)
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &u)| match e.kind {
+                            EdgeKind::Direct => g.out_neighbors(u).binary_search(&v).is_ok(),
+                            EdgeKind::Reachability => bfl.reaches(u, v),
+                        })
+                        .map(|(j, _)| j as u32)
+                        .collect();
+                    assert_eq!(union, expect, "{opts:?} e{eid} tv{tv} (bwd)");
+                    let mask = plan.bwd_sig[eid][tv];
+                    for (sh, r) in plan.rigs.iter().enumerate() {
+                        let nonempty = !r.predecessors_local(eid as u32, tv as u32).is_empty();
+                        assert_eq!(mask & (1 << sh) != 0, nonempty, "bwd sig e{eid} tv{tv}");
+                    }
+                }
+            }
+            // root locals partition the root candidate range
+            let mut all: Vec<u32> = plan.root_locals.iter().flatten().copied().collect();
+            all.sort_unstable();
+            let n_root = first.candidates(plan.order[0] as usize).len() as u32;
+            assert_eq!(all, (0..n_root).collect::<Vec<u32>>());
+        }
+    }
+
+    /// A routed rebuild with every shard stale reproduces a fresh build;
+    /// untouched shards are shared by pointer.
+    #[test]
+    fn rebuild_matches_build_and_shares_untouched() {
+        let g = random_graph(9, 24, 50, 2);
+        let mut q = PatternQuery::new(vec![0, 1]);
+        q.add_edge(0, 1, EdgeKind::Direct);
+        let store = ShardedStore::build(GraphView::from(&g), &ShardOptions::hash(4));
+        let plan = ShardedPlan::build(GraphView::from(&g), &store, &q, SearchOrder::Jo);
+        let all_stale = ShardedPlan::rebuild(GraphView::from(&g), &store, &q, &plan, &[true; 4]);
+        for s in 0..4 {
+            let (a, b) = (&plan.rigs[s], &all_stale.rigs[s]);
+            for i in 0..q.num_nodes() {
+                assert_eq!(a.candidates(i), b.candidates(i));
+            }
+            for su in 0..a.candidates(0).len() as u32 {
+                assert_eq!(
+                    a.successors_local(0, su).list,
+                    b.successors_local(0, su).list,
+                    "shard {s} fwd {su}"
+                );
+            }
+            for tv in 0..a.candidates(1).len() as u32 {
+                assert_eq!(
+                    a.predecessors_local(0, tv).list,
+                    b.predecessors_local(0, tv).list,
+                    "shard {s} bwd {tv}"
+                );
+            }
+        }
+        assert_eq!(plan.fwd_sig, all_stale.fwd_sig);
+        assert_eq!(plan.bwd_sig, all_stale.bwd_sig);
+        let partial = ShardedPlan::rebuild(
+            GraphView::from(&g),
+            &store,
+            &q,
+            &plan,
+            &[false, true, false, false],
+        );
+        assert!(Arc::ptr_eq(&plan.rigs[0], &partial.rigs[0]));
+        assert!(!Arc::ptr_eq(&plan.rigs[1], &partial.rigs[1]));
+        assert!(Arc::ptr_eq(&plan.rigs[2], &partial.rigs[2]));
+    }
+
+    /// A label with no live candidates collapses to the empty-shaped plan.
+    #[test]
+    fn missing_label_is_empty_plan() {
+        let g = random_graph(1, 10, 20, 2);
+        let mut q = PatternQuery::new(vec![0, 7]); // label 7 absent
+        q.add_edge(0, 1, EdgeKind::Direct);
+        let store = ShardedStore::build(GraphView::from(&g), &ShardOptions::hash(2));
+        let plan = ShardedPlan::build(GraphView::from(&g), &store, &q, SearchOrder::Jo);
+        assert!(plan.is_empty());
+        assert_eq!(plan.total_edge_entries(), 0);
+        assert!(plan.root_locals.iter().all(|r| r.is_empty()));
+    }
+}

@@ -1,0 +1,221 @@
+//! Cross-shard reachability: per-shard BFL answers composed over the cut
+//! tables.
+//!
+//! Any path `u ⇝ v` in the global graph decomposes into maximal segments
+//! that stay inside one shard, stitched together by cut edges. Each
+//! internal segment is decided by that shard's BFL; the stitching is a
+//! BFS over the (much smaller) *cut graph*, whose positions are the entry
+//! nodes of each shard. Per-shard cut closures (`exits reachable from a
+//! node through the internal graph`) are memoized inside each
+//! [`crate::ShardStore`], so repeated probes amortize.
+//!
+//! Semantics match [`Reachability`]: `reaches(u, v)` asks for a path of
+//! length ≥ 1 — a node reaches itself only around a cycle. A cut edge
+//! contributes length 1, so reaching `v` *as* an entry is conclusive,
+//! while the very first internal segment from `u` must be non-empty
+//! (which BFL's own length ≥ 1 contract already enforces).
+
+use rig_graph::{FxHashSet, NodeId};
+use rig_reach::Reachability;
+
+use crate::store::ShardedStore;
+
+/// A [`Reachability`] oracle over a [`ShardedStore`]. Cheap to construct
+/// (borrows the store); probe cost is one same-shard BFL probe in the
+/// fast path and a cut-graph BFS otherwise.
+pub struct ShardReach<'a> {
+    store: &'a ShardedStore,
+}
+
+impl<'a> ShardReach<'a> {
+    pub fn new(store: &'a ShardedStore) -> ShardReach<'a> {
+        ShardReach { store }
+    }
+
+    /// Walks every position reachable from `u` (the origin, then entry
+    /// nodes discovered through cut edges), invoking `visit(w, origin)`
+    /// once per position. `visit` returns `true` to stop early (answer
+    /// found). The origin flag distinguishes the length-0 start from
+    /// entries reached by a real path.
+    fn walk(&self, u: NodeId, mut visit: impl FnMut(NodeId, bool) -> bool) -> bool {
+        if visit(u, true) {
+            return true;
+        }
+        let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+        let mut frontier: Vec<NodeId> = vec![u];
+        while let Some(w) = frontier.pop() {
+            let sw = self.store.owner(w);
+            let shard = self.store.shard(sw);
+            for &x in shard.exits_from(w).iter() {
+                for &(_, e) in shard.cut_successors(x) {
+                    if seen.insert(e) {
+                        if visit(e, false) {
+                            return true;
+                        }
+                        frontier.push(e);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Reachability for ShardReach<'_> {
+    fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        let sv = self.store.owner(v);
+        self.walk(u, |w, _is_origin| {
+            // `w == v` at an entry is a complete path (the cut edge into
+            // `v` has length 1); at the origin it is the length-0 start
+            // and proves nothing — which is exactly what excluding the
+            // origin's trivial self-hit via the BFL probe gives us:
+            // `bfl.reaches(v, v)` is true only around an internal cycle.
+            (!_is_origin && w == v)
+                || (self.store.owner(w) == sv && self.store.shard(sv).bfl.reaches(w, v))
+        })
+    }
+
+    fn build_seconds(&self) -> f64 {
+        0.0
+    }
+
+    fn name(&self) -> &'static str {
+        "shard-bfl+cut"
+    }
+}
+
+impl ShardReach<'_> {
+    /// All targets of `tgt_by_shard` reachable from `u` (path length ≥ 1),
+    /// returned as their caller-supplied tags, sorted ascending.
+    /// `tgt_by_shard[s]` lists `(tag, node)` pairs owned by shard `s` —
+    /// the per-shard grouping lets each visited position probe only the
+    /// candidates its own BFL can answer. One cut-graph walk per source,
+    /// shared across all targets: this is the bulk entry point RIG
+    /// reachability expansion uses instead of per-pair [`Self::reaches`]
+    /// probes.
+    pub fn reachable_tags(&self, u: NodeId, tgt_by_shard: &[Vec<(u32, NodeId)>]) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        self.walk(u, |w, is_origin| {
+            let sw = self.store.owner(w);
+            let bfl = &self.store.shard(sw).bfl;
+            for &(tag, v) in &tgt_by_shard[sw] {
+                // an entry *is* a completed path to itself; the origin is
+                // not (length 0) — its self-reachability needs a cycle,
+                // which the BFL probe below decides.
+                if (!is_origin && v == w) || bfl.reaches(w, v) {
+                    out.push(tag);
+                }
+            }
+            false // exhaustive walk: collect from every position
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rig_graph::{DataGraph, GraphBuilder, GraphView};
+    use rig_reach::BflIndex;
+
+    use crate::partition::ShardOptions;
+
+    fn assert_agrees(g: &DataGraph, opts: &ShardOptions) {
+        let truth = BflIndex::new(g);
+        let store = ShardedStore::build(GraphView::from(g), opts);
+        let reach = ShardReach::new(&store);
+        let n = g.num_nodes() as NodeId;
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(reach.reaches(u, v), truth.reaches(u, v), "{opts:?}: reaches({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn line_and_cycle_agree_with_whole_graph_bfl() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..10 {
+            b.add_node(0);
+        }
+        for v in 1..10 {
+            b.add_edge(v - 1, v);
+        }
+        let line = b.build();
+        let mut b = GraphBuilder::new();
+        for _ in 0..9 {
+            b.add_node(0);
+        }
+        for v in 0..9u32 {
+            b.add_edge(v, (v + 1) % 9);
+        }
+        let cycle = b.build();
+        for opts in [
+            ShardOptions::hash(1),
+            ShardOptions::hash(3),
+            ShardOptions::range(3),
+            ShardOptions::range(4),
+        ] {
+            assert_agrees(&line, &opts);
+            assert_agrees(&cycle, &opts);
+        }
+    }
+
+    #[test]
+    fn random_graphs_agree_with_whole_graph_bfl() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 24u32;
+            let mut b = GraphBuilder::new();
+            for _ in 0..n {
+                b.add_node(rng.gen_range(0..3));
+            }
+            for _ in 0..60 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+            let g = b.build();
+            for opts in [ShardOptions::hash(2), ShardOptions::hash(5), ShardOptions::range(4)] {
+                assert_agrees(&g, &opts);
+            }
+        }
+    }
+
+    #[test]
+    fn reachable_tags_matches_pairwise_probes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20u32;
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_node(0);
+        }
+        for _ in 0..45 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        let store = ShardedStore::build(GraphView::from(&g), &ShardOptions::hash(3));
+        let reach = ShardReach::new(&store);
+        let mut by_shard: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); 3];
+        for v in 0..n {
+            by_shard[store.owner(v)].push((v, v));
+        }
+        for u in 0..n {
+            let bulk = reach.reachable_tags(u, &by_shard);
+            let pairwise: Vec<u32> = (0..n).filter(|&v| reach.reaches(u, v)).collect();
+            assert_eq!(bulk, pairwise, "source {u}");
+        }
+    }
+}

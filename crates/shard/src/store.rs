@@ -1,0 +1,316 @@
+//! The partitioned graph store: one [`ShardStore`] per partition, each a
+//! pair of materialized [`rig_graph::DataGraph`]s (incident + internal) with its own
+//! BFL reachability index and cut-edge tables to the other shards.
+//!
+//! Every shard graph keeps the **full global id space** (node `v` is dense
+//! id `v` in every shard), so ids — and therefore RIG candidate-local
+//! ids — mean the same thing on every shard and boundary bindings cross
+//! the [`crate::Exchange`] without re-localization. Only *edges* are
+//! partitioned:
+//!
+//! - the **incident** graph of shard `s` holds every edge with at least
+//!   one endpoint owned by `s` — complete out-adjacency for owned
+//!   sources, complete in-adjacency for owned targets;
+//! - the **internal** graph holds only edges with *both* endpoints owned,
+//!   and is what the per-shard [`BflIndex`] is built on;
+//! - edges crossing a shard boundary land in the **cut tables**: the
+//!   owner of the source records an *exit* (`cut_out`), the owner of the
+//!   target an *entry* (`cut_in`). [`crate::ShardReach`] composes
+//!   per-shard BFL answers over exactly these tables.
+//!
+//! Builds read the graph through a [`GraphView`], so a dirty snapshot
+//! (uncompacted delta overlay) materializes into ordinary per-shard CSRs
+//! and the per-shard BFL stays sound without any overlay-aware machinery.
+
+use std::sync::{Arc, Mutex};
+
+use rig_graph::{FxHashMap, GraphBuilder, GraphView, NodeId};
+use rig_reach::{BflIndex, Reachability};
+
+use crate::partition::{Partition, ShardOptions};
+
+/// Size counters of one shard, surfaced by `explain` and `/metrics`.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Nodes this shard owns (live only).
+    pub owned_nodes: u64,
+    /// Edges with both endpoints owned.
+    pub internal_edges: u64,
+    /// Cut edges whose source this shard owns (exits).
+    pub cut_out: u64,
+    /// Cut edges whose target this shard owns (entries).
+    pub cut_in: u64,
+}
+
+/// One partition of a [`ShardedStore`].
+pub struct ShardStore {
+    /// All edges incident to an owned endpoint (full node id space).
+    pub incident: rig_graph::DataGraph,
+    /// Owned-to-owned edges only; the base of `bfl`.
+    pub internal: rig_graph::DataGraph,
+    /// Reachability index over `internal`.
+    pub bfl: BflIndex,
+    /// Owned sources of cut edges, sorted ascending.
+    pub exits: Vec<NodeId>,
+    /// Cut edges leaving this shard, sorted by source (then target).
+    cut_out_edges: Vec<(NodeId, NodeId)>,
+    pub stats: ShardStats,
+    /// Memoized cut closure: for a node `w` of this shard, the exits of
+    /// this shard reachable from `w` through the **internal** graph
+    /// (including `w` itself when it is an exit). Local to this shard's
+    /// internal graph + exit set, so a commit touching only other shards
+    /// never stales it.
+    closure: Mutex<FxHashMap<NodeId, Arc<Vec<NodeId>>>>,
+}
+
+impl ShardStore {
+    fn build(view: GraphView<'_>, part: &Partition, s: usize) -> ShardStore {
+        let n = view.num_nodes();
+        let mut inc = GraphBuilder::new();
+        let mut int = GraphBuilder::new();
+        let mut owned_nodes = 0u64;
+        for v in 0..n as NodeId {
+            let l = view.label(v);
+            inc.add_node(l);
+            int.add_node(l);
+            if part.owner(v) == s && view.is_live(v) {
+                owned_nodes += 1;
+            }
+        }
+        let mut cut_out_edges: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut cut_in = 0u64;
+        let mut internal_edges = 0u64;
+        for u in 0..n as NodeId {
+            if !view.is_live(u) {
+                continue;
+            }
+            let ou = part.owner(u);
+            for &v in view.out_neighbors(u) {
+                let ov = part.owner(v);
+                if ou != s && ov != s {
+                    continue;
+                }
+                inc.add_edge(u, v);
+                if ou == s && ov == s {
+                    int.add_edge(u, v);
+                    internal_edges += 1;
+                } else if ou == s {
+                    cut_out_edges.push((u, v));
+                } else {
+                    cut_in += 1;
+                }
+            }
+        }
+        cut_out_edges.sort_unstable();
+        let mut exits: Vec<NodeId> = cut_out_edges.iter().map(|&(u, _)| u).collect();
+        exits.dedup();
+        let internal = int.build();
+        let bfl = BflIndex::new(&internal);
+        ShardStore {
+            incident: inc.build(),
+            internal,
+            bfl,
+            stats: ShardStats {
+                owned_nodes,
+                internal_edges,
+                cut_out: cut_out_edges.len() as u64,
+                cut_in,
+            },
+            exits,
+            cut_out_edges,
+            closure: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The cut edges leaving this shard whose source is `exit` (empty for
+    /// non-exits).
+    pub fn cut_successors(&self, exit: NodeId) -> &[(NodeId, NodeId)] {
+        let lo = self.cut_out_edges.partition_point(|&(u, _)| u < exit);
+        let hi = self.cut_out_edges.partition_point(|&(u, _)| u <= exit);
+        &self.cut_out_edges[lo..hi]
+    }
+
+    /// Exits of this shard reachable from `w` through the internal graph
+    /// (`w` itself included when it is an exit), memoized per node.
+    pub fn exits_from(&self, w: NodeId) -> Arc<Vec<NodeId>> {
+        // the closure mutex only guards a memo map; a poisoned entry
+        // (panicked prober) is recovered by recomputing
+        let mut memo = match self.closure.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if let Some(hit) = memo.get(&w) {
+            return Arc::clone(hit);
+        }
+        let mut out: Vec<NodeId> = Vec::new();
+        for &x in &self.exits {
+            if x == w || self.bfl.reaches(w, x) {
+                out.push(x);
+            }
+        }
+        let out = Arc::new(out);
+        memo.insert(w, Arc::clone(&out));
+        out
+    }
+}
+
+impl std::fmt::Debug for ShardStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardStore").field("stats", &self.stats).finish()
+    }
+}
+
+/// The full partitioned store: the owner function plus one
+/// [`ShardStore`] per shard (individually `Arc`'d so a routed refresh
+/// rebuilds only the touched partitions and shares the rest).
+#[derive(Debug, Clone)]
+pub struct ShardedStore {
+    part: Partition,
+    shards: Vec<Arc<ShardStore>>,
+}
+
+impl ShardedStore {
+    /// Partitions `view` into `opts.shards` stores. Each shard's
+    /// (incident graph, internal graph, BFL, cut tables) build is
+    /// independent, so they run on scoped threads.
+    pub fn build(view: GraphView<'_>, opts: &ShardOptions) -> ShardedStore {
+        let part = Partition::new(opts, view.num_nodes());
+        let n = part.num_shards();
+        let shards = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|s| scope.spawn(move || Arc::new(ShardStore::build(view, &part, s))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(store) => store,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        });
+        ShardedStore { part, shards }
+    }
+
+    /// Rebuilds only the shards flagged in `stale` against `view`,
+    /// sharing every other partition with `self` — the routed-refresh
+    /// path for edge-only commits, whose blast radius is exactly the
+    /// owner shards of the touched endpoints.
+    pub fn refresh(&self, view: GraphView<'_>, stale: &[bool]) -> ShardedStore {
+        let part = self.part;
+        let shards = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(s, old)| {
+                    let old = Arc::clone(old);
+                    let rebuild = stale.get(s).copied().unwrap_or(true);
+                    scope.spawn(move || {
+                        if rebuild {
+                            Arc::new(ShardStore::build(view, &part, s))
+                        } else {
+                            old
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(store) => store,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        });
+        ShardedStore { part, shards }
+    }
+
+    pub fn partition(&self) -> Partition {
+        self.part
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.part.num_shards()
+    }
+
+    #[inline]
+    pub fn owner(&self, v: NodeId) -> usize {
+        self.part.owner(v)
+    }
+
+    pub fn shard(&self, s: usize) -> &ShardStore {
+        &self.shards[s]
+    }
+
+    /// Total cut edges (each crossing edge counted once, at its source
+    /// owner).
+    pub fn total_cut_edges(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.cut_out).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rig_graph::DataGraph;
+
+    fn line_graph(n: u32) -> DataGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..n {
+            b.add_node(0);
+        }
+        for v in 1..n {
+            b.add_edge(v - 1, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn partitions_edges_exactly_once() {
+        let g = line_graph(20);
+        for opts in [ShardOptions::hash(4), ShardOptions::range(4)] {
+            let st = ShardedStore::build(GraphView::from(&g), &opts);
+            let internal: u64 = (0..4).map(|s| st.shard(s).stats.internal_edges).sum();
+            let cut: u64 = st.total_cut_edges();
+            assert_eq!(internal + cut, g.num_edges() as u64, "{opts:?}");
+            let cut_in: u64 = (0..4).map(|s| st.shard(s).stats.cut_in).sum();
+            assert_eq!(cut, cut_in, "every cut edge has exactly one entry owner");
+            let owned: u64 = (0..4).map(|s| st.shard(s).stats.owned_nodes).sum();
+            assert_eq!(owned, g.num_nodes() as u64);
+        }
+    }
+
+    #[test]
+    fn single_shard_has_no_cut() {
+        let g = line_graph(10);
+        let st = ShardedStore::build(GraphView::from(&g), &ShardOptions::hash(1));
+        assert_eq!(st.total_cut_edges(), 0);
+        assert_eq!(st.shard(0).stats.internal_edges, 9);
+        assert!(st.shard(0).exits.is_empty());
+    }
+
+    #[test]
+    fn incident_graph_has_complete_adjacency_for_owned_nodes() {
+        let g = line_graph(16);
+        let st = ShardedStore::build(GraphView::from(&g), &ShardOptions::range(4));
+        for v in 0..16 as NodeId {
+            let s = st.owner(v);
+            assert_eq!(
+                st.shard(s).incident.out_neighbors(v),
+                g.out_neighbors(v),
+                "owned out-adjacency is complete"
+            );
+            assert_eq!(st.shard(s).incident.in_neighbors(v), g.in_neighbors(v));
+        }
+    }
+
+    #[test]
+    fn refresh_shares_untouched_shards() {
+        let g = line_graph(16);
+        let st = ShardedStore::build(GraphView::from(&g), &ShardOptions::range(4));
+        let st2 = st.refresh(GraphView::from(&g), &[false, true, false, false]);
+        assert!(Arc::ptr_eq(&st.shards[0], &st2.shards[0]));
+        assert!(!Arc::ptr_eq(&st.shards[1], &st2.shards[1]));
+        assert!(Arc::ptr_eq(&st.shards[2], &st2.shards[2]));
+    }
+}

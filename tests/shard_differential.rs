@@ -1,0 +1,257 @@
+//! Sharded-execution differential suite: on random labeled graphs, a
+//! session running sharded scatter-gather (every shard count in
+//! {1, 2, 4, 8} under both hash and range partitioning) must produce the
+//! **byte-identical sorted match set** and the **same count** as the
+//! plain single-graph engine — across every `SelectMode`,
+//! Direct/Reachability/mixed edge kinds, injective on/off, and on both
+//! clean base graphs and dirty delta-overlay snapshots.
+//!
+//! The single-graph side answers counts through the factorized DP where
+//! eligible, so count agreement here also pins the sharded enumerator
+//! against the DP. A deterministic line-graph case makes every edge a
+//! cut edge under range partitioning, forcing boundary-straddling
+//! matches through the cross-shard task exchange.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rigmatch::core::{GmConfig, Session};
+use rigmatch::graph::{CommitImpact, DeltaOverlay, GraphBuilder, MutationOp, NodeId};
+use rigmatch::prelude::ShardOptions;
+use rigmatch::query::{EdgeKind, PatternQuery};
+use rigmatch::rig::{RigOptions, SelectMode};
+
+const NUM_LABELS: u32 = 3;
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+fn random_base(nodes: usize, edges: usize, seed: u64) -> rigmatch::graph::DataGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    for l in 0..NUM_LABELS {
+        b.add_node(l); // one guaranteed node per label
+    }
+    for _ in NUM_LABELS as usize..nodes {
+        b.add_node(rng.gen_range(0..NUM_LABELS));
+    }
+    for _ in 0..edges {
+        let u = rng.gen_range(0..nodes) as NodeId;
+        let v = rng.gen_range(0..nodes) as NodeId;
+        if u != v {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Tree shapes (2-chain, 3-chain, out-star) and a cyclic shape
+/// (triangle), each in Direct, Reachability and mixed edge-kind flavors.
+/// Chains of length ≥ 2 straddle shard boundaries under range
+/// partitioning on these small graphs.
+fn workload() -> Vec<PatternQuery> {
+    let mut out = Vec::new();
+    let kinds = [
+        [EdgeKind::Direct; 3],
+        [EdgeKind::Reachability; 3],
+        [EdgeKind::Direct, EdgeKind::Reachability, EdgeKind::Direct],
+    ];
+    for ks in kinds {
+        // 2-chain (tree)
+        let mut q = PatternQuery::new(vec![0, 1]);
+        q.add_edge(0, 1, ks[0]);
+        out.push(q);
+        // 3-chain (tree)
+        let mut q = PatternQuery::new(vec![0, 1, 2]);
+        q.add_edge(0, 1, ks[0]);
+        q.add_edge(1, 2, ks[1]);
+        out.push(q);
+        // out-star (tree)
+        let mut q = PatternQuery::new(vec![1, 0, 2]);
+        q.add_edge(0, 1, ks[0]);
+        q.add_edge(0, 2, ks[1]);
+        out.push(q);
+        // triangle (cyclic)
+        let mut q = PatternQuery::new(vec![0, 1, 2]);
+        q.add_edge(0, 1, ks[0]);
+        q.add_edge(1, 2, ks[1]);
+        q.add_edge(0, 2, ks[2]);
+        out.push(q);
+    }
+    out
+}
+
+/// Every sharding configuration the suite exercises.
+fn shard_configs() -> Vec<ShardOptions> {
+    SHARDS.iter().flat_map(|&n| [ShardOptions::hash(n), ShardOptions::range(n)]).collect()
+}
+
+/// One snapshot's agreement check. `baseline` never shards; `sharded` is
+/// reconfigured through `set_sharding` for every (shards, partitioner)
+/// pair. Both sessions must sit on identical snapshots.
+fn check_agreement(baseline: &Session, sharded: &Session, ctx: &str) {
+    let queries = workload();
+    // baseline expectations, computed once per snapshot
+    let mut expected = Vec::with_capacity(queries.len());
+    for (qi, q) in queries.iter().enumerate() {
+        let p = baseline.prepare(q).expect("workload validates");
+        let (mut expect, outcome) = p.run().collect_all();
+        assert!(!outcome.result.timed_out && !outcome.result.limit_hit);
+        expect.sort();
+        // the DP-eligible count path must agree with its own enumeration
+        let dp = p.run().count().result.count;
+        assert_eq!(dp, expect.len() as u64, "{ctx}: baseline DP vs enum, query {qi}");
+        let inj = p.run().injective(true).count().result.count;
+        expected.push((expect, dp, inj));
+    }
+
+    for opts in shard_configs() {
+        sharded.set_sharding(opts);
+        for (qi, q) in queries.iter().enumerate() {
+            let (expect, dp, inj) = &expected[qi];
+            let ps = sharded.prepare(q).expect("workload validates");
+            let (got, outcome) = ps.run().collect_all();
+            // sharded collect returns globally sorted tuples already;
+            // byte-identical means no re-sort should be needed
+            assert!(got.windows(2).all(|w| w[0] <= w[1]), "{ctx}: unsorted gather, query {qi}");
+            assert_eq!(&got, expect, "{ctx}: match set, query {qi}, {opts:?}");
+            assert_eq!(outcome.result.count, expect.len() as u64);
+            assert_eq!(
+                ps.run().count().result.count,
+                *dp,
+                "{ctx}: sharded count vs DP, query {qi}, {opts:?}"
+            );
+            assert_eq!(
+                ps.run().injective(true).count().result.count,
+                *inj,
+                "{ctx}: injective, query {qi}, {opts:?}"
+            );
+        }
+    }
+}
+
+fn config_for(select: SelectMode) -> GmConfig {
+    GmConfig { rig: RigOptions { select, ..RigOptions::exact() }, ..GmConfig::default() }
+}
+
+/// Clean-base check: two sessions on the same graph, one sharded.
+fn check_clean(select: SelectMode, seed: u64) {
+    let cfg = config_for(select);
+    let g = random_base(20, 50, seed);
+    let baseline = Session::with_config(g.clone(), cfg);
+    let sharded = Session::with_config(g, cfg);
+    check_agreement(&baseline, &sharded, &format!("clean select={select:?} seed={seed}"));
+}
+
+/// Dirty-snapshot check: identical random mutation batches are committed
+/// to both sessions, so the sharded store's routed refresh path (edge
+/// ops) and wholesale reset path (node/label ops) both face a moving
+/// snapshot while the baseline rebuilds from scratch.
+fn check_dirty(select: SelectMode, seed: u64, commits: usize, ops_per_commit: usize) {
+    let cfg = config_for(select);
+    let mut gen_state = seed ^ 0x5AAD;
+    let base = random_base(20, 45, seed);
+    let baseline = Session::with_config(base.clone(), cfg);
+    let sharded = Session::with_config(base, cfg);
+    for step in 0..commits {
+        let mut scratch: DeltaOverlay = (**baseline.graph().delta()).clone();
+        let mut ops: Vec<MutationOp> = Vec::new();
+        for _ in 0..ops_per_commit {
+            if let Some(op) = scratch.random_mutation(&mut gen_state, NUM_LABELS) {
+                let mut impact = CommitImpact::default();
+                if scratch.apply(&op, &mut impact).is_ok() {
+                    ops.push(op);
+                }
+            }
+        }
+        let mut txn = baseline.begin();
+        let mut txn_sh = sharded.begin();
+        for op in &ops {
+            txn.push(op.clone());
+            txn_sh.push(op.clone());
+        }
+        baseline.commit(txn).expect("scratch-validated ops commit cleanly");
+        sharded.commit(txn_sh).expect("scratch-validated ops commit cleanly");
+        check_agreement(
+            &baseline,
+            &sharded,
+            &format!("dirty select={select:?} seed={seed} step={step}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Refined (prefilter + simulation) single-graph baseline vs the
+    /// sharded engine on clean bases.
+    #[test]
+    fn refined_clean_agrees(seed in 0u64..1_000_000) {
+        check_clean(SelectMode::PrefilterThenSim, seed);
+    }
+
+    /// Simulation-only ablation.
+    #[test]
+    fn sim_only_clean_agrees(seed in 0u64..1_000_000) {
+        check_clean(SelectMode::SimOnly, seed);
+    }
+
+    /// Prefilter-only ablation.
+    #[test]
+    fn prefilter_only_clean_agrees(seed in 0u64..1_000_000) {
+        check_clean(SelectMode::PrefilterOnly, seed);
+    }
+
+    /// Raw match-set RIGs — the same candidate discipline the sharded
+    /// planner uses, so the two sides build comparable structures.
+    #[test]
+    fn match_sets_clean_agrees(seed in 0u64..1_000_000) {
+        check_clean(SelectMode::MatchSets, seed);
+    }
+
+    /// Dirty snapshots under the refined mode: routed per-shard refresh
+    /// and wholesale resets must track the baseline's rebuilds exactly.
+    #[test]
+    fn refined_dirty_agrees(seed in 0u64..1_000_000) {
+        check_dirty(SelectMode::PrefilterThenSim, seed, 2, 6);
+    }
+
+    /// Dirty snapshots under match-set RIGs.
+    #[test]
+    fn match_sets_dirty_agrees(seed in 0u64..1_000_000) {
+        check_dirty(SelectMode::MatchSets, seed, 2, 6);
+    }
+}
+
+/// Deterministic boundary-straddling case: a labeled line graph under
+/// range partitioning, where every consecutive pair of nodes lands in
+/// different shards at `shards == nodes / 2` — so every match of the
+/// 3-chain crosses at least one shard boundary and must flow through the
+/// cross-shard task exchange (and, for the reachability flavor, through
+/// the cut-edge closure).
+#[test]
+fn line_graph_straddles_every_range_boundary() {
+    let n = 12u32;
+    let mut b = GraphBuilder::new();
+    for v in 0..n {
+        b.add_node(v % NUM_LABELS); // labels 0,1,2,0,1,2,…
+    }
+    for v in 1..n {
+        b.add_edge(v - 1, v);
+    }
+    let g = b.build();
+    let baseline = Session::new(g.clone());
+    let sharded = Session::new(g);
+    check_agreement(&baseline, &sharded, "line graph");
+
+    // spot-check the shard shape: range(6) on 12 nodes puts 2 nodes per
+    // shard, so the line edges 1->2, 3->4, 5->6, 7->8 and 9->10 all
+    // cross a boundary
+    sharded.set_sharding(ShardOptions::range(6));
+    let mut q = PatternQuery::new(vec![0, 1, 2]);
+    q.add_edge(0, 1, EdgeKind::Direct);
+    q.add_edge(1, 2, EdgeKind::Direct);
+    let p = sharded.prepare(&q).expect("chain validates");
+    assert_eq!(p.run().count().result.count, 4); // 0-1-2, 3-4-5, 6-7-8, 9-10-11
+    let stats = sharded.sharding_stats().expect("sharding is on");
+    assert_eq!(stats.shards, 6);
+    assert_eq!(stats.cut_edges, 5);
+}
